@@ -1,0 +1,53 @@
+//! Criterion bench backing Figure 3 / Table 1: device read latency at
+//! different concurrency levels and access granularities.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use scm_device::{ReadCommand, ScmDevice, TechnologyProfile};
+use sdm_metrics::units::Bytes;
+
+fn device_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("device_read_128B");
+    group.sample_size(20);
+    for (name, profile) in [
+        ("nand", TechnologyProfile::nand_flash()),
+        ("optane", TechnologyProfile::optane_ssd()),
+    ] {
+        for depth in [1usize, 64] {
+            let mut device =
+                ScmDevice::new(name, profile.clone(), Bytes::from_mib(64)).expect("device");
+            let mut offset = 0u64;
+            group.bench_with_input(
+                BenchmarkId::new(name, format!("qd{depth}")),
+                &depth,
+                |b, &depth| {
+                    b.iter(|| {
+                        offset = (offset + 4096) % (60 * 1024 * 1024);
+                        device.read(&ReadCommand::sgl(offset, 128), depth).unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn granularity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("granularity");
+    group.sample_size(20);
+    for (name, cmd) in [
+        ("sgl_128B", ReadCommand::sgl(8192, 128)),
+        ("block_4KiB", ReadCommand::block(8192, 128)),
+    ] {
+        let mut device = ScmDevice::new(
+            "nand",
+            TechnologyProfile::nand_flash(),
+            Bytes::from_mib(16),
+        )
+        .expect("device");
+        group.bench_function(name, |b| b.iter(|| device.read(&cmd, 4).unwrap()));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, device_reads, granularity);
+criterion_main!(benches);

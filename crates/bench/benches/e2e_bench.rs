@@ -1,0 +1,40 @@
+//! Criterion bench backing Tables 8/9: end-to-end query execution on the
+//! DRAM baseline vs the SDM stack (Nand and Optane).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sdm_bench::{bench_sdm_config, build_system, queries_for, scaled};
+use sdm_core::PlacementPolicy;
+
+fn end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_e2e_m1");
+    group.sample_size(10);
+    let model = scaled(&dlrm::model_zoo::m1());
+    let queries = queries_for(&model, 64, 99);
+
+    let configs = [
+        (
+            "dram_only",
+            bench_sdm_config().with_placement(PlacementPolicy::FixedFmThenSm {
+                dram_budget: model.user_capacity(),
+            }),
+        ),
+        ("sdm_optane", bench_sdm_config()),
+        ("sdm_nand", bench_sdm_config().with_nand_flash()),
+    ];
+    for (name, config) in configs {
+        let mut system = build_system(&model, config);
+        // Warm the caches outside the measured region.
+        let _ = system.run_queries(&queries[..32]).unwrap();
+        let mut i = 0usize;
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                i = (i + 1) % queries.len();
+                system.run_query(&queries[i]).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench backing Table 3/4 and §A.5: the cost of dequantise + pool
+//! that the pooled-embedding cache and load-time de-quantisation avoid.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use embedding::{pooling, quantize_row, QuantScheme};
+
+fn pooling_cost(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_quantized");
+    group.sample_size(30);
+    for &pf in &[10usize, 40, 100] {
+        for (name, scheme) in [("int8", QuantScheme::Int8), ("fp32", QuantScheme::Fp32)] {
+            let dim = 64;
+            let rows: Vec<Vec<u8>> = (0..pf)
+                .map(|i| {
+                    let values: Vec<f32> = (0..dim).map(|j| ((i * j) as f32).sin()).collect();
+                    quantize_row(&values, scheme)
+                })
+                .collect();
+            let row_refs: Vec<&[u8]> = rows.iter().map(|r| r.as_slice()).collect();
+            group.bench_with_input(BenchmarkId::new(name, pf), &pf, |b, _| {
+                b.iter(|| pooling::pool_quantized(&row_refs, scheme, dim).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pooling_cost);
+criterion_main!(benches);

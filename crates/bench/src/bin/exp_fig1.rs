@@ -1,0 +1,48 @@
+//! Experiment E1 — paper Figure 1: embedding-table size vs bytes/query for
+//! the 140 GB / 734-table model. Most of the capacity needs little
+//! bandwidth, which is what makes slow memory viable.
+
+use dlrm::analysis;
+use dlrm::model_zoo;
+use sdm_bench::{header, pct};
+use sdm_metrics::units::Bytes;
+
+fn main() {
+    header("Figure 1: table size vs bytes per query (140GB model, 734 tables)");
+    let model = model_zoo::figure1_model();
+    let demands = analysis::table_demands(&model);
+    let summary = analysis::capacity_summary(&model.tables);
+    println!(
+        "model capacity = {} ({} user tables = {} of capacity)",
+        model.embedding_capacity(),
+        model.user_tables().len(),
+        pct(summary.user_fraction()),
+    );
+
+    // Scatter data, bucketed for terminal display: bytes/query deciles vs
+    // capacity share.
+    let max_bpq = demands.iter().map(|d| d.bytes_per_query.as_u64()).max().unwrap_or(1);
+    println!("\n  bytes/query bucket        tables   capacity share");
+    for decile in 1..=10u64 {
+        let hi = max_bpq * decile / 10;
+        let lo = max_bpq * (decile - 1) / 10;
+        let in_bucket: Vec<_> = demands
+            .iter()
+            .filter(|d| d.bytes_per_query.as_u64() > lo && d.bytes_per_query.as_u64() <= hi)
+            .collect();
+        let cap: u64 = in_bucket.iter().map(|d| d.capacity.as_u64()).sum();
+        println!(
+            "  ({:>10} , {:>10}]   {:>5}    {}",
+            Bytes(lo),
+            Bytes(hi),
+            in_bucket.len(),
+            pct(cap as f64 / model.embedding_capacity().as_u64() as f64)
+        );
+    }
+
+    let threshold = Bytes(max_bpq / 10);
+    println!(
+        "\ncapacity needing <= 10% of the worst table's bytes/query: {}",
+        pct(analysis::capacity_fraction_below_demand(&model, threshold))
+    );
+}

@@ -1,0 +1,61 @@
+//! Experiment E4 — paper Figure 4: temporal locality of user and item
+//! embedding accesses, globally and as observed by one host under sticky
+//! routing.
+
+use embedding::TableKind;
+use sdm_bench::{header, pct};
+use workload::{locality_report, temporal_locality_cdf, AccessTrace, QueryGenerator, RoutingPolicy, Scheduler, WorkloadConfig};
+
+fn print_cdf(label: &str, accesses: &[u64]) {
+    let cdf = temporal_locality_cdf(accesses, 10);
+    let points: Vec<String> = cdf
+        .iter()
+        .map(|(rows, acc)| format!("{:.0}%:{:.0}%", rows * 100.0, acc * 100.0))
+        .collect();
+    let report = locality_report(accesses);
+    println!(
+        "  {label:<18} top1%={:<7} top10%={:<7} cdf[{}]",
+        pct(report.top1_share),
+        pct(report.top10_share),
+        points.join(" ")
+    );
+}
+
+fn main() {
+    header("Figure 4: temporal locality (user vs item tables, global vs per host)");
+    // Paper-scale M2 descriptors: the query generator only samples indices,
+    // so no table bytes are materialised.
+    let model = dlrm::model_zoo::m2();
+    let workload = WorkloadConfig {
+        item_batch: 2,
+        user_population: 200_000,
+        user_zipf_exponent: 0.7,
+        inference_eval: false,
+    };
+    let queries = QueryGenerator::new(&model.tables, workload, 4)
+        .expect("workload")
+        .generate(800);
+    let trace = AccessTrace::from_queries(&queries);
+
+    println!("\n(a) user tables, global trace (8 sampled tables):");
+    for t in model.tables.iter().filter(|t| t.kind == TableKind::User).take(8) {
+        print_cdf(&t.name, trace.table_accesses(t.id));
+    }
+    println!("\n(b) item tables, global trace (8 sampled tables):");
+    for t in model.tables.iter().filter(|t| t.kind == TableKind::Item).take(8) {
+        print_cdf(&t.name, trace.table_accesses(t.id));
+    }
+
+    println!("\n(c) same user tables observed by one host (16 hosts, user-sticky routing):");
+    let mut scheduler = Scheduler::new(16, RoutingPolicy::UserSticky);
+    let per_host = scheduler.per_host_traces(&queries);
+    let busiest = per_host
+        .iter()
+        .max_by_key(|t| t.len())
+        .expect("at least one host");
+    for t in model.tables.iter().filter(|t| t.kind == TableKind::User).take(8) {
+        print_cdf(&t.name, busiest.table_accesses(t.id));
+    }
+    println!("\nExpected shape: power-law CDFs; item tables more skewed than user tables;");
+    println!("per-host (sticky) curves at least as skewed as the global ones.");
+}

@@ -1,0 +1,18 @@
+//! Experiment E2 — paper Table 1: the slow-memory technology envelope.
+
+use scm_device::TechnologyProfile;
+use sdm_bench::header;
+use sdm_metrics::units::Bytes;
+
+fn main() {
+    header("Table 1: SM technology options");
+    for profile in TechnologyProfile::table1() {
+        println!("{}", profile.summary());
+    }
+    println!();
+    println!("Model-update interval limits (days) for a 1 TB model on 2 TB of each technology:");
+    for profile in TechnologyProfile::table1() {
+        let days = profile.min_update_interval_days(Bytes::from_tib(1), Bytes::from_tib(2));
+        println!("  {:<26} {:.4} days between full updates at rated endurance", profile.kind.to_string(), days);
+    }
+}

@@ -1,0 +1,35 @@
+//! Experiment E11 — paper Table 10: sizing the future M3 host — how many
+//! Optane SSDs its user-embedding IOPS demand requires.
+
+use cluster::sizing::{size_ssds, SizingInputs};
+use sdm_bench::header;
+
+fn main() {
+    header("Table 10: SDM host sizing for M3");
+    let inputs = SizingInputs {
+        qps: 3150.0,
+        user_tables: 2000,
+        avg_pooling_factor: 30.0,
+        cache_hit_rate: 0.80,
+        iops_per_ssd: 4_000_000.0,
+    };
+    let result = size_ssds(inputs).expect("sizing failed");
+    println!("\n  model  QPS   user tables  PF  hit rate  raw MIOPS  SM MIOPS  Optane SSDs needed");
+    println!(
+        "  M3     {:>4}  {:>11}  {:>2}  {:>7.0}%  {:>9.1}  {:>8.1}  {:>18}",
+        inputs.qps,
+        inputs.user_tables,
+        inputs.avg_pooling_factor,
+        inputs.cache_hit_rate * 100.0,
+        result.raw_iops / 1e6,
+        result.sm_iops / 1e6,
+        result.ssds_needed
+    );
+    println!("\nPaper Table 10: 36 MIOPS after the cache, satisfied by 9 Optane SSDs at 4 MIOPS each.");
+
+    println!("\nsensitivity to the cache hit rate:");
+    for hit in [0.5f64, 0.6, 0.7, 0.8, 0.9, 0.95] {
+        let r = size_ssds(SizingInputs { cache_hit_rate: hit, ..inputs }).unwrap();
+        println!("  hit rate {:>4.0}% -> {:>5.1} MIOPS -> {:>2} SSDs", hit * 100.0, r.sm_iops / 1e6, r.ssds_needed);
+    }
+}

@@ -1,0 +1,102 @@
+//! Shared helpers for the experiment binaries (`exp_*`) and Criterion
+//! benches that regenerate the paper's tables and figures.
+//!
+//! Every binary prints a self-contained report to stdout; EXPERIMENTS.md
+//! records the paper-reported values next to the values these binaries
+//! produce.
+
+use dlrm::{model_zoo, ModelConfig};
+use sdm_core::{SdmConfig, SdmSystem};
+use sdm_metrics::units::Bytes;
+use workload::{Query, QueryGenerator, WorkloadConfig};
+
+/// Divisor applied to paper-scale row counts so experiments run in seconds
+/// on a development machine. Capacity-derived results always use the
+/// unscaled descriptors.
+pub const DEFAULT_CAPACITY_DIVISOR: u64 = 200_000;
+
+/// Divisor applied to MLP widths for the materialised replicas.
+pub const DEFAULT_MLP_DIVISOR: f64 = 40.0;
+
+/// Seed used by all experiments (printed so runs are reproducible).
+pub const EXPERIMENT_SEED: u64 = 0x5d_2022;
+
+/// Prints a section header.
+pub fn header(title: &str) {
+    println!();
+    println!("==== {title} ====");
+    println!("seed = {EXPERIMENT_SEED:#x}");
+}
+
+/// Builds the laptop-scale replica of a paper model.
+pub fn scaled(model: &ModelConfig) -> ModelConfig {
+    model_zoo::scaled_model(model, DEFAULT_CAPACITY_DIVISOR, DEFAULT_MLP_DIVISOR)
+}
+
+/// A default SDM configuration sized for the scaled replicas.
+pub fn bench_sdm_config() -> SdmConfig {
+    let mut config = SdmConfig::default();
+    config.device_capacity = Bytes::from_mib(256);
+    config.fm_budget = Bytes::from_mib(32);
+    config.cache = sdm_cache::CacheConfig::with_total_budget(Bytes::from_mib(16));
+    config.seed = EXPERIMENT_SEED;
+    config
+}
+
+/// Builds a full SDM system for a scaled model.
+///
+/// # Panics
+///
+/// Panics when the configuration cannot be built — experiments treat that as
+/// a fatal setup error.
+pub fn build_system(model: &ModelConfig, config: SdmConfig) -> SdmSystem {
+    SdmSystem::build(model, config, EXPERIMENT_SEED).expect("failed to build SDM system")
+}
+
+/// Generates a query stream for a (scaled) model.
+///
+/// # Panics
+///
+/// Panics when the workload generator rejects the model (empty table set).
+pub fn queries_for(model: &ModelConfig, count: usize, seed: u64) -> Vec<Query> {
+    let cfg = WorkloadConfig {
+        item_batch: model.item_batch.min(16),
+        user_population: 5_000,
+        user_zipf_exponent: 0.8,
+        inference_eval: false,
+    };
+    let mut generator =
+        QueryGenerator::new(&model.tables, cfg, seed).expect("workload generation failed");
+    generator.generate(count)
+}
+
+/// Formats a fraction as a percentage string.
+pub fn pct(x: f64) -> String {
+    format!("{:.1}%", x * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_models_build_quickly_and_small() {
+        let m1 = scaled(&model_zoo::m1());
+        assert!(m1.embedding_capacity() < Bytes::from_mib(8));
+        assert_eq!(m1.tables.len(), model_zoo::m1().tables.len());
+    }
+
+    #[test]
+    fn build_system_and_run_one_query() {
+        let model = scaled(&model_zoo::m1());
+        let mut system = build_system(&model, bench_sdm_config());
+        let queries = queries_for(&model, 1, 1);
+        let result = system.run_query(&queries[0]).unwrap();
+        assert!(!result.scores.is_empty());
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.205), "20.5%");
+    }
+}

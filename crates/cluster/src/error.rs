@@ -1,0 +1,45 @@
+//! Error type for the cluster-level models.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the datacenter-level calculations.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ClusterError {
+    /// An input parameter was zero or out of range.
+    InvalidParameter {
+        /// Which parameter.
+        name: &'static str,
+        /// What was wrong with it.
+        reason: String,
+    },
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClusterError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ClusterError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_parameter() {
+        let e = ClusterError::InvalidParameter {
+            name: "qps",
+            reason: "must be positive".into(),
+        };
+        assert!(e.to_string().contains("qps"));
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<ClusterError>();
+    }
+}

@@ -1,0 +1,134 @@
+//! Multi-tenancy: co-locating experimental models to raise host utilisation
+//! (paper §5.3, Table 11).
+
+use crate::error::ClusterError;
+use sdm_metrics::units::Bytes;
+
+/// One co-located (experimental) model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantModel {
+    /// Memory capacity the model needs on the host.
+    pub memory: Bytes,
+    /// Fraction of the host's compute the model consumes at its (low)
+    /// traffic level.
+    pub compute_share: f64,
+}
+
+/// A host under multi-tenant serving.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenancyHost {
+    /// Memory available for embedding capacity (DRAM, or DRAM + SM with
+    /// SDM).
+    pub memory: Bytes,
+    /// Relative host power (normalized units are fine).
+    pub power: f64,
+}
+
+/// How many copies of `tenant` fit on `host`, bounded by memory only (the
+/// capacity-bound regime the paper describes: compute is plentiful on the
+/// accelerator platform, memory is not).
+pub fn tenants_by_memory(host: &TenancyHost, tenant: &TenantModel) -> u64 {
+    if tenant.memory.is_zero() {
+        return u64::MAX;
+    }
+    host.memory.as_u64() / tenant.memory.as_u64()
+}
+
+/// Host compute utilisation achieved when `count` tenants are co-located.
+pub fn utilisation(count: u64, tenant: &TenantModel) -> f64 {
+    (count as f64 * tenant.compute_share).min(1.0)
+}
+
+/// Fleet power ratio of an SDM-equipped deployment relative to a baseline
+/// deployment serving the same aggregate experimental-model workload
+/// (Table 11): the fleet shrinks with utilisation, while each host pays its
+/// own power.
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidParameter`] when either utilisation is not
+/// in `(0, 1]`.
+pub fn fleet_power_ratio(
+    baseline_utilisation: f64,
+    baseline_power: f64,
+    sdm_utilisation: f64,
+    sdm_power: f64,
+) -> Result<f64, ClusterError> {
+    for (name, u) in [
+        ("baseline_utilisation", baseline_utilisation),
+        ("sdm_utilisation", sdm_utilisation),
+    ] {
+        if !(u > 0.0 && u <= 1.0) {
+            return Err(ClusterError::InvalidParameter {
+                name,
+                reason: format!("{u} is outside (0, 1]"),
+            });
+        }
+    }
+    if baseline_power <= 0.0 {
+        return Err(ClusterError::InvalidParameter {
+            name: "baseline_power",
+            reason: "must be positive".into(),
+        });
+    }
+    // Hosts needed scale as 1/utilisation; power per host scales with the
+    // platform power.
+    Ok((baseline_utilisation / sdm_utilisation) * (sdm_power / baseline_power))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table11_reproduces_29_percent_saving() {
+        // Paper Table 11: baseline utilisation 0.63 at power 1.0; with SDM
+        // utilisation 0.90 at power 1.01 → fleet power 0.71, i.e. 29% saving.
+        let ratio = fleet_power_ratio(0.63, 1.0, 0.90, 1.01).unwrap();
+        assert!((ratio - 0.707).abs() < 0.01, "ratio = {ratio}");
+        assert!((1.0 - ratio - 0.29).abs() < 0.02);
+    }
+
+    #[test]
+    fn sdm_capacity_allows_more_tenants() {
+        let tenant = TenantModel {
+            memory: Bytes::from_gib(250),
+            compute_share: 0.06,
+        };
+        // DRAM-only future host: 1 TB DRAM.
+        let baseline = TenancyHost {
+            memory: Bytes::from_gib(1024),
+            power: 1.0,
+        };
+        // SDM host: 256 GB DRAM + 9 × 400 GB Optane.
+        let sdm = TenancyHost {
+            memory: Bytes::from_gib(256 + 9 * 400),
+            power: 1.01,
+        };
+        let base_tenants = tenants_by_memory(&baseline, &tenant);
+        let sdm_tenants = tenants_by_memory(&sdm, &tenant);
+        assert!(sdm_tenants > base_tenants);
+        assert!(utilisation(sdm_tenants, &tenant) > utilisation(base_tenants, &tenant));
+        assert_eq!(utilisation(100, &tenant), 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_handled() {
+        assert_eq!(
+            tenants_by_memory(
+                &TenancyHost {
+                    memory: Bytes::from_gib(1),
+                    power: 1.0
+                },
+                &TenantModel {
+                    memory: Bytes::ZERO,
+                    compute_share: 0.1
+                }
+            ),
+            u64::MAX
+        );
+        assert!(fleet_power_ratio(0.0, 1.0, 0.9, 1.0).is_err());
+        assert!(fleet_power_ratio(0.5, 1.0, 1.5, 1.0).is_err());
+        assert!(fleet_power_ratio(0.5, 0.0, 0.9, 1.0).is_err());
+    }
+}

@@ -1,0 +1,124 @@
+//! The scale-out alternative: shard the user embeddings across remote
+//! memory hosts (Lui et al.), which SDM replaces (paper §5.2).
+
+use crate::error::ClusterError;
+use sdm_metrics::units::Bytes;
+
+/// Parameters of a capacity-driven scale-out deployment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScaleOutPlan {
+    /// Memory the model needs beyond what fits on a serving host.
+    pub spilled_capacity: Bytes,
+    /// DRAM available for embeddings on one remote memory host.
+    pub memory_per_remote_host: Bytes,
+    /// How many serving hosts one remote memory host can feed (the paper's
+    /// HW-S serves 5 HW-AN on average).
+    pub serving_hosts_per_remote_host: f64,
+}
+
+impl ScaleOutPlan {
+    /// Remote hosts needed purely for capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidParameter`] when the remote host
+    /// memory is zero.
+    pub fn remote_hosts_for_capacity(&self) -> Result<u64, ClusterError> {
+        if self.memory_per_remote_host.is_zero() {
+            return Err(ClusterError::InvalidParameter {
+                name: "memory_per_remote_host",
+                reason: "must be non-zero".into(),
+            });
+        }
+        Ok(self
+            .spilled_capacity
+            .as_u64()
+            .div_ceil(self.memory_per_remote_host.as_u64()))
+    }
+
+    /// Remote hosts needed to feed a given number of serving hosts
+    /// (fan-out constraint).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ClusterError::InvalidParameter`] when the fan-out ratio is
+    /// not positive.
+    pub fn remote_hosts_for_fanout(&self, serving_hosts: u64) -> Result<u64, ClusterError> {
+        if self.serving_hosts_per_remote_host <= 0.0 {
+            return Err(ClusterError::InvalidParameter {
+                name: "serving_hosts_per_remote_host",
+                reason: "must be positive".into(),
+            });
+        }
+        Ok((serving_hosts as f64 / self.serving_hosts_per_remote_host).ceil() as u64)
+    }
+
+    /// Remote hosts actually required: the larger of the capacity and
+    /// fan-out constraints.
+    ///
+    /// # Errors
+    ///
+    /// Propagates parameter errors.
+    pub fn remote_hosts(&self, serving_hosts: u64) -> Result<u64, ClusterError> {
+        Ok(self
+            .remote_hosts_for_capacity()?
+            .max(self.remote_hosts_for_fanout(serving_hosts)?))
+    }
+
+    /// Number of distinct hosts involved in serving one query (1 serving
+    /// host plus the remote shards touched). More hosts per query means a
+    /// larger failure domain — the operational argument the paper makes
+    /// against scale-out.
+    pub fn hosts_per_query(&self, shards_touched_per_query: u64) -> u64 {
+        1 + shards_touched_per_query
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan() -> ScaleOutPlan {
+        ScaleOutPlan {
+            // M2: 100 GB of user embeddings vs 64 GB host DRAM → ~36 GB
+            // spilled, but sharding replicates hot tables so the paper uses
+            // whole-model shards; either way the fan-out constraint binds.
+            spilled_capacity: Bytes::from_gib(100),
+            memory_per_remote_host: Bytes::from_gib(64),
+            serving_hosts_per_remote_host: 5.0,
+        }
+    }
+
+    #[test]
+    fn fanout_constraint_binds_for_m2() {
+        let p = plan();
+        assert_eq!(p.remote_hosts_for_capacity().unwrap(), 2);
+        // 1500 serving hosts / 5 = 300 remote hosts (Table 9's +300).
+        assert_eq!(p.remote_hosts_for_fanout(1500).unwrap(), 300);
+        assert_eq!(p.remote_hosts(1500).unwrap(), 300);
+    }
+
+    #[test]
+    fn capacity_constraint_binds_for_huge_models() {
+        let mut p = plan();
+        p.spilled_capacity = Bytes::from_tib(100);
+        assert!(p.remote_hosts(10).unwrap() > 1000);
+    }
+
+    #[test]
+    fn scale_out_grows_the_failure_domain() {
+        let p = plan();
+        assert_eq!(p.hosts_per_query(0), 1);
+        assert!(p.hosts_per_query(4) > 1);
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let mut p = plan();
+        p.memory_per_remote_host = Bytes::ZERO;
+        assert!(p.remote_hosts_for_capacity().is_err());
+        let mut p = plan();
+        p.serving_hosts_per_remote_host = 0.0;
+        assert!(p.remote_hosts_for_fanout(10).is_err());
+    }
+}

@@ -1,0 +1,140 @@
+//! SM device sizing: how many SSDs a host needs for a model's IOPS demand
+//! (paper Table 10).
+
+use crate::error::ClusterError;
+
+/// Inputs of the Table 10 sizing exercise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizingInputs {
+    /// Target QPS per host.
+    pub qps: f64,
+    /// Number of SM-resident (user) tables.
+    pub user_tables: u64,
+    /// Average pooling factor of those tables.
+    pub avg_pooling_factor: f64,
+    /// Expected fast-memory cache hit rate.
+    pub cache_hit_rate: f64,
+    /// Sustained random-read IOPS per SSD.
+    pub iops_per_ssd: f64,
+}
+
+/// Result of the sizing exercise.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizingResult {
+    /// Raw lookups per second before the cache.
+    pub raw_iops: f64,
+    /// IOPS that reach the SSDs after the cache.
+    pub sm_iops: f64,
+    /// SSDs needed to sustain `sm_iops`.
+    pub ssds_needed: u64,
+}
+
+/// Computes the number of SSDs required (Equation 8 plus the cache and the
+/// per-device IOPS budget).
+///
+/// # Errors
+///
+/// Returns [`ClusterError::InvalidParameter`] for non-positive QPS or
+/// per-SSD IOPS, or a hit rate outside `[0, 1)`… a hit rate of exactly 1.0
+/// is accepted and yields zero devices.
+pub fn size_ssds(inputs: SizingInputs) -> Result<SizingResult, ClusterError> {
+    if inputs.qps <= 0.0 {
+        return Err(ClusterError::InvalidParameter {
+            name: "qps",
+            reason: "must be positive".into(),
+        });
+    }
+    if inputs.iops_per_ssd <= 0.0 {
+        return Err(ClusterError::InvalidParameter {
+            name: "iops_per_ssd",
+            reason: "must be positive".into(),
+        });
+    }
+    if !(0.0..=1.0).contains(&inputs.cache_hit_rate) {
+        return Err(ClusterError::InvalidParameter {
+            name: "cache_hit_rate",
+            reason: format!("{} outside [0, 1]", inputs.cache_hit_rate),
+        });
+    }
+    let raw_iops = inputs.qps * inputs.user_tables as f64 * inputs.avg_pooling_factor;
+    let sm_iops = raw_iops * (1.0 - inputs.cache_hit_rate);
+    let ssds_needed = (sm_iops / inputs.iops_per_ssd).ceil() as u64;
+    Ok(SizingResult {
+        raw_iops,
+        sm_iops,
+        ssds_needed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table10_m3_needs_nine_optane_ssds() {
+        // Paper Table 10: 3150 QPS × 2000 tables × PF 30 × (1 - 0.8) hit
+        // rate ≈ 36–38 MIOPS → 9–10 Optane SSDs at 4 MIOPS each.
+        let result = size_ssds(SizingInputs {
+            qps: 3150.0,
+            user_tables: 2000,
+            avg_pooling_factor: 30.0,
+            cache_hit_rate: 0.8,
+            iops_per_ssd: 4_000_000.0,
+        })
+        .unwrap();
+        assert!((result.sm_iops - 37.8e6).abs() < 1e6, "sm = {}", result.sm_iops);
+        assert!(result.ssds_needed == 9 || result.ssds_needed == 10);
+        assert!(result.raw_iops > result.sm_iops);
+    }
+
+    #[test]
+    fn m1_needs_a_single_nand_device_in_steady_state() {
+        // Paper §5.1: 120 QPS × ~50 tables × PF 42 with a 96% hit rate is
+        // under 10K IOPS — trivially satisfied by one Nand SSD.
+        let result = size_ssds(SizingInputs {
+            qps: 120.0,
+            user_tables: 50,
+            avg_pooling_factor: 42.0,
+            cache_hit_rate: 0.96,
+            iops_per_ssd: 500_000.0,
+        })
+        .unwrap();
+        assert!(result.sm_iops < 11_000.0);
+        assert_eq!(result.ssds_needed, 1);
+    }
+
+    #[test]
+    fn perfect_hit_rate_needs_no_devices() {
+        let result = size_ssds(SizingInputs {
+            qps: 100.0,
+            user_tables: 10,
+            avg_pooling_factor: 5.0,
+            cache_hit_rate: 1.0,
+            iops_per_ssd: 1.0e6,
+        })
+        .unwrap();
+        assert_eq!(result.ssds_needed, 0);
+    }
+
+    #[test]
+    fn invalid_inputs_are_rejected() {
+        let base = SizingInputs {
+            qps: 100.0,
+            user_tables: 10,
+            avg_pooling_factor: 5.0,
+            cache_hit_rate: 0.5,
+            iops_per_ssd: 1.0e6,
+        };
+        assert!(size_ssds(SizingInputs { qps: 0.0, ..base }).is_err());
+        assert!(size_ssds(SizingInputs {
+            iops_per_ssd: 0.0,
+            ..base
+        })
+        .is_err());
+        assert!(size_ssds(SizingInputs {
+            cache_hit_rate: 1.5,
+            ..base
+        })
+        .is_err());
+    }
+}

@@ -1,0 +1,177 @@
+//! The embedding backend abstraction.
+//!
+//! The inference engine does not care where embedding rows physically live:
+//! fully in DRAM (the baseline deployment), or behind the Software Defined
+//! Memory stack (DRAM cache + SCM). Both implement [`EmbeddingBackend`] and
+//! report how long each pooled lookup took on the virtual clock, which is
+//! how memory placement shows up in end-to-end query latency.
+
+use crate::config::ModelConfig;
+use crate::error::DlrmError;
+use embedding::{pooling, EmbeddingTable, TableId};
+use sdm_metrics::{SimDuration, SimInstant};
+use std::collections::HashMap;
+
+/// Serves pooled embedding lookups for the inference engine.
+pub trait EmbeddingBackend {
+    /// Reads and pools `indices` from `table`, returning the pooled vector
+    /// and the simulated time the operation took (memory access + dequantise
+    /// + pool).
+    ///
+    /// # Errors
+    ///
+    /// Implementations return [`DlrmError`] for unknown tables or
+    /// out-of-range indices.
+    fn pooled_lookup(
+        &mut self,
+        table: TableId,
+        indices: &[u64],
+        now: SimInstant,
+    ) -> Result<(Vec<f32>, SimDuration), DlrmError>;
+
+    /// Short name for reporting.
+    fn backend_name(&self) -> &str {
+        "backend"
+    }
+}
+
+/// Baseline backend: every table fully resident in DRAM.
+///
+/// This is the paper's HW-L style deployment (dual socket, 256 GB DRAM) and
+/// the reference point the SDM configurations are compared against.
+#[derive(Debug)]
+pub struct DramBackend {
+    tables: HashMap<TableId, EmbeddingTable>,
+    /// DRAM random-access latency per row (cache-missing pointer chase).
+    per_row_latency: SimDuration,
+    /// Per-element dequantise + accumulate cost.
+    per_element_cost: SimDuration,
+}
+
+impl DramBackend {
+    /// Materialises every table of a (scaled) model in DRAM.
+    pub fn new(model: &ModelConfig, seed: u64) -> Self {
+        let tables = model
+            .tables
+            .iter()
+            .map(|d| (d.id, EmbeddingTable::generate(d, seed)))
+            .collect();
+        DramBackend {
+            tables,
+            per_row_latency: SimDuration::from_nanos(150),
+            per_element_cost: SimDuration::from_nanos(1),
+        }
+    }
+
+    /// Builds a backend from pre-materialised tables.
+    pub fn from_tables(tables: Vec<EmbeddingTable>) -> Self {
+        DramBackend {
+            tables: tables
+                .into_iter()
+                .map(|t| (t.descriptor().id, t))
+                .collect(),
+            per_row_latency: SimDuration::from_nanos(150),
+            per_element_cost: SimDuration::from_nanos(1),
+        }
+    }
+
+    /// Number of resident tables.
+    pub fn num_tables(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Access to a resident table (for tests).
+    pub fn table(&self, id: TableId) -> Option<&EmbeddingTable> {
+        self.tables.get(&id)
+    }
+}
+
+impl EmbeddingBackend for DramBackend {
+    fn pooled_lookup(
+        &mut self,
+        table: TableId,
+        indices: &[u64],
+        _now: SimInstant,
+    ) -> Result<(Vec<f32>, SimDuration), DlrmError> {
+        let t = self
+            .tables
+            .get(&table)
+            .ok_or(DlrmError::UnknownTable { table })?;
+        let mut rows = Vec::with_capacity(indices.len());
+        for &idx in indices {
+            rows.push(t.row(idx).map_err(DlrmError::backend)?);
+        }
+        let desc = t.descriptor();
+        let pooled = pooling::pool_quantized(&rows, desc.quant, desc.dim)
+            .map_err(DlrmError::backend)?;
+        let latency = self.per_row_latency * indices.len() as u64
+            + self.per_element_cost * (indices.len() * desc.dim) as u64;
+        Ok((pooled, latency))
+    }
+
+    fn backend_name(&self) -> &str {
+        "dram"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model_zoo;
+
+    #[test]
+    fn dram_backend_serves_pooled_lookups() {
+        let model = model_zoo::tiny(2, 1, 200);
+        let mut backend = DramBackend::new(&model, 5);
+        assert_eq!(backend.num_tables(), 3);
+        let (pooled, latency) = backend
+            .pooled_lookup(0, &[1, 2, 3, 4], SimInstant::EPOCH)
+            .unwrap();
+        assert_eq!(pooled.len(), 32);
+        assert!(latency > SimDuration::ZERO);
+        assert_eq!(backend.backend_name(), "dram");
+    }
+
+    #[test]
+    fn pooled_result_matches_manual_sum() {
+        let model = model_zoo::tiny(1, 0, 50);
+        let mut backend = DramBackend::new(&model, 7);
+        let table = backend.table(0).unwrap().clone();
+        let manual: Vec<f32> = {
+            let a = table.dequantized_row(3).unwrap();
+            let b = table.dequantized_row(9).unwrap();
+            a.iter().zip(&b).map(|(x, y)| x + y).collect()
+        };
+        let (pooled, _) = backend
+            .pooled_lookup(0, &[3, 9], SimInstant::EPOCH)
+            .unwrap();
+        for (x, y) in pooled.iter().zip(&manual) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn unknown_table_and_bad_index_are_errors() {
+        let model = model_zoo::tiny(1, 0, 50);
+        let mut backend = DramBackend::new(&model, 7);
+        assert!(matches!(
+            backend.pooled_lookup(99, &[0], SimInstant::EPOCH),
+            Err(DlrmError::UnknownTable { table: 99 })
+        ));
+        assert!(backend
+            .pooled_lookup(0, &[10_000], SimInstant::EPOCH)
+            .is_err());
+    }
+
+    #[test]
+    fn latency_scales_with_pooling_factor() {
+        let model = model_zoo::tiny(1, 0, 500);
+        let mut backend = DramBackend::new(&model, 7);
+        let (_, short) = backend.pooled_lookup(0, &[1], SimInstant::EPOCH).unwrap();
+        let indices: Vec<u64> = (0..100).collect();
+        let (_, long) = backend
+            .pooled_lookup(0, &indices, SimInstant::EPOCH)
+            .unwrap();
+        assert!(long > short * 50);
+    }
+}

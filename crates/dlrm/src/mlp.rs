@@ -1,0 +1,178 @@
+//! Small dense MLP used for the bottom and top networks.
+
+use crate::config::MlpConfig;
+use crate::error::DlrmError;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One fully connected layer with ReLU activation.
+#[derive(Debug, Clone)]
+pub struct DenseLayer {
+    weights: Vec<f32>, // row-major, out x in
+    bias: Vec<f32>,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl DenseLayer {
+    /// Creates a layer with deterministic pseudo-random weights.
+    pub fn generate(in_dim: usize, out_dim: usize, rng: &mut StdRng) -> Self {
+        let scale = (2.0 / (in_dim.max(1) as f32)).sqrt();
+        DenseLayer {
+            weights: (0..in_dim * out_dim)
+                .map(|_| rng.gen_range(-scale..scale))
+                .collect(),
+            bias: (0..out_dim).map(|_| rng.gen_range(-0.01..0.01)).collect(),
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// Forward pass with ReLU.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::DimensionMismatch`] for a wrong input length.
+    pub fn forward(&self, input: &[f32]) -> Result<Vec<f32>, DlrmError> {
+        if input.len() != self.in_dim {
+            return Err(DlrmError::DimensionMismatch {
+                expected: self.in_dim,
+                actual: input.len(),
+            });
+        }
+        let mut out = Vec::with_capacity(self.out_dim);
+        for o in 0..self.out_dim {
+            let mut acc = self.bias[o];
+            let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
+            for (w, x) in row.iter().zip(input) {
+                acc += w * x;
+            }
+            out.push(acc.max(0.0));
+        }
+        Ok(out)
+    }
+}
+
+/// A stack of dense layers.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<DenseLayer>,
+    config: MlpConfig,
+}
+
+impl Mlp {
+    /// Materialises an MLP from its configuration with deterministic
+    /// weights.
+    pub fn generate(config: &MlpConfig, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = config
+            .widths
+            .windows(2)
+            .map(|w| DenseLayer::generate(w[0], w[1], &mut rng))
+            .collect();
+        Mlp {
+            layers,
+            config: config.clone(),
+        }
+    }
+
+    /// The configuration this MLP was built from.
+    pub fn config(&self) -> &MlpConfig {
+        &self.config
+    }
+
+    /// Number of dense layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Input dimension of the first layer (0 for an empty stack).
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map(|l| l.in_dim()).unwrap_or(0)
+    }
+
+    /// Output dimension of the last layer (0 for an empty stack).
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map(|l| l.out_dim()).unwrap_or(0)
+    }
+
+    /// Forward pass through every layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::DimensionMismatch`] when the input does not
+    /// match the first layer.
+    pub fn forward(&self, input: &[f32]) -> Result<Vec<f32>, DlrmError> {
+        let mut x = input.to_vec();
+        for layer in &self.layers {
+            x = layer.forward(&x)?;
+        }
+        Ok(x)
+    }
+
+    /// FLOPs of one forward pass.
+    pub fn flops(&self) -> u64 {
+        self.config.flops()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_produces_expected_shapes() {
+        let mlp = Mlp::generate(&MlpConfig::new(vec![4, 8, 3]), 1);
+        assert_eq!(mlp.num_layers(), 2);
+        assert_eq!(mlp.input_dim(), 4);
+        assert_eq!(mlp.output_dim(), 3);
+        let out = mlp.forward(&[0.1, 0.2, 0.3, 0.4]).unwrap();
+        assert_eq!(out.len(), 3);
+        // ReLU output is non-negative.
+        assert!(out.iter().all(|v| *v >= 0.0));
+    }
+
+    #[test]
+    fn dimension_mismatch_is_detected() {
+        let mlp = Mlp::generate(&MlpConfig::new(vec![4, 2]), 1);
+        assert!(matches!(
+            mlp.forward(&[1.0, 2.0]),
+            Err(DlrmError::DimensionMismatch { expected: 4, actual: 2 })
+        ));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = Mlp::generate(&MlpConfig::new(vec![6, 6, 1]), 9);
+        let b = Mlp::generate(&MlpConfig::new(vec![6, 6, 1]), 9);
+        let c = Mlp::generate(&MlpConfig::new(vec![6, 6, 1]), 10);
+        let x = [0.5f32; 6];
+        assert_eq!(a.forward(&x).unwrap(), b.forward(&x).unwrap());
+        assert_ne!(a.forward(&x).unwrap(), c.forward(&x).unwrap());
+    }
+
+    #[test]
+    fn flops_come_from_config() {
+        let cfg = MlpConfig::new(vec![10, 20, 5]);
+        let mlp = Mlp::generate(&cfg, 0);
+        assert_eq!(mlp.flops(), cfg.flops());
+        assert_eq!(mlp.config(), &cfg);
+    }
+
+    #[test]
+    fn zero_input_propagates_to_bias_relu() {
+        let mlp = Mlp::generate(&MlpConfig::new(vec![3, 2]), 4);
+        let out = mlp.forward(&[0.0, 0.0, 0.0]).unwrap();
+        assert_eq!(out.len(), 2);
+    }
+}

@@ -1,0 +1,345 @@
+//! The paper's three target models (Table 6), plus helpers to materialise
+//! laptop-scale replicas.
+//!
+//! Table 6 of the paper:
+//!
+//! | Model | Size | user tables | user dim avg | user PF | item tables | item dim avg | item PF | item batch | MLP layers × avg |
+//! |-------|------|-------------|--------------|---------|-------------|--------------|---------|-----------|------------------|
+//! | M1    | 143 GB | 61        | ~100 B       | 42      | 30          | ~100 B       | 9       | 50        | 31 × 300         |
+//! | M2    | 150 GB | 450       | 64 B         | 25      | 280         | 38 B         | 14      | 150       | 43 × 735         |
+//! | M3    | 1000 GB | 1800     | 192 B        | 26      | 900         | 192 B        | 26      | 1000      | 35 × 6000        |
+//!
+//! The descriptors returned here carry the *paper-scale* row counts so every
+//! capacity/bandwidth computation (Figures 1, Equations 1–8, Tables 8–11)
+//! uses the real sizes. To actually materialise tables and run queries on a
+//! development machine, use [`scaled_model`], which divides the row counts
+//! by a scale factor while keeping dimensions, pooling factors and skew —
+//! the quantities all cache / IO behaviour depends on.
+
+use crate::config::{MlpConfig, ModelConfig, UseCase};
+use embedding::{QuantScheme, TableDescriptor, TableKind};
+use sdm_metrics::units::Bytes;
+
+/// Deterministic per-table dimension spread around an average, bounded to a
+/// range, so a model has a realistic mix of row sizes (Figure 1's x-axis).
+fn spread_dim(avg_bytes: usize, min_bytes: usize, max_bytes: usize, index: usize) -> usize {
+    // Triangular-ish deterministic spread: alternate below/above the mean.
+    let phase = (index * 2654435761) % 1000;
+    let t = phase as f64 / 1000.0; // 0..1
+    let value = if t < 0.5 {
+        min_bytes as f64 + (avg_bytes - min_bytes) as f64 * (t * 2.0)
+    } else {
+        avg_bytes as f64 + (max_bytes - avg_bytes) as f64 * ((t - 0.5) * 2.0)
+    };
+    value.round() as usize
+}
+
+/// Builds the table set for one model given aggregate targets.
+#[allow(clippy::too_many_arguments)]
+fn build_tables(
+    user_tables: usize,
+    user_dim_bytes: (usize, usize, usize), // (min, avg, max)
+    user_pf: u32,
+    user_capacity: Bytes,
+    item_tables: usize,
+    item_dim_bytes: (usize, usize, usize),
+    item_pf: u32,
+    item_capacity: Bytes,
+) -> Vec<TableDescriptor> {
+    let mut tables = Vec::with_capacity(user_tables + item_tables);
+    let mut id = 0u32;
+
+    let mut push_set = |count: usize,
+                        dims: (usize, usize, usize),
+                        pf: u32,
+                        capacity: Bytes,
+                        kind: TableKind,
+                        zipf: f64,
+                        tables: &mut Vec<TableDescriptor>| {
+        if count == 0 {
+            return;
+        }
+        let per_table = capacity.as_u64() / count as u64;
+        for i in 0..count {
+            let row_bytes = spread_dim(dims.1, dims.0, dims.2, i).max(9);
+            // int8 rows: dim elements = row_bytes - 8 parameter bytes.
+            let dim = row_bytes.saturating_sub(8).max(1);
+            let num_rows = (per_table / row_bytes as u64).max(1);
+            // Pooling factors vary around the average too.
+            let pf_i = ((pf as f64 * (0.5 + (i % 7) as f64 / 6.0)).round() as u32).max(1);
+            tables.push(
+                TableDescriptor::new(
+                    id,
+                    format!("{}_{}", if kind == TableKind::User { "user" } else { "item" }, i),
+                    kind,
+                    num_rows,
+                    dim,
+                )
+                .with_pooling_factor(pf_i)
+                .with_quant(QuantScheme::Int8)
+                .with_zipf_exponent(zipf + (i % 5) as f64 * 0.05),
+            );
+            id += 1;
+        }
+    };
+
+    // Item tables show more temporal locality than user tables (Figure 4).
+    push_set(
+        user_tables,
+        user_dim_bytes,
+        user_pf,
+        user_capacity,
+        TableKind::User,
+        0.75,
+        &mut tables,
+    );
+    push_set(
+        item_tables,
+        item_dim_bytes,
+        item_pf,
+        item_capacity,
+        TableKind::Item,
+        0.95,
+        &mut tables,
+    );
+    tables
+}
+
+/// Model **M1** (paper Table 6): 143 GB, 61 user + 30 item tables, average
+/// pooling factor 42 (user) / 9 (item), item batch 50, served on CPU hosts.
+pub fn m1() -> ModelConfig {
+    let tables = build_tables(
+        61,
+        (90, 110, 172),
+        42,
+        Bytes::from_gib(100),
+        30,
+        (90, 110, 172),
+        9,
+        Bytes::from_gib(43),
+    );
+    ModelConfig {
+        name: "M1".into(),
+        tables,
+        bottom_mlp: MlpConfig::uniform(8, 300),
+        top_mlp: MlpConfig::uniform(23, 300),
+        dense_features: 300,
+        item_batch: 50,
+        use_case: UseCase::Inference,
+    }
+}
+
+/// Model **M2** (paper Table 6): 150 GB, 450 user + 280 item tables, item
+/// batch 150, served on accelerator hosts; user embeddings (100 GB) exceed
+/// the 64 GB host DRAM, which is what forces either scale-out or SDM.
+pub fn m2() -> ModelConfig {
+    let tables = build_tables(
+        450,
+        (32, 64, 288),
+        25,
+        Bytes::from_gib(100),
+        280,
+        (12, 38, 320),
+        14,
+        Bytes::from_gib(50),
+    );
+    ModelConfig {
+        name: "M2".into(),
+        tables,
+        bottom_mlp: MlpConfig::uniform(10, 735),
+        top_mlp: MlpConfig::uniform(33, 735),
+        dense_features: 735,
+        item_batch: 150,
+        use_case: UseCase::Inference,
+    }
+}
+
+/// Model **M3** (paper Table 6): the 1 TB / 5 T-parameter future model with
+/// 1800 user + 900 item tables, item batch 1000, used for the multi-tenancy
+/// projection (Tables 10 and 11).
+pub fn m3() -> ModelConfig {
+    let tables = build_tables(
+        1800,
+        (40, 192, 512),
+        26,
+        Bytes::from_gib(700),
+        900,
+        (40, 192, 512),
+        26,
+        Bytes::from_gib(300),
+    );
+    ModelConfig {
+        name: "M3".into(),
+        tables,
+        bottom_mlp: MlpConfig::uniform(10, 6000),
+        top_mlp: MlpConfig::uniform(25, 6000),
+        dense_features: 6000,
+        item_batch: 1000,
+        use_case: UseCase::Inference,
+    }
+}
+
+/// The 140 GB / 734-table model used for Figure 1 (445 user tables holding
+/// 100 GB).
+pub fn figure1_model() -> ModelConfig {
+    let tables = build_tables(
+        445,
+        (32, 64, 256),
+        30,
+        Bytes::from_gib(100),
+        289,
+        (16, 48, 256),
+        12,
+        Bytes::from_gib(40),
+    );
+    ModelConfig {
+        name: "Fig1-140GB".into(),
+        tables,
+        bottom_mlp: MlpConfig::uniform(8, 512),
+        top_mlp: MlpConfig::uniform(24, 512),
+        dense_features: 512,
+        item_batch: 100,
+        use_case: UseCase::Inference,
+    }
+}
+
+/// Produces a materialisable replica of a model: row counts are divided by
+/// `capacity_divisor` (minimum 1) and MLP widths by `mlp_divisor`, while the
+/// number of tables, row sizes, pooling factors, batches and popularity skew
+/// are preserved.
+pub fn scaled_model(model: &ModelConfig, capacity_divisor: u64, mlp_divisor: f64) -> ModelConfig {
+    let capacity_divisor = capacity_divisor.max(1);
+    let tables = model
+        .tables
+        .iter()
+        .map(|t| {
+            let mut t = t.clone();
+            t.num_rows = (t.num_rows / capacity_divisor).max(64);
+            t
+        })
+        .collect();
+    ModelConfig {
+        name: format!("{}-scaled-{}", model.name, capacity_divisor),
+        tables,
+        bottom_mlp: model.bottom_mlp.scaled(1.0 / mlp_divisor.max(1.0)),
+        top_mlp: model.top_mlp.scaled(1.0 / mlp_divisor.max(1.0)),
+        dense_features: ((model.dense_features as f64 / mlp_divisor.max(1.0)).round() as usize)
+            .max(2),
+        item_batch: model.item_batch,
+        use_case: model.use_case,
+    }
+}
+
+/// A deliberately small model for unit/integration tests and examples:
+/// a handful of tables, a few thousand rows, tiny MLPs.
+pub fn tiny(user_tables: usize, item_tables: usize, rows_per_table: u64) -> ModelConfig {
+    let mut tables = Vec::new();
+    let mut id = 0u32;
+    for i in 0..user_tables {
+        tables.push(
+            TableDescriptor::new(id, format!("user_{i}"), TableKind::User, rows_per_table, 32)
+                .with_pooling_factor(12)
+                .with_zipf_exponent(0.8),
+        );
+        id += 1;
+    }
+    for i in 0..item_tables {
+        tables.push(
+            TableDescriptor::new(id, format!("item_{i}"), TableKind::Item, rows_per_table, 32)
+                .with_pooling_factor(4)
+                .with_zipf_exponent(1.0),
+        );
+        id += 1;
+    }
+    ModelConfig {
+        name: "tiny".into(),
+        tables,
+        bottom_mlp: MlpConfig::new(vec![8, 16, 32]),
+        top_mlp: MlpConfig::new(vec![64, 32, 1]),
+        dense_features: 8,
+        item_batch: 10,
+        use_case: UseCase::Inference,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m1_matches_table6_shape() {
+        let m = m1();
+        assert!(m.validate().is_ok());
+        assert_eq!(m.user_tables().len(), 61);
+        assert_eq!(m.item_tables().len(), 30);
+        assert_eq!(m.item_batch, 50);
+        let cap = m.embedding_capacity().as_gib_f64();
+        assert!((cap - 143.0).abs() < 15.0, "capacity = {cap} GiB");
+        // More than 2/3 of the capacity is user-side (paper §2.2).
+        assert!(m.user_capacity().as_gib_f64() / cap > 0.6);
+    }
+
+    #[test]
+    fn m2_matches_table6_shape() {
+        let m = m2();
+        assert!(m.validate().is_ok());
+        assert_eq!(m.user_tables().len(), 450);
+        assert_eq!(m.item_tables().len(), 280);
+        assert_eq!(m.item_batch, 150);
+        let user_cap = m.user_capacity().as_gib_f64();
+        assert!((user_cap - 100.0).abs() < 10.0, "user capacity = {user_cap}");
+        let cap = m.embedding_capacity().as_gib_f64();
+        assert!((cap - 150.0).abs() < 15.0, "capacity = {cap}");
+    }
+
+    #[test]
+    fn m3_is_terabyte_scale() {
+        let m = m3();
+        assert!(m.validate().is_ok());
+        assert_eq!(m.user_tables().len(), 1800);
+        assert_eq!(m.item_tables().len(), 900);
+        assert_eq!(m.item_batch, 1000);
+        assert!(m.embedding_capacity() > Bytes::from_gib(900));
+    }
+
+    #[test]
+    fn figure1_model_has_734_tables() {
+        let m = figure1_model();
+        assert_eq!(m.tables.len(), 734);
+        assert_eq!(m.user_tables().len(), 445);
+        let cap = m.embedding_capacity().as_gib_f64();
+        assert!((cap - 140.0).abs() < 15.0, "capacity = {cap}");
+    }
+
+    #[test]
+    fn scaled_model_preserves_structure() {
+        let m = m1();
+        let s = scaled_model(&m, 100_000, 10.0);
+        assert!(s.validate().is_ok());
+        assert_eq!(s.tables.len(), m.tables.len());
+        assert_eq!(s.item_batch, m.item_batch);
+        assert!(s.embedding_capacity() < Bytes::from_gib(1));
+        // Row sizes and pooling factors are unchanged.
+        assert_eq!(s.tables[0].row_bytes(), m.tables[0].row_bytes());
+        assert_eq!(s.tables[0].pooling_factor, m.tables[0].pooling_factor);
+        assert!(s.bottom_mlp.widths[0] < m.bottom_mlp.widths[0]);
+    }
+
+    #[test]
+    fn tiny_model_is_valid_and_small() {
+        let m = tiny(3, 2, 500);
+        assert!(m.validate().is_ok());
+        assert_eq!(m.tables.len(), 5);
+        assert!(m.embedding_capacity() < Bytes::from_mib(1));
+    }
+
+    #[test]
+    fn item_tables_are_more_skewed_than_user_tables() {
+        let m = m2();
+        let avg = |kind: TableKind| {
+            let ts = m.tables_of(kind);
+            ts.iter().map(|t| t.zipf_exponent).sum::<f64>() / ts.len() as f64
+        };
+        assert!(avg(TableKind::Item) > avg(TableKind::User));
+    }
+}

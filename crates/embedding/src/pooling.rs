@@ -1,0 +1,163 @@
+//! Pooling (SparseLengthsSum / EmbeddingBag) over quantised rows.
+//!
+//! For every embedding operator the inference engine reads `pooling_factor`
+//! rows, de-quantises them and sums them into a single output vector that
+//! feeds the interaction MLP (paper §4.4). The helpers here operate on raw
+//! quantised row buffers so the same code path serves rows coming from the
+//! in-memory table, the FM row cache or an SM read.
+
+use crate::error::EmbeddingError;
+use crate::quant::{dequantize_row, QuantScheme};
+
+/// Sums a set of already de-quantised rows into a pooled vector.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::MalformedRow`] if rows disagree on dimension.
+pub fn pool_dense(rows: &[Vec<f32>]) -> Result<Vec<f32>, EmbeddingError> {
+    let Some(first) = rows.first() else {
+        return Ok(Vec::new());
+    };
+    let dim = first.len();
+    let mut out = vec![0.0f32; dim];
+    for row in rows {
+        if row.len() != dim {
+            return Err(EmbeddingError::MalformedRow {
+                expected: dim,
+                actual: row.len(),
+            });
+        }
+        for (o, v) in out.iter_mut().zip(row) {
+            *o += *v;
+        }
+    }
+    Ok(out)
+}
+
+/// De-quantises and sums a set of quantised row buffers.
+///
+/// This is the hot inner loop of an embedding operator: the cost scales with
+/// `rows.len() * dim`, which is why the pooled-embedding cache (paper §4.4)
+/// can save meaningful CPU by skipping it on a hit.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::MalformedRow`] if any buffer has the wrong
+/// length for the scheme and dimension.
+pub fn pool_quantized(
+    rows: &[&[u8]],
+    scheme: QuantScheme,
+    dim: usize,
+) -> Result<Vec<f32>, EmbeddingError> {
+    let mut out = vec![0.0f32; dim];
+    for &raw in rows {
+        let values = dequantize_row(raw, scheme, dim)?;
+        for (o, v) in out.iter_mut().zip(&values) {
+            *o += *v;
+        }
+    }
+    Ok(out)
+}
+
+/// Weighted pooling: each row is scaled by its weight before summation
+/// (SparseLengthsWeightedSum).
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::MalformedRow`] if `rows` and `weights` have
+/// different lengths or any buffer is malformed.
+pub fn pool_quantized_weighted(
+    rows: &[&[u8]],
+    weights: &[f32],
+    scheme: QuantScheme,
+    dim: usize,
+) -> Result<Vec<f32>, EmbeddingError> {
+    if rows.len() != weights.len() {
+        return Err(EmbeddingError::MalformedRow {
+            expected: rows.len(),
+            actual: weights.len(),
+        });
+    }
+    let mut out = vec![0.0f32; dim];
+    for (&raw, &w) in rows.iter().zip(weights) {
+        let values = dequantize_row(raw, scheme, dim)?;
+        for (o, v) in out.iter_mut().zip(&values) {
+            *o += *v * w;
+        }
+    }
+    Ok(out)
+}
+
+/// Estimated floating point operations for pooling `rows` rows of `dim`
+/// elements (dequantisation multiply-add plus the accumulation add).
+pub fn pooling_flops(rows: usize, dim: usize) -> u64 {
+    (rows as u64) * (dim as u64) * 3
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quant::quantize_row;
+
+    #[test]
+    fn pool_dense_sums_elementwise() {
+        let rows = vec![vec![1.0, 2.0, 3.0], vec![10.0, 20.0, 30.0]];
+        let out = pool_dense(&rows).unwrap();
+        assert_eq!(out, vec![11.0, 22.0, 33.0]);
+        assert!(pool_dense(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pool_dense_rejects_ragged_rows() {
+        let rows = vec![vec![1.0, 2.0], vec![1.0]];
+        assert!(matches!(
+            pool_dense(&rows),
+            Err(EmbeddingError::MalformedRow { .. })
+        ));
+    }
+
+    #[test]
+    fn pool_quantized_matches_dense_pooling() {
+        let dim = 24;
+        let a: Vec<f32> = (0..dim).map(|i| i as f32 * 0.1).collect();
+        let b: Vec<f32> = (0..dim).map(|i| 1.0 - i as f32 * 0.05).collect();
+        let qa = quantize_row(&a, QuantScheme::Int8);
+        let qb = quantize_row(&b, QuantScheme::Int8);
+        let pooled = pool_quantized(&[&qa, &qb], QuantScheme::Int8, dim).unwrap();
+        let reference = pool_dense(&[a, b]).unwrap();
+        for (x, y) in pooled.iter().zip(&reference) {
+            assert!((x - y).abs() < 0.05, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn pool_quantized_empty_rows_is_zero_vector() {
+        let out = pool_quantized(&[], QuantScheme::Int8, 4).unwrap();
+        assert_eq!(out, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn weighted_pooling_scales_rows() {
+        let dim = 8;
+        let a = vec![1.0f32; dim];
+        let qa = quantize_row(&a, QuantScheme::Int8);
+        let out =
+            pool_quantized_weighted(&[&qa, &qa], &[2.0, 3.0], QuantScheme::Int8, dim).unwrap();
+        for v in out {
+            assert!((v - 5.0).abs() < 0.1);
+        }
+        assert!(pool_quantized_weighted(&[&qa], &[1.0, 2.0], QuantScheme::Int8, dim).is_err());
+    }
+
+    #[test]
+    fn malformed_row_detected() {
+        let err = pool_quantized(&[&[1u8, 2][..]], QuantScheme::Int8, 8).unwrap_err();
+        assert!(matches!(err, EmbeddingError::MalformedRow { .. }));
+    }
+
+    #[test]
+    fn flops_scale_with_rows_and_dim() {
+        assert_eq!(pooling_flops(10, 64), 1920);
+        assert_eq!(pooling_flops(0, 64), 0);
+    }
+}

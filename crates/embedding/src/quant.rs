@@ -1,0 +1,254 @@
+//! Row-wise quantisation of embedding rows.
+//!
+//! Inference embedding tables are quantised row-wise (paper §3 footnote and
+//! §A.5): each row stores its elements in int8 (or int4) together with a
+//! per-row `f32` scale and bias, so a 64-element row costs 64 + 8 bytes
+//! instead of 256. De-quantisation reconstructs `value = code * scale + bias`.
+
+use crate::error::EmbeddingError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of parameter bytes appended to each quantised row (scale + bias,
+/// both `f32`).
+pub const ROW_PARAM_BYTES: usize = 8;
+
+/// How a table's rows are encoded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum QuantScheme {
+    /// 8-bit codes with per-row scale/bias (the common inference format).
+    #[default]
+    Int8,
+    /// 4-bit codes with per-row scale/bias (two elements per byte).
+    Int4,
+    /// Unquantised IEEE-754 `f32` (used after de-quantisation at load time).
+    Fp32,
+}
+
+impl QuantScheme {
+    /// Bytes needed to store one row of `dim` elements under this scheme.
+    pub fn row_bytes(self, dim: usize) -> usize {
+        match self {
+            QuantScheme::Int8 => dim + ROW_PARAM_BYTES,
+            QuantScheme::Int4 => dim.div_ceil(2) + ROW_PARAM_BYTES,
+            QuantScheme::Fp32 => dim * 4,
+        }
+    }
+
+    /// Ratio of this scheme's row size to the `f32` row size.
+    pub fn compression_ratio(self, dim: usize) -> f64 {
+        QuantScheme::Fp32.row_bytes(dim) as f64 / self.row_bytes(dim) as f64
+    }
+}
+
+impl fmt::Display for QuantScheme {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QuantScheme::Int8 => f.write_str("int8"),
+            QuantScheme::Int4 => f.write_str("int4"),
+            QuantScheme::Fp32 => f.write_str("fp32"),
+        }
+    }
+}
+
+/// Quantises one row of `f32` values under the given scheme.
+///
+/// The returned buffer has exactly [`QuantScheme::row_bytes`] bytes.
+pub fn quantize_row(values: &[f32], scheme: QuantScheme) -> Vec<u8> {
+    match scheme {
+        QuantScheme::Fp32 => values.iter().flat_map(|v| v.to_le_bytes()).collect(),
+        QuantScheme::Int8 | QuantScheme::Int4 => {
+            let (min, max) = min_max(values);
+            let levels: f32 = match scheme {
+                QuantScheme::Int8 => 255.0,
+                QuantScheme::Int4 => 15.0,
+                QuantScheme::Fp32 => unreachable!(),
+            };
+            let range = (max - min).max(f32::EPSILON);
+            let scale = range / levels;
+            let bias = min;
+            let codes: Vec<u8> = values
+                .iter()
+                .map(|&v| (((v - bias) / scale).round().clamp(0.0, levels)) as u8)
+                .collect();
+            let mut out = Vec::with_capacity(scheme.row_bytes(values.len()));
+            match scheme {
+                QuantScheme::Int8 => out.extend_from_slice(&codes),
+                QuantScheme::Int4 => {
+                    for pair in codes.chunks(2) {
+                        let low = pair[0] & 0x0F;
+                        let high = pair.get(1).copied().unwrap_or(0) & 0x0F;
+                        out.push(low | (high << 4));
+                    }
+                }
+                QuantScheme::Fp32 => unreachable!(),
+            }
+            out.extend_from_slice(&scale.to_le_bytes());
+            out.extend_from_slice(&bias.to_le_bytes());
+            out
+        }
+    }
+}
+
+/// De-quantises a row buffer produced by [`quantize_row`].
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::MalformedRow`] when the buffer length does not
+/// match `scheme.row_bytes(dim)`.
+pub fn dequantize_row(
+    buf: &[u8],
+    scheme: QuantScheme,
+    dim: usize,
+) -> Result<Vec<f32>, EmbeddingError> {
+    let expected = scheme.row_bytes(dim);
+    if buf.len() != expected {
+        return Err(EmbeddingError::MalformedRow {
+            expected,
+            actual: buf.len(),
+        });
+    }
+    match scheme {
+        QuantScheme::Fp32 => Ok(buf
+            .chunks_exact(4)
+            .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()),
+        QuantScheme::Int8 | QuantScheme::Int4 => {
+            let params_at = buf.len() - ROW_PARAM_BYTES;
+            let scale = f32::from_le_bytes([
+                buf[params_at],
+                buf[params_at + 1],
+                buf[params_at + 2],
+                buf[params_at + 3],
+            ]);
+            let bias = f32::from_le_bytes([
+                buf[params_at + 4],
+                buf[params_at + 5],
+                buf[params_at + 6],
+                buf[params_at + 7],
+            ]);
+            let mut out = Vec::with_capacity(dim);
+            match scheme {
+                QuantScheme::Int8 => {
+                    for &code in &buf[..dim] {
+                        out.push(code as f32 * scale + bias);
+                    }
+                }
+                QuantScheme::Int4 => {
+                    for i in 0..dim {
+                        let byte = buf[i / 2];
+                        let code = if i % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+                        out.push(code as f32 * scale + bias);
+                    }
+                }
+                QuantScheme::Fp32 => unreachable!(),
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn min_max(values: &[f32]) -> (f32, f32) {
+    let mut min = f32::INFINITY;
+    let mut max = f32::NEG_INFINITY;
+    for &v in values {
+        if v < min {
+            min = v;
+        }
+        if v > max {
+            max = v;
+        }
+    }
+    if !min.is_finite() || !max.is_finite() {
+        (0.0, 0.0)
+    } else {
+        (min, max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_row(dim: usize) -> Vec<f32> {
+        (0..dim).map(|i| (i as f32 * 0.37).sin() * 2.5 - 0.3).collect()
+    }
+
+    #[test]
+    fn row_bytes_matches_paper_sizes() {
+        // 64-element int8 row with 8B params = 72B, expanding to 256B fp32
+        // (the example in paper §A.5).
+        assert_eq!(QuantScheme::Int8.row_bytes(64), 72);
+        assert_eq!(QuantScheme::Fp32.row_bytes(64), 256);
+        assert_eq!(QuantScheme::Int4.row_bytes(64), 40);
+        assert!(QuantScheme::Int8.compression_ratio(64) > 3.0);
+    }
+
+    #[test]
+    fn int8_roundtrip_is_accurate() {
+        let row = sample_row(96);
+        let q = quantize_row(&row, QuantScheme::Int8);
+        assert_eq!(q.len(), QuantScheme::Int8.row_bytes(96));
+        let back = dequantize_row(&q, QuantScheme::Int8, 96).unwrap();
+        let max_err = row
+            .iter()
+            .zip(&back)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        let range = 5.0f32;
+        assert!(max_err <= range / 255.0 * 1.01, "max_err = {max_err}");
+    }
+
+    #[test]
+    fn int4_roundtrip_is_coarser_but_bounded() {
+        let row = sample_row(33); // odd length exercises the padding nibble
+        let q = quantize_row(&row, QuantScheme::Int4);
+        assert_eq!(q.len(), QuantScheme::Int4.row_bytes(33));
+        let back = dequantize_row(&q, QuantScheme::Int4, 33).unwrap();
+        let max_err = row
+            .iter()
+            .zip(&back)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        assert!(max_err <= 5.0 / 15.0 * 1.01, "max_err = {max_err}");
+    }
+
+    #[test]
+    fn fp32_roundtrip_is_exact() {
+        let row = sample_row(17);
+        let q = quantize_row(&row, QuantScheme::Fp32);
+        let back = dequantize_row(&q, QuantScheme::Fp32, 17).unwrap();
+        assert_eq!(row, back);
+    }
+
+    #[test]
+    fn constant_row_quantises_without_nan() {
+        let row = vec![1.5f32; 8];
+        let q = quantize_row(&row, QuantScheme::Int8);
+        let back = dequantize_row(&q, QuantScheme::Int8, 8).unwrap();
+        for v in back {
+            assert!((v - 1.5).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn malformed_buffer_is_rejected() {
+        let err = dequantize_row(&[0u8; 3], QuantScheme::Int8, 8).unwrap_err();
+        assert!(matches!(err, EmbeddingError::MalformedRow { .. }));
+    }
+
+    #[test]
+    fn empty_row_roundtrip() {
+        let q = quantize_row(&[], QuantScheme::Int8);
+        assert_eq!(q.len(), ROW_PARAM_BYTES);
+        let back = dequantize_row(&q, QuantScheme::Int8, 0).unwrap();
+        assert!(back.is_empty());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(QuantScheme::Int8.to_string(), "int8");
+        assert_eq!(QuantScheme::Int4.to_string(), "int4");
+        assert_eq!(QuantScheme::Fp32.to_string(), "fp32");
+    }
+}

@@ -1,0 +1,619 @@
+//! The asynchronous IO engine: request routing, throttling and accounting.
+
+use crate::completion::{CompletionMode, CpuCostModel};
+use crate::error::IoError;
+use scm_device::{DeviceArray, DeviceId, ReadCommand};
+use sdm_metrics::units::Bytes;
+use sdm_metrics::{LatencyHistogram, SimDuration, SimInstant};
+use std::collections::HashMap;
+
+/// Identifier for the embedding table an IO belongs to, used by the
+/// per-table throttling knobs. The engine treats it as an opaque tag.
+pub type TableTag = u32;
+
+/// One read request handed to the engine.
+#[derive(Debug, Clone)]
+pub struct IoRequest {
+    /// Target device.
+    pub device: DeviceId,
+    /// The NVMe read command.
+    pub command: ReadCommand,
+    /// Optional owning table, for per-table throttling and accounting.
+    pub table: Option<TableTag>,
+    /// Caller correlation token, echoed in the completion.
+    pub user_data: u64,
+}
+
+impl IoRequest {
+    /// Creates a request with no table tag and `user_data = 0`.
+    pub fn new(device: DeviceId, command: ReadCommand) -> Self {
+        IoRequest {
+            device,
+            command,
+            table: None,
+            user_data: 0,
+        }
+    }
+
+    /// Sets the correlation token.
+    pub fn with_user_data(mut self, user_data: u64) -> Self {
+        self.user_data = user_data;
+        self
+    }
+
+    /// Tags the request with its owning table.
+    pub fn with_table(mut self, table: TableTag) -> Self {
+        self.table = Some(table);
+        self
+    }
+}
+
+/// A finished IO, including its full latency breakdown.
+#[derive(Debug, Clone)]
+pub struct IoCompletion {
+    /// Caller correlation token.
+    pub user_data: u64,
+    /// Owning table, if tagged.
+    pub table: Option<TableTag>,
+    /// The payload bytes read.
+    pub data: Vec<u8>,
+    /// When the request was handed to the engine.
+    pub submitted_at: SimInstant,
+    /// When the request was issued to the device (after throttling).
+    pub issued_at: SimInstant,
+    /// When the device finished serving it.
+    pub completed_at: SimInstant,
+    /// Time spent waiting behind the throttling knobs.
+    pub queue_delay: SimDuration,
+    /// Device + link time.
+    pub device_latency: SimDuration,
+    /// Bytes that crossed the host link.
+    pub bus_bytes: Bytes,
+}
+
+impl IoCompletion {
+    /// Total latency seen by the caller (queueing + device).
+    pub fn total_latency(&self) -> SimDuration {
+        self.completed_at.duration_since(self.submitted_at)
+    }
+}
+
+/// Tuning knobs for the engine (paper §4.1 "Tuning API").
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Maximum IOs outstanding against a single device. The paper limits
+    /// this for Nand Flash to smooth out bursts, because SSD controllers try
+    /// to serve everything at once and latency explodes.
+    pub max_outstanding_per_device: usize,
+    /// Maximum IOs outstanding for a single table.
+    pub max_outstanding_per_table: usize,
+    /// Maximum number of distinct tables that may have IOs in flight at the
+    /// same time.
+    pub max_tables_in_flight: usize,
+    /// How completions are harvested (interrupt vs polled, §A.1).
+    pub completion_mode: CompletionMode,
+    /// Host CPU cost per IO.
+    pub cpu_cost: CpuCostModel,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_outstanding_per_device: 64,
+            max_outstanding_per_table: 32,
+            max_tables_in_flight: 64,
+            completion_mode: CompletionMode::Interrupt,
+            cpu_cost: CpuCostModel::default(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::InvalidConfig`] when any limit is zero.
+    pub fn validate(&self) -> Result<(), IoError> {
+        if self.max_outstanding_per_device == 0 {
+            return Err(IoError::InvalidConfig {
+                reason: "max_outstanding_per_device must be at least 1".into(),
+            });
+        }
+        if self.max_outstanding_per_table == 0 {
+            return Err(IoError::InvalidConfig {
+                reason: "max_outstanding_per_table must be at least 1".into(),
+            });
+        }
+        if self.max_tables_in_flight == 0 {
+            return Err(IoError::InvalidConfig {
+                reason: "max_tables_in_flight must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Cumulative engine statistics.
+#[derive(Debug, Clone, Default)]
+pub struct EngineStats {
+    /// Requests submitted.
+    pub submitted: u64,
+    /// Requests completed (scheduled; they become visible via `poll`).
+    pub completed: u64,
+    /// Total host CPU time spent on submission + completion handling.
+    pub cpu_time: SimDuration,
+    /// Total bytes shipped over device links.
+    pub bus_bytes: Bytes,
+    /// Total payload bytes requested.
+    pub requested_bytes: Bytes,
+    /// Aggregate queueing delay.
+    pub queue_delay: SimDuration,
+    /// Aggregate device latency.
+    pub device_time: SimDuration,
+    /// Distribution of caller-visible total latencies.
+    pub latency: LatencyHistogram,
+}
+
+impl EngineStats {
+    /// Average read amplification (bus bytes / requested bytes).
+    pub fn read_amplification(&self) -> f64 {
+        if self.requested_bytes.is_zero() {
+            1.0
+        } else {
+            self.bus_bytes.as_u64() as f64 / self.requested_bytes.as_u64() as f64
+        }
+    }
+}
+
+/// Per-device scheduling state: completion times of IOs still in flight.
+#[derive(Debug, Default)]
+struct DeviceSched {
+    completions: Vec<SimInstant>,
+}
+
+impl DeviceSched {
+    fn prune(&mut self, now: SimInstant) {
+        self.completions.retain(|t| *t > now);
+    }
+
+    /// Earliest instant (≥ `now`) at which fewer than `cap` IOs are active.
+    fn admission_time(&self, now: SimInstant, cap: usize) -> SimInstant {
+        let mut active: Vec<SimInstant> = self
+            .completions
+            .iter()
+            .copied()
+            .filter(|t| *t > now)
+            .collect();
+        if active.len() < cap {
+            return now;
+        }
+        active.sort_unstable();
+        // We must wait until active drops to cap-1, i.e. until the
+        // (len - cap + 1)-th completion.
+        active[active.len() - cap]
+    }
+
+    fn active_at(&self, t: SimInstant) -> usize {
+        self.completions.iter().filter(|c| **c > t).count()
+    }
+}
+
+/// The asynchronous IO engine.
+///
+/// The engine owns the host's [`DeviceArray`] and schedules every read on
+/// the virtual clock: requests are admitted as soon as the configured
+/// outstanding-IO limits allow, the device model provides the service time
+/// at the observed queue depth, and completions become visible to `poll`
+/// once the clock passes their completion instant.
+#[derive(Debug)]
+pub struct IoEngine {
+    array: DeviceArray,
+    config: EngineConfig,
+    device_sched: Vec<DeviceSched>,
+    table_sched: HashMap<TableTag, DeviceSched>,
+    ready: Vec<IoCompletion>,
+    stats: EngineStats,
+}
+
+impl IoEngine {
+    /// Creates an engine over a device array with the given configuration.
+    ///
+    /// Invalid configurations are clamped to their minimum legal values; use
+    /// [`EngineConfig::validate`] beforehand to detect them instead.
+    pub fn new(array: DeviceArray, config: EngineConfig) -> Self {
+        let device_sched = (0..array.len()).map(|_| DeviceSched::default()).collect();
+        IoEngine {
+            array,
+            config,
+            device_sched,
+            table_sched: HashMap::new(),
+            ready: Vec::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    /// The engine's tuning configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Replaces the tuning configuration (applies to subsequent requests).
+    pub fn set_config(&mut self, config: EngineConfig) {
+        self.config = config;
+    }
+
+    /// Shared view of the device array.
+    pub fn array(&self) -> &DeviceArray {
+        &self.array
+    }
+
+    /// Mutable access to the device array (used by the model loader to write
+    /// embedding images).
+    pub fn array_mut(&mut self) -> &mut DeviceArray {
+        &mut self.array
+    }
+
+    /// Cumulative statistics.
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// Number of scheduled-but-not-yet-reaped completions.
+    pub fn outstanding(&self) -> usize {
+        self.ready.len()
+    }
+
+    /// Submits one read request at virtual time `now`.
+    ///
+    /// The request is scheduled immediately: its issue time honours the
+    /// outstanding-IO limits and its completion time comes from the device
+    /// model. The completion becomes visible through [`IoEngine::poll`] or
+    /// [`IoEngine::drain`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors (out-of-bounds ranges, unsupported SGL).
+    pub fn submit(&mut self, request: IoRequest, now: SimInstant) -> Result<(), IoError> {
+        let dev_index = request.device.0;
+        if dev_index >= self.array.len() {
+            return Err(IoError::Device(scm_device::DeviceError::UnknownDevice {
+                index: dev_index,
+                len: self.array.len(),
+            }));
+        }
+
+        // 1. Work out the earliest admission time allowed by the knobs.
+        self.device_sched[dev_index].prune(now);
+        let mut issue_at = self.device_sched[dev_index]
+            .admission_time(now, self.config.max_outstanding_per_device);
+
+        if let Some(tag) = request.table {
+            let sched = self.table_sched.entry(tag).or_default();
+            sched.prune(now);
+            issue_at = issue_at.max(sched.admission_time(now, self.config.max_outstanding_per_table));
+        }
+
+        // Max-tables-in-flight: if this table is not already active and the
+        // limit is reached, wait until the busiest constraint relaxes (the
+        // earliest instant at which some active table fully drains).
+        if let Some(tag) = request.table {
+            let active_tables: Vec<&DeviceSched> = self
+                .table_sched
+                .iter()
+                .filter(|(t, s)| **t != tag && s.active_at(now) > 0)
+                .map(|(_, s)| s)
+                .collect();
+            if active_tables.len() >= self.config.max_tables_in_flight {
+                let earliest_drain = active_tables
+                    .iter()
+                    .filter_map(|s| s.completions.iter().copied().filter(|t| *t > now).max())
+                    .min()
+                    .unwrap_or(now);
+                issue_at = issue_at.max(earliest_drain);
+            }
+        }
+
+        // 2. Ask the device for the service time at the observed depth.
+        let queue_depth = self.device_sched[dev_index].active_at(issue_at) + 1;
+        let outcome = self
+            .array
+            .read(request.device, &request.command, queue_depth)?;
+        let completed_at = issue_at + outcome.device_latency;
+
+        // 3. Record scheduling state and the completion.
+        self.device_sched[dev_index].completions.push(completed_at);
+        if let Some(tag) = request.table {
+            self.table_sched
+                .entry(tag)
+                .or_default()
+                .completions
+                .push(completed_at);
+        }
+
+        let completion = IoCompletion {
+            user_data: request.user_data,
+            table: request.table,
+            data: outcome.data,
+            submitted_at: now,
+            issued_at: issue_at,
+            completed_at,
+            queue_delay: issue_at.duration_since(now),
+            device_latency: outcome.device_latency,
+            bus_bytes: outcome.bus_bytes,
+        };
+
+        self.stats.submitted += 1;
+        self.stats.completed += 1;
+        self.stats.cpu_time += self.config.cpu_cost.cpu_time_per_io(self.config.completion_mode);
+        self.stats.bus_bytes += outcome.bus_bytes;
+        self.stats.requested_bytes += outcome.requested_bytes;
+        self.stats.queue_delay += completion.queue_delay;
+        self.stats.device_time += completion.device_latency;
+        self.stats.latency.record(completion.total_latency());
+
+        self.ready.push(completion);
+        Ok(())
+    }
+
+    /// Submits a batch of requests at the same instant, in order.
+    ///
+    /// # Errors
+    ///
+    /// Stops at and returns the first failing submission.
+    pub fn submit_batch(
+        &mut self,
+        requests: impl IntoIterator<Item = IoRequest>,
+        now: SimInstant,
+    ) -> Result<(), IoError> {
+        for request in requests {
+            self.submit(request, now)?;
+        }
+        Ok(())
+    }
+
+    /// Returns every completion whose completion instant is at or before
+    /// `now`, in completion order.
+    pub fn poll(&mut self, now: SimInstant) -> Vec<IoCompletion> {
+        let (done, not_done): (Vec<_>, Vec<_>) = self
+            .ready
+            .drain(..)
+            .partition(|c| c.completed_at <= now);
+        self.ready = not_done;
+        let mut done = done;
+        done.sort_by_key(|c| c.completed_at);
+        done
+    }
+
+    /// Waits for everything in flight: returns all outstanding completions
+    /// (sorted by completion time) and the instant the last one finished
+    /// (`now` when nothing was in flight).
+    ///
+    /// # Errors
+    ///
+    /// This method is currently infallible but returns `Result` so the
+    /// signature can accommodate cancellation in the future.
+    pub fn drain(&mut self, now: SimInstant) -> Result<(Vec<IoCompletion>, SimInstant), IoError> {
+        let mut done: Vec<IoCompletion> = self.ready.drain(..).collect();
+        done.sort_by_key(|c| c.completed_at);
+        let finished_at = done.last().map(|c| c.completed_at).unwrap_or(now).max(now);
+        Ok((done, finished_at))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use scm_device::TechnologyProfile;
+
+    fn engine_with(profile: TechnologyProfile, devices: usize, cfg: EngineConfig) -> IoEngine {
+        let array = DeviceArray::homogeneous(profile, Bytes::from_mib(4), devices).unwrap();
+        IoEngine::new(array, cfg)
+    }
+
+    #[test]
+    fn single_request_roundtrip() {
+        let mut engine = engine_with(
+            TechnologyProfile::optane_ssd(),
+            1,
+            EngineConfig::default(),
+        );
+        engine
+            .array_mut()
+            .write(DeviceId(0), 0, &[5u8; 128])
+            .unwrap();
+        let now = SimInstant::EPOCH;
+        engine
+            .submit(
+                IoRequest::new(DeviceId(0), ReadCommand::sgl(0, 128)).with_user_data(42),
+                now,
+            )
+            .unwrap();
+        let (completions, at) = engine.drain(now).unwrap();
+        assert_eq!(completions.len(), 1);
+        let c = &completions[0];
+        assert_eq!(c.user_data, 42);
+        assert_eq!(c.data, vec![5u8; 128]);
+        assert_eq!(c.queue_delay, SimDuration::ZERO);
+        assert!(at > now);
+        assert_eq!(engine.stats().submitted, 1);
+    }
+
+    #[test]
+    fn unknown_device_rejected() {
+        let mut engine = engine_with(
+            TechnologyProfile::optane_ssd(),
+            1,
+            EngineConfig::default(),
+        );
+        let err = engine
+            .submit(IoRequest::new(DeviceId(3), ReadCommand::sgl(0, 8)), SimInstant::EPOCH)
+            .unwrap_err();
+        assert!(matches!(err, IoError::Device(_)));
+    }
+
+    #[test]
+    fn outstanding_cap_delays_excess_requests() {
+        let cfg = EngineConfig {
+            max_outstanding_per_device: 2,
+            ..EngineConfig::default()
+        };
+        let mut engine = engine_with(TechnologyProfile::nand_flash(), 1, cfg);
+        let now = SimInstant::EPOCH;
+        for i in 0..4 {
+            engine
+                .submit(
+                    IoRequest::new(DeviceId(0), ReadCommand::sgl(i * 4096, 128)).with_user_data(i),
+                    now,
+                )
+                .unwrap();
+        }
+        let (completions, _) = engine.drain(now).unwrap();
+        assert_eq!(completions.len(), 4);
+        // The first two go straight to the device; the last two wait.
+        let delayed = completions
+            .iter()
+            .filter(|c| c.queue_delay > SimDuration::ZERO)
+            .count();
+        assert_eq!(delayed, 2);
+    }
+
+    #[test]
+    fn per_table_cap_throttles_only_that_table() {
+        let cfg = EngineConfig {
+            max_outstanding_per_device: 1024,
+            max_outstanding_per_table: 1,
+            ..EngineConfig::default()
+        };
+        let mut engine = engine_with(TechnologyProfile::optane_ssd(), 1, cfg);
+        let now = SimInstant::EPOCH;
+        for i in 0..3 {
+            engine
+                .submit(
+                    IoRequest::new(DeviceId(0), ReadCommand::sgl(i * 512, 64))
+                        .with_table(7)
+                        .with_user_data(i),
+                    now,
+                )
+                .unwrap();
+        }
+        // A different table is not throttled by table 7's queue.
+        engine
+            .submit(
+                IoRequest::new(DeviceId(0), ReadCommand::sgl(4096, 64))
+                    .with_table(9)
+                    .with_user_data(99),
+                now,
+            )
+            .unwrap();
+        let (completions, _) = engine.drain(now).unwrap();
+        let other = completions.iter().find(|c| c.user_data == 99).unwrap();
+        assert_eq!(other.queue_delay, SimDuration::ZERO);
+        let table7_delayed = completions
+            .iter()
+            .filter(|c| c.table == Some(7) && c.queue_delay > SimDuration::ZERO)
+            .count();
+        assert_eq!(table7_delayed, 2);
+    }
+
+    #[test]
+    fn poll_only_returns_finished_ios() {
+        let mut engine = engine_with(
+            TechnologyProfile::nand_flash(),
+            1,
+            EngineConfig::default(),
+        );
+        let now = SimInstant::EPOCH;
+        engine
+            .submit(IoRequest::new(DeviceId(0), ReadCommand::sgl(0, 128)), now)
+            .unwrap();
+        // Nothing is done after 1us (Nand base latency ~90us).
+        assert!(engine.poll(now + SimDuration::from_micros(1)).is_empty());
+        assert_eq!(engine.outstanding(), 1);
+        let later = now + SimDuration::from_millis(10);
+        let done = engine.poll(later);
+        assert_eq!(done.len(), 1);
+        assert_eq!(engine.outstanding(), 0);
+    }
+
+    #[test]
+    fn higher_concurrency_raises_latency() {
+        // Reproduces the Figure 3 trend: driving the device towards its IOPS
+        // ceiling inflates the observed latency.
+        let make = || {
+            engine_with(
+                TechnologyProfile::nand_flash(),
+                1,
+                EngineConfig {
+                    max_outstanding_per_device: 4096,
+                    ..EngineConfig::default()
+                },
+            )
+        };
+        let mut light = make();
+        let mut heavy = make();
+        let now = SimInstant::EPOCH;
+        for i in 0..4u64 {
+            light
+                .submit(IoRequest::new(DeviceId(0), ReadCommand::sgl(i * 4096, 128)), now)
+                .unwrap();
+        }
+        for i in 0..512u64 {
+            heavy
+                .submit(IoRequest::new(DeviceId(0), ReadCommand::sgl((i % 900) * 4096, 128)), now)
+                .unwrap();
+        }
+        let light_p95 = light.stats().latency.p95();
+        let heavy_p95 = heavy.stats().latency.p95();
+        assert!(heavy_p95 > light_p95, "{heavy_p95} <= {light_p95}");
+    }
+
+    #[test]
+    fn stats_track_amplification() {
+        let mut engine = engine_with(
+            TechnologyProfile::nand_flash(),
+            1,
+            EngineConfig::default(),
+        );
+        let now = SimInstant::EPOCH;
+        engine
+            .submit(IoRequest::new(DeviceId(0), ReadCommand::block(0, 128)), now)
+            .unwrap();
+        assert!(engine.stats().read_amplification() > 30.0);
+        let mut engine2 = engine_with(
+            TechnologyProfile::nand_flash(),
+            1,
+            EngineConfig::default(),
+        );
+        engine2
+            .submit(IoRequest::new(DeviceId(0), ReadCommand::sgl(0, 128)), now)
+            .unwrap();
+        assert!((engine2.stats().read_amplification() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn config_validation() {
+        let mut cfg = EngineConfig::default();
+        assert!(cfg.validate().is_ok());
+        cfg.max_outstanding_per_device = 0;
+        assert!(matches!(cfg.validate(), Err(IoError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn submit_batch_preserves_order_and_counts() {
+        let mut engine = engine_with(
+            TechnologyProfile::optane_ssd(),
+            1,
+            EngineConfig::default(),
+        );
+        let now = SimInstant::EPOCH;
+        let reqs: Vec<IoRequest> = (0..10)
+            .map(|i| IoRequest::new(DeviceId(0), ReadCommand::sgl(i * 512, 64)).with_user_data(i))
+            .collect();
+        engine.submit_batch(reqs, now).unwrap();
+        let (completions, _) = engine.drain(now).unwrap();
+        assert_eq!(completions.len(), 10);
+        assert_eq!(engine.stats().submitted, 10);
+        assert!(engine.stats().cpu_time > SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error type for the IO engine.
+
+use scm_device::DeviceError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the IO engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum IoError {
+    /// The submission queue is full; the caller must reap completions first.
+    SubmissionQueueFull {
+        /// Configured queue depth.
+        depth: usize,
+    },
+    /// The underlying device rejected the request.
+    Device(DeviceError),
+    /// Configuration value out of range.
+    InvalidConfig {
+        /// Description of the offending parameter.
+        reason: String,
+    },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::SubmissionQueueFull { depth } => {
+                write!(f, "submission queue full (depth {depth})")
+            }
+            IoError::Device(e) => write!(f, "device error: {e}"),
+            IoError::InvalidConfig { reason } => write!(f, "invalid engine config: {reason}"),
+        }
+    }
+}
+
+impl Error for IoError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            IoError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<DeviceError> for IoError {
+    fn from(e: DeviceError) -> Self {
+        IoError::Device(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sdm_metrics::units::Bytes;
+
+    #[test]
+    fn display_and_source() {
+        let e = IoError::SubmissionQueueFull { depth: 8 };
+        assert!(e.to_string().contains("8"));
+
+        let dev = DeviceError::OutOfBounds {
+            offset: 0,
+            len: 1,
+            capacity: Bytes(0),
+        };
+        let wrapped: IoError = dev.clone().into();
+        assert!(wrapped.to_string().contains("device error"));
+        assert!(Error::source(&wrapped).is_some());
+        assert!(Error::source(&IoError::InvalidConfig {
+            reason: "x".into()
+        })
+        .is_none());
+    }
+}

@@ -1,0 +1,157 @@
+//! io_uring-like bounded submission / completion queues.
+
+use crate::error::IoError;
+use std::collections::VecDeque;
+
+/// One entry travelling through a ring (either direction).
+///
+/// The engine stores its own richer request/completion types; the ring is a
+/// generic bounded FIFO mirroring the submission-queue / completion-queue
+/// shape of io_uring so the queue-depth tuning knob has a concrete home.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RingEntry<T> {
+    /// Caller-provided correlation token (io_uring `user_data`).
+    pub user_data: u64,
+    /// The payload.
+    pub payload: T,
+}
+
+/// A bounded submission queue + unbounded completion queue pair.
+///
+/// io_uring's SQ has a fixed depth negotiated at setup time; pushing beyond
+/// it fails and the application must reap completions. The CQ is sized at
+/// twice the SQ by the kernel, but since our engine never drops completions
+/// we model it as unbounded.
+///
+/// # Example
+///
+/// ```
+/// use io_engine::IoRing;
+///
+/// let mut ring: IoRing<&'static str> = IoRing::new(2);
+/// ring.push_sqe(1, "a").unwrap();
+/// ring.push_sqe(2, "b").unwrap();
+/// assert!(ring.push_sqe(3, "c").is_err());
+/// let batch = ring.take_submissions();
+/// assert_eq!(batch.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct IoRing<T> {
+    depth: usize,
+    submission: VecDeque<RingEntry<T>>,
+    completion: VecDeque<RingEntry<T>>,
+}
+
+impl<T> IoRing<T> {
+    /// Creates a ring with the given submission-queue depth (minimum 1).
+    pub fn new(depth: usize) -> Self {
+        IoRing {
+            depth: depth.max(1),
+            submission: VecDeque::new(),
+            completion: VecDeque::new(),
+        }
+    }
+
+    /// Configured submission-queue depth.
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+
+    /// Number of entries currently waiting in the submission queue.
+    pub fn sq_len(&self) -> usize {
+        self.submission.len()
+    }
+
+    /// Number of completions waiting to be reaped.
+    pub fn cq_len(&self) -> usize {
+        self.completion.len()
+    }
+
+    /// Queues a submission entry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IoError::SubmissionQueueFull`] when the SQ is at capacity.
+    pub fn push_sqe(&mut self, user_data: u64, payload: T) -> Result<(), IoError> {
+        if self.submission.len() >= self.depth {
+            return Err(IoError::SubmissionQueueFull { depth: self.depth });
+        }
+        self.submission.push_back(RingEntry { user_data, payload });
+        Ok(())
+    }
+
+    /// Removes and returns all pending submissions (the `io_uring_submit`
+    /// step).
+    pub fn take_submissions(&mut self) -> Vec<RingEntry<T>> {
+        self.submission.drain(..).collect()
+    }
+
+    /// Posts a completion entry.
+    pub fn push_cqe(&mut self, user_data: u64, payload: T) {
+        self.completion.push_back(RingEntry { user_data, payload });
+    }
+
+    /// Reaps at most `max` completions, in completion order.
+    pub fn reap(&mut self, max: usize) -> Vec<RingEntry<T>> {
+        let n = max.min(self.completion.len());
+        self.completion.drain(..n).collect()
+    }
+
+    /// Reaps every pending completion.
+    pub fn reap_all(&mut self) -> Vec<RingEntry<T>> {
+        self.completion.drain(..).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_is_enforced() {
+        let mut ring: IoRing<u32> = IoRing::new(2);
+        assert_eq!(ring.depth(), 2);
+        ring.push_sqe(1, 10).unwrap();
+        ring.push_sqe(2, 20).unwrap();
+        assert!(matches!(
+            ring.push_sqe(3, 30),
+            Err(IoError::SubmissionQueueFull { depth: 2 })
+        ));
+        assert_eq!(ring.sq_len(), 2);
+    }
+
+    #[test]
+    fn zero_depth_is_clamped_to_one() {
+        let ring: IoRing<u32> = IoRing::new(0);
+        assert_eq!(ring.depth(), 1);
+    }
+
+    #[test]
+    fn submissions_drain_in_fifo_order() {
+        let mut ring: IoRing<u32> = IoRing::new(4);
+        for i in 0..4 {
+            ring.push_sqe(i, i as u32 * 10).unwrap();
+        }
+        let batch = ring.take_submissions();
+        assert_eq!(batch.iter().map(|e| e.user_data).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(ring.sq_len(), 0);
+        // After draining, there is room again.
+        ring.push_sqe(9, 90).unwrap();
+    }
+
+    #[test]
+    fn completions_reap_in_order_and_partially() {
+        let mut ring: IoRing<&str> = IoRing::new(4);
+        ring.push_cqe(1, "a");
+        ring.push_cqe(2, "b");
+        ring.push_cqe(3, "c");
+        assert_eq!(ring.cq_len(), 3);
+        let first = ring.reap(2);
+        assert_eq!(first.len(), 2);
+        assert_eq!(first[0].user_data, 1);
+        let rest = ring.reap_all();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest[0].payload, "c");
+        assert_eq!(ring.cq_len(), 0);
+    }
+}

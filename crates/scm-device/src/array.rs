@@ -1,0 +1,223 @@
+//! A host's set of SCM devices.
+
+use crate::device::{ReadOutcome, ScmDevice, WriteOutcome};
+use crate::error::DeviceError;
+use crate::nvme::ReadCommand;
+use crate::tech::TechnologyProfile;
+use sdm_metrics::units::Bytes;
+use sdm_metrics::SimDuration;
+use std::fmt;
+
+/// Identifies one device within a [`DeviceArray`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeviceId(pub usize);
+
+impl fmt::Display for DeviceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dev{}", self.0)
+    }
+}
+
+/// The set of SCM drives attached to one host (e.g. the paper's HW-SS has
+/// two 2 TB Nand drives, HW-AO two 0.4 TB Optane drives).
+///
+/// The array exposes a flat logical address space; the `sdm-core` crate
+/// decides which device a table lives on and addresses it as
+/// `(DeviceId, offset)`. Aggregate statistics (total IOPS capability,
+/// capacity) are available for host sizing.
+#[derive(Debug)]
+pub struct DeviceArray {
+    devices: Vec<ScmDevice>,
+}
+
+impl DeviceArray {
+    /// Creates an array from already-constructed devices.
+    pub fn new(devices: Vec<ScmDevice>) -> Self {
+        DeviceArray { devices }
+    }
+
+    /// Creates `count` identical devices of the given profile and capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::ZeroCapacity`] when `capacity_each` is zero.
+    pub fn homogeneous(
+        profile: TechnologyProfile,
+        capacity_each: Bytes,
+        count: usize,
+    ) -> Result<Self, DeviceError> {
+        let mut devices = Vec::with_capacity(count);
+        for i in 0..count {
+            devices.push(ScmDevice::new(
+                format!("{}-{}", profile.kind, i),
+                profile.clone(),
+                capacity_each,
+            )?);
+        }
+        Ok(DeviceArray { devices })
+    }
+
+    /// Number of devices.
+    pub fn len(&self) -> usize {
+        self.devices.len()
+    }
+
+    /// True when the array holds no devices.
+    pub fn is_empty(&self) -> bool {
+        self.devices.is_empty()
+    }
+
+    /// Total capacity across all devices.
+    pub fn total_capacity(&self) -> Bytes {
+        self.devices.iter().map(|d| d.capacity()).sum()
+    }
+
+    /// Aggregate random-read IOPS ceiling across all devices.
+    pub fn total_max_iops(&self) -> f64 {
+        self.devices.iter().map(|d| d.profile().max_read_iops).sum()
+    }
+
+    /// Aggregate IOPS sustainable while keeping per-IO latency under
+    /// `target` (used for the Table 10 sizing experiment).
+    pub fn total_iops_at_latency(&self, target: SimDuration) -> f64 {
+        self.devices
+            .iter()
+            .map(|d| d.iops_at_latency_target(target))
+            .sum()
+    }
+
+    /// Borrow a device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::UnknownDevice`] for an out-of-range id.
+    pub fn device(&self, id: DeviceId) -> Result<&ScmDevice, DeviceError> {
+        self.devices.get(id.0).ok_or(DeviceError::UnknownDevice {
+            index: id.0,
+            len: self.devices.len(),
+        })
+    }
+
+    /// Mutably borrow a device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::UnknownDevice`] for an out-of-range id.
+    pub fn device_mut(&mut self, id: DeviceId) -> Result<&mut ScmDevice, DeviceError> {
+        let len = self.devices.len();
+        self.devices
+            .get_mut(id.0)
+            .ok_or(DeviceError::UnknownDevice { index: id.0, len })
+    }
+
+    /// Iterates over `(DeviceId, &ScmDevice)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (DeviceId, &ScmDevice)> {
+        self.devices
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (DeviceId(i), d))
+    }
+
+    /// Issues a read against a specific device at the given queue depth.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors; see [`ScmDevice::read`].
+    pub fn read(
+        &mut self,
+        id: DeviceId,
+        cmd: &ReadCommand,
+        queue_depth: usize,
+    ) -> Result<ReadOutcome, DeviceError> {
+        self.device_mut(id)?.read(cmd, queue_depth)
+    }
+
+    /// Writes to a specific device.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors; see [`ScmDevice::write_at`].
+    pub fn write(
+        &mut self,
+        id: DeviceId,
+        offset: u64,
+        data: &[u8],
+    ) -> Result<WriteOutcome, DeviceError> {
+        self.device_mut(id)?.write_at(offset, data)
+    }
+
+    /// Picks the device with the fewest reads served so far (simple
+    /// least-loaded placement helper).
+    pub fn least_loaded(&self) -> Option<DeviceId> {
+        self.devices
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, d)| d.stats().reads)
+            .map(|(i, _)| DeviceId(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn homogeneous_array_has_aggregate_capacity_and_iops() {
+        let arr =
+            DeviceArray::homogeneous(TechnologyProfile::optane_ssd(), Bytes::from_mib(8), 2)
+                .unwrap();
+        assert_eq!(arr.len(), 2);
+        assert!(!arr.is_empty());
+        assert_eq!(arr.total_capacity(), Bytes::from_mib(16));
+        assert!((arr.total_max_iops() - 8_000_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn unknown_device_is_an_error() {
+        let mut arr =
+            DeviceArray::homogeneous(TechnologyProfile::nand_flash(), Bytes::from_mib(1), 1)
+                .unwrap();
+        assert!(matches!(
+            arr.read(DeviceId(5), &ReadCommand::sgl(0, 8), 1),
+            Err(DeviceError::UnknownDevice { index: 5, len: 1 })
+        ));
+        assert!(arr.device(DeviceId(0)).is_ok());
+    }
+
+    #[test]
+    fn reads_and_writes_route_to_the_right_device() {
+        let mut arr =
+            DeviceArray::homogeneous(TechnologyProfile::optane_ssd(), Bytes::from_mib(1), 2)
+                .unwrap();
+        arr.write(DeviceId(1), 0, &[9u8; 64]).unwrap();
+        let out0 = arr.read(DeviceId(0), &ReadCommand::sgl(0, 64), 1).unwrap();
+        let out1 = arr.read(DeviceId(1), &ReadCommand::sgl(0, 64), 1).unwrap();
+        assert_eq!(out0.data, vec![0u8; 64]);
+        assert_eq!(out1.data, vec![9u8; 64]);
+        assert_eq!(arr.device(DeviceId(1)).unwrap().stats().writes, 1);
+    }
+
+    #[test]
+    fn least_loaded_balances() {
+        let mut arr =
+            DeviceArray::homogeneous(TechnologyProfile::optane_ssd(), Bytes::from_mib(1), 2)
+                .unwrap();
+        arr.read(DeviceId(0), &ReadCommand::sgl(0, 64), 1).unwrap();
+        assert_eq!(arr.least_loaded(), Some(DeviceId(1)));
+        let empty = DeviceArray::new(vec![]);
+        assert_eq!(empty.least_loaded(), None);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn aggregate_iops_at_latency_is_bounded_by_ceiling() {
+        let arr =
+            DeviceArray::homogeneous(TechnologyProfile::optane_ssd(), Bytes::from_mib(1), 9)
+                .unwrap();
+        let sustainable = arr.total_iops_at_latency(SimDuration::from_micros(40));
+        assert!(sustainable > 0.0);
+        assert!(sustainable <= arr.total_max_iops());
+        // 9 Optane SSDs provide ~36M IOPS ceiling (paper Table 10).
+        assert!(arr.total_max_iops() >= 36_000_000.0 - 1.0);
+    }
+}

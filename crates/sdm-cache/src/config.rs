@@ -1,0 +1,127 @@
+//! Cache configuration (the paper's cache-side "Tuning API").
+
+use crate::error::CacheError;
+use sdm_metrics::units::Bytes;
+
+/// Configuration for the fast-memory caches.
+///
+/// Mirrors the tuning options the paper exposes at model-deployment time:
+/// cache sizes, the number of partitions, the row-size routing threshold of
+/// the dual cache and the pooled-embedding-cache length threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheConfig {
+    /// Total fast-memory budget for the unified row cache.
+    pub row_cache_budget: Bytes,
+    /// Fraction of the budget given to the memory-optimized engine
+    /// (the rest goes to the CPU-optimized engine).
+    pub memory_optimized_fraction: f64,
+    /// Rows of at most this many bytes are routed to the memory-optimized
+    /// engine (paper: embedding dim ≤ 255 B).
+    pub small_row_threshold: usize,
+    /// Number of hash partitions (bucket groups) in the memory-optimized
+    /// engine.
+    pub partitions: usize,
+    /// Budget of the pooled-embedding cache (0 disables it).
+    pub pooled_cache_budget: Bytes,
+    /// Minimum index-sequence length admitted to the pooled-embedding cache
+    /// (`LenThreshold` in paper Table 4).
+    pub pooled_len_threshold: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> Self {
+        CacheConfig {
+            row_cache_budget: Bytes::from_mib(64),
+            memory_optimized_fraction: 0.8,
+            small_row_threshold: 255,
+            partitions: 16,
+            pooled_cache_budget: Bytes::from_mib(4),
+            pooled_len_threshold: 4,
+        }
+    }
+}
+
+impl CacheConfig {
+    /// Convenience constructor: default knobs with the given total row-cache
+    /// budget.
+    pub fn with_total_budget(budget: Bytes) -> Self {
+        CacheConfig {
+            row_cache_budget: budget,
+            ..CacheConfig::default()
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CacheError::ZeroBudget`] when the row-cache budget is zero
+    /// and [`CacheError::InvalidConfig`] for out-of-range fractions or a
+    /// zero partition count.
+    pub fn validate(&self) -> Result<(), CacheError> {
+        if self.row_cache_budget.is_zero() {
+            return Err(CacheError::ZeroBudget);
+        }
+        if !(0.0..=1.0).contains(&self.memory_optimized_fraction) {
+            return Err(CacheError::InvalidConfig {
+                reason: format!(
+                    "memory_optimized_fraction {} outside [0, 1]",
+                    self.memory_optimized_fraction
+                ),
+            });
+        }
+        if self.partitions == 0 {
+            return Err(CacheError::InvalidConfig {
+                reason: "partitions must be at least 1".into(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Budget for the memory-optimized engine.
+    pub fn memory_optimized_budget(&self) -> Bytes {
+        Bytes((self.row_cache_budget.as_u64() as f64 * self.memory_optimized_fraction) as u64)
+    }
+
+    /// Budget for the CPU-optimized engine.
+    pub fn cpu_optimized_budget(&self) -> Bytes {
+        self.row_cache_budget
+            .saturating_sub(self.memory_optimized_budget())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid_and_splits_budget() {
+        let c = CacheConfig::default();
+        assert!(c.validate().is_ok());
+        let total = c.memory_optimized_budget() + c.cpu_optimized_budget();
+        assert_eq!(total, c.row_cache_budget);
+        assert!(c.memory_optimized_budget() > c.cpu_optimized_budget());
+    }
+
+    #[test]
+    fn invalid_configs_are_detected() {
+        let mut c = CacheConfig::default();
+        c.row_cache_budget = Bytes::ZERO;
+        assert!(matches!(c.validate(), Err(CacheError::ZeroBudget)));
+
+        let mut c = CacheConfig::default();
+        c.memory_optimized_fraction = 1.5;
+        assert!(matches!(c.validate(), Err(CacheError::InvalidConfig { .. })));
+
+        let mut c = CacheConfig::default();
+        c.partitions = 0;
+        assert!(matches!(c.validate(), Err(CacheError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn with_total_budget_sets_budget_only() {
+        let c = CacheConfig::with_total_budget(Bytes::from_gib(1));
+        assert_eq!(c.row_cache_budget, Bytes::from_gib(1));
+        assert_eq!(c.small_row_threshold, 255);
+    }
+}

@@ -1,0 +1,221 @@
+//! The production cache organisation: a unified row cache built from two
+//! internally-specialised engines (paper §4.3, Figure 6).
+//!
+//! Rows of at most `small_row_threshold` bytes (255 B in the paper) are
+//! routed to the memory-optimized engine; larger rows go to the
+//! CPU-optimized engine. Per-table enablement lets placement policies turn
+//! caching off for tables with no temporal locality (Table 5, "per table
+//! cache enablement").
+
+use crate::config::CacheConfig;
+use crate::cpu_optimized::CpuOptimizedCache;
+use crate::memory_optimized::MemoryOptimizedCache;
+use crate::row_cache::{RowCache, RowKey};
+use crate::stats::CacheStats;
+use sdm_metrics::units::Bytes;
+use sdm_metrics::SimDuration;
+use std::collections::HashSet;
+
+/// The dual-engine unified row cache.
+#[derive(Debug)]
+pub struct DualRowCache {
+    small: MemoryOptimizedCache,
+    large: CpuOptimizedCache,
+    small_row_threshold: usize,
+    disabled_tables: HashSet<u32>,
+    merged_stats: CacheStats,
+}
+
+impl DualRowCache {
+    /// Builds the dual cache from a [`CacheConfig`].
+    pub fn new(config: CacheConfig) -> Self {
+        let small = MemoryOptimizedCache::with_expected_row_size(
+            config.memory_optimized_budget().max(Bytes(1)),
+            config.small_row_threshold.min(255).max(32),
+        );
+        let large = CpuOptimizedCache::new(config.cpu_optimized_budget().max(Bytes(1)));
+        DualRowCache {
+            small,
+            large,
+            small_row_threshold: config.small_row_threshold,
+            disabled_tables: HashSet::new(),
+            merged_stats: CacheStats::new(),
+        }
+    }
+
+    /// Disables caching for a table (its lookups always miss and its rows
+    /// are never admitted).
+    pub fn disable_table(&mut self, table: u32) {
+        self.disabled_tables.insert(table);
+    }
+
+    /// Re-enables caching for a table.
+    pub fn enable_table(&mut self, table: u32) {
+        self.disabled_tables.remove(&table);
+    }
+
+    /// Returns true if the table participates in caching.
+    pub fn table_enabled(&self, table: u32) -> bool {
+        !self.disabled_tables.contains(&table)
+    }
+
+    /// The row-size threshold routing to the memory-optimized engine.
+    pub fn small_row_threshold(&self) -> usize {
+        self.small_row_threshold
+    }
+
+    /// Statistics of the memory-optimized engine.
+    pub fn small_engine_stats(&self) -> &CacheStats {
+        self.small.stats()
+    }
+
+    /// Statistics of the CPU-optimized engine.
+    pub fn large_engine_stats(&self) -> &CacheStats {
+        self.large.stats()
+    }
+
+    fn routed_get(&mut self, key: &RowKey) -> Option<Vec<u8>> {
+        // The row size is not known at lookup time; probe the small engine
+        // first (the overwhelmingly common case), then the large engine.
+        if let Some(v) = self.small.get(key) {
+            return Some(v);
+        }
+        self.large.get(key)
+    }
+}
+
+impl RowCache for DualRowCache {
+    fn get(&mut self, key: &RowKey) -> Option<Vec<u8>> {
+        if !self.table_enabled(key.table) {
+            self.merged_stats.record_miss();
+            return None;
+        }
+        let found = self.routed_get(key);
+        if found.is_some() {
+            self.merged_stats.record_hit();
+        } else {
+            self.merged_stats.record_miss();
+        }
+        found
+    }
+
+    fn insert(&mut self, key: RowKey, value: Vec<u8>) {
+        if !self.table_enabled(key.table) {
+            return;
+        }
+        if value.len() <= self.small_row_threshold {
+            self.small.insert(key, value);
+        } else {
+            self.large.insert(key, value);
+        }
+    }
+
+    fn contains(&self, key: &RowKey) -> bool {
+        self.table_enabled(key.table) && (self.small.contains(key) || self.large.contains(key))
+    }
+
+    fn len(&self) -> usize {
+        self.small.len() + self.large.len()
+    }
+
+    fn memory_used(&self) -> Bytes {
+        self.small.memory_used() + self.large.memory_used()
+    }
+
+    fn budget(&self) -> Bytes {
+        self.small.budget() + self.large.budget()
+    }
+
+    fn lookup_cost(&self) -> SimDuration {
+        // Dominated by the memory-optimized probe.
+        self.small.lookup_cost()
+    }
+
+    fn stats(&self) -> &CacheStats {
+        &self.merged_stats
+    }
+
+    fn clear(&mut self) {
+        self.small.clear();
+        self.large.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cache() -> DualRowCache {
+        DualRowCache::new(CacheConfig::with_total_budget(Bytes::from_mib(1)))
+    }
+
+    #[test]
+    fn routes_by_row_size() {
+        let mut c = cache();
+        let small_key = RowKey::new(1, 1);
+        let large_key = RowKey::new(1, 2);
+        c.insert(small_key, vec![0u8; 128]);
+        c.insert(large_key, vec![0u8; 400]);
+        assert_eq!(c.small.len(), 1);
+        assert_eq!(c.large.len(), 1);
+        assert!(c.get(&small_key).is_some());
+        assert!(c.get(&large_key).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn threshold_boundary_row_goes_to_small_engine() {
+        let mut c = cache();
+        c.insert(RowKey::new(0, 0), vec![0u8; 255]);
+        c.insert(RowKey::new(0, 1), vec![0u8; 256]);
+        assert_eq!(c.small.len(), 1);
+        assert_eq!(c.large.len(), 1);
+        assert_eq!(c.small_row_threshold(), 255);
+    }
+
+    #[test]
+    fn disabled_tables_bypass_the_cache() {
+        let mut c = cache();
+        c.disable_table(7);
+        assert!(!c.table_enabled(7));
+        c.insert(RowKey::new(7, 1), vec![1u8; 64]);
+        assert!(c.get(&RowKey::new(7, 1)).is_none());
+        assert_eq!(c.len(), 0);
+        // Other tables unaffected.
+        c.insert(RowKey::new(8, 1), vec![1u8; 64]);
+        assert!(c.get(&RowKey::new(8, 1)).is_some());
+        c.enable_table(7);
+        c.insert(RowKey::new(7, 1), vec![1u8; 64]);
+        assert!(c.contains(&RowKey::new(7, 1)));
+    }
+
+    #[test]
+    fn merged_stats_cover_both_engines() {
+        let mut c = cache();
+        c.insert(RowKey::new(0, 1), vec![0u8; 64]);
+        c.insert(RowKey::new(0, 2), vec![0u8; 400]);
+        c.get(&RowKey::new(0, 1));
+        c.get(&RowKey::new(0, 2));
+        c.get(&RowKey::new(0, 3));
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+        assert!((c.stats().hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn budget_is_split_between_engines() {
+        let c = cache();
+        assert!(c.small.budget() > c.large.budget());
+        assert_eq!(c.budget(), c.small.budget() + c.large.budget());
+        assert_eq!(c.memory_used(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn clear_empties_both_engines() {
+        let mut c = cache();
+        c.insert(RowKey::new(0, 1), vec![0u8; 64]);
+        c.insert(RowKey::new(0, 2), vec![0u8; 400]);
+        c.clear();
+        assert!(c.is_empty());
+    }
+}

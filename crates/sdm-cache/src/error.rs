@@ -1,0 +1,49 @@
+//! Error type for the cache layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by cache construction and configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CacheError {
+    /// A cache was configured with a zero-byte budget.
+    ZeroBudget,
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Explanation of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheError::ZeroBudget => write!(f, "cache budget must be non-zero"),
+            CacheError::InvalidConfig { reason } => write!(f, "invalid cache config: {reason}"),
+        }
+    }
+}
+
+impl Error for CacheError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(CacheError::ZeroBudget.to_string().contains("non-zero"));
+        assert!(CacheError::InvalidConfig {
+            reason: "bad split".into()
+        }
+        .to_string()
+        .contains("bad split"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<CacheError>();
+    }
+}

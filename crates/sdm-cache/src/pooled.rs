@@ -1,0 +1,325 @@
+//! The pooled-embedding cache (paper §4.4, Algorithm 1).
+//!
+//! For every embedding operator the engine reads `pooling_factor` rows and
+//! dequantises + pools them. If the *same full sequence of indices* shows up
+//! again for the same table — which the paper measures at around 5 % of
+//! requests (Table 3, the `c = P` scheme) — the pooled output vector can be
+//! served directly, skipping the row lookups, possible SM IO, dequantisation
+//! and pooling.
+//!
+//! Keys are an order-invariant hash of the index sequence so `[3, 1, 2]` and
+//! `[1, 2, 3]` hit the same entry (pooling is a sum, so order does not
+//! matter). Only sequences of at least `LenThreshold` indices are admitted —
+//! short sequences are cheap to recompute and would pollute the cache
+//! (Table 4).
+
+use crate::stats::CacheStats;
+use sdm_metrics::units::Bytes;
+use std::collections::{BTreeMap, HashMap};
+
+/// Order-invariant key of one pooled-embedding request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PooledKey {
+    table: u32,
+    /// Commutative sum of mixed per-index hashes.
+    sum: u64,
+    /// Commutative XOR of mixed per-index hashes.
+    xor: u64,
+    /// Sequence length (guards against sum/xor collisions between sequences
+    /// of different lengths).
+    len: u32,
+}
+
+impl PooledKey {
+    /// Builds the key for a table and index sequence.
+    pub fn new(table: u32, indices: &[u64]) -> Self {
+        let mut sum = 0u64;
+        let mut xor = 0u64;
+        for &idx in indices {
+            let h = Self::mix(idx);
+            sum = sum.wrapping_add(h);
+            xor ^= h.rotate_left((idx % 63) as u32);
+        }
+        PooledKey {
+            table,
+            sum,
+            xor,
+            len: indices.len() as u32,
+        }
+    }
+
+    fn mix(x: u64) -> u64 {
+        let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// The owning table.
+    pub fn table(&self) -> u32 {
+        self.table
+    }
+
+    /// Length of the keyed sequence.
+    pub fn sequence_len(&self) -> u32 {
+        self.len
+    }
+}
+
+#[derive(Debug)]
+struct PooledEntry {
+    vector: Vec<f32>,
+    stamp: u64,
+    sequence_len: u32,
+}
+
+/// LRU cache of pooled embedding outputs, bounded by a byte budget.
+#[derive(Debug)]
+pub struct PooledEmbeddingCache {
+    map: HashMap<PooledKey, PooledEntry>,
+    lru: BTreeMap<u64, PooledKey>,
+    budget: Bytes,
+    used: u64,
+    clock: u64,
+    len_threshold: usize,
+    stats: CacheStats,
+    hit_len_total: u64,
+    skipped_short: u64,
+}
+
+/// Metadata overhead per pooled entry (key, stamps, allocation headers).
+const ENTRY_OVERHEAD: usize = 64;
+
+impl PooledEmbeddingCache {
+    /// Creates a pooled-embedding cache with a byte budget and the minimum
+    /// admissible sequence length (`LenThreshold`).
+    pub fn new(budget: Bytes, len_threshold: usize) -> Self {
+        PooledEmbeddingCache {
+            map: HashMap::new(),
+            lru: BTreeMap::new(),
+            budget,
+            used: 0,
+            clock: 0,
+            len_threshold: len_threshold.max(1),
+            stats: CacheStats::new(),
+            hit_len_total: 0,
+            skipped_short: 0,
+        }
+    }
+
+    /// The admission length threshold.
+    pub fn len_threshold(&self) -> usize {
+        self.len_threshold
+    }
+
+    /// Whether a sequence of `len` indices is even eligible for this cache.
+    pub fn eligible(&self, len: usize) -> bool {
+        len >= self.len_threshold
+    }
+
+    /// Looks up the pooled output for a table + index sequence.
+    ///
+    /// Ineligible (short) sequences return `None` without being counted as
+    /// misses — the paper's Algorithm 1 only consults the cache above the
+    /// threshold.
+    pub fn lookup(&mut self, table: u32, indices: &[u64]) -> Option<Vec<f32>> {
+        if !self.eligible(indices.len()) {
+            self.skipped_short += 1;
+            return None;
+        }
+        let key = PooledKey::new(table, indices);
+        self.clock += 1;
+        if let Some(entry) = self.map.get_mut(&key) {
+            self.lru.remove(&entry.stamp);
+            entry.stamp = self.clock;
+            self.lru.insert(self.clock, key);
+            self.stats.record_hit();
+            self.hit_len_total += entry.sequence_len as u64;
+            Some(entry.vector.clone())
+        } else {
+            self.stats.record_miss();
+            None
+        }
+    }
+
+    /// Inserts the pooled output for a table + index sequence. Ineligible
+    /// sequences are ignored.
+    pub fn insert(&mut self, table: u32, indices: &[u64], vector: Vec<f32>) {
+        if !self.eligible(indices.len()) {
+            return;
+        }
+        let key = PooledKey::new(table, indices);
+        let cost = (vector.len() * 4 + ENTRY_OVERHEAD) as u64;
+        if cost > self.budget.as_u64() {
+            self.stats.rejected += 1;
+            return;
+        }
+        if let Some(old) = self.map.remove(&key) {
+            self.lru.remove(&old.stamp);
+            self.used -= (old.vector.len() * 4 + ENTRY_OVERHEAD) as u64;
+        }
+        while self.used + cost > self.budget.as_u64() {
+            let Some((&stamp, &victim)) = self.lru.iter().next() else {
+                break;
+            };
+            self.lru.remove(&stamp);
+            if let Some(e) = self.map.remove(&victim) {
+                self.used -= (e.vector.len() * 4 + ENTRY_OVERHEAD) as u64;
+                self.stats.evictions += 1;
+            }
+        }
+        if self.used + cost > self.budget.as_u64() {
+            self.stats.rejected += 1;
+            return;
+        }
+        self.clock += 1;
+        self.used += cost;
+        self.stats.insertions += 1;
+        self.lru.insert(self.clock, key);
+        self.map.insert(
+            key,
+            PooledEntry {
+                vector,
+                stamp: self.clock,
+                sequence_len: indices.len() as u32,
+            },
+        );
+    }
+
+    /// Number of cached pooled vectors.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Bytes consumed.
+    pub fn memory_used(&self) -> Bytes {
+        Bytes(self.used)
+    }
+
+    /// Configured budget.
+    pub fn budget(&self) -> Bytes {
+        self.budget
+    }
+
+    /// Cache statistics (hits/misses count only eligible sequences).
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Number of lookups skipped because the sequence was below the
+    /// threshold.
+    pub fn skipped_short(&self) -> u64 {
+        self.skipped_short
+    }
+
+    /// Average index-sequence length of hits ("Hit Avg Len" in paper
+    /// Table 4); zero before the first hit.
+    pub fn average_hit_length(&self) -> f64 {
+        if self.stats.hits == 0 {
+            0.0
+        } else {
+            self.hit_len_total as f64 / self.stats.hits as f64
+        }
+    }
+
+    /// Drops all cached vectors (statistics are kept).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.lru.clear();
+        self.used = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn order_invariant_key() {
+        let a = PooledKey::new(1, &[5, 9, 2, 7]);
+        let b = PooledKey::new(1, &[7, 2, 9, 5]);
+        let c = PooledKey::new(1, &[5, 9, 2, 8]);
+        let d = PooledKey::new(2, &[5, 9, 2, 7]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        assert_eq!(a.sequence_len(), 4);
+        assert_eq!(d.table(), 2);
+    }
+
+    #[test]
+    fn repeated_indices_produce_distinct_keys() {
+        // Multisets must be distinguished from sets: [1, 1, 2] != [1, 2].
+        let a = PooledKey::new(0, &[1, 1, 2]);
+        let b = PooledKey::new(0, &[1, 2]);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn lookup_hit_after_insert_in_any_order() {
+        let mut c = PooledEmbeddingCache::new(Bytes::from_kib(64), 2);
+        let pooled = vec![1.0f32, 2.0, 3.0];
+        assert!(c.lookup(3, &[10, 20, 30]).is_none());
+        c.insert(3, &[10, 20, 30], pooled.clone());
+        assert_eq!(c.lookup(3, &[30, 10, 20]).unwrap(), pooled);
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+        assert!((c.average_hit_length() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn short_sequences_are_not_admitted_or_counted() {
+        let mut c = PooledEmbeddingCache::new(Bytes::from_kib(64), 8);
+        assert!(!c.eligible(4));
+        assert!(c.lookup(0, &[1, 2, 3]).is_none());
+        c.insert(0, &[1, 2, 3], vec![1.0]);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().lookups(), 0);
+        assert_eq!(c.skipped_short(), 1);
+        assert_eq!(c.len_threshold(), 8);
+    }
+
+    #[test]
+    fn budget_is_respected_with_lru_eviction() {
+        // Each entry: 16 floats * 4 + 64 = 128 bytes; budget of 512 → 4 entries.
+        let mut c = PooledEmbeddingCache::new(Bytes(512), 1);
+        for t in 0..10u32 {
+            let indices: Vec<u64> = (0..5).map(|i| (t as u64) * 100 + i).collect();
+            c.insert(t, &indices, vec![0.5f32; 16]);
+        }
+        assert!(c.len() <= 4);
+        assert!(c.memory_used() <= c.budget());
+        assert!(c.stats().evictions >= 6);
+    }
+
+    #[test]
+    fn oversized_vector_rejected() {
+        let mut c = PooledEmbeddingCache::new(Bytes(100), 1);
+        c.insert(0, &[1, 2], vec![0.0f32; 1000]);
+        assert!(c.is_empty());
+        assert_eq!(c.stats().rejected, 1);
+    }
+
+    #[test]
+    fn clear_empties_cache() {
+        let mut c = PooledEmbeddingCache::new(Bytes::from_kib(4), 1);
+        c.insert(0, &[1, 2, 3], vec![1.0; 4]);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.memory_used(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn replacement_of_same_sequence_updates_value() {
+        let mut c = PooledEmbeddingCache::new(Bytes::from_kib(4), 1);
+        c.insert(0, &[4, 5, 6], vec![1.0; 4]);
+        c.insert(0, &[6, 5, 4], vec![2.0; 4]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.lookup(0, &[4, 5, 6]).unwrap(), vec![2.0; 4]);
+    }
+}

@@ -1,0 +1,222 @@
+//! SDM deployment configuration — the union of every tuning knob the paper
+//! exposes at model-deployment time.
+
+use crate::error::SdmError;
+use crate::placement::PlacementPolicy;
+use io_engine::{CompletionMode, EngineConfig};
+use scm_device::TechnologyProfile;
+use sdm_cache::CacheConfig;
+use sdm_metrics::units::Bytes;
+
+/// Access granularity used for SM reads (paper §4.1.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum AccessGranularity {
+    /// SGL bit-bucket reads: only the row's bytes (DWORD aligned) cross the
+    /// bus.
+    #[default]
+    Sgl,
+    /// Whole-block reads with read amplification (the path without the
+    /// paper's kernel/NVMe extension).
+    Block,
+}
+
+/// Optional transformations applied when loading tables onto SM
+/// (paper §4.5 and §A.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct LoadTransform {
+    /// Rebuild pruned tables as full tables on SM so the mapping tensors
+    /// disappear from fast memory (Algorithm 2).
+    pub deprune: bool,
+    /// Expand int8/int4 rows to `f32` on SM so dequantisation is skipped at
+    /// serving time (costs SM capacity and FM cache efficiency).
+    pub dequantize: bool,
+}
+
+/// Full configuration of one SDM deployment on one host.
+#[derive(Debug, Clone)]
+pub struct SdmConfig {
+    /// Technology used for the slow-memory devices.
+    pub technology: TechnologyProfile,
+    /// Number of SM devices on the host.
+    pub device_count: usize,
+    /// Capacity of each SM device.
+    pub device_capacity: Bytes,
+    /// Fast-memory budget available to the SDM stack (row cache + pooled
+    /// cache + mapping tensors + directly placed tables).
+    pub fm_budget: Bytes,
+    /// Row/pooled cache configuration.
+    pub cache: CacheConfig,
+    /// IO engine tuning (outstanding-IO limits, completion mode).
+    pub io: EngineConfig,
+    /// Read granularity.
+    pub granularity: AccessGranularity,
+    /// Table placement policy.
+    pub placement: PlacementPolicy,
+    /// Load-time transformations.
+    pub transform: LoadTransform,
+    /// Seed for table materialisation.
+    pub seed: u64,
+}
+
+impl Default for SdmConfig {
+    fn default() -> Self {
+        SdmConfig {
+            technology: TechnologyProfile::optane_ssd(),
+            device_count: 2,
+            device_capacity: Bytes::from_mib(256),
+            fm_budget: Bytes::from_mib(64),
+            cache: CacheConfig::with_total_budget(Bytes::from_mib(48)),
+            io: EngineConfig::default(),
+            granularity: AccessGranularity::Sgl,
+            placement: PlacementPolicy::SmOnlyWithCache,
+            transform: LoadTransform::default(),
+            seed: 0x5d31,
+        }
+    }
+}
+
+impl SdmConfig {
+    /// A configuration sized for unit tests: small devices, small caches.
+    pub fn for_tests() -> Self {
+        SdmConfig {
+            device_capacity: Bytes::from_mib(64),
+            fm_budget: Bytes::from_mib(8),
+            cache: CacheConfig::with_total_budget(Bytes::from_mib(4)),
+            ..SdmConfig::default()
+        }
+    }
+
+    /// Uses Nand Flash devices instead of the default Optane.
+    pub fn with_nand_flash(mut self) -> Self {
+        self.technology = TechnologyProfile::nand_flash();
+        self
+    }
+
+    /// Sets the placement policy.
+    pub fn with_placement(mut self, placement: PlacementPolicy) -> Self {
+        self.placement = placement;
+        self
+    }
+
+    /// Sets the load-time transformation flags.
+    pub fn with_transform(mut self, transform: LoadTransform) -> Self {
+        self.transform = transform;
+        self
+    }
+
+    /// Sets the access granularity.
+    pub fn with_granularity(mut self, granularity: AccessGranularity) -> Self {
+        self.granularity = granularity;
+        self
+    }
+
+    /// Switches the completion mode (interrupt vs polling, §A.1).
+    pub fn with_completion_mode(mut self, mode: CompletionMode) -> Self {
+        self.io.completion_mode = mode;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdmError::InvalidConfig`] for zero devices or capacities and
+    /// propagates cache / IO configuration errors.
+    pub fn validate(&self) -> Result<(), SdmError> {
+        if self.device_count == 0 {
+            return Err(SdmError::InvalidConfig {
+                reason: "device_count must be at least 1".into(),
+            });
+        }
+        if self.device_capacity.is_zero() {
+            return Err(SdmError::InvalidConfig {
+                reason: "device_capacity must be non-zero".into(),
+            });
+        }
+        if self.fm_budget.is_zero() {
+            return Err(SdmError::InvalidConfig {
+                reason: "fm_budget must be non-zero".into(),
+            });
+        }
+        if self.cache.row_cache_budget > self.fm_budget {
+            return Err(SdmError::InvalidConfig {
+                reason: format!(
+                    "row cache budget {} exceeds fast-memory budget {}",
+                    self.cache.row_cache_budget, self.fm_budget
+                ),
+            });
+        }
+        if self.granularity == AccessGranularity::Sgl
+            && !self.technology.supports_sgl_bit_bucket
+        {
+            return Err(SdmError::InvalidConfig {
+                reason: format!(
+                    "technology {} does not support SGL reads; use block granularity",
+                    self.technology.kind
+                ),
+            });
+        }
+        self.cache.validate()?;
+        self.io.validate()?;
+        Ok(())
+    }
+
+    /// Total SM capacity across the host's devices.
+    pub fn total_sm_capacity(&self) -> Bytes {
+        self.device_capacity * self.device_count as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        assert!(SdmConfig::default().validate().is_ok());
+        assert!(SdmConfig::for_tests().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_are_detected() {
+        let mut c = SdmConfig::for_tests();
+        c.device_count = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = SdmConfig::for_tests();
+        c.device_capacity = Bytes::ZERO;
+        assert!(c.validate().is_err());
+
+        let mut c = SdmConfig::for_tests();
+        c.fm_budget = Bytes::ZERO;
+        assert!(c.validate().is_err());
+
+        let mut c = SdmConfig::for_tests();
+        c.cache.row_cache_budget = Bytes::from_gib(100);
+        assert!(c.validate().is_err());
+
+        // SGL on a technology without bit-bucket support is rejected.
+        let mut c = SdmConfig::for_tests();
+        c.technology = TechnologyProfile::dimm_3dxp();
+        assert!(c.validate().is_err());
+        c.granularity = AccessGranularity::Block;
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn builder_helpers_apply() {
+        let c = SdmConfig::for_tests()
+            .with_nand_flash()
+            .with_granularity(AccessGranularity::Block)
+            .with_completion_mode(CompletionMode::Polling)
+            .with_transform(LoadTransform {
+                deprune: true,
+                dequantize: false,
+            });
+        assert_eq!(c.technology.kind, scm_device::TechnologyKind::NandFlash);
+        assert_eq!(c.granularity, AccessGranularity::Block);
+        assert_eq!(c.io.completion_mode, CompletionMode::Polling);
+        assert!(c.transform.deprune);
+        assert_eq!(c.total_sm_capacity(), c.device_capacity * 2);
+    }
+}

@@ -1,0 +1,115 @@
+//! Error type for the SDM stack.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by the SDM memory manager and loader.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SdmError {
+    /// The embedding layer failed (bad descriptor, malformed row, …).
+    Embedding(embedding::EmbeddingError),
+    /// The IO engine or a device failed.
+    Io(io_engine::IoError),
+    /// The cache layer rejected its configuration.
+    Cache(sdm_cache::CacheError),
+    /// The DLRM model or engine failed.
+    Dlrm(dlrm::DlrmError),
+    /// The workload generator failed.
+    Workload(workload::WorkloadError),
+    /// The configuration is inconsistent (e.g. fast memory budget smaller
+    /// than the directly-placed tables).
+    InvalidConfig {
+        /// Explanation of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SdmError::Embedding(e) => write!(f, "embedding error: {e}"),
+            SdmError::Io(e) => write!(f, "io error: {e}"),
+            SdmError::Cache(e) => write!(f, "cache error: {e}"),
+            SdmError::Dlrm(e) => write!(f, "dlrm error: {e}"),
+            SdmError::Workload(e) => write!(f, "workload error: {e}"),
+            SdmError::InvalidConfig { reason } => write!(f, "invalid SDM config: {reason}"),
+        }
+    }
+}
+
+impl Error for SdmError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SdmError::Embedding(e) => Some(e),
+            SdmError::Io(e) => Some(e),
+            SdmError::Cache(e) => Some(e),
+            SdmError::Dlrm(e) => Some(e),
+            SdmError::Workload(e) => Some(e),
+            SdmError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<embedding::EmbeddingError> for SdmError {
+    fn from(e: embedding::EmbeddingError) -> Self {
+        SdmError::Embedding(e)
+    }
+}
+
+impl From<io_engine::IoError> for SdmError {
+    fn from(e: io_engine::IoError) -> Self {
+        SdmError::Io(e)
+    }
+}
+
+impl From<scm_device::DeviceError> for SdmError {
+    fn from(e: scm_device::DeviceError) -> Self {
+        SdmError::Io(io_engine::IoError::from(e))
+    }
+}
+
+impl From<sdm_cache::CacheError> for SdmError {
+    fn from(e: sdm_cache::CacheError) -> Self {
+        SdmError::Cache(e)
+    }
+}
+
+impl From<dlrm::DlrmError> for SdmError {
+    fn from(e: dlrm::DlrmError) -> Self {
+        SdmError::Dlrm(e)
+    }
+}
+
+impl From<workload::WorkloadError> for SdmError {
+    fn from(e: workload::WorkloadError) -> Self {
+        SdmError::Workload(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: SdmError = embedding::EmbeddingError::UnknownTable { table: 1 }.into();
+        assert!(e.to_string().contains("embedding"));
+        assert!(e.source().is_some());
+
+        let e: SdmError = sdm_cache::CacheError::ZeroBudget.into();
+        assert!(e.to_string().contains("cache"));
+
+        let e = SdmError::InvalidConfig {
+            reason: "too small".into(),
+        };
+        assert!(e.to_string().contains("too small"));
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn is_std_error_send_sync() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<SdmError>();
+    }
+}

@@ -1,0 +1,67 @@
+//! Software Defined Memory (SDM) for massive DLRM inference — the paper's
+//! primary contribution.
+//!
+//! The SDM stack extends the inference memory hierarchy beyond DRAM to
+//! Storage Class Memory: embedding tables whose bandwidth demand is low
+//! (predominantly the user-side tables, paper §2.2) are placed on NVMe
+//! Nand-Flash or Optane devices, a unified row cache plus a
+//! pooled-embedding cache in fast memory absorb the temporal locality, and
+//! small-granularity SGL reads over an io_uring-style engine keep the IO
+//! path cheap.
+//!
+//! The pieces fit together as follows:
+//!
+//! * [`SdmConfig`] — every tuning knob the paper exposes at deployment time
+//!   (cache sizes, outstanding-IO limits, placement policy, de-prune /
+//!   de-quantise at load, access granularity).
+//! * [`PlacementPolicy`] / [`PlacementPlan`] — which tables sit directly in
+//!   fast memory, which go to SM, and which get the cache (Table 5).
+//! * [`ModelLoader`] — materialises a (scaled) model, applies de-pruning /
+//!   de-quantisation, lays tables out on the devices and writes the image.
+//! * [`SdmMemoryManager`] — the serving path. It implements
+//!   [`dlrm::EmbeddingBackend`], so the unmodified DLRM inference engine can
+//!   run on top of DRAM or SDM interchangeably.
+//! * [`ModelUpdater`] — full and incremental model updates and their
+//!   endurance / warmup consequences (§A.3, §A.4).
+//!
+//! # Example
+//!
+//! ```
+//! use dlrm::model_zoo;
+//! use sdm_core::{SdmConfig, SdmSystem};
+//! use workload::{QueryGenerator, WorkloadConfig};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let model = model_zoo::tiny(2, 1, 500);
+//! let mut system = SdmSystem::build(&model, SdmConfig::default(), 7)?;
+//! let mut gen = QueryGenerator::new(
+//!     &model.tables,
+//!     WorkloadConfig { item_batch: model.item_batch, ..WorkloadConfig::default() },
+//!     7,
+//! )?;
+//! let result = system.run_query(&gen.next_query())?;
+//! assert_eq!(result.scores.len(), model.item_batch as usize);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod error;
+mod loader;
+mod manager;
+mod placement;
+mod stats;
+mod system;
+mod update;
+
+pub use config::{AccessGranularity, LoadTransform, SdmConfig};
+pub use error::SdmError;
+pub use loader::{LoadedModel, LoadedTable, ModelLoader};
+pub use manager::SdmMemoryManager;
+pub use placement::{PlacementPlan, PlacementPolicy, TableLocation};
+pub use stats::SdmStats;
+pub use system::{QpsReport, SdmSystem};
+pub use update::{ModelUpdater, UpdateKind, UpdateReport};

@@ -1,0 +1,505 @@
+//! The SDM memory manager: the serving-time read path.
+
+use crate::config::{AccessGranularity, SdmConfig};
+use crate::error::SdmError;
+use crate::loader::LoadedModel;
+use crate::placement::TableLocation;
+use crate::stats::SdmStats;
+use dlrm::{DlrmError, EmbeddingBackend};
+use embedding::{dequantize_row, QuantScheme, TableId};
+use io_engine::{IoEngine, IoRequest};
+use scm_device::{DeviceId, ReadCommand};
+use sdm_cache::{DualRowCache, PooledEmbeddingCache, RowCache, RowKey, WarmupTracker};
+use sdm_metrics::units::Bytes;
+use sdm_metrics::{SimDuration, SimInstant};
+
+/// Per-element cost of dequantise + accumulate during pooling.
+const DEQUANT_POOL_COST_PER_ELEMENT: SimDuration = SimDuration::from_nanos(1);
+/// Per-element cost of pooling already-dequantised (`f32`) rows.
+const POOL_ONLY_COST_PER_ELEMENT: SimDuration = SimDuration::from_nanos(0);
+/// Cost of probing the pooled-embedding cache (hashing the index sequence).
+const POOLED_CACHE_PROBE_COST: SimDuration = SimDuration::from_nanos(400);
+/// Cost of one mapping-tensor lookup in fast memory.
+const MAPPING_LOOKUP_COST: SimDuration = SimDuration::from_nanos(40);
+/// DRAM random access cost for rows of directly-placed tables.
+const FM_ROW_COST: SimDuration = SimDuration::from_nanos(150);
+
+/// The serving-path memory manager.
+///
+/// Implements [`dlrm::EmbeddingBackend`]: the DLRM inference engine asks for
+/// pooled embeddings, and the manager resolves each one through (in order)
+/// the pooled-embedding cache, the fast-memory row cache, and finally
+/// SGL reads from the SCM devices (paper Algorithm 1).
+#[derive(Debug)]
+pub struct SdmMemoryManager {
+    config: SdmConfig,
+    loaded: LoadedModel,
+    engine: IoEngine,
+    row_cache: DualRowCache,
+    pooled_cache: PooledEmbeddingCache,
+    warmup: WarmupTracker,
+    stats: SdmStats,
+    clock: SimInstant,
+}
+
+impl SdmMemoryManager {
+    /// Creates the manager from a loaded model and the IO engine that owns
+    /// the devices holding its SM image.
+    pub fn new(config: SdmConfig, loaded: LoadedModel, engine: IoEngine) -> Self {
+        let mut row_cache = DualRowCache::new(config.cache.clone());
+        for table in loaded.placement.uncached_tables() {
+            row_cache.disable_table(table);
+        }
+        let pooled_cache = PooledEmbeddingCache::new(
+            config.cache.pooled_cache_budget,
+            config.cache.pooled_len_threshold,
+        );
+        SdmMemoryManager {
+            config,
+            loaded,
+            engine,
+            row_cache,
+            pooled_cache,
+            warmup: WarmupTracker::new(2_000, 0.8),
+            stats: SdmStats::new(),
+            clock: SimInstant::EPOCH,
+        }
+    }
+
+    /// The deployment configuration.
+    pub fn config(&self) -> &SdmConfig {
+        &self.config
+    }
+
+    /// The loaded model.
+    pub fn loaded(&self) -> &LoadedModel {
+        &self.loaded
+    }
+
+    /// Mutable access to the loaded model (used by the model updater).
+    pub(crate) fn loaded_mut(&mut self) -> &mut LoadedModel {
+        &mut self.loaded
+    }
+
+    /// The IO engine (for device statistics).
+    pub fn io_engine(&self) -> &IoEngine {
+        &self.engine
+    }
+
+    /// Mutable access to the IO engine (used by the model updater).
+    pub(crate) fn io_engine_mut(&mut self) -> &mut IoEngine {
+        &mut self.engine
+    }
+
+    /// Serving statistics.
+    pub fn stats(&self) -> &SdmStats {
+        &self.stats
+    }
+
+    /// The fast-memory row cache.
+    pub fn row_cache(&self) -> &DualRowCache {
+        &self.row_cache
+    }
+
+    /// The pooled-embedding cache.
+    pub fn pooled_cache(&self) -> &PooledEmbeddingCache {
+        &self.pooled_cache
+    }
+
+    /// Warmup tracker (hit-rate windows since the last cache invalidation).
+    pub fn warmup(&self) -> &WarmupTracker {
+        &self.warmup
+    }
+
+    /// Current position of the manager's virtual clock.
+    pub fn now(&self) -> SimInstant {
+        self.clock
+    }
+
+    /// Fast-memory bytes consumed by the stack: directly placed tables,
+    /// mapping tensors, and the configured cache budgets.
+    pub fn fm_usage(&self) -> Bytes {
+        self.loaded.fm_table_bytes
+            + self.loaded.fm_mapping_bytes
+            + self.config.cache.row_cache_budget
+            + self.config.cache.pooled_cache_budget
+    }
+
+    /// Drops every cached row and pooled vector (what a full model update
+    /// does) and restarts warmup tracking.
+    pub fn invalidate_caches(&mut self) {
+        self.row_cache.clear();
+        self.pooled_cache.clear();
+        self.warmup = WarmupTracker::new(2_000, 0.8);
+    }
+
+    /// Serves a pooled lookup against a table placed directly in fast
+    /// memory.
+    fn fm_pooled_lookup(
+        &mut self,
+        table: TableId,
+        indices: &[u64],
+    ) -> Result<(Vec<f32>, SimDuration), SdmError> {
+        let t = self
+            .loaded
+            .fm_tables
+            .get(&table)
+            .ok_or(embedding::EmbeddingError::UnknownTable { table })?;
+        let desc = t.descriptor().clone();
+        let mut pooled = vec![0.0f32; desc.dim];
+        for &idx in indices {
+            let row = t.row(idx)?;
+            let values = dequantize_row(row, desc.quant, desc.dim)?;
+            for (o, v) in pooled.iter_mut().zip(&values) {
+                *o += *v;
+            }
+        }
+        self.stats.fm_direct_lookups += indices.len() as u64;
+        let latency = FM_ROW_COST * indices.len() as u64
+            + DEQUANT_POOL_COST_PER_ELEMENT * (indices.len() * desc.dim) as u64;
+        self.stats.fm_op_latency.record(latency);
+        Ok((pooled, latency))
+    }
+
+    /// Serves a pooled lookup against an SM-resident table: pooled cache →
+    /// row cache → SGL reads (paper Algorithm 1).
+    fn sm_pooled_lookup(
+        &mut self,
+        table: TableId,
+        indices: &[u64],
+        now: SimInstant,
+    ) -> Result<(Vec<f32>, SimDuration), SdmError> {
+        let (stored_desc, logical_rows, has_mapping) = {
+            let t = self
+                .loaded
+                .tables
+                .get(&table)
+                .ok_or(embedding::EmbeddingError::UnknownTable { table })?;
+            (t.stored.clone(), t.logical.num_rows, t.mapping.is_some())
+        };
+        let mut latency = SimDuration::ZERO;
+
+        // 1. Pooled-embedding cache (Algorithm 1).
+        let pooled_enabled = !self.config.cache.pooled_cache_budget.is_zero();
+        if pooled_enabled && self.pooled_cache.eligible(indices.len()) {
+            latency += POOLED_CACHE_PROBE_COST;
+            if let Some(vector) = self.pooled_cache.lookup(table, indices) {
+                self.stats.pooled_cache_hits += 1;
+                self.stats.sm_op_latency.record(latency);
+                return Ok((vector, latency));
+            }
+        }
+
+        // 2. Resolve each index: mapping tensor, row cache, then SM IO.
+        let mut resident_rows: Vec<(usize, Vec<u8>)> = Vec::new();
+        let mut io_targets: Vec<(usize, u64)> = Vec::new(); // (position, stored row)
+        let mut zero_rows = 0u64;
+        for (pos, &idx) in indices.iter().enumerate() {
+            if idx >= logical_rows {
+                return Err(embedding::EmbeddingError::RowOutOfRange {
+                    row: idx,
+                    rows: logical_rows,
+                }
+                .into());
+            }
+            // Pruned tables translate through the FM mapping tensor.
+            let stored_row = if has_mapping {
+                latency += MAPPING_LOOKUP_COST;
+                let t = self.loaded.tables.get(&table).expect("checked above");
+                match t.mapping.as_ref().expect("has_mapping").map(idx) {
+                    Some(r) => r,
+                    None => {
+                        zero_rows += 1;
+                        continue; // pruned row contributes zeros, no access
+                    }
+                }
+            } else {
+                idx
+            };
+
+            latency += self.row_cache.lookup_cost();
+            let key = RowKey::new(table, stored_row);
+            match self.row_cache.get(&key) {
+                Some(bytes) => {
+                    self.stats.row_cache_hits += 1;
+                    self.warmup.record(true);
+                    resident_rows.push((pos, bytes));
+                }
+                None => {
+                    self.stats.sm_reads += 1;
+                    self.warmup.record(false);
+                    io_targets.push((pos, stored_row));
+                }
+            }
+        }
+        self.stats.pruned_zero_rows += zero_rows;
+
+        // 3. Issue the misses as one batch of SGL (or block) reads.
+        if !io_targets.is_empty() {
+            let placement = self.loaded.layout.placement(table)?;
+            let device = DeviceId(placement.device_index);
+            for (pos, stored_row) in &io_targets {
+                let offset = placement.row_offset(*stored_row)?;
+                let command = match self.config.granularity {
+                    AccessGranularity::Sgl => ReadCommand::sgl(offset, placement.row_bytes),
+                    AccessGranularity::Block => ReadCommand::block(offset, placement.row_bytes),
+                };
+                self.engine.submit(
+                    IoRequest::new(device, command)
+                        .with_table(table)
+                        .with_user_data(*pos as u64),
+                    now,
+                )?;
+            }
+            let (completions, finished_at) = self.engine.drain(now)?;
+            let io_time = finished_at.duration_since(now);
+            self.stats.io_time += io_time;
+            latency += io_time;
+            for completion in completions {
+                self.stats.sm_bytes_read += Bytes(completion.data.len() as u64);
+                self.stats.sm_bus_bytes += completion.bus_bytes;
+                let pos = completion.user_data as usize;
+                let stored_row = io_targets
+                    .iter()
+                    .find(|(p, _)| *p == pos)
+                    .map(|(_, r)| *r)
+                    .expect("completion for unknown position");
+                self.row_cache
+                    .insert(RowKey::new(table, stored_row), completion.data.clone());
+                resident_rows.push((pos, completion.data));
+            }
+        }
+
+        // 4. Dequantise and pool.
+        resident_rows.sort_by_key(|(pos, _)| *pos);
+        let mut pooled = vec![0.0f32; stored_desc.dim];
+        for (_, bytes) in &resident_rows {
+            let values = dequantize_row(bytes, stored_desc.quant, stored_desc.dim)?;
+            for (o, v) in pooled.iter_mut().zip(&values) {
+                *o += *v;
+            }
+        }
+        let per_element = if stored_desc.quant == QuantScheme::Fp32 {
+            POOL_ONLY_COST_PER_ELEMENT
+        } else {
+            DEQUANT_POOL_COST_PER_ELEMENT
+        };
+        let pool_time = per_element * (resident_rows.len() * stored_desc.dim) as u64
+            + SimDuration::from_nanos(100);
+        self.stats.pooling_time += pool_time;
+        latency += pool_time;
+
+        // 5. Feed the pooled-embedding cache.
+        if pooled_enabled {
+            self.pooled_cache.insert(table, indices, pooled.clone());
+        }
+
+        self.stats.sm_op_latency.record(latency);
+        Ok((pooled, latency))
+    }
+
+    /// Serves one pooled embedding operator, advancing the manager's clock.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdmError`] for unknown tables, out-of-range indices or IO
+    /// failures.
+    pub fn pooled_lookup_at(
+        &mut self,
+        table: TableId,
+        indices: &[u64],
+        now: SimInstant,
+    ) -> Result<(Vec<f32>, SimDuration), SdmError> {
+        self.stats.pooled_ops += 1;
+        let location = self.loaded.placement.location(table);
+        let result = match location {
+            TableLocation::FastMemory => self.fm_pooled_lookup(table, indices),
+            TableLocation::SlowMemoryCached | TableLocation::SlowMemoryUncached => {
+                self.sm_pooled_lookup(table, indices, now)
+            }
+        }?;
+        self.clock = self.clock.max(now + result.1);
+        Ok(result)
+    }
+}
+
+impl EmbeddingBackend for SdmMemoryManager {
+    fn pooled_lookup(
+        &mut self,
+        table: TableId,
+        indices: &[u64],
+        now: SimInstant,
+    ) -> Result<(Vec<f32>, SimDuration), DlrmError> {
+        self.pooled_lookup_at(table, indices, now)
+            .map_err(DlrmError::backend)
+    }
+
+    fn backend_name(&self) -> &str {
+        "sdm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loader::ModelLoader;
+    use dlrm::{model_zoo, DramBackend};
+    use io_engine::EngineConfig;
+    use scm_device::DeviceArray;
+
+    fn build(model: &dlrm::ModelConfig, config: SdmConfig) -> SdmMemoryManager {
+        let array = DeviceArray::homogeneous(
+            config.technology.clone(),
+            config.device_capacity,
+            config.device_count,
+        )
+        .unwrap();
+        let mut engine = IoEngine::new(array, EngineConfig::default());
+        let loaded = ModelLoader::load(model, &config, &mut engine).unwrap();
+        SdmMemoryManager::new(config, loaded, engine)
+    }
+
+    #[test]
+    fn sdm_results_match_dram_baseline_bit_for_bit() {
+        let model = model_zoo::tiny(2, 1, 400);
+        let config = SdmConfig::for_tests();
+        let mut sdm = build(&model, config.clone());
+        let mut dram = DramBackend::from_tables(
+            model
+                .tables
+                .iter()
+                .map(|d| embedding::EmbeddingTable::generate(d, config.seed))
+                .collect(),
+        );
+        let indices = vec![3u64, 17, 99, 250, 3];
+        for table in [0u32, 1, 2] {
+            let (a, _) = sdm
+                .pooled_lookup_at(table, &indices, SimInstant::EPOCH)
+                .unwrap();
+            let (b, _) = dram
+                .pooled_lookup(table, &indices, SimInstant::EPOCH)
+                .unwrap();
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert!((x - y).abs() < 1e-4, "table {table}: {x} vs {y}");
+            }
+        }
+        assert_eq!(sdm.backend_name(), "sdm");
+    }
+
+    #[test]
+    fn second_access_hits_the_row_cache_and_is_faster() {
+        let model = model_zoo::tiny(1, 0, 500);
+        let mut sdm = build(&model, SdmConfig::for_tests());
+        let indices = vec![10u64, 20, 30, 40];
+        let (_, cold) = sdm
+            .pooled_lookup_at(0, &indices, SimInstant::EPOCH)
+            .unwrap();
+        let (_, warm) = sdm
+            .pooled_lookup_at(0, &indices, SimInstant::EPOCH)
+            .unwrap();
+        assert!(warm < cold / 2, "warm {warm} vs cold {cold}");
+        assert!(sdm.stats().row_cache_hits >= 4 || sdm.stats().pooled_cache_hits >= 1);
+        assert!(sdm.stats().sm_reads >= 4);
+    }
+
+    #[test]
+    fn pooled_cache_short_circuits_repeat_sequences() {
+        let model = model_zoo::tiny(1, 0, 500);
+        let mut config = SdmConfig::for_tests();
+        config.cache.pooled_len_threshold = 2;
+        let mut sdm = build(&model, config);
+        let indices = vec![5u64, 6, 7, 8, 9];
+        sdm.pooled_lookup_at(0, &indices, SimInstant::EPOCH).unwrap();
+        let before = sdm.stats().pooled_cache_hits;
+        // Same multiset in a different order still hits.
+        let shuffled = vec![9u64, 8, 7, 6, 5];
+        let (_, latency) = sdm
+            .pooled_lookup_at(0, &shuffled, SimInstant::EPOCH)
+            .unwrap();
+        assert_eq!(sdm.stats().pooled_cache_hits, before + 1);
+        assert!(latency <= SimDuration::from_micros(1));
+        assert!(sdm.stats().pooled_cache_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn fm_placed_item_tables_never_touch_sm() {
+        let model = model_zoo::tiny(1, 1, 300);
+        let mut sdm = build(&model, SdmConfig::for_tests());
+        let item_table = model.item_tables()[0].id;
+        sdm.pooled_lookup_at(item_table, &[1, 2, 3], SimInstant::EPOCH)
+            .unwrap();
+        assert_eq!(sdm.stats().sm_reads, 0);
+        assert_eq!(sdm.stats().fm_direct_lookups, 3);
+        assert_eq!(sdm.io_engine().stats().submitted, 0);
+    }
+
+    #[test]
+    fn out_of_range_index_is_an_error() {
+        let model = model_zoo::tiny(1, 0, 100);
+        let mut sdm = build(&model, SdmConfig::for_tests());
+        assert!(sdm
+            .pooled_lookup_at(0, &[1_000_000], SimInstant::EPOCH)
+            .is_err());
+        assert!(sdm
+            .pooled_lookup_at(77, &[0], SimInstant::EPOCH)
+            .is_err());
+    }
+
+    #[test]
+    fn pruned_rows_pool_to_partial_sums_without_io() {
+        let mut model = model_zoo::tiny(1, 0, 200);
+        model.tables[0].pruned_fraction = 0.5;
+        let mut sdm = build(&model, SdmConfig::for_tests());
+        let indices: Vec<u64> = (0..50).collect();
+        let (pooled, _) = sdm
+            .pooled_lookup_at(0, &indices, SimInstant::EPOCH)
+            .unwrap();
+        assert_eq!(pooled.len(), 32);
+        assert!(sdm.stats().pruned_zero_rows > 0);
+        // Rows actually read is total minus the pruned ones.
+        assert_eq!(
+            sdm.stats().sm_reads + sdm.stats().pruned_zero_rows,
+            50
+        );
+    }
+
+    #[test]
+    fn invalidate_caches_forces_cold_reads_again() {
+        let model = model_zoo::tiny(1, 0, 300);
+        let mut sdm = build(&model, SdmConfig::for_tests());
+        let indices = vec![1u64, 2, 3];
+        sdm.pooled_lookup_at(0, &indices, SimInstant::EPOCH).unwrap();
+        let reads_before = sdm.stats().sm_reads;
+        sdm.invalidate_caches();
+        sdm.pooled_lookup_at(0, &indices, SimInstant::EPOCH).unwrap();
+        assert_eq!(sdm.stats().sm_reads, reads_before + 3);
+    }
+
+    #[test]
+    fn block_granularity_amplifies_bus_traffic() {
+        let model = model_zoo::tiny(1, 0, 400);
+        let mut sgl = build(&model, SdmConfig::for_tests());
+        let mut block = build(
+            &model,
+            SdmConfig::for_tests()
+                .with_nand_flash()
+                .with_granularity(AccessGranularity::Block),
+        );
+        let indices: Vec<u64> = (0..20).collect();
+        sgl.pooled_lookup_at(0, &indices, SimInstant::EPOCH).unwrap();
+        block
+            .pooled_lookup_at(0, &indices, SimInstant::EPOCH)
+            .unwrap();
+        assert!(block.stats().read_amplification() > 5.0 * sgl.stats().read_amplification());
+    }
+
+    #[test]
+    fn fm_usage_accounts_for_tables_mappings_and_caches() {
+        let model = model_zoo::tiny(1, 1, 200);
+        let sdm = build(&model, SdmConfig::for_tests());
+        let usage = sdm.fm_usage();
+        assert!(usage >= sdm.config().cache.row_cache_budget);
+        assert!(usage >= sdm.loaded().fm_table_bytes);
+    }
+}

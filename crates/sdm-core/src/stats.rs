@@ -1,0 +1,91 @@
+//! Serving-path statistics for the SDM memory manager.
+
+use sdm_metrics::units::Bytes;
+use sdm_metrics::{LatencyHistogram, SimDuration};
+
+/// Cumulative statistics of the SDM serving path.
+#[derive(Debug, Clone, Default)]
+pub struct SdmStats {
+    /// Pooled embedding operators served.
+    pub pooled_ops: u64,
+    /// Pooled operators answered entirely from the pooled-embedding cache.
+    pub pooled_cache_hits: u64,
+    /// Row lookups served from fast memory directly (FM-placed tables).
+    pub fm_direct_lookups: u64,
+    /// Row lookups that hit the FM row cache.
+    pub row_cache_hits: u64,
+    /// Row lookups that missed the cache and went to SM.
+    pub sm_reads: u64,
+    /// Row lookups resolved to pruned (zero) rows without any access.
+    pub pruned_zero_rows: u64,
+    /// Payload bytes read from SM.
+    pub sm_bytes_read: Bytes,
+    /// Bytes that crossed the device links (includes read amplification).
+    pub sm_bus_bytes: Bytes,
+    /// Latency distribution of pooled operators on SM-resident tables.
+    pub sm_op_latency: LatencyHistogram,
+    /// Latency distribution of pooled operators on FM-resident tables.
+    pub fm_op_latency: LatencyHistogram,
+    /// Total simulated time spent in dequantisation + pooling.
+    pub pooling_time: SimDuration,
+    /// Total simulated time spent waiting on SM IO.
+    pub io_time: SimDuration,
+}
+
+impl SdmStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        SdmStats::default()
+    }
+
+    /// Row-cache hit rate over SM-resident lookups.
+    pub fn row_cache_hit_rate(&self) -> f64 {
+        let lookups = self.row_cache_hits + self.sm_reads;
+        if lookups == 0 {
+            0.0
+        } else {
+            self.row_cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Pooled-embedding-cache hit rate over pooled operators.
+    pub fn pooled_cache_hit_rate(&self) -> f64 {
+        if self.pooled_ops == 0 {
+            0.0
+        } else {
+            self.pooled_cache_hits as f64 / self.pooled_ops as f64
+        }
+    }
+
+    /// Read amplification observed on the SM path.
+    pub fn read_amplification(&self) -> f64 {
+        if self.sm_bytes_read.is_zero() {
+            1.0
+        } else {
+            self.sm_bus_bytes.as_u64() as f64 / self.sm_bytes_read.as_u64() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_empty_and_populated() {
+        let mut s = SdmStats::new();
+        assert_eq!(s.row_cache_hit_rate(), 0.0);
+        assert_eq!(s.pooled_cache_hit_rate(), 0.0);
+        assert_eq!(s.read_amplification(), 1.0);
+
+        s.row_cache_hits = 90;
+        s.sm_reads = 10;
+        s.pooled_ops = 20;
+        s.pooled_cache_hits = 1;
+        s.sm_bytes_read = Bytes(100);
+        s.sm_bus_bytes = Bytes(400);
+        assert!((s.row_cache_hit_rate() - 0.9).abs() < 1e-12);
+        assert!((s.pooled_cache_hit_rate() - 0.05).abs() < 1e-12);
+        assert!((s.read_amplification() - 4.0).abs() < 1e-12);
+    }
+}

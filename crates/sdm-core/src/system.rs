@@ -1,0 +1,223 @@
+//! Convenience wrapper tying the DLRM engine to the SDM memory manager.
+
+use crate::config::SdmConfig;
+use crate::error::SdmError;
+use crate::loader::ModelLoader;
+use crate::manager::SdmMemoryManager;
+use dlrm::{ComputeModel, InferenceEngine, ModelConfig, QueryResult};
+use io_engine::IoEngine;
+use scm_device::DeviceArray;
+use sdm_metrics::{LatencyHistogram, SimDuration, SimInstant};
+use workload::Query;
+
+/// Throughput/latency summary of a batch of queries executed on one host.
+#[derive(Debug, Clone)]
+pub struct QpsReport {
+    /// Queries executed.
+    pub queries: u64,
+    /// Mean end-to-end latency.
+    pub mean_latency: SimDuration,
+    /// 95th percentile latency.
+    pub p95_latency: SimDuration,
+    /// 99th percentile latency.
+    pub p99_latency: SimDuration,
+    /// Queries per second a single serving stream achieves
+    /// (`1 / mean latency`).
+    pub qps_single_stream: f64,
+}
+
+impl QpsReport {
+    /// QPS achievable with `streams` concurrent serving streams, assuming
+    /// the streams are limited by the measured per-query latency (the way
+    /// the paper extrapolates host-level QPS from per-query latency).
+    pub fn qps_with_streams(&self, streams: usize) -> f64 {
+        self.qps_single_stream * streams.max(1) as f64
+    }
+}
+
+/// A complete single-host serving system: devices, IO engine, SDM manager
+/// and the DLRM inference engine.
+#[derive(Debug)]
+pub struct SdmSystem {
+    engine: InferenceEngine,
+    manager: SdmMemoryManager,
+    clock: SimInstant,
+}
+
+impl SdmSystem {
+    /// Builds the full stack for a (scaled) model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, layout and device errors.
+    pub fn build(model: &ModelConfig, config: SdmConfig, seed: u64) -> Result<Self, SdmError> {
+        config.validate()?;
+        let array = DeviceArray::homogeneous(
+            config.technology.clone(),
+            config.device_capacity,
+            config.device_count,
+        )?;
+        let mut io = IoEngine::new(array, config.io.clone());
+        let loaded = ModelLoader::load(model, &config, &mut io)?;
+        let manager = SdmMemoryManager::new(config, loaded, io);
+        let engine = InferenceEngine::new(model.clone(), ComputeModel::default(), seed)?;
+        Ok(SdmSystem {
+            engine,
+            manager,
+            clock: SimInstant::EPOCH,
+        })
+    }
+
+    /// Builds the stack with an explicit compute model (e.g. accelerator
+    /// hosts).
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, layout and device errors.
+    pub fn build_with_compute(
+        model: &ModelConfig,
+        config: SdmConfig,
+        compute: ComputeModel,
+        seed: u64,
+    ) -> Result<Self, SdmError> {
+        let mut system = Self::build(model, config, seed)?;
+        system.engine = InferenceEngine::new(model.clone(), compute, seed)?;
+        Ok(system)
+    }
+
+    /// The DLRM inference engine.
+    pub fn engine(&self) -> &InferenceEngine {
+        &self.engine
+    }
+
+    /// Mutable access to the inference engine (to switch execution mode).
+    pub fn engine_mut(&mut self) -> &mut InferenceEngine {
+        &mut self.engine
+    }
+
+    /// The SDM memory manager.
+    pub fn manager(&self) -> &SdmMemoryManager {
+        &self.manager
+    }
+
+    /// Mutable access to the memory manager (cache invalidation, updates).
+    pub fn manager_mut(&mut self) -> &mut SdmMemoryManager {
+        &mut self.manager
+    }
+
+    /// Current virtual time of the serving loop.
+    pub fn now(&self) -> SimInstant {
+        self.clock
+    }
+
+    /// Executes one query, advancing the virtual clock by its latency.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and memory errors.
+    pub fn run_query(&mut self, query: &Query) -> Result<QueryResult, SdmError> {
+        let result = self.engine.execute(query, &mut self.manager, self.clock)?;
+        self.clock = self.clock + result.latency.total;
+        Ok(result)
+    }
+
+    /// Executes a batch of queries back to back and summarises latency and
+    /// throughput.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and memory errors.
+    pub fn run_queries(&mut self, queries: &[Query]) -> Result<QpsReport, SdmError> {
+        let mut hist = LatencyHistogram::new();
+        for q in queries {
+            let result = self.run_query(q)?;
+            hist.record(result.latency.total);
+        }
+        let mean = hist.mean();
+        Ok(QpsReport {
+            queries: hist.count(),
+            mean_latency: mean,
+            p95_latency: hist.p95(),
+            p99_latency: hist.p99(),
+            qps_single_stream: if mean.is_zero() {
+                0.0
+            } else {
+                1.0 / mean.as_secs_f64()
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm::model_zoo;
+    use workload::{QueryGenerator, WorkloadConfig};
+
+    fn workload(model: &ModelConfig, count: usize, seed: u64) -> Vec<Query> {
+        let cfg = WorkloadConfig {
+            item_batch: model.item_batch,
+            user_population: 200,
+            ..WorkloadConfig::default()
+        };
+        let mut gen = QueryGenerator::new(&model.tables, cfg, seed).unwrap();
+        gen.generate(count)
+    }
+
+    #[test]
+    fn system_executes_queries_end_to_end() {
+        let model = model_zoo::tiny(2, 1, 400);
+        let mut system = SdmSystem::build(&model, SdmConfig::for_tests(), 3).unwrap();
+        let queries = workload(&model, 20, 3);
+        let report = system.run_queries(&queries).unwrap();
+        assert_eq!(report.queries, 20);
+        assert!(report.mean_latency > SimDuration::ZERO);
+        assert!(report.p99_latency >= report.p95_latency);
+        assert!(report.qps_single_stream > 0.0);
+        assert!(report.qps_with_streams(4) > report.qps_single_stream * 3.9);
+        assert!(system.now() > SimInstant::EPOCH);
+        // The SM path was actually exercised.
+        assert!(system.manager().stats().sm_reads > 0);
+    }
+
+    #[test]
+    fn warm_cache_raises_throughput() {
+        let model = model_zoo::tiny(2, 1, 300);
+        let mut system = SdmSystem::build(&model, SdmConfig::for_tests(), 4).unwrap();
+        let queries = workload(&model, 60, 4);
+        let cold = system.run_queries(&queries[..30]).unwrap();
+        let warm = system.run_queries(&queries[30..]).unwrap();
+        assert!(
+            warm.mean_latency <= cold.mean_latency,
+            "warm {} > cold {}",
+            warm.mean_latency,
+            cold.mean_latency
+        );
+        assert!(system.manager().stats().row_cache_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_build() {
+        let model = model_zoo::tiny(1, 1, 100);
+        let mut config = SdmConfig::for_tests();
+        config.device_count = 0;
+        assert!(SdmSystem::build(&model, config, 0).is_err());
+    }
+
+    #[test]
+    fn accelerator_compute_reduces_mlp_time() {
+        let model = model_zoo::tiny(2, 1, 200);
+        let queries = workload(&model, 5, 6);
+        let mut cpu = SdmSystem::build(&model, SdmConfig::for_tests(), 6).unwrap();
+        let mut accel = SdmSystem::build_with_compute(
+            &model,
+            SdmConfig::for_tests(),
+            ComputeModel::accelerator(),
+            6,
+        )
+        .unwrap();
+        let cpu_result = cpu.run_query(&queries[0]).unwrap();
+        let accel_result = accel.run_query(&queries[0]).unwrap();
+        assert!(accel_result.latency.top_mlp < cpu_result.latency.top_mlp);
+    }
+}

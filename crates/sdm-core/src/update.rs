@@ -1,0 +1,201 @@
+//! Model updates: full and incremental refresh of the SM image (paper §A.3)
+//! and their endurance / warmup consequences.
+
+use crate::error::SdmError;
+use crate::manager::SdmMemoryManager;
+use embedding::EmbeddingTable;
+use scm_device::DeviceId;
+use sdm_metrics::units::Bytes;
+use sdm_metrics::SimDuration;
+
+/// What kind of refresh to perform.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UpdateKind {
+    /// Rewrite every SM-resident table (new snapshot of all embeddings).
+    Full,
+    /// Rewrite only a fraction of each table's rows (incremental update).
+    Incremental {
+        /// Fraction of rows refreshed, in `(0, 1]`.
+        fraction: f64,
+    },
+}
+
+/// Outcome of a model update.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateReport {
+    /// Bytes written to the SM devices.
+    pub bytes_written: Bytes,
+    /// Simulated device time spent writing.
+    pub write_time: SimDuration,
+    /// Whether the fast-memory caches were invalidated (full updates only).
+    pub caches_invalidated: bool,
+    /// Minimum days between updates of this size that the devices' rated
+    /// endurance allows (the tightest device across the array).
+    pub min_update_interval_days: f64,
+}
+
+/// Applies model updates to a running [`SdmMemoryManager`].
+#[derive(Debug, Default)]
+pub struct ModelUpdater;
+
+impl ModelUpdater {
+    /// Performs an update with fresh table contents derived from
+    /// `new_version` (a seed for the regenerated weights).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdmError`] for invalid fractions or device write failures.
+    pub fn apply(
+        manager: &mut SdmMemoryManager,
+        kind: UpdateKind,
+        new_version: u64,
+    ) -> Result<UpdateReport, SdmError> {
+        let fraction = match kind {
+            UpdateKind::Full => 1.0,
+            UpdateKind::Incremental { fraction } => {
+                if !(fraction > 0.0 && fraction <= 1.0) {
+                    return Err(SdmError::InvalidConfig {
+                        reason: format!("incremental update fraction {fraction} outside (0, 1]"),
+                    });
+                }
+                fraction
+            }
+        };
+
+        // Collect the SM-resident tables and their placements first so we do
+        // not hold borrows across the device writes.
+        let sm_tables: Vec<(u32, embedding::TableDescriptor)> = manager
+            .loaded()
+            .tables
+            .iter()
+            .filter(|(id, _)| manager.loaded().on_sm(**id))
+            .map(|(id, t)| (*id, t.stored.clone()))
+            .collect();
+
+        let mut bytes_written = Bytes::ZERO;
+        let mut write_time = SimDuration::ZERO;
+        for (table_id, stored) in &sm_tables {
+            let placement = *manager.loaded().layout.placement(*table_id)?;
+            let new_table = EmbeddingTable::generate(stored, new_version ^ *table_id as u64);
+            let rows_to_write = ((stored.num_rows as f64 * fraction).ceil() as u64)
+                .clamp(1, stored.num_rows);
+            let stride = placement.row_stride as usize;
+            let mut image = vec![0u8; rows_to_write as usize * stride];
+            for row in 0..rows_to_write {
+                let bytes = new_table.row(row)?;
+                let at = row as usize * stride;
+                image[at..at + bytes.len()].copy_from_slice(bytes);
+            }
+            let outcome = manager.io_engine_mut().array_mut().write(
+                DeviceId(placement.device_index),
+                placement.base_offset,
+                &image,
+            )?;
+            bytes_written += outcome.written;
+            write_time += outcome.device_latency;
+        }
+
+        // Full updates replace every row, so the cached copies are stale and
+        // must be dropped; incremental updates leave most rows valid and in
+        // practice are applied through the cache (dirty write-back), so the
+        // caches are kept.
+        let caches_invalidated = matches!(kind, UpdateKind::Full);
+        if caches_invalidated {
+            manager.invalidate_caches();
+            // Mark the new version visible to the serving path.
+            let _ = manager.loaded_mut();
+        }
+
+        let min_update_interval_days = manager
+            .io_engine()
+            .array()
+            .iter()
+            .map(|(_, d)| {
+                d.profile()
+                    .min_update_interval_days(bytes_written, d.capacity())
+            })
+            .fold(0.0f64, f64::max);
+
+        Ok(UpdateReport {
+            bytes_written,
+            write_time,
+            caches_invalidated,
+            min_update_interval_days,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SdmConfig;
+    use crate::loader::ModelLoader;
+    use crate::manager::SdmMemoryManager;
+    use dlrm::model_zoo;
+    use io_engine::{EngineConfig, IoEngine};
+    use scm_device::DeviceArray;
+    use sdm_cache::RowCache;
+    use sdm_metrics::SimInstant;
+
+    fn manager() -> SdmMemoryManager {
+        let model = model_zoo::tiny(2, 1, 300);
+        let config = SdmConfig::for_tests();
+        let array = DeviceArray::homogeneous(
+            config.technology.clone(),
+            config.device_capacity,
+            config.device_count,
+        )
+        .unwrap();
+        let mut engine = IoEngine::new(array, EngineConfig::default());
+        let loaded = ModelLoader::load(&model, &config, &mut engine).unwrap();
+        SdmMemoryManager::new(config, loaded, engine)
+    }
+
+    #[test]
+    fn full_update_rewrites_everything_and_invalidates_caches() {
+        let mut m = manager();
+        // Warm the cache first.
+        m.pooled_lookup_at(0, &[1, 2, 3], SimInstant::EPOCH).unwrap();
+        let warm_entries = m.row_cache().len();
+        assert!(warm_entries > 0);
+
+        let report = ModelUpdater::apply(&mut m, UpdateKind::Full, 99).unwrap();
+        assert!(report.caches_invalidated);
+        assert!(report.bytes_written > Bytes::ZERO);
+        assert!(report.write_time > SimDuration::ZERO);
+        assert!(report.min_update_interval_days >= 0.0);
+        assert_eq!(m.row_cache().len(), 0);
+
+        // Rows served after the update come from the new version.
+        let (after, _) = m.pooled_lookup_at(0, &[1, 2, 3], SimInstant::EPOCH).unwrap();
+        assert_eq!(after.len(), 32);
+    }
+
+    #[test]
+    fn incremental_update_writes_less_and_keeps_caches() {
+        let mut full_m = manager();
+        let full = ModelUpdater::apply(&mut full_m, UpdateKind::Full, 7).unwrap();
+
+        let mut inc_m = manager();
+        inc_m
+            .pooled_lookup_at(0, &[1, 2, 3], SimInstant::EPOCH)
+            .unwrap();
+        let cached = inc_m.row_cache().len();
+        let inc = ModelUpdater::apply(
+            &mut inc_m,
+            UpdateKind::Incremental { fraction: 0.1 },
+            7,
+        )
+        .unwrap();
+        assert!(inc.bytes_written < full.bytes_written / 5);
+        assert!(!inc.caches_invalidated);
+        assert_eq!(inc_m.row_cache().len(), cached);
+    }
+
+    #[test]
+    fn invalid_fraction_is_rejected() {
+        let mut m = manager();
+        assert!(ModelUpdater::apply(&mut m, UpdateKind::Incremental { fraction: 0.0 }, 1).is_err());
+        assert!(ModelUpdater::apply(&mut m, UpdateKind::Incremental { fraction: 1.5 }, 1).is_err());
+    }
+}

@@ -1,0 +1,43 @@
+//! Measurement and simulation-time primitives shared by the SDM stack.
+//!
+//! The reproduction runs on a *virtual clock* ([`SimClock`]) so device
+//! latencies, queueing delays and warmup behaviour are deterministic and do
+//! not depend on the wall-clock speed of the host running the experiments.
+//!
+//! The crate provides:
+//!
+//! * [`SimClock`], [`SimInstant`] and [`SimDuration`] — nanosecond-resolution
+//!   virtual time.
+//! * [`LatencyHistogram`] — log-bucketed latency histograms with percentile
+//!   queries (p50/p95/p99 as used throughout the paper).
+//! * [`Counter`] and [`CounterSet`] — named monotonic counters.
+//! * [`RateEstimator`] — windowed rate estimation (QPS, IOPS).
+//! * [`units`] — byte, power and cost units used by the datacenter-level
+//!   modelling.
+//!
+//! # Example
+//!
+//! ```
+//! use sdm_metrics::{LatencyHistogram, SimDuration};
+//!
+//! let mut hist = LatencyHistogram::new();
+//! for us in [10u64, 12, 15, 100, 400] {
+//!     hist.record(SimDuration::from_micros(us));
+//! }
+//! assert!(hist.percentile(0.5) >= SimDuration::from_micros(10));
+//! assert_eq!(hist.count(), 5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod clock;
+mod counters;
+mod histogram;
+mod rate;
+pub mod units;
+
+pub use clock::{LocalCursor, SimClock, SimDuration, SimInstant};
+pub use counters::{Counter, CounterSet};
+pub use histogram::LatencyHistogram;
+pub use rate::RateEstimator;

@@ -1,0 +1,51 @@
+//! Error type for workload generation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by workload generation and analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum WorkloadError {
+    /// The workload was configured without any tables.
+    NoTables,
+    /// A configuration value was out of range.
+    InvalidConfig {
+        /// Explanation of the problem.
+        reason: String,
+    },
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::NoTables => write!(f, "workload requires at least one table"),
+            WorkloadError::InvalidConfig { reason } => {
+                write!(f, "invalid workload config: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for WorkloadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(WorkloadError::NoTables.to_string().contains("table"));
+        assert!(WorkloadError::InvalidConfig {
+            reason: "zipf".into()
+        }
+        .to_string()
+        .contains("zipf"));
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn check<E: Error + Send + Sync + 'static>() {}
+        check::<WorkloadError>();
+    }
+}

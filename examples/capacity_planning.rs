@@ -1,0 +1,66 @@
+//! Datacenter capacity planning for the paper's three models: memory and
+//! IOPS demand, host sizing and fleet power with and without SDM.
+//!
+//! Run with: `cargo run --example capacity_planning`
+
+use cluster::sizing::{size_ssds, SizingInputs};
+use cluster::{HostConfig, PowerModel, ScenarioComparison, ServingScenario};
+use dlrm::{analysis, model_zoo};
+use sdm_metrics::units::Watts;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let power = PowerModel::default();
+    println!("host platforms (Table 7):");
+    for host in HostConfig::table7() {
+        println!(
+            "  {:<7} sockets={} dram={:>10} ssd={:>10} est. power={}",
+            host.name,
+            host.cpu_sockets,
+            host.dram,
+            host.ssd_capacity(),
+            power.host_power(&host)
+        );
+    }
+
+    for (model, qps_per_host) in [(model_zoo::m1(), 120.0), (model_zoo::m2(), 450.0), (model_zoo::m3(), 3150.0)] {
+        let summary = analysis::capacity_summary(&model.tables);
+        let user_tables = model.user_tables();
+        let avg_pf = user_tables.iter().map(|t| t.pooling_factor as f64).sum::<f64>()
+            / user_tables.len() as f64;
+        let raw_iops = analysis::iops_requirement(user_tables.iter().copied(), qps_per_host, model.item_batch);
+        println!("\n{}: {} embeddings ({:.0}% user side)", model.name, model.embedding_capacity(), summary.user_fraction() * 100.0);
+        println!("  user-embedding IOPS at {qps_per_host} QPS/host: {:.2} M raw", raw_iops / 1e6);
+        for hit in [0.8f64, 0.9, 0.96] {
+            let sizing = size_ssds(SizingInputs {
+                qps: qps_per_host,
+                user_tables: user_tables.len() as u64,
+                avg_pooling_factor: avg_pf,
+                cache_hit_rate: hit,
+                iops_per_ssd: 4_000_000.0,
+            })?;
+            println!(
+                "    at {:>2.0}% cache hit rate: {:>6.2} MIOPS to SM -> {} Optane SSD(s)",
+                hit * 100.0,
+                sizing.sm_iops / 1e6,
+                sizing.ssds_needed
+            );
+        }
+    }
+
+    println!("\nfleet power for M1 (Table 8 arithmetic):");
+    let comparison = ScenarioComparison {
+        total_qps: 240.0 * 1200.0,
+        scenarios: vec![
+            ServingScenario::new("HW-L (DRAM only)", 240.0, Watts(1.0)),
+            ServingScenario::new("HW-SS + SDM", 120.0, Watts(0.4)),
+        ],
+    };
+    for row in comparison.evaluate()? {
+        println!(
+            "  {:<18} hosts={:>5} normalized power={:.2}",
+            row.name, row.total_hosts, row.normalized_total_power
+        );
+    }
+    println!("  SDM saving: {:.0}%", comparison.power_saving(1)? * 100.0);
+    Ok(())
+}

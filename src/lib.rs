@@ -1,0 +1,14 @@
+//! Umbrella crate for the SDM DLRM reproduction suite.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! a single dependency. See the individual crates for the actual APIs.
+
+pub use cluster;
+pub use dlrm;
+pub use embedding;
+pub use io_engine;
+pub use scm_device;
+pub use sdm_cache;
+pub use sdm_core;
+pub use sdm_metrics;
+pub use workload;

@@ -1,0 +1,150 @@
+//! Property-based tests over the core data structures and invariants.
+
+use embedding::{dequantize_row, quantize_row, QuantScheme, SmLayout, TableDescriptor, TableKind};
+use proptest::prelude::*;
+use sdm_cache::{CpuOptimizedCache, MemoryOptimizedCache, PooledEmbeddingCache, RowCache, RowKey};
+use sdm_metrics::units::Bytes;
+use sdm_metrics::{LatencyHistogram, SimDuration};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Quantise → dequantise reconstructs every element within the scheme's
+    /// quantisation step.
+    #[test]
+    fn quantization_roundtrip_error_is_bounded(
+        values in prop::collection::vec(-10.0f32..10.0, 1..200),
+        scheme_pick in 0u8..3,
+    ) {
+        let scheme = match scheme_pick {
+            0 => QuantScheme::Int8,
+            1 => QuantScheme::Int4,
+            _ => QuantScheme::Fp32,
+        };
+        let encoded = quantize_row(&values, scheme);
+        prop_assert_eq!(encoded.len(), scheme.row_bytes(values.len()));
+        let decoded = dequantize_row(&encoded, scheme, values.len()).unwrap();
+        prop_assert_eq!(decoded.len(), values.len());
+        let min = values.iter().cloned().fold(f32::INFINITY, f32::min);
+        let max = values.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let step = match scheme {
+            QuantScheme::Int8 => (max - min).max(f32::EPSILON) / 255.0,
+            QuantScheme::Int4 => (max - min).max(f32::EPSILON) / 15.0,
+            QuantScheme::Fp32 => 0.0,
+        };
+        for (a, b) in values.iter().zip(&decoded) {
+            prop_assert!((a - b).abs() <= step * 1.01 + 1e-6, "{} vs {} (step {})", a, b, step);
+        }
+    }
+
+    /// Row caches never exceed their byte budget and never lose the most
+    /// recently inserted entry (as long as it fits on its own).
+    #[test]
+    fn caches_respect_their_budget(
+        ops in prop::collection::vec((0u32..4, 0u64..500, 1usize..300), 1..300),
+        budget_kib in 1u64..64,
+    ) {
+        let budget = Bytes::from_kib(budget_kib);
+        let mut memory = MemoryOptimizedCache::new(budget, 16);
+        let mut cpu = CpuOptimizedCache::new(budget);
+        for (table, row, len) in ops {
+            let key = RowKey::new(table, row);
+            let value = vec![0xABu8; len];
+            memory.insert(key, value.clone());
+            cpu.insert(key, value);
+            prop_assert!(memory.memory_used() <= memory.budget());
+            prop_assert!(cpu.memory_used() <= cpu.budget());
+        }
+    }
+
+    /// The SM layout never overlaps two tables on the same device and always
+    /// honours the alignment.
+    #[test]
+    fn layout_never_overlaps_tables(
+        rows in prop::collection::vec(1u64..2_000, 1..12),
+        dims in prop::collection::vec(4usize..128, 1..12),
+        devices in 1usize..4,
+    ) {
+        let n = rows.len().min(dims.len());
+        let tables: Vec<TableDescriptor> = (0..n)
+            .map(|i| TableDescriptor::new(i as u32, format!("t{i}"), TableKind::User, rows[i], dims[i]))
+            .collect();
+        let layout = match SmLayout::plan(&tables, devices, Bytes::from_mib(16), Bytes(512)) {
+            Ok(l) => l,
+            Err(_) => return Ok(()), // doesn't fit: rejection is the correct behaviour
+        };
+        let mut spans: Vec<(usize, u64, u64)> = layout
+            .iter()
+            .map(|(_, p)| (p.device_index, p.base_offset, p.base_offset + p.footprint().as_u64()))
+            .collect();
+        spans.sort_unstable();
+        for w in spans.windows(2) {
+            if w[0].0 == w[1].0 {
+                prop_assert!(w[0].2 <= w[1].1, "tables overlap: {:?}", w);
+            }
+        }
+        for (_, p) in layout.iter() {
+            prop_assert_eq!(p.base_offset % 512, 0);
+            prop_assert!(p.device_index < devices);
+        }
+    }
+
+    /// The pooled-embedding cache key is order invariant and
+    /// multiset-sensitive.
+    #[test]
+    fn pooled_cache_key_is_order_invariant(
+        mut indices in prop::collection::vec(0u64..1_000_000, 2..64),
+    ) {
+        let mut cache = PooledEmbeddingCache::new(Bytes::from_kib(256), 1);
+        cache.insert(7, &indices, vec![1.0, 2.0, 3.0]);
+        let mut reversed = indices.clone();
+        reversed.reverse();
+        prop_assert!(cache.lookup(7, &reversed).is_some());
+        // Dropping one element must miss (different multiset).
+        let last = indices.pop();
+        prop_assert!(last.is_some());
+        if !indices.is_empty() {
+            prop_assert!(cache.lookup(7, &indices).is_none());
+        }
+    }
+
+    /// Histogram percentiles are monotone in the quantile and bounded by the
+    /// recorded extremes.
+    #[test]
+    fn histogram_percentiles_are_monotone_and_bounded(
+        samples in prop::collection::vec(1u64..10_000_000, 1..500),
+    ) {
+        let mut hist = LatencyHistogram::new();
+        for &s in &samples {
+            hist.record(SimDuration::from_nanos(s));
+        }
+        let quantiles = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let mut last = SimDuration::ZERO;
+        for &q in &quantiles {
+            let p = hist.percentile(q);
+            prop_assert!(p >= last);
+            prop_assert!(p <= hist.max());
+            last = p;
+        }
+        prop_assert!(hist.min() <= hist.mean());
+        prop_assert!(hist.mean() <= hist.max());
+        prop_assert_eq!(hist.count(), samples.len() as u64);
+    }
+
+    /// Pooling is order independent: summing rows in any order produces the
+    /// same pooled vector.
+    #[test]
+    fn pooling_is_order_independent(
+        rows in prop::collection::vec(prop::collection::vec(-4.0f32..4.0, 16), 1..20),
+    ) {
+        let quantised: Vec<Vec<u8>> = rows.iter().map(|r| quantize_row(r, QuantScheme::Int8)).collect();
+        let forward: Vec<&[u8]> = quantised.iter().map(|r| r.as_slice()).collect();
+        let mut backward = forward.clone();
+        backward.reverse();
+        let a = embedding::pooling::pool_quantized(&forward, QuantScheme::Int8, 16).unwrap();
+        let b = embedding::pooling::pool_quantized(&backward, QuantScheme::Int8, 16).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+}
