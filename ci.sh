@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Tier-1 verification for the SDM workspace. Run from anywhere; everything
+# is relative to the repository root.
+#
+#   ./ci.sh        # full gate: fmt, clippy, build, test, bench compile
+#   ./ci.sh quick  # skip fmt/clippy (what the paper-repro driver runs)
+
+set -euo pipefail
+cd "$(dirname "${BASH_SOURCE[0]}")"
+
+mode="${1:-full}"
+
+if [[ "$mode" == "full" ]]; then
+    echo "==> cargo fmt --all --check"
+    cargo fmt --all --check
+
+    echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+    cargo clippy --workspace --all-targets -- -D warnings
+fi
+
+echo "==> cargo build --release --workspace (lib, bins, examples)"
+cargo build --release --workspace --lib --bins --examples
+
+echo "==> cargo test --workspace"
+cargo test -q --workspace
+
+echo "==> cargo bench --no-run --workspace"
+cargo bench --no-run --workspace
+
+echo "CI gate passed."

@@ -2,7 +2,9 @@
 //! cache engines.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sdm_cache::{CacheConfig, CpuOptimizedCache, DualRowCache, MemoryOptimizedCache, RowCache, RowKey};
+use sdm_cache::{
+    CacheConfig, CpuOptimizedCache, DualRowCache, MemoryOptimizedCache, RowCache, RowKey,
+};
 use sdm_metrics::units::Bytes;
 
 fn warm_cache<C: RowCache>(cache: &mut C, rows: u64, row_bytes: usize) {

@@ -38,12 +38,9 @@ fn granularity(c: &mut Criterion) {
         ("sgl_128B", ReadCommand::sgl(8192, 128)),
         ("block_4KiB", ReadCommand::block(8192, 128)),
     ] {
-        let mut device = ScmDevice::new(
-            "nand",
-            TechnologyProfile::nand_flash(),
-            Bytes::from_mib(16),
-        )
-        .expect("device");
+        let mut device =
+            ScmDevice::new("nand", TechnologyProfile::nand_flash(), Bytes::from_mib(16))
+                .expect("device");
         group.bench_function(name, |b| b.iter(|| device.read(&cmd, 4).unwrap()));
     }
     group.finish();

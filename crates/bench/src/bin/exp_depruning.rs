@@ -18,10 +18,12 @@ fn main() {
     let queries = queries_for(&model, 120, 15);
 
     let run = |label: &str, deprune: bool, cache_budget: Bytes| {
-        let mut config = bench_sdm_config().with_nand_flash().with_transform(LoadTransform {
-            deprune,
-            dequantize: false,
-        });
+        let mut config = bench_sdm_config()
+            .with_nand_flash()
+            .with_transform(LoadTransform {
+                deprune,
+                dequantize: false,
+            });
         config.cache = sdm_cache::CacheConfig::with_total_budget(cache_budget);
         let mut system = build_system(&model, config);
         let _ = system.run_queries(&queries[..40]).unwrap();
@@ -35,7 +37,10 @@ fn main() {
             report.qps_single_stream,
             system.manager().loaded().fm_mapping_bytes
         );
-        (stats.sm_reads + stats.row_cache_hits, report.qps_single_stream)
+        (
+            stats.sm_reads + stats.row_cache_hits,
+            report.qps_single_stream,
+        )
     };
 
     // Without de-pruning the mapping tensors live in FM; give the cache the
@@ -47,15 +52,18 @@ fn main() {
         false,
         full_budget.saturating_sub(mapping_overhead),
     );
-    let (depruned_requests, depruned_qps) = run(
-        "de-pruned on SM, full cache budget",
-        true,
-        full_budget,
-    );
+    let (depruned_requests, depruned_qps) =
+        run("de-pruned on SM, full cache budget", true, full_budget);
 
     let extra_requests = depruned_requests as f64 / base_requests.max(1) as f64 - 1.0;
     let speedup = depruned_qps / base_qps - 1.0;
-    println!("\n  extra SM-side requests from de-pruning: {}", pct(extra_requests.max(0.0)));
-    println!("  performance gain from the recovered cache space: {}", pct(speedup));
+    println!(
+        "\n  extra SM-side requests from de-pruning: {}",
+        pct(extra_requests.max(0.0))
+    );
+    println!(
+        "  performance gain from the recovered cache space: {}",
+        pct(speedup)
+    );
     println!("\nPaper: ~2.5% extra requests, up to 48% gain when bounded by SM user embeddings.");
 }

@@ -30,10 +30,12 @@ fn main() {
         ("int8 rows on SM (baseline)", false),
         ("f32 rows on SM (de-quantised)", true),
     ] {
-        let mut config = SdmConfig::default().with_nand_flash().with_transform(LoadTransform {
-            deprune: false,
-            dequantize,
-        });
+        let mut config = SdmConfig::default()
+            .with_nand_flash()
+            .with_transform(LoadTransform {
+                deprune: false,
+                dequantize,
+            });
         config.device_capacity = Bytes::from_mib(256);
         config.fm_budget = Bytes::from_mib(8);
         config.cache = sdm_cache::CacheConfig::with_total_budget(Bytes::from_mib(1));

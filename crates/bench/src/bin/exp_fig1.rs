@@ -21,7 +21,11 @@ fn main() {
 
     // Scatter data, bucketed for terminal display: bytes/query deciles vs
     // capacity share.
-    let max_bpq = demands.iter().map(|d| d.bytes_per_query.as_u64()).max().unwrap_or(1);
+    let max_bpq = demands
+        .iter()
+        .map(|d| d.bytes_per_query.as_u64())
+        .max()
+        .unwrap_or(1);
     println!("\n  bytes/query bucket        tables   capacity share");
     for decile in 1..=10u64 {
         let hi = max_bpq * decile / 10;

@@ -43,6 +43,8 @@ fn main() {
     header("Figure 3: IOPS and latency, Nand Flash vs Optane SSD");
     sweep("nand-flash", TechnologyProfile::nand_flash());
     sweep("optane-ssd", TechnologyProfile::optane_ssd());
-    println!("\nExpected shape: Optane sustains far higher IOPS at an order of magnitude lower latency;");
+    println!(
+        "\nExpected shape: Optane sustains far higher IOPS at an order of magnitude lower latency;"
+    );
     println!("Nand latency inflates steeply once past ~50% of its IOPS ceiling.");
 }

@@ -4,7 +4,10 @@
 
 use embedding::TableKind;
 use sdm_bench::{header, pct};
-use workload::{locality_report, temporal_locality_cdf, AccessTrace, QueryGenerator, RoutingPolicy, Scheduler, WorkloadConfig};
+use workload::{
+    locality_report, temporal_locality_cdf, AccessTrace, QueryGenerator, RoutingPolicy, Scheduler,
+    WorkloadConfig,
+};
 
 fn print_cdf(label: &str, accesses: &[u64]) {
     let cdf = temporal_locality_cdf(accesses, 10);
@@ -38,11 +41,21 @@ fn main() {
     let trace = AccessTrace::from_queries(&queries);
 
     println!("\n(a) user tables, global trace (8 sampled tables):");
-    for t in model.tables.iter().filter(|t| t.kind == TableKind::User).take(8) {
+    for t in model
+        .tables
+        .iter()
+        .filter(|t| t.kind == TableKind::User)
+        .take(8)
+    {
         print_cdf(&t.name, trace.table_accesses(t.id));
     }
     println!("\n(b) item tables, global trace (8 sampled tables):");
-    for t in model.tables.iter().filter(|t| t.kind == TableKind::Item).take(8) {
+    for t in model
+        .tables
+        .iter()
+        .filter(|t| t.kind == TableKind::Item)
+        .take(8)
+    {
         print_cdf(&t.name, trace.table_accesses(t.id));
     }
 
@@ -53,7 +66,12 @@ fn main() {
         .iter()
         .max_by_key(|t| t.len())
         .expect("at least one host");
-    for t in model.tables.iter().filter(|t| t.kind == TableKind::User).take(8) {
+    for t in model
+        .tables
+        .iter()
+        .filter(|t| t.kind == TableKind::User)
+        .take(8)
+    {
         print_cdf(&t.name, busiest.table_accesses(t.id));
     }
     println!("\nExpected shape: power-law CDFs; item tables more skewed than user tables;");

@@ -46,7 +46,12 @@ fn main() {
     let mut memory_only = base();
     memory_only.cache.memory_optimized_fraction = 1.0;
     memory_only.cache.small_row_threshold = 100_000;
-    run("memory-optimized engine only", &model, memory_only, &queries);
+    run(
+        "memory-optimized engine only",
+        &model,
+        memory_only,
+        &queries,
+    );
 
     let mut cpu_only = base();
     cpu_only.cache.memory_optimized_fraction = 0.0;
@@ -64,7 +69,9 @@ fn main() {
         let config = base().with_placement(if share == 0.0 {
             PlacementPolicy::SmOnlyWithCache
         } else {
-            PlacementPolicy::FixedFmThenSm { dram_budget: budget }
+            PlacementPolicy::FixedFmThenSm {
+                dram_budget: budget,
+            }
         });
         run(
             &format!("DRAM budget = {:>4.0}% of user capacity", share * 100.0),

@@ -2,8 +2,8 @@
 //! the bus bandwidth and a few percent of device latency versus 4 KiB block
 //! reads.
 
-use sdm_bench::{bench_sdm_config, build_system, header, pct, queries_for, scaled};
 use scm_device::{ReadCommand, ScmDevice, TechnologyProfile};
+use sdm_bench::{bench_sdm_config, build_system, header, pct, queries_for, scaled};
 use sdm_core::AccessGranularity;
 use sdm_metrics::units::Bytes;
 

@@ -28,7 +28,13 @@ fn main() {
     let latency_saving =
         1.0 - results[1].mean_latency.as_micros_f64() / results[0].mean_latency.as_micros_f64();
     let qps_gain = results[1].qps_single_stream / results[0].qps_single_stream - 1.0;
-    println!("\n  latency reduction from inter-op parallelism: {}", pct(latency_saving));
-    println!("  QPS gain at the same latency target:          {}", pct(qps_gain));
+    println!(
+        "\n  latency reduction from inter-op parallelism: {}",
+        pct(latency_saving)
+    );
+    println!(
+        "  QPS gain at the same latency target:          {}",
+        pct(qps_gain)
+    );
     println!("\nPaper §A.2: ~20% latency reduction, ~20% more QPS per host for M1.");
 }

@@ -28,7 +28,12 @@ fn main() {
     let mut mmap_hist = LatencyHistogram::new();
     for &row in &accesses {
         let (_, latency) = mmap
-            .read(&mut array, row * row_bytes as u64, row_bytes, SimInstant::EPOCH)
+            .read(
+                &mut array,
+                row * row_bytes as u64,
+                row_bytes,
+                SimInstant::EPOCH,
+            )
             .unwrap();
         mmap_hist.record(latency);
     }
@@ -44,12 +49,15 @@ fn main() {
         let key = sdm_cache::RowKey::new(0, row);
         if cache.get(&key).is_some() {
             direct_hist.record(cache.lookup_cost());
-            now = now + cache.lookup_cost();
+            now += cache.lookup_cost();
             continue;
         }
         engine
             .submit(
-                IoRequest::new(DeviceId(0), ReadCommand::sgl(row * row_bytes as u64, row_bytes)),
+                IoRequest::new(
+                    DeviceId(0),
+                    ReadCommand::sgl(row * row_bytes as u64, row_bytes),
+                ),
                 now,
             )
             .unwrap();

@@ -13,6 +13,10 @@ fn main() {
     println!("Model-update interval limits (days) for a 1 TB model on 2 TB of each technology:");
     for profile in TechnologyProfile::table1() {
         let days = profile.min_update_interval_days(Bytes::from_tib(1), Bytes::from_tib(2));
-        println!("  {:<26} {:.4} days between full updates at rated endurance", profile.kind.to_string(), days);
+        println!(
+            "  {:<26} {:.4} days between full updates at rated endurance",
+            profile.kind.to_string(),
+            days
+        );
     }
 }

@@ -25,11 +25,22 @@ fn main() {
         result.sm_iops / 1e6,
         result.ssds_needed
     );
-    println!("\nPaper Table 10: 36 MIOPS after the cache, satisfied by 9 Optane SSDs at 4 MIOPS each.");
+    println!(
+        "\nPaper Table 10: 36 MIOPS after the cache, satisfied by 9 Optane SSDs at 4 MIOPS each."
+    );
 
     println!("\nsensitivity to the cache hit rate:");
     for hit in [0.5f64, 0.6, 0.7, 0.8, 0.9, 0.95] {
-        let r = size_ssds(SizingInputs { cache_hit_rate: hit, ..inputs }).unwrap();
-        println!("  hit rate {:>4.0}% -> {:>5.1} MIOPS -> {:>2} SSDs", hit * 100.0, r.sm_iops / 1e6, r.ssds_needed);
+        let r = size_ssds(SizingInputs {
+            cache_hit_rate: hit,
+            ..inputs
+        })
+        .unwrap();
+        println!(
+            "  hit rate {:>4.0}% -> {:>5.1} MIOPS -> {:>2} SSDs",
+            hit * 100.0,
+            r.sm_iops / 1e6,
+            r.ssds_needed
+        );
     }
 }

@@ -1,7 +1,9 @@
 //! Experiment E12 — paper Table 11: multi-tenancy — SDM raises host
 //! utilisation for experimental models and cuts fleet power by ~29%.
 
-use cluster::multi_tenancy::{fleet_power_ratio, tenants_by_memory, utilisation, TenancyHost, TenantModel};
+use cluster::multi_tenancy::{
+    fleet_power_ratio, tenants_by_memory, utilisation, TenancyHost, TenantModel,
+};
 use cluster::{HostConfig, PowerModel};
 use sdm_bench::{header, pct};
 use sdm_metrics::units::Bytes;
@@ -61,8 +63,16 @@ fn main() {
         power_ratio,
     )
     .unwrap();
-    println!("\n  fleet power ratio (paper utilisations 0.63 -> 0.90): {:.2}  saving {}", paper, pct(1.0 - paper));
-    println!("  fleet power ratio (modelled hosts above):             {:.2}  saving {}", measured, pct(1.0 - measured));
+    println!(
+        "\n  fleet power ratio (paper utilisations 0.63 -> 0.90): {:.2}  saving {}",
+        paper,
+        pct(1.0 - paper)
+    );
+    println!(
+        "  fleet power ratio (modelled hosts above):             {:.2}  saving {}",
+        measured,
+        pct(1.0 - measured)
+    );
     println!("\nPaper Table 11: fleet power 0.71, i.e. a 29% saving. The modelled hosts show the");
     println!("same mechanism (memory-bound -> compute-bound) with a larger headroom because the");
     println!("baseline host here is limited to a single experimental model.");

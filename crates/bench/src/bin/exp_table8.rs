@@ -59,7 +59,11 @@ fn main() {
     for row in comparison.evaluate().unwrap() {
         println!(
             "  {:<14} {:>9.0}  {:>10.2}  {:>11}  {:>14.2}",
-            row.name, row.qps_per_host, row.normalized_host_power, row.total_hosts, row.normalized_total_power
+            row.name,
+            row.qps_per_host,
+            row.normalized_host_power,
+            row.total_hosts,
+            row.normalized_total_power
         );
     }
     println!(

@@ -29,7 +29,10 @@ fn main() {
     system.manager_mut().invalidate_caches();
     let _ = system.run_queries(&queries[20..]).unwrap();
     let hit_rate = system.manager().stats().row_cache_hit_rate();
-    println!("\nmeasured steady-state SM cache hit rate: {}", pct(hit_rate));
+    println!(
+        "\nmeasured steady-state SM cache hit rate: {}",
+        pct(hit_rate)
+    );
 
     // 2. Roofline the sustainable QPS per technology at paper scale:
     //    lookups that reach SM per query = user tables × avg PF × miss rate;
@@ -37,7 +40,10 @@ fn main() {
     //    latency, otherwise the user-embedding phase leaks into the critical
     //    path (Equation 3).
     let user_tables = paper_model.user_tables();
-    let avg_pf = user_tables.iter().map(|t| t.pooling_factor as f64).sum::<f64>()
+    let avg_pf = user_tables
+        .iter()
+        .map(|t| t.pooling_factor as f64)
+        .sum::<f64>()
         / user_tables.len() as f64;
     let sm_lookups_per_query = user_tables.len() as f64 * avg_pf * (1.0 - hit_rate);
     let accelerator_qps = 450.0;
@@ -57,12 +63,9 @@ fn main() {
         ("Nand Flash", TechnologyProfile::nand_flash()),
         ("Optane SSD", TechnologyProfile::optane_ssd()),
     ] {
-        let device = scm_device::ScmDevice::new(
-            name,
-            profile,
-            sdm_metrics::units::Bytes::from_gib(1),
-        )
-        .expect("device");
+        let device =
+            scm_device::ScmDevice::new(name, profile, sdm_metrics::units::Bytes::from_gib(1))
+                .expect("device");
         let usable = 2.0 * device.iops_at_latency_target(latency_budget);
         let qps_bound = usable / sm_lookups_per_query.max(1.0);
         let served = qps_bound.min(accelerator_qps);
@@ -76,7 +79,10 @@ fn main() {
             measured_nand_ratio = (served / accelerator_qps).clamp(0.05, 1.0);
         }
     }
-    println!("  Nand/Optane served-QPS ratio = {:.2} (paper: 230/450 = 0.51)", measured_nand_ratio);
+    println!(
+        "  Nand/Optane served-QPS ratio = {:.2} (paper: 230/450 = 0.51)",
+        measured_nand_ratio
+    );
 
     // 3. Fleet arithmetic (Table 9).
     let total_qps = accelerator_qps * 1500.0;
@@ -98,12 +104,18 @@ fn main() {
     for row in comparison.evaluate().unwrap() {
         println!(
             "  {:<19} {:>9.0}  {:>10.2}  {:>11}  {:>14.2}",
-            row.name, row.qps_per_host, row.normalized_host_power, row.total_hosts, row.normalized_total_power
+            row.name,
+            row.qps_per_host,
+            row.normalized_host_power,
+            row.total_hosts,
+            row.normalized_total_power
         );
     }
     println!(
         "  power saving of HW-AO + SDM over scale-out: {} (paper: 5%)",
         pct(comparison.power_saving(2).unwrap())
     );
-    println!("  HW-AN + SDM needs considerably more power than either (paper: 2978 vs 1575 hosts).");
+    println!(
+        "  HW-AN + SDM needs considerably more power than either (paper: 2978 vs 1575 hosts)."
+    );
 }

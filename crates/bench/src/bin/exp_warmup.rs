@@ -25,10 +25,12 @@ fn main() {
     let before = system.manager().stats().clone();
     let mut batches = Vec::new();
     for chunk in queries[80..].chunks(20) {
-        let reads_before = system.manager().stats().sm_reads + system.manager().stats().row_cache_hits;
+        let reads_before =
+            system.manager().stats().sm_reads + system.manager().stats().row_cache_hits;
         let hits_before = system.manager().stats().row_cache_hits;
         let _ = system.run_queries(chunk).unwrap();
-        let reads = system.manager().stats().sm_reads + system.manager().stats().row_cache_hits - reads_before;
+        let reads = system.manager().stats().sm_reads + system.manager().stats().row_cache_hits
+            - reads_before;
         let hits = system.manager().stats().row_cache_hits - hits_before;
         batches.push(hits as f64 / reads.max(1) as f64);
     }
@@ -40,7 +42,11 @@ fn main() {
     let _ = before;
 
     println!("\ncapacity over-provisioning for rolling updates ((r*w)/(p*t)):");
-    for (r, w_min, p, t_min) in [(0.10f64, 5u64, 0.5f64, 30u64), (0.10, 5, 0.5, 60), (0.05, 5, 0.5, 30)] {
+    for (r, w_min, p, t_min) in [
+        (0.10f64, 5u64, 0.5f64, 30u64),
+        (0.10, 5, 0.5, 60),
+        (0.05, 5, 0.5, 30),
+    ] {
         let overhead = warmup_capacity_overhead(
             r,
             SimDuration::from_secs(w_min * 60),
@@ -49,7 +55,11 @@ fn main() {
         );
         println!(
             "  r={:>3}% w={}min p={:>3}% t={}min -> extra capacity {}",
-            r * 100.0, w_min, p * 100.0, t_min, pct(overhead)
+            r * 100.0,
+            w_min,
+            p * 100.0,
+            t_min,
+            pct(overhead)
         );
     }
     println!("\nPaper example reports 1.2% (with w and t swapped in its arithmetic; the formula gives 3.3%).");

@@ -35,12 +35,13 @@ pub fn scaled(model: &ModelConfig) -> ModelConfig {
 
 /// A default SDM configuration sized for the scaled replicas.
 pub fn bench_sdm_config() -> SdmConfig {
-    let mut config = SdmConfig::default();
-    config.device_capacity = Bytes::from_mib(256);
-    config.fm_budget = Bytes::from_mib(32);
-    config.cache = sdm_cache::CacheConfig::with_total_budget(Bytes::from_mib(16));
-    config.seed = EXPERIMENT_SEED;
-    config
+    SdmConfig {
+        device_capacity: Bytes::from_mib(256),
+        fm_budget: Bytes::from_mib(32),
+        cache: sdm_cache::CacheConfig::with_total_budget(Bytes::from_mib(16)),
+        seed: EXPERIMENT_SEED,
+        ..SdmConfig::default()
+    }
 }
 
 /// Builds a full SDM system for a scaled model.

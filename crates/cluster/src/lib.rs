@@ -38,8 +38,8 @@ mod hardware;
 pub mod multi_tenancy;
 mod power;
 pub mod roofline;
-mod scenario;
 pub mod scale_out;
+mod scenario;
 pub mod sizing;
 
 pub use error::ClusterError;

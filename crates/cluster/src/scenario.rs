@@ -187,7 +187,10 @@ mod tests {
         // Nand SDM costs almost 2x the power of scale-out (2978/1575 ≈ 1.9).
         assert!(rows[1].normalized_total_power > 1.5);
         let optane_saving = comparison.power_saving(2).unwrap();
-        assert!((0.03..=0.08).contains(&optane_saving), "saving = {optane_saving}");
+        assert!(
+            (0.03..=0.08).contains(&optane_saving),
+            "saving = {optane_saving}"
+        );
     }
 
     #[test]

@@ -82,7 +82,11 @@ mod tests {
             iops_per_ssd: 4_000_000.0,
         })
         .unwrap();
-        assert!((result.sm_iops - 37.8e6).abs() < 1e6, "sm = {}", result.sm_iops);
+        assert!(
+            (result.sm_iops - 37.8e6).abs() < 1e6,
+            "sm = {}",
+            result.sm_iops
+        );
         assert!(result.ssds_needed == 9 || result.ssds_needed == 10);
         assert!(result.raw_iops > result.sm_iops);
     }

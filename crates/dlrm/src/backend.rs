@@ -66,10 +66,7 @@ impl DramBackend {
     /// Builds a backend from pre-materialised tables.
     pub fn from_tables(tables: Vec<EmbeddingTable>) -> Self {
         DramBackend {
-            tables: tables
-                .into_iter()
-                .map(|t| (t.descriptor().id, t))
-                .collect(),
+            tables: tables.into_iter().map(|t| (t.descriptor().id, t)).collect(),
             per_row_latency: SimDuration::from_nanos(150),
             per_element_cost: SimDuration::from_nanos(1),
         }
@@ -102,8 +99,8 @@ impl EmbeddingBackend for DramBackend {
             rows.push(t.row(idx).map_err(DlrmError::backend)?);
         }
         let desc = t.descriptor();
-        let pooled = pooling::pool_quantized(&rows, desc.quant, desc.dim)
-            .map_err(DlrmError::backend)?;
+        let pooled =
+            pooling::pool_quantized(&rows, desc.quant, desc.dim).map_err(DlrmError::backend)?;
         let latency = self.per_row_latency * indices.len() as u64
             + self.per_element_cost * (indices.len() * desc.dim) as u64;
         Ok((pooled, latency))

@@ -104,8 +104,7 @@ impl ComputeModel {
         if self.flops_per_second <= 0.0 {
             return self.operator_overhead;
         }
-        self.operator_overhead
-            + SimDuration::from_secs_f64(flops as f64 / self.flops_per_second)
+        self.operator_overhead + SimDuration::from_secs_f64(flops as f64 / self.flops_per_second)
     }
 }
 
@@ -266,6 +265,9 @@ mod tests {
         assert_eq!(m.embedding_capacity(), Bytes(2 * 100 * 16));
         assert_eq!(m.user_capacity(), Bytes(100 * 16));
         assert!(m.table(0).is_ok());
-        assert!(matches!(m.table(9), Err(DlrmError::UnknownTable { table: 9 })));
+        assert!(matches!(
+            m.table(9),
+            Err(DlrmError::UnknownTable { table: 9 })
+        ));
     }
 }

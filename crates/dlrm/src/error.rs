@@ -35,7 +35,9 @@ impl fmt::Display for DlrmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DlrmError::InvalidModel { reason } => write!(f, "invalid model: {reason}"),
-            DlrmError::UnknownTable { table } => write!(f, "query references unknown table {table}"),
+            DlrmError::UnknownTable { table } => {
+                write!(f, "query references unknown table {table}")
+            }
             DlrmError::DimensionMismatch { expected, actual } => {
                 write!(f, "dimension mismatch: expected {expected}, got {actual}")
             }
@@ -74,12 +76,14 @@ mod tests {
         assert!(e.to_string().contains("no tables"));
         assert!(e.source().is_none());
 
-        let io = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let io = std::io::Error::other("boom");
         let wrapped = DlrmError::backend(io);
         assert!(wrapped.to_string().contains("boom"));
         assert!(wrapped.source().is_some());
 
-        assert!(DlrmError::UnknownTable { table: 4 }.to_string().contains("4"));
+        assert!(DlrmError::UnknownTable { table: 4 }
+            .to_string()
+            .contains("4"));
         assert!(DlrmError::DimensionMismatch {
             expected: 8,
             actual: 4

@@ -147,7 +147,10 @@ mod tests {
         let mlp = Mlp::generate(&MlpConfig::new(vec![4, 2]), 1);
         assert!(matches!(
             mlp.forward(&[1.0, 2.0]),
-            Err(DlrmError::DimensionMismatch { expected: 4, actual: 2 })
+            Err(DlrmError::DimensionMismatch {
+                expected: 4,
+                actual: 2
+            })
         ));
     }
 
@@ -158,7 +161,10 @@ mod tests {
         let c = Mlp::generate(&MlpConfig::new(vec![6, 6, 1]), 10);
         let x = [0.5f32; 6];
         assert_eq!(a.forward(&x).unwrap(), b.forward(&x).unwrap());
-        assert_ne!(a.forward(&x).unwrap(), c.forward(&x).unwrap());
+        // Compare the weights themselves rather than a forward pass: a
+        // single ReLU output can saturate to 0.0 under both seeds, which
+        // would mask genuinely different models.
+        assert_ne!(format!("{a:?}"), format!("{c:?}"));
     }
 
     #[test]

@@ -70,7 +70,15 @@ fn build_tables(
             tables.push(
                 TableDescriptor::new(
                     id,
-                    format!("{}_{}", if kind == TableKind::User { "user" } else { "item" }, i),
+                    format!(
+                        "{}_{}",
+                        if kind == TableKind::User {
+                            "user"
+                        } else {
+                            "item"
+                        },
+                        i
+                    ),
                     kind,
                     num_rows,
                     dim,
@@ -287,7 +295,10 @@ mod tests {
         assert_eq!(m.item_tables().len(), 280);
         assert_eq!(m.item_batch, 150);
         let user_cap = m.user_capacity().as_gib_f64();
-        assert!((user_cap - 100.0).abs() < 10.0, "user capacity = {user_cap}");
+        assert!(
+            (user_cap - 100.0).abs() < 10.0,
+            "user capacity = {user_cap}"
+        );
         let cap = m.embedding_capacity().as_gib_f64();
         assert!((cap - 150.0).abs() < 15.0, "capacity = {cap}");
     }

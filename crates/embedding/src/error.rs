@@ -45,7 +45,10 @@ impl fmt::Display for EmbeddingError {
                 write!(f, "row {row} out of range for table with {rows} rows")
             }
             EmbeddingError::MalformedRow { expected, actual } => {
-                write!(f, "malformed quantised row: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "malformed quantised row: expected {expected} bytes, got {actual}"
+                )
             }
             EmbeddingError::InvalidDescriptor { reason } => {
                 write!(f, "invalid table descriptor: {reason}")

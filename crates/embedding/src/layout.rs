@@ -196,8 +196,7 @@ mod tests {
 
     #[test]
     fn plan_places_every_table_within_capacity() {
-        let layout =
-            SmLayout::plan(&tables(), 2, Bytes::from_mib(4), Bytes::from_kib(4)).unwrap();
+        let layout = SmLayout::plan(&tables(), 2, Bytes::from_mib(4), Bytes::from_kib(4)).unwrap();
         assert_eq!(layout.len(), 3);
         assert!(!layout.is_empty());
         for (_, p) in layout.iter() {

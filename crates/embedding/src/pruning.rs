@@ -293,6 +293,9 @@ mod tests {
         let pruned = PrunedTable::prune(&t, 0.5, 5).unwrap();
         let (full, _) = pruned.deprune().unwrap();
         assert_eq!(full.capacity(), t.capacity());
-        assert_eq!(pruned.pruned_rows().capacity(), Bytes(t.capacity().as_u64() / 2));
+        assert_eq!(
+            pruned.pruned_rows().capacity(),
+            Bytes(t.capacity().as_u64() / 2)
+        );
     }
 }

@@ -171,7 +171,9 @@ mod tests {
     use super::*;
 
     fn sample_row(dim: usize) -> Vec<f32> {
-        (0..dim).map(|i| (i as f32 * 0.37).sin() * 2.5 - 0.3).collect()
+        (0..dim)
+            .map(|i| (i as f32 * 0.37).sin() * 2.5 - 0.3)
+            .collect()
     }
 
     #[test]

@@ -342,7 +342,10 @@ mod tests {
         assert_eq!(t.dequantized_row(99).unwrap().len(), 16);
         assert!(matches!(
             t.row(100),
-            Err(EmbeddingError::RowOutOfRange { row: 100, rows: 100 })
+            Err(EmbeddingError::RowOutOfRange {
+                row: 100,
+                rows: 100
+            })
         ));
         assert_eq!(t.capacity(), Bytes(2400));
         assert_eq!(t.iter().count(), 100);

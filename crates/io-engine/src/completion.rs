@@ -74,8 +74,7 @@ impl CpuCostModel {
     /// Relative IOPS/core improvement of polling over interrupts
     /// (the paper reports ≈ 0.5, i.e. 50 %).
     pub fn polling_improvement(&self) -> f64 {
-        self.iops_per_core(CompletionMode::Polling)
-            / self.iops_per_core(CompletionMode::Interrupt)
+        self.iops_per_core(CompletionMode::Polling) / self.iops_per_core(CompletionMode::Interrupt)
             - 1.0
     }
 }
@@ -98,7 +97,10 @@ mod tests {
             m.cpu_time_per_io(CompletionMode::Interrupt),
             m.submit_cost + m.interrupt_completion_cost
         );
-        assert!(m.cpu_time_per_io(CompletionMode::Polling) < m.cpu_time_per_io(CompletionMode::Interrupt));
+        assert!(
+            m.cpu_time_per_io(CompletionMode::Polling)
+                < m.cpu_time_per_io(CompletionMode::Interrupt)
+        );
     }
 
     #[test]

@@ -291,7 +291,8 @@ impl IoEngine {
         if let Some(tag) = request.table {
             let sched = self.table_sched.entry(tag).or_default();
             sched.prune(now);
-            issue_at = issue_at.max(sched.admission_time(now, self.config.max_outstanding_per_table));
+            issue_at =
+                issue_at.max(sched.admission_time(now, self.config.max_outstanding_per_table));
         }
 
         // Max-tables-in-flight: if this table is not already active and the
@@ -345,7 +346,10 @@ impl IoEngine {
 
         self.stats.submitted += 1;
         self.stats.completed += 1;
-        self.stats.cpu_time += self.config.cpu_cost.cpu_time_per_io(self.config.completion_mode);
+        self.stats.cpu_time += self
+            .config
+            .cpu_cost
+            .cpu_time_per_io(self.config.completion_mode);
         self.stats.bus_bytes += outcome.bus_bytes;
         self.stats.requested_bytes += outcome.requested_bytes;
         self.stats.queue_delay += completion.queue_delay;
@@ -375,10 +379,8 @@ impl IoEngine {
     /// Returns every completion whose completion instant is at or before
     /// `now`, in completion order.
     pub fn poll(&mut self, now: SimInstant) -> Vec<IoCompletion> {
-        let (done, not_done): (Vec<_>, Vec<_>) = self
-            .ready
-            .drain(..)
-            .partition(|c| c.completed_at <= now);
+        let (done, not_done): (Vec<_>, Vec<_>) =
+            self.ready.drain(..).partition(|c| c.completed_at <= now);
         self.ready = not_done;
         let mut done = done;
         done.sort_by_key(|c| c.completed_at);
@@ -413,11 +415,7 @@ mod tests {
 
     #[test]
     fn single_request_roundtrip() {
-        let mut engine = engine_with(
-            TechnologyProfile::optane_ssd(),
-            1,
-            EngineConfig::default(),
-        );
+        let mut engine = engine_with(TechnologyProfile::optane_ssd(), 1, EngineConfig::default());
         engine
             .array_mut()
             .write(DeviceId(0), 0, &[5u8; 128])
@@ -441,13 +439,12 @@ mod tests {
 
     #[test]
     fn unknown_device_rejected() {
-        let mut engine = engine_with(
-            TechnologyProfile::optane_ssd(),
-            1,
-            EngineConfig::default(),
-        );
+        let mut engine = engine_with(TechnologyProfile::optane_ssd(), 1, EngineConfig::default());
         let err = engine
-            .submit(IoRequest::new(DeviceId(3), ReadCommand::sgl(0, 8)), SimInstant::EPOCH)
+            .submit(
+                IoRequest::new(DeviceId(3), ReadCommand::sgl(0, 8)),
+                SimInstant::EPOCH,
+            )
             .unwrap_err();
         assert!(matches!(err, IoError::Device(_)));
     }
@@ -518,11 +515,7 @@ mod tests {
 
     #[test]
     fn poll_only_returns_finished_ios() {
-        let mut engine = engine_with(
-            TechnologyProfile::nand_flash(),
-            1,
-            EngineConfig::default(),
-        );
+        let mut engine = engine_with(TechnologyProfile::nand_flash(), 1, EngineConfig::default());
         let now = SimInstant::EPOCH;
         engine
             .submit(IoRequest::new(DeviceId(0), ReadCommand::sgl(0, 128)), now)
@@ -555,12 +548,18 @@ mod tests {
         let now = SimInstant::EPOCH;
         for i in 0..4u64 {
             light
-                .submit(IoRequest::new(DeviceId(0), ReadCommand::sgl(i * 4096, 128)), now)
+                .submit(
+                    IoRequest::new(DeviceId(0), ReadCommand::sgl(i * 4096, 128)),
+                    now,
+                )
                 .unwrap();
         }
         for i in 0..512u64 {
             heavy
-                .submit(IoRequest::new(DeviceId(0), ReadCommand::sgl((i % 900) * 4096, 128)), now)
+                .submit(
+                    IoRequest::new(DeviceId(0), ReadCommand::sgl((i % 900) * 4096, 128)),
+                    now,
+                )
                 .unwrap();
         }
         let light_p95 = light.stats().latency.p95();
@@ -570,21 +569,13 @@ mod tests {
 
     #[test]
     fn stats_track_amplification() {
-        let mut engine = engine_with(
-            TechnologyProfile::nand_flash(),
-            1,
-            EngineConfig::default(),
-        );
+        let mut engine = engine_with(TechnologyProfile::nand_flash(), 1, EngineConfig::default());
         let now = SimInstant::EPOCH;
         engine
             .submit(IoRequest::new(DeviceId(0), ReadCommand::block(0, 128)), now)
             .unwrap();
         assert!(engine.stats().read_amplification() > 30.0);
-        let mut engine2 = engine_with(
-            TechnologyProfile::nand_flash(),
-            1,
-            EngineConfig::default(),
-        );
+        let mut engine2 = engine_with(TechnologyProfile::nand_flash(), 1, EngineConfig::default());
         engine2
             .submit(IoRequest::new(DeviceId(0), ReadCommand::sgl(0, 128)), now)
             .unwrap();
@@ -601,11 +592,7 @@ mod tests {
 
     #[test]
     fn submit_batch_preserves_order_and_counts() {
-        let mut engine = engine_with(
-            TechnologyProfile::optane_ssd(),
-            1,
-            EngineConfig::default(),
-        );
+        let mut engine = engine_with(TechnologyProfile::optane_ssd(), 1, EngineConfig::default());
         let now = SimInstant::EPOCH;
         let reqs: Vec<IoRequest> = (0..10)
             .map(|i| IoRequest::new(DeviceId(0), ReadCommand::sgl(i * 512, 64)).with_user_data(i))

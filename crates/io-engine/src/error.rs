@@ -67,9 +67,6 @@ mod tests {
         let wrapped: IoError = dev.clone().into();
         assert!(wrapped.to_string().contains("device error"));
         assert!(Error::source(&wrapped).is_some());
-        assert!(Error::source(&IoError::InvalidConfig {
-            reason: "x".into()
-        })
-        .is_none());
+        assert!(Error::source(&IoError::InvalidConfig { reason: "x".into() }).is_none());
     }
 }

@@ -133,7 +133,10 @@ mod tests {
             ring.push_sqe(i, i as u32 * 10).unwrap();
         }
         let batch = ring.take_submissions();
-        assert_eq!(batch.iter().map(|e| e.user_data).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        assert_eq!(
+            batch.iter().map(|e| e.user_data).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3]
+        );
         assert_eq!(ring.sq_len(), 0);
         // After draining, there is room again.
         ring.push_sqe(9, 90).unwrap();

@@ -163,9 +163,8 @@ mod tests {
 
     #[test]
     fn homogeneous_array_has_aggregate_capacity_and_iops() {
-        let arr =
-            DeviceArray::homogeneous(TechnologyProfile::optane_ssd(), Bytes::from_mib(8), 2)
-                .unwrap();
+        let arr = DeviceArray::homogeneous(TechnologyProfile::optane_ssd(), Bytes::from_mib(8), 2)
+            .unwrap();
         assert_eq!(arr.len(), 2);
         assert!(!arr.is_empty());
         assert_eq!(arr.total_capacity(), Bytes::from_mib(16));
@@ -211,9 +210,8 @@ mod tests {
 
     #[test]
     fn aggregate_iops_at_latency_is_bounded_by_ceiling() {
-        let arr =
-            DeviceArray::homogeneous(TechnologyProfile::optane_ssd(), Bytes::from_mib(1), 9)
-                .unwrap();
+        let arr = DeviceArray::homogeneous(TechnologyProfile::optane_ssd(), Bytes::from_mib(1), 9)
+            .unwrap();
         let sustainable = arr.total_iops_at_latency(SimDuration::from_micros(40));
         assert!(sustainable > 0.0);
         assert!(sustainable <= arr.total_max_iops());

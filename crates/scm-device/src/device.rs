@@ -213,9 +213,8 @@ impl ScmDevice {
         // At saturation the device retires at most `max_read_iops` commands
         // per second, so with `queue_depth` outstanding the observed latency
         // cannot drop below the Little's-law bound.
-        let queueing_floor = SimDuration::from_secs_f64(
-            queue_depth as f64 / self.profile.max_read_iops.max(1.0),
-        );
+        let queueing_floor =
+            SimDuration::from_secs_f64(queue_depth as f64 / self.profile.max_read_iops.max(1.0));
         let latency = (media_total + transfer).max(queueing_floor);
 
         self.stats.reads += 1;
@@ -269,12 +268,8 @@ mod tests {
 
     #[test]
     fn block_mode_reports_amplification() {
-        let mut dev = ScmDevice::new(
-            "nand",
-            TechnologyProfile::nand_flash(),
-            Bytes::from_mib(4),
-        )
-        .unwrap();
+        let mut dev =
+            ScmDevice::new("nand", TechnologyProfile::nand_flash(), Bytes::from_mib(4)).unwrap();
         dev.write_at(0, &[1u8; 256]).unwrap();
         let out = dev.read(&ReadCommand::block(0, 128), 1).unwrap();
         assert_eq!(out.bus_bytes, Bytes::from_kib(4));
@@ -308,12 +303,8 @@ mod tests {
 
     #[test]
     fn loaded_reads_are_slower_than_unloaded() {
-        let mut dev = ScmDevice::new(
-            "nand",
-            TechnologyProfile::nand_flash(),
-            Bytes::from_mib(4),
-        )
-        .unwrap();
+        let mut dev =
+            ScmDevice::new("nand", TechnologyProfile::nand_flash(), Bytes::from_mib(4)).unwrap();
         let light = dev.read(&ReadCommand::sgl(0, 128), 1).unwrap();
         let heavy = dev.read(&ReadCommand::sgl(0, 128), 200).unwrap();
         assert!(heavy.device_latency > light.device_latency);

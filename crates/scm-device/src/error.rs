@@ -58,10 +58,16 @@ impl fmt::Display for DeviceError {
             DeviceError::ZeroCapacity => write!(f, "device capacity must be non-zero"),
             DeviceError::EmptyCommand => write!(f, "read command carries no bytes"),
             DeviceError::SglUnsupported { technology } => {
-                write!(f, "technology {technology} does not support SGL bit-bucket reads")
+                write!(
+                    f,
+                    "technology {technology} does not support SGL bit-bucket reads"
+                )
             }
             DeviceError::UnknownDevice { index, len } => {
-                write!(f, "device index {index} out of range (array has {len} devices)")
+                write!(
+                    f,
+                    "device index {index} out of range (array has {len} devices)"
+                )
             }
             DeviceError::EnduranceExhausted { written, budget } => write!(
                 f,

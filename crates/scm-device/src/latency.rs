@@ -97,7 +97,7 @@ impl LoadedLatencyModel {
         }
         self.tail_counter += 1;
         let period = (1.0 / self.tail_probability).round() as u64;
-        if period > 0 && self.tail_counter % period == 0 {
+        if period > 0 && self.tail_counter.is_multiple_of(period) {
             self.base * self.tail_multiplier
         } else {
             body
@@ -148,7 +148,10 @@ mod tests {
         let nand_loaded = nand.next_read_latency(0.9);
         let optane_loaded = optane.next_read_latency(0.9);
         // Optane stays in the tens of microseconds; Nand goes to hundreds.
-        assert!(optane_loaded < SimDuration::from_micros(60), "{optane_loaded}");
+        assert!(
+            optane_loaded < SimDuration::from_micros(60),
+            "{optane_loaded}"
+        );
         assert!(nand_loaded > SimDuration::from_micros(200), "{nand_loaded}");
     }
 

@@ -157,10 +157,10 @@ impl ReadCommand {
     /// a technology without bit-bucket support.
     pub fn bus_bytes(&self, profile: &TechnologyProfile) -> Result<Bytes, DeviceError> {
         match self.mode {
-            AccessMode::Block => {
-                Ok(Bytes(self.blocks_touched(profile.access_granularity)
-                    * profile.access_granularity.as_u64()))
-            }
+            AccessMode::Block => Ok(Bytes(
+                self.blocks_touched(profile.access_granularity)
+                    * profile.access_granularity.as_u64(),
+            )),
             AccessMode::Sgl => {
                 if !profile.supports_sgl_bit_bucket {
                     return Err(DeviceError::SglUnsupported {

@@ -246,7 +246,11 @@ impl TechnologyProfile {
     /// unbounded.
     pub fn min_update_interval_days(&self, model_size: Bytes, device_capacity: Bytes) -> f64 {
         if model_size.is_zero() || !self.endurance_dwpd.is_finite() {
-            return if model_size.is_zero() { f64::INFINITY } else { 0.0 };
+            return if model_size.is_zero() {
+                f64::INFINITY
+            } else {
+                0.0
+            };
         }
         if device_capacity.is_zero() {
             return f64::INFINITY;

@@ -105,17 +105,29 @@ mod tests {
 
     #[test]
     fn invalid_configs_are_detected() {
-        let mut c = CacheConfig::default();
-        c.row_cache_budget = Bytes::ZERO;
+        let c = CacheConfig {
+            row_cache_budget: Bytes::ZERO,
+            ..Default::default()
+        };
         assert!(matches!(c.validate(), Err(CacheError::ZeroBudget)));
 
-        let mut c = CacheConfig::default();
-        c.memory_optimized_fraction = 1.5;
-        assert!(matches!(c.validate(), Err(CacheError::InvalidConfig { .. })));
+        let c = CacheConfig {
+            memory_optimized_fraction: 1.5,
+            ..Default::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(CacheError::InvalidConfig { .. })
+        ));
 
-        let mut c = CacheConfig::default();
-        c.partitions = 0;
-        assert!(matches!(c.validate(), Err(CacheError::InvalidConfig { .. })));
+        let c = CacheConfig {
+            partitions: 0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            c.validate(),
+            Err(CacheError::InvalidConfig { .. })
+        ));
     }
 
     #[test]

@@ -183,7 +183,10 @@ mod tests {
     fn usage_never_exceeds_budget_under_churn() {
         let mut c = CpuOptimizedCache::new(Bytes::from_kib(8));
         for i in 0..1000u64 {
-            c.insert(RowKey::new((i % 7) as u32, i), vec![0u8; (i % 256) as usize + 1]);
+            c.insert(
+                RowKey::new((i % 7) as u32, i),
+                vec![0u8; (i % 256) as usize + 1],
+            );
             assert!(c.memory_used() <= c.budget(), "over budget at i={i}");
         }
     }
@@ -211,7 +214,7 @@ mod tests {
         let cpu = CpuOptimizedCache::new(Bytes::from_kib(1));
         let mem = crate::MemoryOptimizedCache::new(Bytes::from_kib(1), 4);
         assert!(cpu.lookup_cost() < mem.lookup_cost());
-        assert!(ENTRY_OVERHEAD > crate::memory_optimized::ENTRY_OVERHEAD);
+        const { assert!(ENTRY_OVERHEAD > crate::memory_optimized::ENTRY_OVERHEAD) }
     }
 
     #[test]

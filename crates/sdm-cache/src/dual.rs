@@ -31,7 +31,7 @@ impl DualRowCache {
     pub fn new(config: CacheConfig) -> Self {
         let small = MemoryOptimizedCache::with_expected_row_size(
             config.memory_optimized_budget().max(Bytes(1)),
-            config.small_row_threshold.min(255).max(32),
+            config.small_row_threshold.clamp(32, 255),
         );
         let large = CpuOptimizedCache::new(config.cpu_optimized_budget().max(Bytes(1)));
         DualRowCache {

@@ -289,6 +289,6 @@ mod tests {
 
     #[test]
     fn per_entry_overhead_is_small() {
-        assert!(ENTRY_OVERHEAD < 32);
+        const { assert!(ENTRY_OVERHEAD < 32) }
     }
 }

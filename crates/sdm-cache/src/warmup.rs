@@ -130,7 +130,10 @@ mod tests {
             0.50,
             SimDuration::from_secs(30 * 60),
         );
-        assert!((overhead - 1.0 / 30.0).abs() < 1e-9, "overhead = {overhead}");
+        assert!(
+            (overhead - 1.0 / 30.0).abs() < 1e-9,
+            "overhead = {overhead}"
+        );
         assert!(overhead < 0.05);
     }
 
@@ -141,7 +144,12 @@ mod tests {
             0.0
         );
         assert_eq!(
-            warmup_capacity_overhead(0.1, SimDuration::from_secs(60), 0.0, SimDuration::from_secs(60)),
+            warmup_capacity_overhead(
+                0.1,
+                SimDuration::from_secs(60),
+                0.0,
+                SimDuration::from_secs(60)
+            ),
             0.0
         );
     }

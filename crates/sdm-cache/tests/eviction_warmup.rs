@@ -1,0 +1,141 @@
+//! Eviction-under-load and warmup behaviour across the cache engines —
+//! the hot paths the serving loop exercises on every query (paper §4.3,
+//! §A.4) that the per-module unit tests only cover in isolation.
+
+use sdm_cache::{
+    CacheConfig, CpuOptimizedCache, DualRowCache, MemoryOptimizedCache, PooledEmbeddingCache,
+    RowCache, RowKey, WarmupTracker,
+};
+use sdm_metrics::units::Bytes;
+
+/// Simulates the demand-fill loop the SDM manager runs: look up, record the
+/// outcome, insert on miss. Returns the tracker after `passes` sweeps over
+/// the working set.
+fn demand_fill<C: RowCache>(
+    cache: &mut C,
+    rows: u64,
+    row_bytes: usize,
+    passes: usize,
+    window: u64,
+) -> WarmupTracker {
+    let mut tracker = WarmupTracker::new(window, 0.95);
+    for _ in 0..passes {
+        for row in 0..rows {
+            let key = RowKey::new(0, row);
+            let hit = cache.get(&key).is_some();
+            tracker.record(hit);
+            if !hit {
+                cache.insert(key, vec![row as u8; row_bytes]);
+            }
+        }
+    }
+    tracker
+}
+
+#[test]
+fn memory_optimized_cache_warms_up_when_working_set_fits() {
+    // 256 rows x (64 + overhead) bytes comfortably fit in 64 KiB.
+    let mut cache = MemoryOptimizedCache::with_expected_row_size(Bytes::from_kib(64), 64);
+    let tracker = demand_fill(&mut cache, 256, 64, 4, 256);
+
+    // First sweep is all misses; later sweeps are all hits.
+    assert!(tracker.window_rates()[0] < 0.05, "cold window should miss");
+    assert!(tracker.is_warm(), "cache never reached steady state");
+    assert_eq!(tracker.steady_state_window(), Some(1));
+    assert_eq!(tracker.lookups_to_steady_state(), Some(512));
+    assert_eq!(cache.stats().evictions, 0, "no eviction when the set fits");
+}
+
+#[test]
+fn cpu_optimized_cache_warms_up_when_working_set_fits() {
+    let mut cache = CpuOptimizedCache::new(Bytes::from_kib(64));
+    let tracker = demand_fill(&mut cache, 256, 64, 4, 256);
+    assert!(tracker.is_warm());
+    assert!(tracker.window_rates().last().unwrap() > &0.99);
+    assert_eq!(cache.stats().evictions, 0);
+}
+
+#[test]
+fn thrashing_working_set_never_warms_and_keeps_evicting() {
+    // ~8 KiB budget vs a 256-row x 128-byte (~36 KiB + overhead) cycle:
+    // sequential sweeps with LRU eviction never re-hit a resident row.
+    let mut cache = CpuOptimizedCache::new(Bytes::from_kib(8));
+    let tracker = demand_fill(&mut cache, 256, 128, 4, 256);
+
+    assert!(!tracker.is_warm(), "thrashing cache reported steady state");
+    for rate in tracker.window_rates() {
+        assert!(*rate < 0.2, "window rate {rate} too high for a thrash loop");
+    }
+    assert!(cache.stats().evictions > 256, "eviction pressure expected");
+    assert!(cache.memory_used() <= cache.budget());
+}
+
+#[test]
+fn eviction_keeps_hot_rows_under_skewed_access() {
+    // Skewed access: 8 hot rows are re-touched between every cold access, a
+    // long tail of 1024 cold rows streams through. The ~8 KiB budget holds
+    // roughly 100 rows, so the tail constantly evicts — but LRU must keep
+    // the hot set resident throughout.
+    let mut cache = MemoryOptimizedCache::with_expected_row_size(Bytes::from_kib(8), 64);
+    let touch = |cache: &mut MemoryOptimizedCache, row: u64| {
+        let key = RowKey::new(0, row);
+        if cache.get(&key).is_none() {
+            cache.insert(key, vec![row as u8; 64]);
+        }
+    };
+    for tick in 0..8192u64 {
+        touch(&mut cache, tick % 8); // hot set: rows 0..8
+        touch(&mut cache, 8 + tick % 1024); // cold tail: rows 8..1032
+    }
+    assert!(cache.stats().evictions > 1000, "eviction pressure expected");
+    assert!(cache.memory_used() <= cache.budget());
+    for row in 0..8u64 {
+        assert!(
+            cache.contains(&RowKey::new(0, row)),
+            "hot row {row} evicted"
+        );
+    }
+    // Only the most recently streamed slice of the cold tail can be
+    // resident (capacity ≈ 100 rows for 1024 cold rows).
+    let cold_resident = (8..1032u64)
+        .filter(|&r| cache.contains(&RowKey::new(0, r)))
+        .count();
+    assert!(cold_resident < 256, "{cold_resident} cold rows resident");
+}
+
+#[test]
+fn dual_cache_routes_by_row_size_and_stays_within_budgets() {
+    let mut dual = DualRowCache::new(CacheConfig::with_total_budget(Bytes::from_kib(64)));
+    let threshold = dual.small_row_threshold();
+    assert!(threshold > 0);
+
+    for row in 0..64u64 {
+        dual.insert(RowKey::new(0, row), vec![1u8; threshold / 2]);
+        dual.insert(RowKey::new(1, row), vec![2u8; threshold * 4]);
+    }
+    // Both engines saw their share of the inserts.
+    assert_eq!(dual.small_engine_stats().insertions, 64);
+    assert_eq!(dual.large_engine_stats().insertions, 64);
+    assert!(dual.memory_used() <= dual.budget());
+
+    // Lookups hit the right engine.
+    assert!(dual.get(&RowKey::new(0, 0)).is_some() || dual.small_engine_stats().evictions > 0);
+    assert!(dual.get(&RowKey::new(1, 63)).is_some() || dual.large_engine_stats().evictions > 0);
+}
+
+#[test]
+fn pooled_cache_eviction_respects_budget_under_churn() {
+    let mut cache = PooledEmbeddingCache::new(Bytes::from_kib(4), 2);
+    for i in 0..512u64 {
+        let indices: Vec<u64> = (i..i + 8).collect();
+        cache.insert(0, &indices, vec![i as f32; 16]);
+        assert!(
+            cache.memory_used() <= cache.budget(),
+            "pooled cache over budget at insert {i}"
+        );
+    }
+    assert!(!cache.is_empty());
+    // The most recent entry is still resident.
+    let last: Vec<u64> = (511..519).collect();
+    assert!(cache.lookup(0, &last).is_some());
+}

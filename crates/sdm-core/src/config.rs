@@ -146,9 +146,7 @@ impl SdmConfig {
                 ),
             });
         }
-        if self.granularity == AccessGranularity::Sgl
-            && !self.technology.supports_sgl_bit_bucket
-        {
+        if self.granularity == AccessGranularity::Sgl && !self.technology.supports_sgl_bit_bucket {
             return Err(SdmError::InvalidConfig {
                 reason: format!(
                     "technology {} does not support SGL reads; use block granularity",

@@ -295,10 +295,7 @@ mod tests {
         let mut eng = engine(&wide_cfg);
         let dequantised = ModelLoader::load(&model, &wide_cfg, &mut eng).unwrap();
         assert!(dequantised.sm_written_bytes > quantised.sm_written_bytes * 2);
-        assert_eq!(
-            dequantised.tables[&0].stored.quant,
-            QuantScheme::Fp32
-        );
+        assert_eq!(dequantised.tables[&0].stored.quant, QuantScheme::Fp32);
     }
 
     #[test]

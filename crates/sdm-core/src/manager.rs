@@ -410,7 +410,8 @@ mod tests {
         config.cache.pooled_len_threshold = 2;
         let mut sdm = build(&model, config);
         let indices = vec![5u64, 6, 7, 8, 9];
-        sdm.pooled_lookup_at(0, &indices, SimInstant::EPOCH).unwrap();
+        sdm.pooled_lookup_at(0, &indices, SimInstant::EPOCH)
+            .unwrap();
         let before = sdm.stats().pooled_cache_hits;
         // Same multiset in a different order still hits.
         let shuffled = vec![9u64, 8, 7, 6, 5];
@@ -441,9 +442,7 @@ mod tests {
         assert!(sdm
             .pooled_lookup_at(0, &[1_000_000], SimInstant::EPOCH)
             .is_err());
-        assert!(sdm
-            .pooled_lookup_at(77, &[0], SimInstant::EPOCH)
-            .is_err());
+        assert!(sdm.pooled_lookup_at(77, &[0], SimInstant::EPOCH).is_err());
     }
 
     #[test]
@@ -458,10 +457,7 @@ mod tests {
         assert_eq!(pooled.len(), 32);
         assert!(sdm.stats().pruned_zero_rows > 0);
         // Rows actually read is total minus the pruned ones.
-        assert_eq!(
-            sdm.stats().sm_reads + sdm.stats().pruned_zero_rows,
-            50
-        );
+        assert_eq!(sdm.stats().sm_reads + sdm.stats().pruned_zero_rows, 50);
     }
 
     #[test]
@@ -469,10 +465,12 @@ mod tests {
         let model = model_zoo::tiny(1, 0, 300);
         let mut sdm = build(&model, SdmConfig::for_tests());
         let indices = vec![1u64, 2, 3];
-        sdm.pooled_lookup_at(0, &indices, SimInstant::EPOCH).unwrap();
+        sdm.pooled_lookup_at(0, &indices, SimInstant::EPOCH)
+            .unwrap();
         let reads_before = sdm.stats().sm_reads;
         sdm.invalidate_caches();
-        sdm.pooled_lookup_at(0, &indices, SimInstant::EPOCH).unwrap();
+        sdm.pooled_lookup_at(0, &indices, SimInstant::EPOCH)
+            .unwrap();
         assert_eq!(sdm.stats().sm_reads, reads_before + 3);
     }
 
@@ -487,7 +485,8 @@ mod tests {
                 .with_granularity(AccessGranularity::Block),
         );
         let indices: Vec<u64> = (0..20).collect();
-        sgl.pooled_lookup_at(0, &indices, SimInstant::EPOCH).unwrap();
+        sgl.pooled_lookup_at(0, &indices, SimInstant::EPOCH)
+            .unwrap();
         block
             .pooled_lookup_at(0, &indices, SimInstant::EPOCH)
             .unwrap();

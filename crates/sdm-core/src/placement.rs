@@ -21,8 +21,10 @@ pub enum TableLocation {
 /// The paper's placement policy families (Table 5).
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
+#[derive(Default)]
 pub enum PlacementPolicy {
     /// Map every SM-candidate (user) table to SM and rely on the cache.
+    #[default]
     SmOnlyWithCache,
     /// Place tables directly on fast memory, hottest-per-byte first, until
     /// the DRAM budget is spent; the rest goes to SM behind the cache.
@@ -45,12 +47,6 @@ pub enum PlacementPolicy {
         /// Fast-memory budget the pinned tables must fit into.
         dram_budget: Bytes,
     },
-}
-
-impl Default for PlacementPolicy {
-    fn default() -> Self {
-        PlacementPolicy::SmOnlyWithCache
-    }
 }
 
 /// The resolved placement of every table of a model.

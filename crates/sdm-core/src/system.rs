@@ -117,7 +117,7 @@ impl SdmSystem {
     /// Propagates engine and memory errors.
     pub fn run_query(&mut self, query: &Query) -> Result<QueryResult, SdmError> {
         let result = self.engine.execute(query, &mut self.manager, self.clock)?;
-        self.clock = self.clock + result.latency.total;
+        self.clock += result.latency.total;
         Ok(result)
     }
 

@@ -77,8 +77,8 @@ impl ModelUpdater {
         for (table_id, stored) in &sm_tables {
             let placement = *manager.loaded().layout.placement(*table_id)?;
             let new_table = EmbeddingTable::generate(stored, new_version ^ *table_id as u64);
-            let rows_to_write = ((stored.num_rows as f64 * fraction).ceil() as u64)
-                .clamp(1, stored.num_rows);
+            let rows_to_write =
+                ((stored.num_rows as f64 * fraction).ceil() as u64).clamp(1, stored.num_rows);
             let stride = placement.row_stride as usize;
             let mut image = vec![0u8; rows_to_write as usize * stride];
             for row in 0..rows_to_write {
@@ -155,7 +155,8 @@ mod tests {
     fn full_update_rewrites_everything_and_invalidates_caches() {
         let mut m = manager();
         // Warm the cache first.
-        m.pooled_lookup_at(0, &[1, 2, 3], SimInstant::EPOCH).unwrap();
+        m.pooled_lookup_at(0, &[1, 2, 3], SimInstant::EPOCH)
+            .unwrap();
         let warm_entries = m.row_cache().len();
         assert!(warm_entries > 0);
 
@@ -167,7 +168,9 @@ mod tests {
         assert_eq!(m.row_cache().len(), 0);
 
         // Rows served after the update come from the new version.
-        let (after, _) = m.pooled_lookup_at(0, &[1, 2, 3], SimInstant::EPOCH).unwrap();
+        let (after, _) = m
+            .pooled_lookup_at(0, &[1, 2, 3], SimInstant::EPOCH)
+            .unwrap();
         assert_eq!(after.len(), 32);
     }
 
@@ -181,12 +184,8 @@ mod tests {
             .pooled_lookup_at(0, &[1, 2, 3], SimInstant::EPOCH)
             .unwrap();
         let cached = inc_m.row_cache().len();
-        let inc = ModelUpdater::apply(
-            &mut inc_m,
-            UpdateKind::Incremental { fraction: 0.1 },
-            7,
-        )
-        .unwrap();
+        let inc =
+            ModelUpdater::apply(&mut inc_m, UpdateKind::Incremental { fraction: 0.1 }, 7).unwrap();
         assert!(inc.bytes_written < full.bytes_written / 5);
         assert!(!inc.caches_invalidated);
         assert_eq!(inc_m.row_cache().len(), cached);

@@ -180,7 +180,7 @@ impl Div<u64> for SimDuration {
     type Output = SimDuration;
     fn div(self, rhs: u64) -> SimDuration {
         SimDuration {
-            nanos: if rhs == 0 { 0 } else { self.nanos / rhs },
+            nanos: self.nanos.checked_div(rhs).unwrap_or(0),
         }
     }
 }
@@ -322,12 +322,10 @@ impl SimClock {
     pub fn advance_to(&self, t: SimInstant) -> SimInstant {
         let mut cur = self.nanos.load(Ordering::SeqCst);
         while cur < t.nanos {
-            match self.nanos.compare_exchange(
-                cur,
-                t.nanos,
-                Ordering::SeqCst,
-                Ordering::SeqCst,
-            ) {
+            match self
+                .nanos
+                .compare_exchange(cur, t.nanos, Ordering::SeqCst, Ordering::SeqCst)
+            {
                 Ok(_) => return t,
                 Err(observed) => cur = observed,
             }
@@ -379,10 +377,7 @@ mod tests {
     #[test]
     fn duration_constructors_agree() {
         assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1_000));
-        assert_eq!(
-            SimDuration::from_millis(2),
-            SimDuration::from_micros(2_000)
-        );
+        assert_eq!(SimDuration::from_millis(2), SimDuration::from_micros(2_000));
         assert_eq!(SimDuration::from_secs(3), SimDuration::from_millis(3_000));
     }
 
@@ -390,10 +385,7 @@ mod tests {
     fn duration_float_constructors_saturate() {
         assert_eq!(SimDuration::from_micros_f64(-1.0), SimDuration::ZERO);
         assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
-        assert_eq!(
-            SimDuration::from_micros_f64(1.5).as_nanos(),
-            1_500
-        );
+        assert_eq!(SimDuration::from_micros_f64(1.5).as_nanos(), 1_500);
     }
 
     #[test]

@@ -94,10 +94,7 @@ mod parking_counters {
     impl Registry {
         pub fn counter(&self, name: &str) -> Counter {
             let mut guard = self.inner.lock().expect("counter registry poisoned");
-            guard
-                .entry(name.to_owned())
-                .or_insert_with(Counter::new)
-                .clone()
+            guard.entry(name.to_owned()).or_default().clone()
         }
 
         pub fn snapshot(&self) -> BTreeMap<String, u64> {

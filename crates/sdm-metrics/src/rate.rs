@@ -131,7 +131,7 @@ mod tests {
         let mut r = RateEstimator::new(SimDuration::from_secs(1));
         let mut t = SimInstant::EPOCH;
         for _ in 0..2000 {
-            t = t + SimDuration::from_micros(500); // 2000 events/s
+            t += SimDuration::from_micros(500); // 2000 events/s
             r.record(t, 1);
         }
         let rate = r.rate_at(t);
@@ -155,7 +155,7 @@ mod tests {
         let mut r = RateEstimator::new(SimDuration::from_secs(1));
         let mut t = SimInstant::EPOCH;
         for _ in 0..100 {
-            t = t + SimDuration::from_millis(10);
+            t += SimDuration::from_millis(10);
             r.record(t, 4096); // 100 * 4 KiB per second
         }
         let bw = r.rate_at(t);

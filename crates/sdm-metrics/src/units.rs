@@ -106,7 +106,7 @@ impl Mul<u64> for Bytes {
 impl Div<u64> for Bytes {
     type Output = Bytes;
     fn div(self, rhs: u64) -> Bytes {
-        Bytes(if rhs == 0 { 0 } else { self.0 / rhs })
+        Bytes(self.0.checked_div(rhs).unwrap_or(0))
     }
 }
 

@@ -150,8 +150,11 @@ impl QueryGenerator {
         };
         let user_samplers = make_samplers(&user_tables)?;
         let item_samplers = make_samplers(&item_tables)?;
-        let user_popularity =
-            ZipfSampler::new(config.user_population, config.user_zipf_exponent, seed ^ 0xabcd)?;
+        let user_popularity = ZipfSampler::new(
+            config.user_population,
+            config.user_zipf_exponent,
+            seed ^ 0xabcd,
+        )?;
         Ok(QueryGenerator {
             user_tables,
             item_tables,
@@ -265,11 +268,15 @@ mod tests {
 
     #[test]
     fn invalid_config_rejected() {
-        let mut cfg = WorkloadConfig::default();
-        cfg.item_batch = 0;
+        let cfg = WorkloadConfig {
+            item_batch: 0,
+            ..Default::default()
+        };
         assert!(QueryGenerator::new(&tables(), cfg, 0).is_err());
-        let mut cfg = WorkloadConfig::default();
-        cfg.user_population = 0;
+        let cfg = WorkloadConfig {
+            user_population: 0,
+            ..Default::default()
+        };
         assert!(cfg.validate().is_err());
     }
 
@@ -313,7 +320,10 @@ mod tests {
         for q in &queries {
             by_user.entry(q.user_id).or_default().push(q);
         }
-        let repeated = by_user.values().find(|v| v.len() >= 2).expect("no repeated user");
+        let repeated = by_user
+            .values()
+            .find(|v| v.len() >= 2)
+            .expect("no repeated user");
         assert_eq!(
             repeated[0].user_requests[0].indices,
             repeated[1].user_requests[0].indices

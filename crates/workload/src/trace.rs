@@ -51,7 +51,10 @@ impl AccessTrace {
 
     /// The access stream of one table (empty slice when absent).
     pub fn table_accesses(&self, table: TableId) -> &[u64] {
-        self.accesses.get(&table).map(|v| v.as_slice()).unwrap_or(&[])
+        self.accesses
+            .get(&table)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Total accesses across all tables.

@@ -153,10 +153,14 @@ mod tests {
             *counts.entry(s.sample(&mut rng)).or_default() += 1;
         }
         let mut rows: Vec<(u64, u64)> = counts.into_iter().collect();
-        rows.sort_unstable_by(|a, b| b.1.cmp(&a.1));
+        rows.sort_unstable_by_key(|&(_, c)| std::cmp::Reverse(c));
         let hot_blocks: std::collections::HashSet<u64> =
             rows.iter().take(100).map(|(r, _)| r / 32).collect();
-        assert!(hot_blocks.len() > 80, "hot rows clustered: {}", hot_blocks.len());
+        assert!(
+            hot_blocks.len() > 80,
+            "hot rows clustered: {}",
+            hot_blocks.len()
+        );
     }
 
     #[test]

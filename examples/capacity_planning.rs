@@ -22,14 +22,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    for (model, qps_per_host) in [(model_zoo::m1(), 120.0), (model_zoo::m2(), 450.0), (model_zoo::m3(), 3150.0)] {
+    for (model, qps_per_host) in [
+        (model_zoo::m1(), 120.0),
+        (model_zoo::m2(), 450.0),
+        (model_zoo::m3(), 3150.0),
+    ] {
         let summary = analysis::capacity_summary(&model.tables);
         let user_tables = model.user_tables();
-        let avg_pf = user_tables.iter().map(|t| t.pooling_factor as f64).sum::<f64>()
+        let avg_pf = user_tables
+            .iter()
+            .map(|t| t.pooling_factor as f64)
+            .sum::<f64>()
             / user_tables.len() as f64;
-        let raw_iops = analysis::iops_requirement(user_tables.iter().copied(), qps_per_host, model.item_batch);
-        println!("\n{}: {} embeddings ({:.0}% user side)", model.name, model.embedding_capacity(), summary.user_fraction() * 100.0);
-        println!("  user-embedding IOPS at {qps_per_host} QPS/host: {:.2} M raw", raw_iops / 1e6);
+        let raw_iops =
+            analysis::iops_requirement(user_tables.iter().copied(), qps_per_host, model.item_batch);
+        println!(
+            "\n{}: {} embeddings ({:.0}% user side)",
+            model.name,
+            model.embedding_capacity(),
+            summary.user_fraction() * 100.0
+        );
+        println!(
+            "  user-embedding IOPS at {qps_per_host} QPS/host: {:.2} M raw",
+            raw_iops / 1e6
+        );
         for hit in [0.8f64, 0.9, 0.96] {
             let sizing = size_ssds(SizingInputs {
                 qps: qps_per_host,

@@ -19,14 +19,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut generator = QueryGenerator::new(&model.tables, workload, 21)?;
     let queries = generator.generate(120);
 
-    let budgets = [Bytes::ZERO, model.user_capacity() / 4, model.user_capacity() / 2];
+    let budgets = [
+        Bytes::ZERO,
+        model.user_capacity() / 4,
+        model.user_capacity() / 2,
+    ];
     let mut best: Option<(String, f64)> = None;
-    println!("candidate configurations for {} ({} tables):", model.name, model.tables.len());
+    println!(
+        "candidate configurations for {} ({} tables):",
+        model.name,
+        model.tables.len()
+    );
     for (policy_name, policy) in [
         ("SM only + cache", PlacementPolicy::SmOnlyWithCache),
-        ("fixed FM (25%) + SM", PlacementPolicy::FixedFmThenSm { dram_budget: budgets[1] }),
-        ("fixed FM (50%) + SM", PlacementPolicy::FixedFmThenSm { dram_budget: budgets[2] }),
-        ("per-table cache enablement", PlacementPolicy::PerTableCacheEnablement { min_zipf_exponent: 0.8 }),
+        (
+            "fixed FM (25%) + SM",
+            PlacementPolicy::FixedFmThenSm {
+                dram_budget: budgets[1],
+            },
+        ),
+        (
+            "fixed FM (50%) + SM",
+            PlacementPolicy::FixedFmThenSm {
+                dram_budget: budgets[2],
+            },
+        ),
+        (
+            "per-table cache enablement",
+            PlacementPolicy::PerTableCacheEnablement {
+                min_zipf_exponent: 0.8,
+            },
+        ),
     ] {
         for cache_mib in [4u64, 16] {
             let mut config = SdmConfig::default().with_placement(policy.clone());
@@ -43,7 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 report.p95_latency,
                 system.manager().stats().row_cache_hit_rate() * 100.0
             );
-            if best.as_ref().map(|(_, q)| report.qps_single_stream > *q).unwrap_or(true) {
+            if best
+                .as_ref()
+                .map(|(_, q)| report.qps_single_stream > *q)
+                .unwrap_or(true)
+            {
                 best = Some((label, report.qps_single_stream));
             }
         }

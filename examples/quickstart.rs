@@ -40,10 +40,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let stats = system.manager().stats();
     println!("\nSDM memory manager:");
-    println!("  row-cache hit rate    : {:.1}%", stats.row_cache_hit_rate() * 100.0);
-    println!("  pooled-cache hit rate : {:.1}%", stats.pooled_cache_hit_rate() * 100.0);
+    println!(
+        "  row-cache hit rate    : {:.1}%",
+        stats.row_cache_hit_rate() * 100.0
+    );
+    println!(
+        "  pooled-cache hit rate : {:.1}%",
+        stats.pooled_cache_hit_rate() * 100.0
+    );
     println!("  reads that went to SM : {}", stats.sm_reads);
-    println!("  SM read amplification : {:.2}x", stats.read_amplification());
-    println!("  device IOs issued     : {}", system.manager().io_engine().stats().submitted);
+    println!(
+        "  SM read amplification : {:.2}x",
+        stats.read_amplification()
+    );
+    println!(
+        "  device IOs issued     : {}",
+        system.manager().io_engine().stats().submitted
+    );
     Ok(())
 }

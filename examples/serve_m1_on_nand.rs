@@ -5,7 +5,7 @@
 //! Run with: `cargo run --release --example serve_m1_on_nand`
 
 use dlrm::model_zoo;
-use sdm_core::{ModelUpdater, SdmConfig, UpdateKind, SdmSystem};
+use sdm_core::{ModelUpdater, SdmConfig, SdmSystem, UpdateKind};
 use sdm_metrics::units::Bytes;
 use workload::{QueryGenerator, WorkloadConfig};
 
@@ -51,6 +51,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = system.run_queries(&queries)?;
         println!("  round {round}: p95 = {:>10}", report.p95_latency);
     }
-    println!("\nfinal stats: {:?}", system.manager().stats().sm_op_latency);
+    println!(
+        "\nfinal stats: {:?}",
+        system.manager().stats().sm_op_latency
+    );
     Ok(())
 }

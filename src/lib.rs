@@ -2,6 +2,25 @@
 //!
 //! Re-exports the workspace crates so examples and integration tests can use
 //! a single dependency. See the individual crates for the actual APIs.
+//!
+//! # Workspace layout
+//!
+//! The stack is layered bottom-up (see the README for the full dependency
+//! diagram):
+//!
+//! - [`sdm_metrics`] — simulated clock, latency histograms, byte/rate units
+//! - [`scm_device`] — SCM technology profiles, block devices, NVMe queues
+//! - [`io_engine`] — io_uring-style submission/completion rings and mmap
+//! - [`embedding`] — table descriptors, quantization, pruning, pooling,
+//!   SM placement layout
+//! - [`sdm_cache`] — row and pooled-embedding caches with warmup tracking
+//! - [`workload`] — Zipf query synthesis, traces, locality analysis
+//! - [`dlrm`] — model zoo, MLP stacks, backends, the inference engine
+//! - [`sdm_core`] — placement policies, load transforms, updates, and the
+//!   serving loop tying everything together
+//! - [`cluster`] — host configs, power, sizing, scale-out scenarios
+//!
+//! External dependencies are vendored offline shims (see `vendor/README.md`).
 
 pub use cluster;
 pub use dlrm;

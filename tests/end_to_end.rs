@@ -50,7 +50,11 @@ fn cache_warms_up_and_serving_gets_faster() {
     let warm = system.run_queries(&stream[80..]).unwrap();
     assert!(warm.mean_latency <= cold.mean_latency);
     let stats = system.manager().stats();
-    assert!(stats.row_cache_hit_rate() > 0.2, "hit rate {}", stats.row_cache_hit_rate());
+    assert!(
+        stats.row_cache_hit_rate() > 0.2,
+        "hit rate {}",
+        stats.row_cache_hit_rate()
+    );
     assert!(stats.sm_reads > 0);
     assert!(stats.pooled_ops > 0);
 }
@@ -100,7 +104,8 @@ fn interop_parallelism_improves_latency_on_the_sdm_backend() {
     let mut seq = SdmSystem::build(&model, SdmConfig::for_tests().with_nand_flash(), 13).unwrap();
     seq.engine_mut().set_mode(dlrm::ExecutionMode::Sequential);
     let mut par = SdmSystem::build(&model, SdmConfig::for_tests().with_nand_flash(), 13).unwrap();
-    par.engine_mut().set_mode(dlrm::ExecutionMode::InterOpParallel);
+    par.engine_mut()
+        .set_mode(dlrm::ExecutionMode::InterOpParallel);
     let seq_report = seq.run_queries(&stream).unwrap();
     let par_report = par.run_queries(&stream).unwrap();
     assert!(par_report.mean_latency < seq_report.mean_latency);

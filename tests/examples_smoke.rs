@@ -1,0 +1,48 @@
+//! Smoke-runs every example end-to-end via `cargo run --example` and
+//! asserts a zero exit code, so CI catches examples that rot as the crate
+//! APIs evolve.
+//!
+//! Spawning cargo from a test is safe: the build lock is released while
+//! tests execute, and concurrent example builds serialize on it.
+
+use std::process::Command;
+
+fn run_example(name: &str) {
+    let cargo = env!("CARGO");
+    // Release profile: the library dependency graph is already compiled by
+    // the tier-1 `cargo build --release`, so only the example itself links
+    // here (ci.sh pre-builds even that via `--examples`). Example builds
+    // serialize on the cargo lock; subsequent runs are fully cached.
+    let output = Command::new(cargo)
+        .args(["run", "--quiet", "--release", "--example", name])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .unwrap_or_else(|e| panic!("failed to spawn cargo for example {name}: {e}"));
+    assert!(
+        output.status.success(),
+        "example {name} exited with {}\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr),
+    );
+}
+
+#[test]
+fn quickstart_runs_clean() {
+    run_example("quickstart");
+}
+
+#[test]
+fn serve_m1_on_nand_runs_clean() {
+    run_example("serve_m1_on_nand");
+}
+
+#[test]
+fn capacity_planning_runs_clean() {
+    run_example("capacity_planning");
+}
+
+#[test]
+fn placement_tuning_runs_clean() {
+    run_example("placement_tuning");
+}

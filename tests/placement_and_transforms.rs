@@ -85,7 +85,9 @@ fn depruning_trades_fm_mapping_space_for_sm_capacity() {
 
     assert!(mapped.manager().loaded().fm_mapping_bytes > Bytes::ZERO);
     assert_eq!(depruned.manager().loaded().fm_mapping_bytes, Bytes::ZERO);
-    assert!(depruned.manager().loaded().sm_written_bytes > mapped.manager().loaded().sm_written_bytes);
+    assert!(
+        depruned.manager().loaded().sm_written_bytes > mapped.manager().loaded().sm_written_bytes
+    );
 
     // Both serve the same queries; the de-pruned variant issues at least as
     // many SM-side requests (pruned rows now exist on SM), the mapped
@@ -95,7 +97,8 @@ fn depruning_trades_fm_mapping_space_for_sm_capacity() {
     assert_eq!(mapped_scores.queries, depruned_scores.queries);
     assert!(mapped.manager().stats().pruned_zero_rows > 0);
     assert_eq!(depruned.manager().stats().pruned_zero_rows, 0);
-    let mapped_requests = mapped.manager().stats().sm_reads + mapped.manager().stats().row_cache_hits;
+    let mapped_requests =
+        mapped.manager().stats().sm_reads + mapped.manager().stats().row_cache_hits;
     let depruned_requests =
         depruned.manager().stats().sm_reads + depruned.manager().stats().row_cache_hits;
     assert!(depruned_requests >= mapped_requests);
@@ -115,7 +118,9 @@ fn dequantization_at_load_grows_the_sm_image_and_preserves_results() {
         6,
     )
     .unwrap();
-    assert!(fp32.manager().loaded().sm_written_bytes > int8.manager().loaded().sm_written_bytes * 2);
+    assert!(
+        fp32.manager().loaded().sm_written_bytes > int8.manager().loaded().sm_written_bytes * 2
+    );
     for q in &stream {
         let a = int8.run_query(q).unwrap();
         let b = fp32.run_query(q).unwrap();
@@ -138,7 +143,10 @@ fn pinned_tables_stay_in_fast_memory() {
     )
     .unwrap();
     use sdm_core::TableLocation;
-    assert_eq!(system.manager().loaded().placement.location(1), TableLocation::FastMemory);
+    assert_eq!(
+        system.manager().loaded().placement.location(1),
+        TableLocation::FastMemory
+    );
     assert_eq!(
         system.manager().loaded().placement.location(0),
         TableLocation::SlowMemoryCached

@@ -7,7 +7,11 @@ use sdm_metrics::units::Bytes;
 use sdm_metrics::{LatencyHistogram, SimDuration};
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+    // Case count and RNG seed are pinned so CI runs are deterministic; a
+    // failure report names the case index, which reproduces exactly. The
+    // seed is suite-specific so this file is insulated from changes to the
+    // shim's default.
+    #![proptest_config(ProptestConfig::with_cases(64).with_seed(0x5d11_0001))]
 
     /// Quantise → dequantise reconstructs every element within the scheme's
     /// quantisation step.

@@ -20,7 +20,9 @@ fn skewed_tables_get_higher_cache_hit_rates() {
         user_zipf_exponent: 0.3,
         inference_eval: false,
     };
-    let queries = QueryGenerator::new(&model.tables, cfg, 5).unwrap().generate(400);
+    let queries = QueryGenerator::new(&model.tables, cfg, 5)
+        .unwrap()
+        .generate(400);
     let mut system = SdmSystem::build(&model, SdmConfig::for_tests(), 5).unwrap();
     system.run_queries(&queries).unwrap();
 
@@ -33,7 +35,10 @@ fn skewed_tables_get_higher_cache_hit_rates() {
         let u: std::collections::HashSet<u64> = a.iter().copied().collect();
         u.len() as f64 / a.len() as f64
     };
-    assert!(unique(1) < unique(0), "skewed table should re-reference more");
+    assert!(
+        unique(1) < unique(0),
+        "skewed table should re-reference more"
+    );
     assert!(system.manager().stats().row_cache_hit_rate() > 0.1);
 }
 
@@ -46,7 +51,9 @@ fn sticky_routing_gives_each_host_a_repeating_user_population() {
         user_zipf_exponent: 0.9,
         inference_eval: false,
     };
-    let queries = QueryGenerator::new(&model.tables, cfg, 6).unwrap().generate(600);
+    let queries = QueryGenerator::new(&model.tables, cfg, 6)
+        .unwrap()
+        .generate(600);
     let mut sticky = Scheduler::new(8, RoutingPolicy::UserSticky);
     let parts = sticky.partition(&queries);
     // Every user's queries land on exactly one host.
@@ -62,7 +69,11 @@ fn sticky_routing_gives_each_host_a_repeating_user_population() {
     // And the per-host traces cover all lookups.
     let total: u64 = queries.iter().map(|q| q.total_lookups() as u64).sum();
     let mut sched = Scheduler::new(8, RoutingPolicy::UserSticky);
-    let sum: u64 = sched.per_host_traces(&queries).iter().map(|t| t.len()).sum();
+    let sum: u64 = sched
+        .per_host_traces(&queries)
+        .iter()
+        .map(|t| t.len())
+        .sum();
     assert_eq!(total, sum);
 }
 
@@ -113,7 +124,9 @@ fn equation_8_iops_matches_direct_counting() {
         user_population: 100,
         ..WorkloadConfig::default()
     };
-    let queries = QueryGenerator::new(&model.tables, cfg, 8).unwrap().generate(50);
+    let queries = QueryGenerator::new(&model.tables, cfg, 8)
+        .unwrap()
+        .generate(50);
     let user_ids: std::collections::HashSet<u32> =
         model.user_tables().iter().map(|t| t.id).collect();
     let counted: u64 = queries

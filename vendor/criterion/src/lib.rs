@@ -1,0 +1,239 @@
+//! Offline stand-in for the subset of `criterion` this workspace's benches
+//! use: `criterion_group!` / `criterion_main!`, benchmark groups with
+//! `sample_size`, `bench_function`, `bench_with_input`, and `Bencher::iter`.
+//!
+//! Instead of criterion's statistical machinery it runs a short warm-up,
+//! then times `sample_size` batches and reports min/median/mean per
+//! iteration. Good enough to spot order-of-magnitude regressions locally;
+//! not a replacement for real criterion output.
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+/// Prevents the optimiser from deleting a benchmarked computation.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Identifies one benchmark within a group, e.g. `lookup/64`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            name: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.name)
+    }
+}
+
+/// Drives the measured closure.
+pub struct Bencher {
+    iters_per_sample: u64,
+    samples: Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher {
+    fn new(target_samples: usize) -> Self {
+        Bencher {
+            iters_per_sample: 0,
+            samples: Vec::new(),
+            target_samples,
+        }
+    }
+
+    /// Times `routine`, recording `target_samples` batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm up and calibrate the batch size so one sample takes roughly
+        // 1 ms (bounded to keep total bench time low).
+        let calibration_start = Instant::now();
+        let mut calls = 0u64;
+        while calibration_start.elapsed() < Duration::from_millis(5) && calls < 1_000_000 {
+            black_box(routine());
+            calls += 1;
+        }
+        let per_call = calibration_start.elapsed().as_nanos().max(1) / u128::from(calls.max(1));
+        self.iters_per_sample = (1_000_000 / per_call.max(1)).clamp(1, 1_000_000) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.target_samples {
+            let start = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.samples.is_empty() {
+            println!("{label:<40} (no samples)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let min = per_iter[0];
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{label:<40} min {:>12} median {:>12} mean {:>12} ({} iters x {} samples)",
+            fmt_ns(min),
+            fmt_ns(median),
+            fmt_ns(mean),
+            self.iters_per_sample,
+            per_iter.len(),
+        );
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.2} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// A named set of related benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed batches each benchmark records.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.sample_size = samples;
+        self
+    }
+
+    /// Sets a time budget; accepted for API parity, ignored by the shim.
+    pub fn measurement_time(&mut self, _budget: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!();
+        println!("group: {name}");
+        BenchmarkGroup {
+            name,
+            sample_size: 20,
+            _criterion: self,
+        }
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(20);
+        f(&mut bencher);
+        bencher.report(&id.to_string());
+        self
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut bencher = Bencher::new(5);
+        let mut x = 0u64;
+        bencher.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            x
+        });
+        assert_eq!(bencher.samples.len(), 5);
+        assert!(bencher.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn group_api_composes() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim_smoke");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4u32, |b, &n| {
+            b.iter(|| n * 2)
+        });
+        group.finish();
+    }
+}

@@ -1,0 +1,335 @@
+//! Offline stand-in for the subset of `proptest` this workspace uses.
+//!
+//! Provides the [`proptest!`] / [`prop_assert!`] / [`prop_assert_eq!`]
+//! macros, numeric-range and collection strategies, and a deterministic
+//! runner: every case derives its RNG from `ProptestConfig::seed` and the
+//! case index, so a failure report (`case N, seed 0x...`) reproduces
+//! exactly. There is no shrinking — failures print the case index instead.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt;
+use std::ops::Range;
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: u32 = 256;
+
+/// Default RNG seed. Pinned so CI runs are stable; override per-suite with
+/// `ProptestConfig { seed, .. }`.
+pub const DEFAULT_SEED: u64 = 0x5d_2022;
+
+/// Runner configuration, set via `#![proptest_config(...)]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of cases generated per property.
+    pub cases: u32,
+    /// Base seed; each case's RNG is derived from `seed` and the case index.
+    pub seed: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: DEFAULT_CASES,
+            seed: DEFAULT_SEED,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases with the default pinned seed.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+
+    /// A config with an explicit seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Derives the deterministic RNG for one case.
+    pub fn rng_for_case(&self, case: u32) -> StdRng {
+        StdRng::seed_from_u64(self.seed ^ (case as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15))
+    }
+}
+
+/// A failed property case.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A source of generated values.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+/// A strategy that always yields the same value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy!((A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E));
+
+/// Number of elements a collection strategy may produce.
+#[derive(Debug, Clone)]
+pub struct SizeRange(Range<usize>);
+
+impl From<usize> for SizeRange {
+    fn from(exact: usize) -> Self {
+        SizeRange(exact..exact + 1)
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(range: Range<usize>) -> Self {
+        SizeRange(range)
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(range: std::ops::RangeInclusive<usize>) -> Self {
+        SizeRange(*range.start()..range.end() + 1)
+    }
+}
+
+/// Collection strategies (`prop::collection::vec`).
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    /// Strategy producing `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// Generates vectors with lengths drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let range = self.size.0.clone();
+            let len = if range.len() <= 1 {
+                range.start
+            } else {
+                rng.gen_range(range)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Namespace mirroring `proptest::prelude::prop`.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
+        Strategy, TestCaseError,
+    };
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($config) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($config:expr) $($(#[$meta:meta])* fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut proptest_rng = config.rng_for_case(case);
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut proptest_rng);)*
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        ::std::panic!(
+                            "property {} failed at case {}/{} (seed {:#x}): {}",
+                            stringify!($name),
+                            case,
+                            config.cases,
+                            config.seed,
+                            e
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} == {:?}",
+                left, right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(left == right) {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if left == right {
+            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                left, right
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..17, f in -2.0f32..2.0) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&f));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(0u8..255, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+        }
+
+        #[test]
+        fn exact_size_vecs(v in prop::collection::vec(0.0f64..1.0, 5)) {
+            prop_assert_eq!(v.len(), 5);
+        }
+
+        #[test]
+        fn tuples_compose(t in (0u32..4, 0u64..500, 1usize..300)) {
+            prop_assert!(t.0 < 4);
+            prop_assert!(t.1 < 500);
+            prop_assert!(t.2 >= 1 && t.2 < 300);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let config = ProptestConfig::with_cases(4);
+        let strat = crate::collection::vec(0u64..1000, 3..10);
+        let a: Vec<Vec<u64>> = (0..4)
+            .map(|c| strat.generate(&mut config.rng_for_case(c)))
+            .collect();
+        let b: Vec<Vec<u64>> = (0..4)
+            .map(|c| strat.generate(&mut config.rng_for_case(c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,193 @@
+//! Offline stand-in for the parts of `rand_distr` 0.4 this workspace uses:
+//! the [`Distribution`] trait and a [`Zipf`] sampler.
+//!
+//! The Zipf sampler implements rejection-inversion ("Rejection-inversion to
+//! generate variates from monotone discrete distributions", Hörmann &
+//! Derflinger 1996) — the same algorithm real `rand_distr` uses — so it is
+//! O(1) per sample with no table precomputation and statistically faithful:
+//! the workload tests assert real rank-frequency concentration, not just
+//! range membership.
+
+use rand::{Rng, RngCore};
+use std::fmt;
+
+/// Types that sample values of `T` from a parameterised distribution.
+pub trait Distribution<T> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a [`Zipf`] distribution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZipfError {
+    /// `n` was zero.
+    NTooSmall,
+    /// The exponent was non-positive or not finite.
+    STooSmall,
+}
+
+impl fmt::Display for ZipfError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ZipfError::NTooSmall => write!(f, "zipf: n must be at least 1"),
+            ZipfError::STooSmall => write!(f, "zipf: s must be positive and finite"),
+        }
+    }
+}
+
+impl std::error::Error for ZipfError {}
+
+/// Zipf distribution over ranks `1..=n` with `P(k) ∝ k^-s`.
+///
+/// Samples are returned as `F` (the rank as a float), matching `rand_distr`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Zipf<F> {
+    n: F,
+    s: F,
+    /// `H(1.5) - h(1)` — upper bound of the inversion domain.
+    h_x1: F,
+    /// `H(n + 0.5)` — lower bound of the inversion domain.
+    h_n: F,
+    /// Acceptance shortcut threshold.
+    q: F,
+}
+
+impl Zipf<f64> {
+    /// Creates a Zipf distribution over `1..=n` with exponent `s > 0`.
+    pub fn new(n: u64, s: f64) -> Result<Self, ZipfError> {
+        if n == 0 {
+            return Err(ZipfError::NTooSmall);
+        }
+        if s <= 0.0 || !s.is_finite() {
+            return Err(ZipfError::STooSmall);
+        }
+        let nf = n as f64;
+        let h_x1 = h_integral(1.5, s) - 1.0;
+        let h_n = h_integral(nf + 0.5, s);
+        let q = 2.0 - h_integral_inverse(h_integral(2.5, s) - h(2.0, s), s);
+        Ok(Zipf {
+            n: nf,
+            s,
+            h_x1,
+            h_n,
+            q,
+        })
+    }
+}
+
+/// `H(x) = ∫ t^-s dt`, up to an additive constant.
+fn h_integral(x: f64, s: f64) -> f64 {
+    let log_x = x.ln();
+    helper((1.0 - s) * log_x) * log_x
+}
+
+/// `h(x) = x^-s`.
+fn h(x: f64, s: f64) -> f64 {
+    (-s * x.ln()).exp()
+}
+
+/// `H⁻¹(y) = (1 + y(1-s))^(1/(1-s))`, expressed as
+/// `exp(y · ln(1 + t)/t)` with `t = y(1-s)` so it stays finite as `s → 1`
+/// (where it degenerates to `exp(y)`).
+fn h_integral_inverse(x: f64, s: f64) -> f64 {
+    let mut t = x * (1.0 - s);
+    // Clamp to the domain of log1p; values below -1 can only arise from
+    // floating-point rounding at the boundary.
+    if t < -1.0 {
+        t = -1.0;
+    }
+    (x * helper_inverse(t)).exp()
+}
+
+/// `helper(x) = (e^x - 1) / x`, continuous at 0.
+fn helper(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.exp_m1() / x
+    } else {
+        1.0 + x * 0.5 * (1.0 + x / 3.0 * (1.0 + 0.25 * x))
+    }
+}
+
+/// `helper_inverse(x) = ln(1 + x) / x`, continuous at 0.
+fn helper_inverse(x: f64) -> f64 {
+    if x.abs() > 1e-8 {
+        x.ln_1p() / x
+    } else {
+        1.0 - x * 0.5 * (1.0 - x / 3.0)
+    }
+}
+
+impl Distribution<f64> for Zipf<f64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        loop {
+            let u01 = unit_open(rng);
+            let u = self.h_n + u01 * (self.h_x1 - self.h_n);
+            let x = h_integral_inverse(u, self.s);
+            let k = x.round().clamp(1.0, self.n);
+            if k - x <= self.q || u >= h_integral(k + 0.5, self.s) - h(k, self.s) {
+                return k;
+            }
+        }
+    }
+}
+
+/// Uniform in the open interval `(0, 1)` — the inversion needs to avoid 0.
+fn unit_open<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    ((rng.next_u64() >> 11) as f64 + 0.5) * (1.0 / (1u64 << 53) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert_eq!(Zipf::new(0, 1.0), Err(ZipfError::NTooSmall));
+        assert_eq!(Zipf::new(10, 0.0), Err(ZipfError::STooSmall));
+        assert_eq!(Zipf::new(10, -1.0), Err(ZipfError::STooSmall));
+        assert!(Zipf::new(10, 1.0).is_ok());
+    }
+
+    #[test]
+    fn samples_are_valid_ranks() {
+        let z = Zipf::new(100, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let k = z.sample(&mut rng);
+            assert!((1.0..=100.0).contains(&k));
+            assert_eq!(k.fract(), 0.0);
+        }
+    }
+
+    #[test]
+    fn rank_frequencies_follow_power_law() {
+        let z = Zipf::new(1000, 1.0).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut counts: HashMap<u64, u64> = HashMap::new();
+        let draws = 200_000;
+        for _ in 0..draws {
+            *counts.entry(z.sample(&mut rng) as u64).or_default() += 1;
+        }
+        // With s = 1 and n = 1000, P(1) = 1 / H_1000 ≈ 0.1336.
+        let p1 = counts[&1] as f64 / draws as f64;
+        assert!((p1 - 0.1336).abs() < 0.01, "P(rank 1) = {p1}");
+        // Rank 1 must dominate rank 10 by roughly 10x.
+        let ratio = counts[&1] as f64 / counts[&10] as f64;
+        assert!((6.0..16.0).contains(&ratio), "rank1/rank10 = {ratio}");
+    }
+
+    #[test]
+    fn near_uniform_for_tiny_exponent() {
+        let z = Zipf::new(100, 1e-3).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0u64; 101];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        let min = *counts[1..].iter().min().unwrap() as f64;
+        let max = *counts[1..].iter().max().unwrap() as f64;
+        assert!(max / min < 1.5, "min {min} max {max}");
+    }
+}

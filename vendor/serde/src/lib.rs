@@ -1,0 +1,30 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment has no access to crates.io, so this workspace
+//! vendors a minimal shim: [`Serialize`] and [`Deserialize`] are marker
+//! traits and the derive macros emit empty implementations. Code that only
+//! *derives* the traits (every use in this workspace) compiles unchanged;
+//! swapping in real serde later is a one-line manifest change per crate.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize<'de>`.
+pub trait Deserialize<'de>: Sized {}
+
+/// Marker trait mirroring `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+impl<T> DeserializeOwned for T where T: for<'de> Deserialize<'de> {}
+
+/// Namespace parity with `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// Namespace parity with `serde::de`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}

@@ -1,0 +1,137 @@
+//! Derive macros for the vendored serde shim.
+//!
+//! The shim traits are empty markers, so the derives only need to name the
+//! type correctly (including generic parameters). Parsing is done directly
+//! on the token stream — no `syn`/`quote`, since the offline environment has
+//! no registry access.
+
+use proc_macro::{TokenStream, TokenTree};
+
+struct Target {
+    name: String,
+    /// Generic parameter list exactly as written, without the angle brackets
+    /// (e.g. `'a, T: Clone, const N: usize`). Empty when the type is not
+    /// generic.
+    params: String,
+    /// Parameter *names* only, for the `for Type<...>` position
+    /// (e.g. `'a, T, N`).
+    args: String,
+}
+
+/// Extracts the type name and generic parameters from a struct/enum item.
+fn parse_target(input: TokenStream) -> Target {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes and visibility until the `struct` / `enum` keyword.
+    for tt in iter.by_ref() {
+        match &tt {
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => break,
+            _ => continue,
+        }
+    }
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde shim derive: expected type name, found {other:?}"),
+    };
+    // Collect the generic parameter tokens, if any.
+    let mut params = String::new();
+    if matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        iter.next();
+        let mut depth = 1usize;
+        for tt in iter.by_ref() {
+            if let TokenTree::Punct(p) = &tt {
+                match p.as_char() {
+                    '<' => depth += 1,
+                    '>' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            params.push_str(&tt.to_string());
+            params.push(' ');
+        }
+    }
+    let args = param_names(&params);
+    Target { name, params, args }
+}
+
+/// Reduces a generic parameter list to the bare parameter names.
+fn param_names(params: &str) -> String {
+    let mut names = Vec::new();
+    for part in split_top_level_commas(params) {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        // `const N : usize` → N; `'a` → 'a; `T : Clone` → T.
+        let head = part.split(':').next().unwrap_or(part).trim();
+        let head = head.strip_prefix("const").unwrap_or(head).trim();
+        // Drop defaults (`T = u8`).
+        let head = head.split('=').next().unwrap_or(head).trim();
+        names.push(head.to_string());
+    }
+    names.join(", ")
+}
+
+fn split_top_level_commas(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut depth = 0i32;
+    for c in s.chars() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(std::mem::take(&mut cur));
+                continue;
+            }
+            _ => {}
+        }
+        cur.push(c);
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+fn empty_impl(input: TokenStream, trait_path: &str, extra_lifetime: Option<&str>) -> TokenStream {
+    let t = parse_target(input);
+    let mut params = String::new();
+    if let Some(lt) = extra_lifetime {
+        params.push_str(lt);
+        if !t.params.is_empty() {
+            params.push_str(", ");
+        }
+    }
+    params.push_str(&t.params);
+    let generics = if params.trim().is_empty() {
+        String::new()
+    } else {
+        format!("<{params}>")
+    };
+    let ty_args = if t.args.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", t.args)
+    };
+    format!(
+        "#[automatically_derived] impl{generics} {trait_path} for {}{ty_args} {{}}",
+        t.name
+    )
+    .parse()
+    .expect("serde shim derive: generated impl failed to parse")
+}
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "::serde::Serialize", None)
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    empty_impl(input, "::serde::Deserialize<'de>", Some("'de"))
+}
