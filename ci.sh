@@ -4,11 +4,24 @@
 #
 #   ./ci.sh        # full gate: fmt, clippy, build, test, bench compile
 #   ./ci.sh quick  # skip fmt/clippy (what the paper-repro driver runs)
+#   ./ci.sh bench  # run the criterion benches (quick shim) and write
+#                  # BENCH_hotpath.json via the exp_hotpath experiment
 
 set -euo pipefail
 cd "$(dirname "${BASH_SOURCE[0]}")"
 
 mode="${1:-full}"
+
+if [[ "$mode" == "bench" ]]; then
+    echo "==> cargo bench --workspace (quick criterion shim)"
+    cargo bench --workspace
+
+    echo "==> exp_hotpath --quick (writes BENCH_hotpath.json)"
+    cargo run --release -p sdm-bench --bin exp_hotpath -- --quick
+
+    echo "Bench gate passed; see BENCH_hotpath.json."
+    exit 0
+fi
 
 if [[ "$mode" == "full" ]]; then
     echo "==> cargo fmt --all --check"

@@ -9,7 +9,7 @@ use sdm_metrics::units::Bytes;
 
 fn warm_cache<C: RowCache>(cache: &mut C, rows: u64, row_bytes: usize) {
     for i in 0..rows {
-        cache.insert(RowKey::new(0, i), vec![(i % 251) as u8; row_bytes]);
+        cache.insert(RowKey::new(0, i), &vec![(i % 251) as u8; row_bytes]);
     }
 }
 
@@ -24,7 +24,7 @@ fn cache_engines(c: &mut Criterion) {
     group.bench_function("memory_optimized_hit", |b| {
         b.iter(|| {
             i = (i + 7) % rows;
-            memory_opt.get(&RowKey::new(0, i))
+            memory_opt.get(&RowKey::new(0, i)).map(<[u8]>::len)
         })
     });
 
@@ -33,7 +33,7 @@ fn cache_engines(c: &mut Criterion) {
     group.bench_function("cpu_optimized_hit", |b| {
         b.iter(|| {
             i = (i + 7) % rows;
-            cpu_opt.get(&RowKey::new(0, i))
+            cpu_opt.get(&RowKey::new(0, i)).map(<[u8]>::len)
         })
     });
 
@@ -42,7 +42,7 @@ fn cache_engines(c: &mut Criterion) {
     group.bench_function("dual_hit", |b| {
         b.iter(|| {
             i = (i + 7) % rows;
-            dual.get(&RowKey::new(0, i))
+            dual.get(&RowKey::new(0, i)).map(<[u8]>::len)
         })
     });
     group.finish();
@@ -53,8 +53,10 @@ fn pooled_cache(c: &mut Criterion) {
     group.sample_size(30);
     let mut cache = sdm_cache::PooledEmbeddingCache::new(Bytes::from_mib(4), 4);
     let indices: Vec<u64> = (0..40).collect();
-    cache.insert(3, &indices, vec![0.5f32; 64]);
-    group.bench_function("hit_40_indices", |b| b.iter(|| cache.lookup(3, &indices)));
+    cache.insert(3, &indices, &[0.5f32; 64]);
+    group.bench_function("hit_40_indices", |b| {
+        b.iter(|| cache.lookup(3, &indices).map(<[f32]>::len))
+    });
     group.finish();
 }
 

@@ -1,5 +1,6 @@
 //! Criterion bench backing Tables 8/9: end-to-end query execution on the
-//! DRAM baseline vs the SDM stack (Nand and Optane).
+//! DRAM baseline vs the SDM stack (Nand and Optane) — plus the batched
+//! serving-loop comparison (`run_batch` vs looped `run_query`).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sdm_bench::{bench_sdm_config, build_system, queries_for, scaled};
@@ -36,5 +37,31 @@ fn end_to_end(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, end_to_end);
+/// Looped `run_query` vs `run_batch` over the same warmed stream: virtual
+/// time is identical by construction (see the `batch_equivalence` suite),
+/// so the delta is pure host-side serving-loop overhead.
+fn batch_vs_loop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serving_loop_m1");
+    group.sample_size(10);
+    let model = scaled(&dlrm::model_zoo::m1());
+    let queries = queries_for(&model, 64, 99);
+
+    // One system serves both benchmarks so the comparison is not polluted
+    // by instance-to-instance heap-layout differences.
+    let mut system = build_system(&model, bench_sdm_config());
+    let _ = system.run_queries(&queries).unwrap();
+    group.bench_function("looped_run_query_64", |b| {
+        b.iter(|| {
+            for q in &queries {
+                system.run_query(q).unwrap();
+            }
+        })
+    });
+    group.bench_function("run_batch_64", |b| {
+        b.iter(|| system.run_batch(&queries).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, end_to_end, batch_vs_loop);
 criterion_main!(benches);

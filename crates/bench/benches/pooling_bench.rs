@@ -1,8 +1,16 @@
 //! Criterion bench backing Table 3/4 and §A.5: the cost of dequantise + pool
-//! that the pooled-embedding cache and load-time de-quantisation avoid.
+//! that the pooled-embedding cache and load-time de-quantisation avoid —
+//! plus the seed-vs-slice comparison for the zero-copy hot path.
+//!
+//! `seed_vecvec` reproduces the seed implementation exactly (one fresh
+//! `Vec<f32>` per row via `dequantize_row`, summed into a freshly allocated
+//! output); `slice_into` is the current hot path (`pool_quantized_into`
+//! fusing dequantise+accumulate into one reused output buffer). The
+//! acceptance bar for the hot-path PR is ≥ 2× between the two.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use embedding::{pooling, quantize_row, QuantScheme};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use embedding::{pooling, QuantScheme};
+use sdm_bench::{bench_quantized_rows as quantized_rows, pool_seed_style};
 
 fn pooling_cost(c: &mut Criterion) {
     let mut group = c.benchmark_group("pool_quantized");
@@ -10,12 +18,7 @@ fn pooling_cost(c: &mut Criterion) {
     for &pf in &[10usize, 40, 100] {
         for (name, scheme) in [("int8", QuantScheme::Int8), ("fp32", QuantScheme::Fp32)] {
             let dim = 64;
-            let rows: Vec<Vec<u8>> = (0..pf)
-                .map(|i| {
-                    let values: Vec<f32> = (0..dim).map(|j| ((i * j) as f32).sin()).collect();
-                    quantize_row(&values, scheme)
-                })
-                .collect();
+            let rows = quantized_rows(pf, dim, scheme);
             let row_refs: Vec<&[u8]> = rows.iter().map(|r| r.as_slice()).collect();
             group.bench_with_input(BenchmarkId::new(name, pf), &pf, |b, _| {
                 b.iter(|| pooling::pool_quantized(&row_refs, scheme, dim).unwrap())
@@ -25,5 +28,29 @@ fn pooling_cost(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, pooling_cost);
+/// Seed `Vec<Vec<f32>>`-style pooling vs the slice-based `_into` hot path.
+fn seed_vs_slice(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_hotpath");
+    group.sample_size(30);
+    let dim = 64;
+    for &pf in &[10usize, 40, 100] {
+        let rows = quantized_rows(pf, dim, QuantScheme::Int8);
+        let row_refs: Vec<&[u8]> = rows.iter().map(|r| r.as_slice()).collect();
+        group.bench_with_input(BenchmarkId::new("seed_vecvec", pf), &pf, |b, _| {
+            b.iter(|| pool_seed_style(&row_refs, QuantScheme::Int8, dim))
+        });
+        let mut out = vec![0.0f32; dim];
+        group.bench_with_input(BenchmarkId::new("slice_into", pf), &pf, |b, _| {
+            b.iter(|| {
+                out.iter_mut().for_each(|v| *v = 0.0);
+                pooling::pool_quantized_into(row_refs.iter().copied(), QuantScheme::Int8, &mut out)
+                    .unwrap();
+                black_box(out[0])
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pooling_cost, seed_vs_slice);
 criterion_main!(benches);

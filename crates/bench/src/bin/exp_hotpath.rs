@@ -1,0 +1,245 @@
+//! Hot-path tracking experiment: measures the zero-copy serving loop and
+//! writes machine-readable numbers to `BENCH_hotpath.json` so the perf
+//! trajectory is tracked from PR to PR.
+//!
+//! Three measurements (wall clock, release build recommended):
+//!
+//! 1. **Pooling** — seed-style `Vec<Vec<f32>>` pooling (fresh vector per
+//!    row + fresh output) vs the fused slice-based `pool_quantized_into`
+//!    hot path, in ns/row.
+//! 2. **Batch serving** — looped `run_query` vs `run_batch` over the same
+//!    warmed M1 stream, in queries/second of host wall time.
+//! 3. **Allocations** — heap allocations per query on the warmed hot path,
+//!    counted by a `GlobalAlloc` wrapper around the system allocator
+//!    (expected: 0 for `run_batch` / `run_query_into`).
+//!
+//! Usage: `exp_hotpath [--quick] [--out PATH]` (quick mode shrinks the
+//! iteration counts for CI smoke runs).
+
+use dlrm::QueryResult;
+use embedding::{pooling, QuantScheme};
+use sdm_bench::{
+    bench_quantized_rows, bench_sdm_config, build_system, header, pool_seed_style, queries_for,
+    scaled,
+};
+use sdm_metrics::alloc_hook;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// System allocator wrapper feeding the sdm-metrics allocation hook.
+struct CountingAllocator;
+
+// SAFETY: defers every operation to the system allocator unchanged.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        alloc_hook::note_alloc(layout.size());
+        System.alloc(layout)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        alloc_hook::note_alloc(layout.size());
+        System.alloc_zeroed(layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if new_size > layout.size() {
+            alloc_hook::note_alloc(new_size);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAllocator = CountingAllocator;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+
+    header("Hot path: arena-backed rows, slice pooling, batched execution");
+    let (pool_iters, batch_reps) = if quick { (2_000, 9) } else { (40_000, 36) };
+
+    // --- 1. Pooling: seed Vec<Vec<f32>> path vs slice-based into-path. ---
+    let pf = 40usize;
+    let dim = 64usize;
+    let rows = bench_quantized_rows(pf, dim, QuantScheme::Int8);
+    let row_refs: Vec<&[u8]> = rows.iter().map(|r| r.as_slice()).collect();
+
+    // Warm both paths, then time.
+    let mut sink = 0.0f32;
+    for _ in 0..pool_iters / 10 {
+        sink += black_box(pool_seed_style(
+            black_box(&row_refs),
+            QuantScheme::Int8,
+            dim,
+        ))[0];
+    }
+    let start = Instant::now();
+    for _ in 0..pool_iters {
+        sink += black_box(pool_seed_style(
+            black_box(&row_refs),
+            QuantScheme::Int8,
+            dim,
+        ))[0];
+    }
+    let seed_ns_per_row = start.elapsed().as_nanos() as f64 / (pool_iters as f64) / (pf as f64);
+
+    let mut out = vec![0.0f32; dim];
+    for _ in 0..pool_iters / 10 {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        pooling::pool_quantized_into(
+            black_box(row_refs.iter().copied()),
+            QuantScheme::Int8,
+            &mut out,
+        )
+        .unwrap();
+        sink += black_box(&out)[0];
+    }
+    let start = Instant::now();
+    for _ in 0..pool_iters {
+        out.iter_mut().for_each(|v| *v = 0.0);
+        pooling::pool_quantized_into(
+            black_box(row_refs.iter().copied()),
+            QuantScheme::Int8,
+            &mut out,
+        )
+        .unwrap();
+        sink += black_box(&out)[0];
+    }
+    let slice_ns_per_row = start.elapsed().as_nanos() as f64 / (pool_iters as f64) / (pf as f64);
+    let pooling_speedup = seed_ns_per_row / slice_ns_per_row;
+
+    println!("\n  pooling (int8, pf={pf}, dim={dim})");
+    println!("    seed Vec<Vec<f32>> path   {seed_ns_per_row:>8.2} ns/row");
+    println!("    slice-based into path     {slice_ns_per_row:>8.2} ns/row");
+    println!("    speedup                   {pooling_speedup:>8.2}x");
+
+    // --- 2. Batch serving: looped run_query vs run_batch, on the heavy
+    // M1 replica (operator math dominates, so the loop overhead is a small
+    // slice) and on a light model (where the per-query serving-loop
+    // overhead the batch path amortises is clearly visible). ---
+    let batch = 64usize;
+
+    // Median-of-rounds timing: alternate the two serving loops and take
+    // each side's median round. The median (rather than the minimum)
+    // captures what batching actually buys at this scale — the looped path
+    // pays the allocator on every query, which shows up as a heavier tail
+    // rather than a slower best case.
+    let measure = |model: &dlrm::ModelConfig, reps: usize| -> (f64, f64) {
+        let rounds = 9usize;
+        let reps = (reps.max(rounds) / rounds).max(1);
+        let queries = queries_for(model, batch, 99);
+        // One system serves both paths (identical warmed cache state and
+        // heap layout), and the rounds alternate so scheduler drift hits
+        // both sides equally.
+        let mut system = build_system(model, bench_sdm_config());
+        let _ = system.run_queries(&queries).unwrap();
+        for q in &queries {
+            system.run_query(q).unwrap();
+        }
+        let _ = system.run_batch(&queries).unwrap();
+
+        let mut loop_rounds = Vec::with_capacity(rounds);
+        let mut batch_rounds = Vec::with_capacity(rounds);
+        for _ in 0..rounds {
+            let start = Instant::now();
+            for _ in 0..reps {
+                for q in &queries {
+                    system.run_query(q).unwrap();
+                }
+            }
+            loop_rounds.push(start.elapsed().as_secs_f64());
+
+            let start = Instant::now();
+            for _ in 0..reps {
+                system.run_batch(&queries).unwrap();
+            }
+            batch_rounds.push(start.elapsed().as_secs_f64());
+        }
+        let median = |xs: &mut Vec<f64>| {
+            xs.sort_by(f64::total_cmp);
+            xs[xs.len() / 2]
+        };
+        let per_round = (reps * batch) as f64;
+        (
+            per_round / median(&mut loop_rounds),
+            per_round / median(&mut batch_rounds),
+        )
+    };
+
+    let m1 = scaled(&dlrm::model_zoo::m1());
+    let (looped_qps, batch_qps) = measure(&m1, batch_reps);
+    let batch_gain = batch_qps / looped_qps;
+    println!("\n  serving loop (M1 scaled, batch={batch}, warmed)");
+    println!("    looped run_query          {looped_qps:>12.0} q/s (host wall clock)");
+    println!("    run_batch                 {batch_qps:>12.0} q/s (host wall clock)");
+    println!("    gain                      {batch_gain:>8.3}x");
+
+    let light = dlrm::model_zoo::tiny(4, 2, 2_000);
+    let (light_looped_qps, light_batch_qps) = measure(&light, batch_reps * 40);
+    let light_gain = light_batch_qps / light_looped_qps;
+    println!("\n  serving loop (tiny model, batch={batch}, warmed)");
+    println!("    looped run_query          {light_looped_qps:>12.0} q/s (host wall clock)");
+    println!("    run_batch                 {light_batch_qps:>12.0} q/s (host wall clock)");
+    println!("    gain                      {light_gain:>8.3}x");
+
+    // --- 3. Allocations per query on the warmed hot path (M1 stream). ---
+    let queries = queries_for(&m1, batch, 99);
+    let mut system = build_system(&m1, bench_sdm_config());
+    let mut result = QueryResult::default();
+    for _ in 0..2 {
+        for q in &queries {
+            system.run_query_into(q, &mut result).unwrap();
+        }
+    }
+    system.run_batch(&queries).unwrap();
+    system.run_batch(&queries).unwrap();
+    alloc_hook::reset();
+    alloc_hook::set_enabled(true);
+    for q in &queries {
+        system.run_query_into(q, &mut result).unwrap();
+    }
+    alloc_hook::set_enabled(false);
+    let run_query_allocs = alloc_hook::allocations() as f64 / batch as f64;
+
+    alloc_hook::reset();
+    alloc_hook::set_enabled(true);
+    system.run_batch(&queries).unwrap();
+    alloc_hook::set_enabled(false);
+    let run_batch_allocs = alloc_hook::allocations() as f64 / batch as f64;
+
+    println!("\n  allocations/query (warmed)");
+    println!("    run_query_into            {run_query_allocs:>8.3}");
+    println!("    run_batch                 {run_batch_allocs:>8.3}");
+
+    // --- Emit BENCH_hotpath.json (hand-rolled: no JSON crate vendored). ---
+    let json = format!(
+        "{{\n  \"schema\": \"sdm-hotpath-v1\",\n  \"quick\": {quick},\n  \
+         \"pooling\": {{\n    \"pf\": {pf},\n    \"dim\": {dim},\n    \
+         \"seed_ns_per_row\": {seed_ns_per_row:.3},\n    \
+         \"slice_ns_per_row\": {slice_ns_per_row:.3},\n    \
+         \"speedup\": {pooling_speedup:.3}\n  }},\n  \
+         \"batch\": {{\n    \"model\": \"M1-scaled\",\n    \"batch_size\": {batch},\n    \
+         \"looped_run_query_qps\": {looped_qps:.1},\n    \
+         \"run_batch_qps\": {batch_qps:.1},\n    \
+         \"gain\": {batch_gain:.4}\n  }},\n  \
+         \"batch_light\": {{\n    \"model\": \"tiny(4,2,2000)\",\n    \"batch_size\": {batch},\n    \
+         \"looped_run_query_qps\": {light_looped_qps:.1},\n    \
+         \"run_batch_qps\": {light_batch_qps:.1},\n    \
+         \"gain\": {light_gain:.4}\n  }},\n  \
+         \"allocations_per_query\": {{\n    \
+         \"run_query_into\": {run_query_allocs:.3},\n    \
+         \"run_batch\": {run_batch_allocs:.3}\n  }}\n}}\n"
+    );
+    std::fs::write(&out_path, &json).expect("failed to write BENCH_hotpath.json");
+    println!("\n  wrote {out_path}");
+    black_box(sink);
+}

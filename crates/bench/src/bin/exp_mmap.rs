@@ -64,7 +64,7 @@ fn main() {
         let (completions, finished) = engine.drain(now).unwrap();
         direct_hist.record(finished.duration_since(now) + cache.lookup_cost());
         now = finished;
-        cache.insert(key, completions[0].data.clone());
+        cache.insert(key, &completions[0].data);
     }
 
     println!("\n  path                      mean latency   p99 latency   FM resident      hit rate   read amplification");

@@ -25,7 +25,7 @@ fn main() {
         for q in &queries {
             for req in &q.user_requests {
                 if cache.lookup(req.table, &req.indices).is_none() {
-                    cache.insert(req.table, &req.indices, vec![0.0f32; 16]);
+                    cache.insert(req.table, &req.indices, &[0.0f32; 16]);
                 }
             }
         }

@@ -76,6 +76,36 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
+/// Deterministic quantised rows for the pooling benchmarks (`pf` rows of
+/// `dim` elements), shared by `pooling_bench` and `exp_hotpath` so both
+/// measure the same inputs.
+pub fn bench_quantized_rows(pf: usize, dim: usize, scheme: embedding::QuantScheme) -> Vec<Vec<u8>> {
+    (0..pf)
+        .map(|i| {
+            let values: Vec<f32> = (0..dim).map(|j| ((i * j) as f32).sin()).collect();
+            embedding::quantize_row(&values, scheme)
+        })
+        .collect()
+}
+
+/// The seed pooling path, byte for byte: per-row dequantise into a fresh
+/// `Vec<f32>`, then a second pass summing into a freshly allocated output.
+/// Kept as the baseline the slice-based hot path is measured against.
+///
+/// # Panics
+///
+/// Panics on malformed row buffers — benchmark inputs are trusted.
+pub fn pool_seed_style(rows: &[&[u8]], scheme: embedding::QuantScheme, dim: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; dim];
+    for &raw in rows {
+        let values = embedding::dequantize_row(raw, scheme, dim).unwrap();
+        for (o, v) in out.iter_mut().zip(&values) {
+            *o += *v;
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -8,7 +8,7 @@
 
 use crate::config::ModelConfig;
 use crate::error::DlrmError;
-use embedding::{pooling, EmbeddingTable, TableId};
+use embedding::{accumulate_row, EmbeddingTable, TableId};
 use sdm_metrics::{SimDuration, SimInstant};
 use std::collections::HashMap;
 
@@ -28,6 +28,36 @@ pub trait EmbeddingBackend {
         indices: &[u64],
         now: SimInstant,
     ) -> Result<(Vec<f32>, SimDuration), DlrmError>;
+
+    /// Zero-allocation form of [`EmbeddingBackend::pooled_lookup`]: the
+    /// pooled rows are *accumulated into* `out`, which the caller provides
+    /// zero-filled and sized to the table's embedding dimension. Returns the
+    /// simulated time the operation took.
+    ///
+    /// The default implementation falls back to the allocating form; hot
+    /// backends override it to pool straight into the caller's buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError`] for unknown tables, out-of-range indices, or a
+    /// buffer whose length disagrees with the table's dimension.
+    fn pooled_lookup_into(
+        &mut self,
+        table: TableId,
+        indices: &[u64],
+        now: SimInstant,
+        out: &mut [f32],
+    ) -> Result<SimDuration, DlrmError> {
+        let (pooled, took) = self.pooled_lookup(table, indices, now)?;
+        if pooled.len() != out.len() {
+            return Err(DlrmError::DimensionMismatch {
+                expected: out.len(),
+                actual: pooled.len(),
+            });
+        }
+        out.copy_from_slice(&pooled);
+        Ok(took)
+    }
 
     /// Short name for reporting.
     fn backend_name(&self) -> &str {
@@ -88,22 +118,46 @@ impl EmbeddingBackend for DramBackend {
         &mut self,
         table: TableId,
         indices: &[u64],
-        _now: SimInstant,
+        now: SimInstant,
     ) -> Result<(Vec<f32>, SimDuration), DlrmError> {
+        let dim = self
+            .tables
+            .get(&table)
+            .ok_or(DlrmError::UnknownTable { table })?
+            .descriptor()
+            .dim;
+        let mut pooled = vec![0.0f32; dim];
+        let latency = self.pooled_lookup_into(table, indices, now, &mut pooled)?;
+        Ok((pooled, latency))
+    }
+
+    fn pooled_lookup_into(
+        &mut self,
+        table: TableId,
+        indices: &[u64],
+        _now: SimInstant,
+        out: &mut [f32],
+    ) -> Result<SimDuration, DlrmError> {
         let t = self
             .tables
             .get(&table)
             .ok_or(DlrmError::UnknownTable { table })?;
-        let mut rows = Vec::with_capacity(indices.len());
-        for &idx in indices {
-            rows.push(t.row(idx).map_err(DlrmError::backend)?);
-        }
         let desc = t.descriptor();
-        let pooled =
-            pooling::pool_quantized(&rows, desc.quant, desc.dim).map_err(DlrmError::backend)?;
+        if out.len() != desc.dim {
+            return Err(DlrmError::DimensionMismatch {
+                expected: desc.dim,
+                actual: out.len(),
+            });
+        }
+        // Rows are dequant-accumulated straight out of the table's arena —
+        // no per-row vector, no pooled-vector allocation.
+        for &idx in indices {
+            let row = t.row(idx).map_err(DlrmError::backend)?;
+            accumulate_row(row, desc.quant, out).map_err(DlrmError::backend)?;
+        }
         let latency = self.per_row_latency * indices.len() as u64
             + self.per_element_cost * (indices.len() * desc.dim) as u64;
-        Ok((pooled, latency))
+        Ok(latency)
     }
 
     fn backend_name(&self) -> &str {

@@ -7,6 +7,7 @@ use crate::mlp::Mlp;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use sdm_metrics::{SimDuration, SimInstant};
+use std::collections::HashMap;
 use workload::Query;
 
 /// Whether embedding operators run one after another or overlap.
@@ -41,12 +42,70 @@ pub struct LatencyBreakdown {
 }
 
 /// The outcome of executing one query.
-#[derive(Debug, Clone)]
+///
+/// Reusable: [`InferenceEngine::execute_into`] clears and refills an
+/// existing result, so the serving loop can recycle one `QueryResult`
+/// (and its `scores` capacity) across queries instead of allocating.
+#[derive(Debug, Clone, Default)]
 pub struct QueryResult {
     /// One ranking score per item in the batch.
     pub scores: Vec<f32>,
     /// Latency breakdown.
     pub latency: LatencyBreakdown,
+}
+
+/// One pooled embedding operator's output, recorded as a range into the
+/// flat pooled-vector arena of [`PoolingBuffers`].
+#[derive(Debug, Clone, Copy)]
+struct PooledOp {
+    table: u32,
+    start: usize,
+    dim: usize,
+}
+
+/// Reusable scratch for query execution — the heart of the zero-copy hot
+/// path.
+///
+/// The seed `execute` allocated per query: the dense-feature vector, one
+/// `Vec<f32>` per MLP layer, one pooled `Vec<f32>` per embedding operator
+/// (plus a `Vec<Vec<…>>` to group them per item), and the interaction
+/// buffer. `PoolingBuffers` replaces all of that with flat vectors whose
+/// capacity is reused across queries: pooled vectors live back to back in
+/// one `f32` arena addressed by `(start, dim)` ranges, and the MLPs
+/// ping-pong between two scratch buffers. After the first few queries the
+/// steady state performs zero heap allocations per query.
+#[derive(Debug, Default)]
+pub struct PoolingBuffers {
+    /// Dense (continuous) feature staging, resized to the bottom MLP input.
+    dense: Vec<f32>,
+    /// Bottom-MLP output, broadcast into every item's interaction.
+    bottom_out: Vec<f32>,
+    /// MLP working buffer (result side).
+    mlp_out: Vec<f32>,
+    /// MLP working buffer (ping-pong side).
+    mlp_scratch: Vec<f32>,
+    /// Flat arena of pooled embedding vectors for the current query.
+    pooled: Vec<f32>,
+    /// User-side operators: ranges into `pooled`, in request order.
+    user_ops: Vec<PooledOp>,
+    /// Item-side operators: ranges into `pooled` plus the owning item slot,
+    /// in request order (item slots are contiguous).
+    item_ops: Vec<(PooledOp, usize)>,
+    /// Interaction buffer, rebuilt per ranked item.
+    interaction: Vec<f32>,
+}
+
+impl PoolingBuffers {
+    /// Creates empty buffers (capacity grows on first use).
+    pub fn new() -> Self {
+        PoolingBuffers::default()
+    }
+
+    fn reset(&mut self) {
+        self.pooled.clear();
+        self.user_ops.clear();
+        self.item_ops.clear();
+    }
 }
 
 /// Executes DLRM queries against an [`EmbeddingBackend`].
@@ -58,6 +117,12 @@ pub struct InferenceEngine {
     compute: ComputeModel,
     mode: ExecutionMode,
     dense_rng_seed: u64,
+    /// Embedding dimension per table, so output ranges can be sized without
+    /// consulting the backend.
+    table_dims: HashMap<u32, usize>,
+    /// Item-side table count, cached so the hot path never materialises the
+    /// `Vec<&TableDescriptor>` that `ModelConfig::item_tables` collects.
+    item_table_count: usize,
 }
 
 impl InferenceEngine {
@@ -70,6 +135,8 @@ impl InferenceEngine {
         model.validate()?;
         let bottom = Mlp::generate(&model.bottom_mlp, seed ^ 0xb077);
         let top = Mlp::generate(&model.top_mlp, seed ^ 0x70b0);
+        let table_dims = model.tables.iter().map(|t| (t.id, t.dim)).collect();
+        let item_table_count = model.item_tables().len();
         Ok(InferenceEngine {
             model,
             bottom,
@@ -77,6 +144,8 @@ impl InferenceEngine {
             compute,
             mode: ExecutionMode::default(),
             dense_rng_seed: seed,
+            table_dims,
+            item_table_count,
         })
     }
 
@@ -100,12 +169,14 @@ impl InferenceEngine {
         &self.compute
     }
 
-    /// Deterministic continuous-feature vector for a query.
-    fn dense_features(&self, query: &Query) -> Vec<f32> {
+    /// Deterministic continuous-feature vector for a query, written into a
+    /// reusable buffer.
+    fn dense_features_into(&self, query: &Query, out: &mut Vec<f32>) {
         let mut rng = StdRng::seed_from_u64(self.dense_rng_seed ^ query.user_id);
-        (0..self.model.dense_features)
-            .map(|_| rng.gen_range(-1.0f32..1.0f32))
-            .collect()
+        out.clear();
+        for _ in 0..self.model.dense_features {
+            out.push(rng.gen_range(-1.0f32..1.0f32));
+        }
     }
 
     /// Folds a pooled embedding vector into the fixed-width interaction
@@ -122,7 +193,30 @@ impl InferenceEngine {
         }
     }
 
+    /// Reserves a zeroed `dim`-wide range in the pooled arena and runs the
+    /// backend's into-lookup against it.
+    fn pooled_op<B: EmbeddingBackend + ?Sized>(
+        &self,
+        backend: &mut B,
+        table: u32,
+        indices: &[u64],
+        now: SimInstant,
+        pooled: &mut Vec<f32>,
+    ) -> Result<(PooledOp, SimDuration), DlrmError> {
+        let dim = *self
+            .table_dims
+            .get(&table)
+            .ok_or(DlrmError::UnknownTable { table })?;
+        let start = pooled.len();
+        pooled.resize(start + dim, 0.0);
+        let took = backend.pooled_lookup_into(table, indices, now, &mut pooled[start..])?;
+        Ok((PooledOp { table, start, dim }, took))
+    }
+
     /// Executes one query against the backend.
+    ///
+    /// Convenience form that allocates fresh scratch; the serving loop uses
+    /// [`InferenceEngine::execute_into`] with persistent buffers instead.
     ///
     /// # Errors
     ///
@@ -133,48 +227,98 @@ impl InferenceEngine {
         backend: &mut B,
         now: SimInstant,
     ) -> Result<QueryResult, DlrmError> {
+        let mut buffers = PoolingBuffers::new();
+        let mut result = QueryResult::default();
+        self.execute_into(query, backend, now, &mut buffers, &mut result)?;
+        Ok(result)
+    }
+
+    /// Executes one query against the backend using caller-provided scratch
+    /// buffers, writing scores and latency into `result` (cleared first).
+    ///
+    /// With warm `buffers`/`result` capacity and a warmed backend cache this
+    /// path performs zero heap allocations per query: pooled vectors are
+    /// written into a flat reused arena, the MLPs ping-pong between two
+    /// reused buffers, and the backend accumulates rows straight into the
+    /// caller's ranges.
+    ///
+    /// # Errors
+    ///
+    /// Propagates backend failures and dimension errors.
+    pub fn execute_into<B: EmbeddingBackend + ?Sized>(
+        &self,
+        query: &Query,
+        backend: &mut B,
+        now: SimInstant,
+        buffers: &mut PoolingBuffers,
+        result: &mut QueryResult,
+    ) -> Result<(), DlrmError> {
+        buffers.reset();
+
         // Bottom MLP on the continuous features.
-        let dense = self.dense_features(query);
-        let mut dense_in = dense;
-        dense_in.resize(self.bottom.input_dim().max(1), 0.0);
-        let bottom_out = self.bottom.forward(&dense_in)?;
+        self.dense_features_into(query, &mut buffers.dense);
+        buffers.dense.resize(self.bottom.input_dim().max(1), 0.0);
+        self.bottom.forward_into(
+            &buffers.dense,
+            &mut buffers.bottom_out,
+            &mut buffers.mlp_scratch,
+        )?;
         let bottom_time = self.compute.time_for_flops(self.bottom.flops());
 
         // User-side embedding operators.
         let mut user_time = SimDuration::ZERO;
-        let mut user_vectors = Vec::with_capacity(query.user_requests.len());
         for req in &query.user_requests {
-            let (pooled, took) = backend.pooled_lookup(req.table, &req.indices, now)?;
+            let (op, took) =
+                self.pooled_op(backend, req.table, &req.indices, now, &mut buffers.pooled)?;
             user_time += took + self.compute.operator_overhead;
-            user_vectors.push((req.table, pooled));
+            buffers.user_ops.push(op);
         }
 
-        // Item-side embedding operators, grouped per ranked item.
-        let item_tables = self.model.item_tables().len().max(1);
+        // Item-side embedding operators, grouped per ranked item. The
+        // operators arrive in item order, so the (op, item slot) list stays
+        // contiguous per item — no per-item Vec of Vecs.
+        let item_tables = self.item_table_count.max(1);
+        let item_slots = query.item_batch.max(1) as usize;
         let mut item_time = SimDuration::ZERO;
-        let mut per_item_vectors: Vec<Vec<(u32, Vec<f32>)>> =
-            vec![Vec::new(); query.item_batch.max(1) as usize];
         for (pos, req) in query.item_requests.iter().enumerate() {
-            let (pooled, took) = backend.pooled_lookup(req.table, &req.indices, now)?;
+            let (op, took) =
+                self.pooled_op(backend, req.table, &req.indices, now, &mut buffers.pooled)?;
             item_time += took + self.compute.operator_overhead;
-            let item_index = (pos / item_tables).min(per_item_vectors.len() - 1);
-            per_item_vectors[item_index].push((req.table, pooled));
+            let item_index = (pos / item_tables).min(item_slots - 1);
+            buffers.item_ops.push((op, item_index));
         }
 
         // Interaction + top MLP per item (user embeddings broadcast).
         let top_in_dim = self.top.input_dim().max(1);
-        let mut scores = Vec::with_capacity(per_item_vectors.len());
-        for item_vectors in &per_item_vectors {
-            let mut interaction = vec![0.0f32; top_in_dim];
-            Self::fold_into(&mut interaction, &bottom_out, 0);
-            for (salt, (table, v)) in user_vectors.iter().enumerate() {
-                Self::fold_into(&mut interaction, v, salt + 1 + *table as usize);
+        result.scores.clear();
+        result.scores.reserve(item_slots);
+        let mut item_cursor = 0usize;
+        for item in 0..item_slots {
+            buffers.interaction.clear();
+            buffers.interaction.resize(top_in_dim, 0.0);
+            Self::fold_into(&mut buffers.interaction, &buffers.bottom_out, 0);
+            for (salt, op) in buffers.user_ops.iter().enumerate() {
+                let v = &buffers.pooled[op.start..op.start + op.dim];
+                Self::fold_into(&mut buffers.interaction, v, salt + 1 + op.table as usize);
             }
-            for (salt, (table, v)) in item_vectors.iter().enumerate() {
-                Self::fold_into(&mut interaction, v, salt + 101 + *table as usize);
+            // This item's contiguous run of operators, salted by their
+            // position within the item (exactly the seed's per-item order).
+            let mut salt = 0usize;
+            while item_cursor < buffers.item_ops.len() && buffers.item_ops[item_cursor].1 == item {
+                let op = buffers.item_ops[item_cursor].0;
+                let v = &buffers.pooled[op.start..op.start + op.dim];
+                Self::fold_into(&mut buffers.interaction, v, salt + 101 + op.table as usize);
+                salt += 1;
+                item_cursor += 1;
             }
-            let out = self.top.forward(&interaction)?;
-            scores.push(out.first().copied().unwrap_or(0.0));
+            self.top.forward_into(
+                &buffers.interaction,
+                &mut buffers.mlp_out,
+                &mut buffers.mlp_scratch,
+            )?;
+            result
+                .scores
+                .push(buffers.mlp_out.first().copied().unwrap_or(0.0));
         }
         let top_time = self
             .compute
@@ -185,16 +329,14 @@ impl InferenceEngine {
             ExecutionMode::InterOpParallel => user_time.max(item_time),
         };
         let total = bottom_time + embedding_time + top_time;
-        Ok(QueryResult {
-            scores,
-            latency: LatencyBreakdown {
-                bottom_mlp: bottom_time,
-                user_embeddings: user_time,
-                item_embeddings: item_time,
-                top_mlp: top_time,
-                total,
-            },
-        })
+        result.latency = LatencyBreakdown {
+            bottom_mlp: bottom_time,
+            user_embeddings: user_time,
+            item_embeddings: item_time,
+            top_mlp: top_time,
+            total,
+        };
+        Ok(())
     }
 }
 
@@ -258,6 +400,27 @@ mod tests {
         // Scores do not depend on the execution mode.
         assert_eq!(par.scores, seq.scores);
         assert_eq!(engine.mode(), ExecutionMode::InterOpParallel);
+    }
+
+    #[test]
+    fn execute_into_with_reused_buffers_matches_execute() {
+        let (engine, mut backend, queries) = setup();
+        let mut buffers = PoolingBuffers::new();
+        let mut result = QueryResult::default();
+        for q in &queries {
+            let fresh = engine.execute(q, &mut backend, SimInstant::EPOCH).unwrap();
+            engine
+                .execute_into(
+                    q,
+                    &mut backend,
+                    SimInstant::EPOCH,
+                    &mut buffers,
+                    &mut result,
+                )
+                .unwrap();
+            assert_eq!(fresh.scores, result.scores);
+            assert_eq!(fresh.latency, result.latency);
+        }
     }
 
     #[test]

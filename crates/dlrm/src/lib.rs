@@ -45,6 +45,6 @@ pub mod model_zoo;
 
 pub use backend::{DramBackend, EmbeddingBackend};
 pub use config::{ComputeModel, MlpConfig, ModelConfig, UseCase};
-pub use engine::{ExecutionMode, InferenceEngine, LatencyBreakdown, QueryResult};
+pub use engine::{ExecutionMode, InferenceEngine, LatencyBreakdown, PoolingBuffers, QueryResult};
 pub use error::DlrmError;
 pub use mlp::{DenseLayer, Mlp};

@@ -44,13 +44,28 @@ impl DenseLayer {
     ///
     /// Returns [`DlrmError::DimensionMismatch`] for a wrong input length.
     pub fn forward(&self, input: &[f32]) -> Result<Vec<f32>, DlrmError> {
+        let mut out = Vec::with_capacity(self.out_dim);
+        self.forward_into(input, &mut out)?;
+        Ok(out)
+    }
+
+    /// Forward pass writing into a reusable output vector (cleared and
+    /// refilled; capacity is reused across calls, so a warm serving loop
+    /// allocates nothing here). Arithmetic is identical to
+    /// [`DenseLayer::forward`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::DimensionMismatch`] for a wrong input length.
+    pub fn forward_into(&self, input: &[f32], out: &mut Vec<f32>) -> Result<(), DlrmError> {
         if input.len() != self.in_dim {
             return Err(DlrmError::DimensionMismatch {
                 expected: self.in_dim,
                 actual: input.len(),
             });
         }
-        let mut out = Vec::with_capacity(self.out_dim);
+        out.clear();
+        out.reserve(self.out_dim);
         for o in 0..self.out_dim {
             let mut acc = self.bias[o];
             let row = &self.weights[o * self.in_dim..(o + 1) * self.in_dim];
@@ -59,7 +74,7 @@ impl DenseLayer {
             }
             out.push(acc.max(0.0));
         }
-        Ok(out)
+        Ok(())
     }
 }
 
@@ -113,11 +128,34 @@ impl Mlp {
     /// Returns [`DlrmError::DimensionMismatch`] when the input does not
     /// match the first layer.
     pub fn forward(&self, input: &[f32]) -> Result<Vec<f32>, DlrmError> {
-        let mut x = input.to_vec();
+        let mut out = Vec::new();
+        let mut scratch = Vec::new();
+        self.forward_into(input, &mut out, &mut scratch)?;
+        Ok(out)
+    }
+
+    /// Forward pass through every layer using two reusable ping-pong
+    /// buffers; the result lands in `out`. Both buffers are cleared and
+    /// refilled, so a serving loop that reuses them allocates nothing once
+    /// their capacity has grown to the widest layer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError::DimensionMismatch`] when the input does not
+    /// match the first layer.
+    pub fn forward_into(
+        &self,
+        input: &[f32],
+        out: &mut Vec<f32>,
+        scratch: &mut Vec<f32>,
+    ) -> Result<(), DlrmError> {
+        out.clear();
+        out.extend_from_slice(input);
         for layer in &self.layers {
-            x = layer.forward(&x)?;
+            layer.forward_into(out, scratch)?;
+            std::mem::swap(out, scratch);
         }
-        Ok(x)
+        Ok(())
     }
 
     /// FLOPs of one forward pass.

@@ -12,9 +12,12 @@
 //! * [`TableDescriptor`] / [`TableKind`] — the logical description (rows,
 //!   dimension, pooling factor, user vs item) used for capacity math.
 //! * [`QuantScheme`], [`quantize_row`], [`dequantize_row`] — row-wise
-//!   quantisation with per-row scale/bias.
+//!   quantisation with per-row scale/bias — plus the fused
+//!   [`accumulate_row`] kernel the zero-allocation pooling path uses.
+//! * [`RowArena`] — one contiguous fixed-stride buffer per table, replacing
+//!   per-row heap allocations.
 //! * [`EmbeddingTable`] — materialised quantised rows (deterministically
-//!   generated for experiments).
+//!   generated for experiments), backed by a [`RowArena`].
 //! * [`MappingTensor`] / [`PrunedTable`] — pruning and de-pruning at load
 //!   time (paper Algorithm 2).
 //! * [`pooling`] — dequantise-and-sum pooling used by the inference engine.
@@ -36,6 +39,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod error;
 mod layout;
 pub mod pooling;
@@ -43,8 +47,11 @@ mod pruning;
 mod quant;
 mod table;
 
+pub use arena::RowArena;
 pub use error::EmbeddingError;
 pub use layout::{SmLayout, TablePlacement};
 pub use pruning::{DepruneReport, MappingTensor, PrunedTable};
-pub use quant::{dequantize_row, quantize_row, QuantScheme};
+pub use quant::{
+    accumulate_row, accumulate_row_weighted, dequantize_row, quantize_row, QuantScheme,
+};
 pub use table::{EmbeddingTable, TableDescriptor, TableId, TableKind};

@@ -2,24 +2,31 @@
 //!
 //! For every embedding operator the inference engine reads `pooling_factor`
 //! rows, de-quantises them and sums them into a single output vector that
-//! feeds the interaction MLP (paper §4.4). The helpers here operate on raw
-//! quantised row buffers so the same code path serves rows coming from the
-//! in-memory table, the FM row cache or an SM read.
+//! feeds the interaction MLP (paper §4.4). The helpers here operate on
+//! borrowed row slices so the same code path serves rows coming from the
+//! in-memory table, the FM row cache or an SM read — without cloning them.
+//!
+//! Every pooling function has two forms: a `_into` variant that accumulates
+//! into a caller-provided output buffer (the zero-allocation hot path used
+//! by the serving loop, which reuses one scratch buffer across queries) and
+//! a convenience form that allocates and returns the pooled vector. All
+//! variants take the expected embedding dimension explicitly, so pooling an
+//! empty index list yields a zero vector of the right width instead of a
+//! silent dim-0 vector.
 
 use crate::error::EmbeddingError;
-use crate::quant::{dequantize_row, QuantScheme};
+use crate::quant::{accumulate_row, accumulate_row_weighted, QuantScheme};
 
-/// Sums a set of already de-quantised rows into a pooled vector.
+/// Sums already de-quantised rows into `out`, which must hold the expected
+/// dimension. `out` is *accumulated into*, not overwritten — zero it first
+/// if it holds stale data.
 ///
 /// # Errors
 ///
-/// Returns [`EmbeddingError::MalformedRow`] if rows disagree on dimension.
-pub fn pool_dense(rows: &[Vec<f32>]) -> Result<Vec<f32>, EmbeddingError> {
-    let Some(first) = rows.first() else {
-        return Ok(Vec::new());
-    };
-    let dim = first.len();
-    let mut out = vec![0.0f32; dim];
+/// Returns [`EmbeddingError::MalformedRow`] if any row disagrees with
+/// `out.len()`.
+pub fn pool_dense_into(rows: &[&[f32]], out: &mut [f32]) -> Result<(), EmbeddingError> {
+    let dim = out.len();
     for row in rows {
         if row.len() != dim {
             return Err(EmbeddingError::MalformedRow {
@@ -27,18 +34,51 @@ pub fn pool_dense(rows: &[Vec<f32>]) -> Result<Vec<f32>, EmbeddingError> {
                 actual: row.len(),
             });
         }
-        for (o, v) in out.iter_mut().zip(row) {
+        for (o, v) in out.iter_mut().zip(*row) {
             *o += *v;
         }
     }
+    Ok(())
+}
+
+/// Sums a set of already de-quantised rows into a fresh pooled vector of
+/// the given dimension. Zero rows pool to a zero vector of length `dim`.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::MalformedRow`] if any row's length differs
+/// from `dim`.
+pub fn pool_dense(rows: &[&[f32]], dim: usize) -> Result<Vec<f32>, EmbeddingError> {
+    let mut out = vec![0.0f32; dim];
+    pool_dense_into(rows, &mut out)?;
     Ok(out)
 }
 
-/// De-quantises and sums a set of quantised row buffers.
+/// De-quantises and sums quantised row buffers into `out` (accumulating;
+/// zero `out` first if needed).
 ///
-/// This is the hot inner loop of an embedding operator: the cost scales with
-/// `rows.len() * dim`, which is why the pooled-embedding cache (paper §4.4)
-/// can save meaningful CPU by skipping it on a hit.
+/// This is the hot inner loop of an embedding operator: the cost scales
+/// with `rows × dim`, which is why the pooled-embedding cache (paper §4.4)
+/// can save meaningful CPU by skipping it on a hit. De-quantisation and
+/// accumulation are fused, so no intermediate `f32` row is materialised.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::MalformedRow`] if any buffer has the wrong
+/// length for the scheme and `out.len()`.
+pub fn pool_quantized_into<'a>(
+    rows: impl IntoIterator<Item = &'a [u8]>,
+    scheme: QuantScheme,
+    out: &mut [f32],
+) -> Result<(), EmbeddingError> {
+    for raw in rows {
+        accumulate_row(raw, scheme, out)?;
+    }
+    Ok(())
+}
+
+/// De-quantises and sums a set of quantised row buffers into a fresh
+/// vector. Zero rows pool to a zero vector of length `dim`.
 ///
 /// # Errors
 ///
@@ -50,17 +90,37 @@ pub fn pool_quantized(
     dim: usize,
 ) -> Result<Vec<f32>, EmbeddingError> {
     let mut out = vec![0.0f32; dim];
-    for &raw in rows {
-        let values = dequantize_row(raw, scheme, dim)?;
-        for (o, v) in out.iter_mut().zip(&values) {
-            *o += *v;
-        }
-    }
+    pool_quantized_into(rows.iter().copied(), scheme, &mut out)?;
     Ok(out)
 }
 
-/// Weighted pooling: each row is scaled by its weight before summation
-/// (SparseLengthsWeightedSum).
+/// Weighted pooling into `out`: each row is scaled by its weight before
+/// summation (SparseLengthsWeightedSum). Accumulates; zero `out` first if
+/// needed.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::MalformedRow`] if `rows` and `weights` have
+/// different lengths or any buffer is malformed.
+pub fn pool_quantized_weighted_into(
+    rows: &[&[u8]],
+    weights: &[f32],
+    scheme: QuantScheme,
+    out: &mut [f32],
+) -> Result<(), EmbeddingError> {
+    if rows.len() != weights.len() {
+        return Err(EmbeddingError::MalformedRow {
+            expected: rows.len(),
+            actual: weights.len(),
+        });
+    }
+    for (&raw, &w) in rows.iter().zip(weights) {
+        accumulate_row_weighted(raw, scheme, w, out)?;
+    }
+    Ok(())
+}
+
+/// Weighted pooling returning a fresh vector of length `dim`.
 ///
 /// # Errors
 ///
@@ -72,19 +132,8 @@ pub fn pool_quantized_weighted(
     scheme: QuantScheme,
     dim: usize,
 ) -> Result<Vec<f32>, EmbeddingError> {
-    if rows.len() != weights.len() {
-        return Err(EmbeddingError::MalformedRow {
-            expected: rows.len(),
-            actual: weights.len(),
-        });
-    }
     let mut out = vec![0.0f32; dim];
-    for (&raw, &w) in rows.iter().zip(weights) {
-        let values = dequantize_row(raw, scheme, dim)?;
-        for (o, v) in out.iter_mut().zip(&values) {
-            *o += *v * w;
-        }
-    }
+    pool_quantized_weighted_into(rows, weights, scheme, &mut out)?;
     Ok(out)
 }
 
@@ -101,19 +150,41 @@ mod tests {
 
     #[test]
     fn pool_dense_sums_elementwise() {
-        let rows = vec![vec![1.0, 2.0, 3.0], vec![10.0, 20.0, 30.0]];
-        let out = pool_dense(&rows).unwrap();
+        let a = vec![1.0f32, 2.0, 3.0];
+        let b = vec![10.0f32, 20.0, 30.0];
+        let out = pool_dense(&[&a, &b], 3).unwrap();
         assert_eq!(out, vec![11.0, 22.0, 33.0]);
-        assert!(pool_dense(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn pool_dense_empty_input_is_zero_vector_of_dim() {
+        // The seed returned a dim-0 vector here, which silently produced a
+        // zero-width pooled embedding downstream.
+        let out = pool_dense(&[], 5).unwrap();
+        assert_eq!(out, vec![0.0; 5]);
     }
 
     #[test]
     fn pool_dense_rejects_ragged_rows() {
-        let rows = vec![vec![1.0, 2.0], vec![1.0]];
+        let a = vec![1.0f32, 2.0];
+        let b = vec![1.0f32];
         assert!(matches!(
-            pool_dense(&rows),
+            pool_dense(&[&a, &b], 2),
             Err(EmbeddingError::MalformedRow { .. })
         ));
+        // Rows that disagree with the declared dim are also rejected.
+        assert!(matches!(
+            pool_dense(&[&a], 3),
+            Err(EmbeddingError::MalformedRow { .. })
+        ));
+    }
+
+    #[test]
+    fn into_variant_accumulates_into_existing_buffer() {
+        let a = vec![1.0f32, 1.0];
+        let mut out = vec![0.5f32, 0.5];
+        pool_dense_into(&[&a, &a], &mut out).unwrap();
+        assert_eq!(out, vec![2.5, 2.5]);
     }
 
     #[test]
@@ -124,7 +195,7 @@ mod tests {
         let qa = quantize_row(&a, QuantScheme::Int8);
         let qb = quantize_row(&b, QuantScheme::Int8);
         let pooled = pool_quantized(&[&qa, &qb], QuantScheme::Int8, dim).unwrap();
-        let reference = pool_dense(&[a, b]).unwrap();
+        let reference = pool_dense(&[&a, &b], dim).unwrap();
         for (x, y) in pooled.iter().zip(&reference) {
             assert!((x - y).abs() < 0.05, "{x} vs {y}");
         }
@@ -134,6 +205,22 @@ mod tests {
     fn pool_quantized_empty_rows_is_zero_vector() {
         let out = pool_quantized(&[], QuantScheme::Int8, 4).unwrap();
         assert_eq!(out, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn pool_quantized_into_matches_allocating_form() {
+        let dim = 16;
+        let rows: Vec<Vec<u8>> = (0..5)
+            .map(|i| {
+                let values: Vec<f32> = (0..dim).map(|j| ((i * j) as f32).cos()).collect();
+                quantize_row(&values, QuantScheme::Int8)
+            })
+            .collect();
+        let refs: Vec<&[u8]> = rows.iter().map(|r| r.as_slice()).collect();
+        let allocated = pool_quantized(&refs, QuantScheme::Int8, dim).unwrap();
+        let mut reused = vec![0.0f32; dim];
+        pool_quantized_into(refs.iter().copied(), QuantScheme::Int8, &mut reused).unwrap();
+        assert_eq!(allocated, reused);
     }
 
     #[test]

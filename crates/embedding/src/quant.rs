@@ -114,19 +114,7 @@ pub fn dequantize_row(
             .map(|c| f32::from_le_bytes([c[0], c[1], c[2], c[3]]))
             .collect()),
         QuantScheme::Int8 | QuantScheme::Int4 => {
-            let params_at = buf.len() - ROW_PARAM_BYTES;
-            let scale = f32::from_le_bytes([
-                buf[params_at],
-                buf[params_at + 1],
-                buf[params_at + 2],
-                buf[params_at + 3],
-            ]);
-            let bias = f32::from_le_bytes([
-                buf[params_at + 4],
-                buf[params_at + 5],
-                buf[params_at + 6],
-                buf[params_at + 7],
-            ]);
+            let (scale, bias) = row_params(buf);
             let mut out = Vec::with_capacity(dim);
             match scheme {
                 QuantScheme::Int8 => {
@@ -146,6 +134,123 @@ pub fn dequantize_row(
             Ok(out)
         }
     }
+}
+
+/// De-quantises a row buffer and *adds* it element-wise into `out`,
+/// without materialising the intermediate `f32` row.
+///
+/// This is the fused kernel behind the slice-based pooling path: the seed
+/// implementation allocated a fresh `Vec<f32>` per row
+/// ([`dequantize_row`]) and then summed it in a second pass; fusing the two
+/// removes one allocation and one full pass over the row per pooled lookup.
+/// The per-row arithmetic (`code * scale + bias`, then one `f32` add) is
+/// identical to the two-pass version, so accumulating the same rows in the
+/// same order is bit-for-bit unchanged. (Callers may still sum rows in a
+/// different order than the seed did — the SM serving path now pools cache
+/// hits before IO completions — which can shift pooled sums by f32
+/// rounding in the last bits.)
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::MalformedRow`] when the buffer length does not
+/// match `scheme.row_bytes(out.len())`.
+pub fn accumulate_row(
+    buf: &[u8],
+    scheme: QuantScheme,
+    out: &mut [f32],
+) -> Result<(), EmbeddingError> {
+    let dim = out.len();
+    let expected = scheme.row_bytes(dim);
+    if buf.len() != expected {
+        return Err(EmbeddingError::MalformedRow {
+            expected,
+            actual: buf.len(),
+        });
+    }
+    match scheme {
+        QuantScheme::Fp32 => {
+            for (o, c) in out.iter_mut().zip(buf.chunks_exact(4)) {
+                *o += f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
+            }
+        }
+        QuantScheme::Int8 | QuantScheme::Int4 => {
+            let (scale, bias) = row_params(buf);
+            match scheme {
+                QuantScheme::Int8 => {
+                    for (o, &code) in out.iter_mut().zip(&buf[..dim]) {
+                        *o += code as f32 * scale + bias;
+                    }
+                }
+                QuantScheme::Int4 => {
+                    for (i, o) in out.iter_mut().enumerate() {
+                        let byte = buf[i / 2];
+                        let code = if i % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+                        *o += code as f32 * scale + bias;
+                    }
+                }
+                QuantScheme::Fp32 => unreachable!(),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Weighted variant of [`accumulate_row`]: adds `weight * value` into `out`
+/// (SparseLengthsWeightedSum). Kept separate so the unweighted hot loop does
+/// not pay a multiply per element.
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::MalformedRow`] for a wrong buffer length.
+pub fn accumulate_row_weighted(
+    buf: &[u8],
+    scheme: QuantScheme,
+    weight: f32,
+    out: &mut [f32],
+) -> Result<(), EmbeddingError> {
+    let dim = out.len();
+    let expected = scheme.row_bytes(dim);
+    if buf.len() != expected {
+        return Err(EmbeddingError::MalformedRow {
+            expected,
+            actual: buf.len(),
+        });
+    }
+    match scheme {
+        QuantScheme::Fp32 => {
+            for (o, c) in out.iter_mut().zip(buf.chunks_exact(4)) {
+                *o += f32::from_le_bytes([c[0], c[1], c[2], c[3]]) * weight;
+            }
+        }
+        QuantScheme::Int8 | QuantScheme::Int4 => {
+            let (scale, bias) = row_params(buf);
+            match scheme {
+                QuantScheme::Int8 => {
+                    for (o, &code) in out.iter_mut().zip(&buf[..dim]) {
+                        *o += (code as f32 * scale + bias) * weight;
+                    }
+                }
+                QuantScheme::Int4 => {
+                    for (i, o) in out.iter_mut().enumerate() {
+                        let byte = buf[i / 2];
+                        let code = if i % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+                        *o += (code as f32 * scale + bias) * weight;
+                    }
+                }
+                QuantScheme::Fp32 => unreachable!(),
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Reads the trailing per-row `(scale, bias)` parameters. The caller must
+/// have validated the buffer length.
+fn row_params(buf: &[u8]) -> (f32, f32) {
+    let at = buf.len() - ROW_PARAM_BYTES;
+    let scale = f32::from_le_bytes([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]]);
+    let bias = f32::from_le_bytes([buf[at + 4], buf[at + 5], buf[at + 6], buf[at + 7]]);
+    (scale, bias)
 }
 
 fn min_max(values: &[f32]) -> (f32, f32) {
@@ -245,6 +350,48 @@ mod tests {
         assert_eq!(q.len(), ROW_PARAM_BYTES);
         let back = dequantize_row(&q, QuantScheme::Int8, 0).unwrap();
         assert!(back.is_empty());
+    }
+
+    #[test]
+    fn accumulate_matches_dequantize_then_add_bitwise() {
+        for scheme in [QuantScheme::Int8, QuantScheme::Int4, QuantScheme::Fp32] {
+            let dim = 33;
+            let row = sample_row(dim);
+            let q = quantize_row(&row, scheme);
+            let mut fused = vec![0.25f32; dim];
+            accumulate_row(&q, scheme, &mut fused).unwrap();
+            let values = dequantize_row(&q, scheme, dim).unwrap();
+            let mut two_pass = vec![0.25f32; dim];
+            for (o, v) in two_pass.iter_mut().zip(&values) {
+                *o += *v;
+            }
+            assert_eq!(fused, two_pass, "scheme {scheme}");
+        }
+    }
+
+    #[test]
+    fn weighted_accumulate_scales_rows() {
+        let dim = 16;
+        let row = vec![1.0f32; dim];
+        let q = quantize_row(&row, QuantScheme::Int8);
+        let mut out = vec![0.0f32; dim];
+        accumulate_row_weighted(&q, QuantScheme::Int8, 3.0, &mut out).unwrap();
+        for v in out {
+            assert!((v - 3.0).abs() < 0.1);
+        }
+    }
+
+    #[test]
+    fn accumulate_rejects_malformed_buffers() {
+        let mut out = vec![0.0f32; 8];
+        assert!(matches!(
+            accumulate_row(&[0u8; 3], QuantScheme::Int8, &mut out),
+            Err(EmbeddingError::MalformedRow { .. })
+        ));
+        assert!(matches!(
+            accumulate_row_weighted(&[0u8; 3], QuantScheme::Fp32, 1.0, &mut out),
+            Err(EmbeddingError::MalformedRow { .. })
+        ));
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Logical table descriptors and materialised embedding tables.
 
+use crate::arena::RowArena;
 use crate::error::EmbeddingError;
 use crate::quant::{dequantize_row, quantize_row, QuantScheme};
 use rand::rngs::StdRng;
@@ -162,13 +163,17 @@ impl TableDescriptor {
 
 /// A materialised embedding table holding quantised rows in memory.
 ///
+/// Rows live in one flat [`RowArena`] (a single contiguous allocation with a
+/// fixed stride) rather than a `Vec<Vec<u8>>`, so row access is a slice into
+/// one buffer and the table carries no per-row heap metadata.
+///
 /// Rows are generated deterministically from a seed so experiments can check
 /// data integrity end to end (a row read back through the SM path must equal
 /// the row generated here).
 #[derive(Debug, Clone)]
 pub struct EmbeddingTable {
     descriptor: TableDescriptor,
-    rows: Vec<Vec<u8>>,
+    rows: RowArena,
 }
 
 impl EmbeddingTable {
@@ -183,14 +188,14 @@ impl EmbeddingTable {
             .validate()
             .expect("invalid table descriptor passed to EmbeddingTable::generate");
         let mut rng = StdRng::seed_from_u64(seed ^ (descriptor.id as u64) << 32);
-        let rows = (0..descriptor.num_rows)
-            .map(|_| {
-                let values: Vec<f32> = (0..descriptor.dim)
-                    .map(|_| rng.gen_range(-1.0f32..1.0f32))
-                    .collect();
-                quantize_row(&values, descriptor.quant)
-            })
-            .collect();
+        let mut values = vec![0.0f32; descriptor.dim];
+        let quant = descriptor.quant;
+        let rows = RowArena::generate(descriptor.row_bytes(), descriptor.num_rows, |_, out| {
+            for v in &mut values {
+                *v = rng.gen_range(-1.0f32..1.0f32);
+            }
+            out.copy_from_slice(&quantize_row(&values, quant));
+        });
         EmbeddingTable {
             descriptor: descriptor.clone(),
             rows,
@@ -218,15 +223,7 @@ impl EmbeddingTable {
                 ),
             });
         }
-        let expected = descriptor.row_bytes();
-        for row in &rows {
-            if row.len() != expected {
-                return Err(EmbeddingError::MalformedRow {
-                    expected,
-                    actual: row.len(),
-                });
-            }
-        }
+        let rows = RowArena::from_rows(descriptor.row_bytes(), rows)?;
         Ok(EmbeddingTable { descriptor, rows })
     }
 
@@ -237,7 +234,7 @@ impl EmbeddingTable {
 
     /// Number of rows.
     pub fn num_rows(&self) -> u64 {
-        self.rows.len() as u64
+        self.rows.num_rows()
     }
 
     /// The quantised bytes of one row.
@@ -246,13 +243,7 @@ impl EmbeddingTable {
     ///
     /// Returns [`EmbeddingError::RowOutOfRange`] for an invalid index.
     pub fn row(&self, index: u64) -> Result<&[u8], EmbeddingError> {
-        self.rows
-            .get(index as usize)
-            .map(|r| r.as_slice())
-            .ok_or(EmbeddingError::RowOutOfRange {
-                row: index,
-                rows: self.rows.len() as u64,
-            })
+        self.rows.row(index)
     }
 
     /// The de-quantised values of one row.
@@ -267,12 +258,17 @@ impl EmbeddingTable {
 
     /// Iterates over the quantised rows in index order.
     pub fn iter(&self) -> impl Iterator<Item = &[u8]> {
-        self.rows.iter().map(|r| r.as_slice())
+        self.rows.iter()
+    }
+
+    /// The backing arena holding every row back to back.
+    pub fn arena(&self) -> &RowArena {
+        &self.rows
     }
 
     /// Total bytes of quantised row data.
     pub fn capacity(&self) -> Bytes {
-        Bytes(self.rows.iter().map(|r| r.len() as u64).sum())
+        Bytes(self.rows.total_bytes() as u64)
     }
 
     /// Re-encodes the table under a different quantisation scheme (used by
@@ -282,14 +278,15 @@ impl EmbeddingTable {
     ///
     /// Propagates row decoding errors.
     pub fn requantize(&self, scheme: QuantScheme) -> Result<EmbeddingTable, EmbeddingError> {
-        let mut rows = Vec::with_capacity(self.rows.len());
+        let mut descriptor = self.descriptor.clone();
+        descriptor.quant = scheme;
+        let mut rows = Vec::with_capacity(self.num_rows() as usize);
         for i in 0..self.num_rows() {
             let values = self.dequantized_row(i)?;
             rows.push(quantize_row(&values, scheme));
         }
-        let mut descriptor = self.descriptor.clone();
-        descriptor.quant = scheme;
-        EmbeddingTable::from_rows(descriptor, rows)
+        let rows = RowArena::from_rows(descriptor.row_bytes(), rows)?;
+        Ok(EmbeddingTable { descriptor, rows })
     }
 }
 

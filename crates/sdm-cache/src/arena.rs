@@ -1,0 +1,135 @@
+//! Slab arena backing the cache payloads.
+//!
+//! The seed caches stored every payload as its own `Vec` and returned
+//! clones on hit — one allocation per insert and one per hit. The arena
+//! keeps all payloads of a cache in a single growable buffer and hands out
+//! `(start, len)` ranges instead. Hits borrow straight out of the buffer
+//! (zero copies, zero allocations); evicted ranges go onto per-size free
+//! lists and are reused by later inserts, so a cache in steady-state churn
+//! stops allocating entirely.
+//!
+//! Free lists are keyed by exact length. DLRM row payloads come in one
+//! fixed size per table (and pooled vectors in one size per table
+//! dimension), so the number of size classes is tiny and an eviction is
+//! almost always followed by an insert of the same class; the simple exact
+//! match is enough and avoids any best-fit search on the hot path.
+//!
+//! Trade-off: freed ranges of one size never serve another size and the
+//! buffer never shrinks, so worst-case resident memory is bounded by the
+//! *per-size* peak usage summed over the distinct sizes — up to
+//! `distinct sizes × budget` under adversarial mixed-size churn, while the
+//! cache's modelled `memory_used()` stays within budget. With DLRM's
+//! per-table fixed row sizes this slack is a few sizes at most; arena
+//! compaction for many-size workloads is a ROADMAP item.
+
+use std::collections::HashMap;
+
+/// A growable slab of `T` handing out `(start, len)` ranges.
+#[derive(Debug, Default, Clone)]
+pub struct SlabArena<T> {
+    buf: Vec<T>,
+    /// Freed ranges, keyed by exact length → list of start offsets.
+    free: HashMap<usize, Vec<usize>>,
+}
+
+impl<T: Copy + Default> SlabArena<T> {
+    /// Creates an empty arena.
+    pub fn new() -> Self {
+        SlabArena {
+            buf: Vec::new(),
+            free: HashMap::new(),
+        }
+    }
+
+    /// Copies `data` into the arena, reusing a freed range of the same
+    /// length when one exists, and returns the start offset.
+    pub fn alloc(&mut self, data: &[T]) -> usize {
+        if let Some(list) = self.free.get_mut(&data.len()) {
+            if let Some(start) = list.pop() {
+                self.buf[start..start + data.len()].copy_from_slice(data);
+                return start;
+            }
+        }
+        let start = self.buf.len();
+        self.buf.extend_from_slice(data);
+        start
+    }
+
+    /// Returns a range to the free list for reuse. The caller must not use
+    /// the range afterwards (ranges are plain offsets, not guarded).
+    pub fn free(&mut self, start: usize, len: usize) {
+        self.free.entry(len).or_default().push(start);
+    }
+
+    /// Borrows a previously allocated range.
+    pub fn slice(&self, start: usize, len: usize) -> &[T] {
+        &self.buf[start..start + len]
+    }
+
+    /// Overwrites a previously allocated range in place (same length).
+    pub fn write(&mut self, start: usize, data: &[T]) {
+        self.buf[start..start + data.len()].copy_from_slice(data);
+    }
+
+    /// Drops every allocation and free list. Buffer capacity is kept so a
+    /// refill after `clear` does not re-allocate.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.free.clear();
+    }
+
+    /// Elements currently backing the arena (live + freed).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing has been allocated since the last clear.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_slice_roundtrip() {
+        let mut a = SlabArena::new();
+        let x = a.alloc(&[1u8, 2, 3]);
+        let y = a.alloc(&[4u8, 5]);
+        assert_eq!(a.slice(x, 3), &[1, 2, 3]);
+        assert_eq!(a.slice(y, 2), &[4, 5]);
+        assert_eq!(a.len(), 5);
+    }
+
+    #[test]
+    fn freed_ranges_are_reused_for_same_size() {
+        let mut a = SlabArena::new();
+        let x = a.alloc(&[1u8, 2, 3, 4]);
+        a.free(x, 4);
+        let y = a.alloc(&[9u8, 9, 9, 9]);
+        assert_eq!(y, x, "same-size alloc should reuse the freed range");
+        assert_eq!(a.len(), 4, "no growth after reuse");
+        assert_eq!(a.slice(y, 4), &[9, 9, 9, 9]);
+    }
+
+    #[test]
+    fn different_size_does_not_reuse() {
+        let mut a = SlabArena::new();
+        let x = a.alloc(&[1u8, 2]);
+        a.free(x, 2);
+        let y = a.alloc(&[1u8, 2, 3]);
+        assert_ne!(y, x);
+    }
+
+    #[test]
+    fn write_in_place_and_clear() {
+        let mut a = SlabArena::new();
+        let x = a.alloc(&[0.0f32; 4]);
+        a.write(x, &[1.0f32, 2.0, 3.0, 4.0]);
+        assert_eq!(a.slice(x, 4), &[1.0, 2.0, 3.0, 4.0]);
+        a.clear();
+        assert!(a.is_empty());
+    }
+}

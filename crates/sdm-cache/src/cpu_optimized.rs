@@ -6,31 +6,41 @@
 //! small-but-growing set of tables with rows larger than 255 B here, where
 //! the relative metadata overhead is small and the CPU saving matters
 //! (Figure 6).
+//!
+//! The exact LRU order is an intrusive linked list over slot indices (see
+//! [`crate::lru`]) instead of the seed's `BTreeMap<stamp, key>`, and row
+//! payloads live in a [`SlabArena`]: a hit touches two flat vectors and
+//! returns a borrowed slice, performing no heap allocation.
 
+use crate::arena::SlabArena;
+use crate::lru::LruList;
 use crate::row_cache::{RowCache, RowKey};
 use crate::stats::CacheStats;
 use sdm_metrics::units::Bytes;
 use sdm_metrics::SimDuration;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
-/// Per-entry metadata overhead of the indexed engine (hash node, LRU node,
-/// allocation headers).
+/// Per-entry metadata overhead of the indexed engine (hash node, LRU links,
+/// slot record).
 pub const ENTRY_OVERHEAD: usize = 64;
 
-#[derive(Debug)]
-struct Entry {
-    value: Vec<u8>,
-    stamp: u64,
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: RowKey,
+    start: usize,
+    len: usize,
 }
 
 /// Hash-indexed, exact-LRU row cache.
 #[derive(Debug)]
 pub struct CpuOptimizedCache {
-    map: HashMap<RowKey, Entry>,
-    lru: BTreeMap<u64, RowKey>,
+    map: HashMap<RowKey, usize>,
+    slots: Vec<Slot>,
+    free_slots: Vec<usize>,
+    lru: LruList,
+    arena: SlabArena<u8>,
     budget: Bytes,
     used: u64,
-    clock: u64,
     stats: CacheStats,
 }
 
@@ -39,10 +49,12 @@ impl CpuOptimizedCache {
     pub fn new(budget: Bytes) -> Self {
         CpuOptimizedCache {
             map: HashMap::new(),
-            lru: BTreeMap::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            lru: LruList::new(),
+            arena: SlabArena::new(),
             budget,
             used: 0,
-            clock: 0,
             stats: CacheStats::new(),
         }
     }
@@ -51,50 +63,57 @@ impl CpuOptimizedCache {
         (value_len + ENTRY_OVERHEAD) as u64
     }
 
-    fn touch(&mut self, key: RowKey) {
-        self.clock += 1;
-        if let Some(e) = self.map.get_mut(&key) {
-            self.lru.remove(&e.stamp);
-            e.stamp = self.clock;
-            self.lru.insert(self.clock, key);
-        }
+    /// Records a miss observed by a routing layer that probed this engine
+    /// without calling [`RowCache::get`] (see [`crate::DualRowCache`]).
+    pub(crate) fn note_routed_miss(&mut self) {
+        self.stats.record_miss();
+    }
+
+    fn remove_slot(&mut self, slot: usize) -> Slot {
+        let s = self.slots[slot];
+        self.map.remove(&s.key);
+        self.lru.unlink(slot);
+        self.arena.free(s.start, s.len);
+        self.free_slots.push(slot);
+        self.used -= Self::entry_cost(s.len);
+        s
     }
 
     fn evict_one(&mut self) -> bool {
-        let Some((&stamp, &key)) = self.lru.iter().next() else {
+        let Some(victim) = self.lru.lru() else {
             return false;
         };
-        self.lru.remove(&stamp);
-        if let Some(e) = self.map.remove(&key) {
-            self.used -= Self::entry_cost(e.value.len());
-            self.stats.evictions += 1;
-        }
+        self.remove_slot(victim);
+        self.stats.evictions += 1;
         true
     }
 }
 
 impl RowCache for CpuOptimizedCache {
-    fn get(&mut self, key: &RowKey) -> Option<Vec<u8>> {
-        if self.map.contains_key(key) {
-            self.touch(*key);
-            self.stats.record_hit();
-            self.map.get(key).map(|e| e.value.clone())
-        } else {
-            self.stats.record_miss();
-            None
+    fn get(&mut self, key: &RowKey) -> Option<&[u8]> {
+        match self.map.get(key).copied() {
+            Some(slot) => {
+                self.lru.touch(slot);
+                self.stats.record_hit();
+                let s = self.slots[slot];
+                Some(self.arena.slice(s.start, s.len))
+            }
+            None => {
+                self.stats.record_miss();
+                None
+            }
         }
     }
 
-    fn insert(&mut self, key: RowKey, value: Vec<u8>) {
+    fn insert(&mut self, key: RowKey, value: &[u8]) {
         let cost = Self::entry_cost(value.len());
         if cost > self.budget.as_u64() {
             self.stats.rejected += 1;
             return;
         }
         // Remove any existing entry first so usage accounting stays exact.
-        if let Some(old) = self.map.remove(&key) {
-            self.lru.remove(&old.stamp);
-            self.used -= Self::entry_cost(old.value.len());
+        if let Some(slot) = self.map.get(&key).copied() {
+            self.remove_slot(slot);
         }
         while self.used + cost > self.budget.as_u64() {
             if !self.evict_one() {
@@ -105,17 +124,26 @@ impl RowCache for CpuOptimizedCache {
             self.stats.rejected += 1;
             return;
         }
-        self.clock += 1;
         self.used += cost;
         self.stats.insertions += 1;
-        self.lru.insert(self.clock, key);
-        self.map.insert(
+        let start = self.arena.alloc(value);
+        let record = Slot {
             key,
-            Entry {
-                value,
-                stamp: self.clock,
-            },
-        );
+            start,
+            len: value.len(),
+        };
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                self.slots[slot] = record;
+                slot
+            }
+            None => {
+                self.slots.push(record);
+                self.slots.len() - 1
+            }
+        };
+        self.lru.push_front(slot);
+        self.map.insert(key, slot);
     }
 
     fn contains(&self, key: &RowKey) -> bool {
@@ -144,7 +172,10 @@ impl RowCache for CpuOptimizedCache {
 
     fn clear(&mut self) {
         self.map.clear();
+        self.slots.clear();
+        self.free_slots.clear();
         self.lru.clear();
+        self.arena.clear();
         self.used = 0;
     }
 }
@@ -158,8 +189,8 @@ mod tests {
         let mut c = CpuOptimizedCache::new(Bytes::from_kib(64));
         let k = RowKey::new(9, 3);
         assert!(c.get(&k).is_none());
-        c.insert(k, vec![4u8; 300]);
-        assert_eq!(c.get(&k).unwrap(), vec![4u8; 300]);
+        c.insert(k, &[4u8; 300]);
+        assert_eq!(c.get(&k).unwrap(), &[4u8; 300]);
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 1);
     }
@@ -168,11 +199,11 @@ mod tests {
     fn lru_eviction_order_is_exact() {
         // Budget fits exactly two 100-byte entries (2 * 164 = 328).
         let mut c = CpuOptimizedCache::new(Bytes(330));
-        c.insert(RowKey::new(0, 1), vec![0u8; 100]);
-        c.insert(RowKey::new(0, 2), vec![0u8; 100]);
+        c.insert(RowKey::new(0, 1), &[0u8; 100]);
+        c.insert(RowKey::new(0, 2), &[0u8; 100]);
         // Touch 1 so 2 becomes LRU.
         c.get(&RowKey::new(0, 1));
-        c.insert(RowKey::new(0, 3), vec![0u8; 100]);
+        c.insert(RowKey::new(0, 3), &[0u8; 100]);
         assert!(c.contains(&RowKey::new(0, 1)));
         assert!(!c.contains(&RowKey::new(0, 2)));
         assert!(c.contains(&RowKey::new(0, 3)));
@@ -185,16 +216,27 @@ mod tests {
         for i in 0..1000u64 {
             c.insert(
                 RowKey::new((i % 7) as u32, i),
-                vec![0u8; (i % 256) as usize + 1],
+                &vec![0u8; (i % 256) as usize + 1],
             );
             assert!(c.memory_used() <= c.budget(), "over budget at i={i}");
         }
     }
 
     #[test]
+    fn fixed_size_churn_reuses_slots_and_arena() {
+        let mut c = CpuOptimizedCache::new(Bytes(1000));
+        for i in 0..500u64 {
+            c.insert(RowKey::new(0, i), &[0u8; 100]);
+        }
+        // ~6 entries fit; churn must recycle slots/ranges, not grow them.
+        assert!(c.slots.len() <= 8, "{} slots", c.slots.len());
+        assert!(c.arena.len() <= 8 * 100, "{} arena bytes", c.arena.len());
+    }
+
+    #[test]
     fn oversized_entry_rejected() {
         let mut c = CpuOptimizedCache::new(Bytes(100));
-        c.insert(RowKey::new(0, 0), vec![0u8; 200]);
+        c.insert(RowKey::new(0, 0), &[0u8; 200]);
         assert!(c.is_empty());
         assert_eq!(c.stats().rejected, 1);
     }
@@ -203,10 +245,10 @@ mod tests {
     fn replacement_keeps_single_entry() {
         let mut c = CpuOptimizedCache::new(Bytes::from_kib(4));
         let k = RowKey::new(1, 1);
-        c.insert(k, vec![1u8; 64]);
-        c.insert(k, vec![2u8; 128]);
+        c.insert(k, &[1u8; 64]);
+        c.insert(k, &[2u8; 128]);
         assert_eq!(c.len(), 1);
-        assert_eq!(c.get(&k).unwrap(), vec![2u8; 128]);
+        assert_eq!(c.get(&k).unwrap(), &[2u8; 128]);
     }
 
     #[test]
@@ -220,7 +262,7 @@ mod tests {
     #[test]
     fn clear_drops_entries() {
         let mut c = CpuOptimizedCache::new(Bytes::from_kib(4));
-        c.insert(RowKey::new(0, 0), vec![1u8; 10]);
+        c.insert(RowKey::new(0, 0), &[1u8; 10]);
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.memory_used(), Bytes::ZERO);

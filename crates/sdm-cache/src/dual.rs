@@ -73,33 +73,33 @@ impl DualRowCache {
     pub fn large_engine_stats(&self) -> &CacheStats {
         self.large.stats()
     }
-
-    fn routed_get(&mut self, key: &RowKey) -> Option<Vec<u8>> {
-        // The row size is not known at lookup time; probe the small engine
-        // first (the overwhelmingly common case), then the large engine.
-        if let Some(v) = self.small.get(key) {
-            return Some(v);
-        }
-        self.large.get(key)
-    }
 }
 
 impl RowCache for DualRowCache {
-    fn get(&mut self, key: &RowKey) -> Option<Vec<u8>> {
+    fn get(&mut self, key: &RowKey) -> Option<&[u8]> {
         if !self.table_enabled(key.table) {
             self.merged_stats.record_miss();
             return None;
         }
-        let found = self.routed_get(key);
-        if found.is_some() {
+        // The row size is not known at lookup time; probe the small engine
+        // first (the overwhelmingly common case), then the large engine.
+        // `contains` pre-checks keep the borrow of the winning engine's
+        // arena disjoint from the other engine's statistics update.
+        if self.small.contains(key) {
             self.merged_stats.record_hit();
-        } else {
-            self.merged_stats.record_miss();
+            return self.small.get(key);
         }
-        found
+        self.small.note_routed_miss();
+        if self.large.contains(key) {
+            self.merged_stats.record_hit();
+            return self.large.get(key);
+        }
+        self.large.note_routed_miss();
+        self.merged_stats.record_miss();
+        None
     }
 
-    fn insert(&mut self, key: RowKey, value: Vec<u8>) {
+    fn insert(&mut self, key: RowKey, value: &[u8]) {
         if !self.table_enabled(key.table) {
             return;
         }
@@ -154,8 +154,8 @@ mod tests {
         let mut c = cache();
         let small_key = RowKey::new(1, 1);
         let large_key = RowKey::new(1, 2);
-        c.insert(small_key, vec![0u8; 128]);
-        c.insert(large_key, vec![0u8; 400]);
+        c.insert(small_key, &[0u8; 128]);
+        c.insert(large_key, &[0u8; 400]);
         assert_eq!(c.small.len(), 1);
         assert_eq!(c.large.len(), 1);
         assert!(c.get(&small_key).is_some());
@@ -166,8 +166,8 @@ mod tests {
     #[test]
     fn threshold_boundary_row_goes_to_small_engine() {
         let mut c = cache();
-        c.insert(RowKey::new(0, 0), vec![0u8; 255]);
-        c.insert(RowKey::new(0, 1), vec![0u8; 256]);
+        c.insert(RowKey::new(0, 0), &[0u8; 255]);
+        c.insert(RowKey::new(0, 1), &[0u8; 256]);
         assert_eq!(c.small.len(), 1);
         assert_eq!(c.large.len(), 1);
         assert_eq!(c.small_row_threshold(), 255);
@@ -178,22 +178,22 @@ mod tests {
         let mut c = cache();
         c.disable_table(7);
         assert!(!c.table_enabled(7));
-        c.insert(RowKey::new(7, 1), vec![1u8; 64]);
+        c.insert(RowKey::new(7, 1), &[1u8; 64]);
         assert!(c.get(&RowKey::new(7, 1)).is_none());
         assert_eq!(c.len(), 0);
         // Other tables unaffected.
-        c.insert(RowKey::new(8, 1), vec![1u8; 64]);
+        c.insert(RowKey::new(8, 1), &[1u8; 64]);
         assert!(c.get(&RowKey::new(8, 1)).is_some());
         c.enable_table(7);
-        c.insert(RowKey::new(7, 1), vec![1u8; 64]);
+        c.insert(RowKey::new(7, 1), &[1u8; 64]);
         assert!(c.contains(&RowKey::new(7, 1)));
     }
 
     #[test]
     fn merged_stats_cover_both_engines() {
         let mut c = cache();
-        c.insert(RowKey::new(0, 1), vec![0u8; 64]);
-        c.insert(RowKey::new(0, 2), vec![0u8; 400]);
+        c.insert(RowKey::new(0, 1), &[0u8; 64]);
+        c.insert(RowKey::new(0, 2), &[0u8; 400]);
         c.get(&RowKey::new(0, 1));
         c.get(&RowKey::new(0, 2));
         c.get(&RowKey::new(0, 3));
@@ -213,8 +213,8 @@ mod tests {
     #[test]
     fn clear_empties_both_engines() {
         let mut c = cache();
-        c.insert(RowKey::new(0, 1), vec![0u8; 64]);
-        c.insert(RowKey::new(0, 2), vec![0u8; 400]);
+        c.insert(RowKey::new(0, 1), &[0u8; 64]);
+        c.insert(RowKey::new(0, 2), &[0u8; 400]);
         c.clear();
         assert!(c.is_empty());
     }

@@ -20,6 +20,10 @@
 //! * [`WarmupTracker`] — detects when the cache has reached steady state
 //!   after a model update (§A.4).
 //!
+//! All caches store payloads in per-cache [`SlabArena`]s and return
+//! *borrowed* slices on hit — the serving loop dequantises straight out of
+//! the cache, so a warm lookup allocates nothing and copies nothing.
+//!
 //! # Example
 //!
 //! ```
@@ -29,23 +33,26 @@
 //! let mut cache = DualRowCache::new(CacheConfig::with_total_budget(Bytes::from_mib(1)));
 //! let key = RowKey::new(3, 42);
 //! assert!(cache.get(&key).is_none());
-//! cache.insert(key, vec![7u8; 128]);
-//! assert_eq!(cache.get(&key).unwrap(), vec![7u8; 128]);
+//! cache.insert(key, &[7u8; 128]);
+//! assert_eq!(cache.get(&key).unwrap(), &[7u8; 128]);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod config;
 mod cpu_optimized;
 mod dual;
 mod error;
+mod lru;
 mod memory_optimized;
 mod pooled;
 mod row_cache;
 mod stats;
 mod warmup;
 
+pub use arena::SlabArena;
 pub use config::CacheConfig;
 pub use cpu_optimized::CpuOptimizedCache;
 pub use dual::DualRowCache;

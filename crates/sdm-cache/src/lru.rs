@@ -1,0 +1,146 @@
+//! Intrusive LRU ordering over slot indices.
+//!
+//! The seed engines kept their recency order in a `BTreeMap<stamp, key>`,
+//! which allocates and frees tree nodes as entries are touched — so even a
+//! pure cache *hit* could hit the allocator. `LruList` is a doubly linked
+//! list threaded through two flat `Vec<usize>`s indexed by slot id: touch,
+//! evict and insert are all O(1) pointer swaps with no allocation beyond
+//! the one-time growth of the two vectors.
+
+/// Sentinel for "no slot".
+const NIL: usize = usize::MAX;
+
+/// A doubly linked LRU list over external slot indices. Head is the most
+/// recently used entry, tail the least recently used.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct LruList {
+    prev: Vec<usize>,
+    next: Vec<usize>,
+    head: usize,
+    tail: usize,
+}
+
+impl LruList {
+    pub(crate) fn new() -> Self {
+        LruList {
+            prev: Vec::new(),
+            next: Vec::new(),
+            head: NIL,
+            tail: NIL,
+        }
+    }
+
+    fn ensure_slot(&mut self, slot: usize) {
+        if slot >= self.prev.len() {
+            self.prev.resize(slot + 1, NIL);
+            self.next.resize(slot + 1, NIL);
+        }
+    }
+
+    /// Links `slot` in as the most recently used entry. The slot must not
+    /// currently be linked.
+    pub(crate) fn push_front(&mut self, slot: usize) {
+        self.ensure_slot(slot);
+        self.prev[slot] = NIL;
+        self.next[slot] = self.head;
+        if self.head != NIL {
+            self.prev[self.head] = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    /// Unlinks `slot` from the list. The slot must currently be linked.
+    pub(crate) fn unlink(&mut self, slot: usize) {
+        let (p, n) = (self.prev[slot], self.next[slot]);
+        if p != NIL {
+            self.next[p] = n;
+        } else {
+            self.head = n;
+        }
+        if n != NIL {
+            self.prev[n] = p;
+        } else {
+            self.tail = p;
+        }
+        self.prev[slot] = NIL;
+        self.next[slot] = NIL;
+    }
+
+    /// Moves a linked `slot` to the front (most recently used).
+    pub(crate) fn touch(&mut self, slot: usize) {
+        if self.head == slot {
+            return;
+        }
+        self.unlink(slot);
+        self.push_front(slot);
+    }
+
+    /// The least recently used slot, if any.
+    pub(crate) fn lru(&self) -> Option<usize> {
+        (self.tail != NIL).then_some(self.tail)
+    }
+
+    /// Unlinks everything. Vector capacity is kept.
+    pub(crate) fn clear(&mut self) {
+        self.prev.clear();
+        self.next.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn order(l: &LruList) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut at = l.head;
+        while at != NIL {
+            out.push(at);
+            at = l.next[at];
+        }
+        out
+    }
+
+    #[test]
+    fn push_touch_and_evict_order() {
+        let mut l = LruList::new();
+        l.push_front(0);
+        l.push_front(1);
+        l.push_front(2);
+        assert_eq!(order(&l), vec![2, 1, 0]);
+        assert_eq!(l.lru(), Some(0));
+        l.touch(0);
+        assert_eq!(order(&l), vec![0, 2, 1]);
+        assert_eq!(l.lru(), Some(1));
+        l.unlink(1);
+        assert_eq!(l.lru(), Some(2));
+        l.unlink(2);
+        l.unlink(0);
+        assert_eq!(l.lru(), None);
+    }
+
+    #[test]
+    fn touch_of_head_is_a_no_op() {
+        let mut l = LruList::new();
+        l.push_front(5);
+        l.touch(5);
+        assert_eq!(order(&l), vec![5]);
+        assert_eq!(l.lru(), Some(5));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut l = LruList::new();
+        l.push_front(1);
+        l.push_front(3);
+        l.clear();
+        assert_eq!(l.lru(), None);
+        l.push_front(2);
+        assert_eq!(order(&l), vec![2]);
+    }
+}

@@ -10,21 +10,25 @@
 //! The engine here is a bucketed cache: keys hash to one of a fixed number
 //! of buckets, each bucket holds a small vector of entries searched
 //! linearly, and eviction is LRU *within the bucket* (like a set-associative
-//! cache), which is what keeps per-entry metadata tiny.
+//! cache), which is what keeps per-entry metadata tiny. Row payloads live in
+//! a shared [`SlabArena`], so hits hand out borrowed slices without cloning
+//! and evicted ranges are recycled by later inserts.
 
+use crate::arena::SlabArena;
 use crate::row_cache::{RowCache, RowKey};
 use crate::stats::CacheStats;
 use sdm_metrics::units::Bytes;
 use sdm_metrics::SimDuration;
 
-/// Per-entry metadata overhead of the bucketed engine (key + stamp + length,
+/// Per-entry metadata overhead of the bucketed engine (key + stamp + range,
 /// no separate index node).
 pub const ENTRY_OVERHEAD: usize = 16;
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Copy)]
 struct Entry {
     key: RowKey,
-    value: Vec<u8>,
+    start: usize,
+    len: usize,
     stamp: u64,
 }
 
@@ -32,6 +36,7 @@ struct Entry {
 #[derive(Debug)]
 pub struct MemoryOptimizedCache {
     buckets: Vec<Vec<Entry>>,
+    arena: SlabArena<u8>,
     budget: Bytes,
     used: u64,
     clock: u64,
@@ -45,6 +50,7 @@ impl MemoryOptimizedCache {
     pub fn new(budget: Bytes, buckets: usize) -> Self {
         MemoryOptimizedCache {
             buckets: vec![Vec::new(); buckets.max(1)],
+            arena: SlabArena::new(),
             budget,
             used: 0,
             clock: 0,
@@ -69,6 +75,12 @@ impl MemoryOptimizedCache {
         (value_len + ENTRY_OVERHEAD) as u64
     }
 
+    /// Records a miss observed by a routing layer that probed this engine
+    /// without calling [`RowCache::get`] (see [`crate::DualRowCache`]).
+    pub(crate) fn note_routed_miss(&mut self) {
+        self.stats.record_miss();
+    }
+
     fn evict_lru_in_bucket(&mut self, bucket: usize) -> bool {
         let b = &mut self.buckets[bucket];
         if b.is_empty() {
@@ -80,7 +92,8 @@ impl MemoryOptimizedCache {
             .min_by_key(|(_, e)| e.stamp)
             .expect("bucket checked non-empty");
         let removed = b.swap_remove(idx);
-        self.used -= Self::entry_cost(removed.value.len());
+        self.arena.free(removed.start, removed.len);
+        self.used -= Self::entry_cost(removed.len);
         self.stats.evictions += 1;
         true
     }
@@ -101,7 +114,8 @@ impl MemoryOptimizedCache {
             .min_by_key(|(_, _, stamp)| *stamp);
         if let Some((bi, ei, _)) = victim {
             let removed = self.buckets[bi].swap_remove(ei);
-            self.used -= Self::entry_cost(removed.value.len());
+            self.arena.free(removed.start, removed.len);
+            self.used -= Self::entry_cost(removed.len);
             self.stats.evictions += 1;
             true
         } else {
@@ -111,7 +125,7 @@ impl MemoryOptimizedCache {
 }
 
 impl RowCache for MemoryOptimizedCache {
-    fn get(&mut self, key: &RowKey) -> Option<Vec<u8>> {
+    fn get(&mut self, key: &RowKey) -> Option<&[u8]> {
         self.clock += 1;
         let bucket = self.bucket_of(key);
         let clock = self.clock;
@@ -120,17 +134,21 @@ impl RowCache for MemoryOptimizedCache {
             .find(|e| e.key == *key)
             .map(|e| {
                 e.stamp = clock;
-                e.value.clone()
+                (e.start, e.len)
             });
-        if found.is_some() {
-            self.stats.record_hit();
-        } else {
-            self.stats.record_miss();
+        match found {
+            Some((start, len)) => {
+                self.stats.record_hit();
+                Some(self.arena.slice(start, len))
+            }
+            None => {
+                self.stats.record_miss();
+                None
+            }
         }
-        found
     }
 
-    fn insert(&mut self, key: RowKey, value: Vec<u8>) {
+    fn insert(&mut self, key: RowKey, value: &[u8]) {
         let cost = Self::entry_cost(value.len());
         if cost > self.budget.as_u64() {
             self.stats.rejected += 1;
@@ -139,11 +157,26 @@ impl RowCache for MemoryOptimizedCache {
         self.clock += 1;
         let bucket = self.bucket_of(&key);
 
-        // Replace in place if present.
-        if let Some(e) = self.buckets[bucket].iter_mut().find(|e| e.key == key) {
-            self.used -= Self::entry_cost(e.value.len());
+        // Replace in place if present (reusing the arena range when the new
+        // payload has the same length, the overwhelmingly common case —
+        // rows of one table never change size).
+        if let Some(i) = self.buckets[bucket].iter().position(|e| e.key == key) {
+            let (old_start, old_len) = {
+                let e = &self.buckets[bucket][i];
+                (e.start, e.len)
+            };
+            let start = if old_len == value.len() {
+                self.arena.write(old_start, value);
+                old_start
+            } else {
+                self.arena.free(old_start, old_len);
+                self.arena.alloc(value)
+            };
+            let e = &mut self.buckets[bucket][i];
+            self.used -= Self::entry_cost(old_len);
             self.used += cost;
-            e.value = value;
+            e.start = start;
+            e.len = value.len();
             e.stamp = self.clock;
             // A replacement may push us over budget if the new value is
             // larger; shed entries until we fit again.
@@ -168,7 +201,13 @@ impl RowCache for MemoryOptimizedCache {
         self.used += cost;
         self.stats.insertions += 1;
         let stamp = self.clock;
-        self.buckets[bucket].push(Entry { key, value, stamp });
+        let start = self.arena.alloc(value);
+        self.buckets[bucket].push(Entry {
+            key,
+            start,
+            len: value.len(),
+            stamp,
+        });
     }
 
     fn contains(&self, key: &RowKey) -> bool {
@@ -202,6 +241,7 @@ impl RowCache for MemoryOptimizedCache {
         for b in &mut self.buckets {
             b.clear();
         }
+        self.arena.clear();
         self.used = 0;
     }
 }
@@ -215,8 +255,8 @@ mod tests {
         let mut c = MemoryOptimizedCache::new(Bytes::from_kib(64), 8);
         let k = RowKey::new(1, 2);
         assert!(c.get(&k).is_none());
-        c.insert(k, vec![5u8; 100]);
-        assert_eq!(c.get(&k).unwrap(), vec![5u8; 100]);
+        c.insert(k, &[5u8; 100]);
+        assert_eq!(c.get(&k).unwrap(), &[5u8; 100]);
         assert!(c.contains(&k));
         assert_eq!(c.len(), 1);
         assert_eq!(c.stats().hits, 1);
@@ -229,7 +269,7 @@ mod tests {
         // Budget for ~8 entries of 112+16 bytes.
         let mut c = MemoryOptimizedCache::new(Bytes(1024), 2);
         for i in 0..32u64 {
-            c.insert(RowKey::new(0, i), vec![0u8; 112]);
+            c.insert(RowKey::new(0, i), &[0u8; 112]);
         }
         assert!(c.memory_used() <= c.budget());
         assert!(c.len() <= 8);
@@ -237,14 +277,29 @@ mod tests {
     }
 
     #[test]
+    fn eviction_churn_reuses_arena_ranges() {
+        let mut c = MemoryOptimizedCache::new(Bytes(1024), 2);
+        for i in 0..1024u64 {
+            c.insert(RowKey::new(0, i), &[i as u8; 112]);
+        }
+        // Every insert past the first ~8 evicts one 112-byte range and
+        // allocates another; the arena must recycle rather than grow.
+        assert!(
+            c.arena.len() <= 16 * 112,
+            "arena grew to {} bytes under churn",
+            c.arena.len()
+        );
+    }
+
+    #[test]
     fn recently_used_entries_survive() {
         let mut c = MemoryOptimizedCache::new(Bytes(2000), 1);
         let hot = RowKey::new(0, 0);
-        c.insert(hot, vec![1u8; 100]);
+        c.insert(hot, &[1u8; 100]);
         for i in 1..50u64 {
             // Keep touching the hot key while streaming cold keys through.
             let _ = c.get(&hot);
-            c.insert(RowKey::new(0, i), vec![0u8; 100]);
+            c.insert(RowKey::new(0, i), &[0u8; 100]);
         }
         assert!(c.contains(&hot), "hot key was evicted");
     }
@@ -252,7 +307,7 @@ mod tests {
     #[test]
     fn oversized_entries_are_rejected() {
         let mut c = MemoryOptimizedCache::new(Bytes(128), 4);
-        c.insert(RowKey::new(0, 0), vec![0u8; 1024]);
+        c.insert(RowKey::new(0, 0), &[0u8; 1024]);
         assert_eq!(c.len(), 0);
         assert_eq!(c.stats().rejected, 1);
     }
@@ -261,18 +316,33 @@ mod tests {
     fn replacement_updates_value_and_usage() {
         let mut c = MemoryOptimizedCache::new(Bytes::from_kib(4), 4);
         let k = RowKey::new(7, 7);
-        c.insert(k, vec![1u8; 100]);
+        c.insert(k, &[1u8; 100]);
         let used_before = c.memory_used();
-        c.insert(k, vec![2u8; 200]);
-        assert_eq!(c.get(&k).unwrap(), vec![2u8; 200]);
+        c.insert(k, &[2u8; 200]);
+        assert_eq!(c.get(&k).unwrap(), &[2u8; 200]);
         assert_eq!(c.len(), 1);
         assert!(c.memory_used() > used_before);
     }
 
     #[test]
+    fn same_size_replacement_overwrites_in_place() {
+        let mut c = MemoryOptimizedCache::new(Bytes::from_kib(4), 4);
+        let k = RowKey::new(3, 3);
+        c.insert(k, &[1u8; 64]);
+        let arena_before = c.arena.len();
+        c.insert(k, &[2u8; 64]);
+        assert_eq!(
+            c.arena.len(),
+            arena_before,
+            "in-place overwrite must not grow the arena"
+        );
+        assert_eq!(c.get(&k).unwrap(), &[2u8; 64]);
+    }
+
+    #[test]
     fn clear_keeps_stats_but_drops_entries() {
         let mut c = MemoryOptimizedCache::new(Bytes::from_kib(4), 4);
-        c.insert(RowKey::new(0, 1), vec![0u8; 10]);
+        c.insert(RowKey::new(0, 1), &[0u8; 10]);
         c.get(&RowKey::new(0, 1));
         c.clear();
         assert_eq!(c.len(), 0);

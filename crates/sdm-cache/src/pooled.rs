@@ -12,10 +12,16 @@
 //! matter). Only sequences of at least `LenThreshold` indices are admitted —
 //! short sequences are cheap to recompute and would pollute the cache
 //! (Table 4).
+//!
+//! Pooled vectors live in a [`SlabArena`] and the LRU order is an intrusive
+//! [`crate::lru::LruList`], so a hit returns a borrowed `&[f32]` and touches
+//! no allocator; inserts only copy when the entry is actually admitted.
 
+use crate::arena::SlabArena;
+use crate::lru::LruList;
 use crate::stats::CacheStats;
 use sdm_metrics::units::Bytes;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::HashMap;
 
 /// Order-invariant key of one pooled-embedding request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -66,28 +72,31 @@ impl PooledKey {
     }
 }
 
-#[derive(Debug)]
-struct PooledEntry {
-    vector: Vec<f32>,
-    stamp: u64,
+#[derive(Debug, Clone, Copy)]
+struct PooledSlot {
+    key: PooledKey,
+    start: usize,
+    len: usize,
     sequence_len: u32,
 }
 
 /// LRU cache of pooled embedding outputs, bounded by a byte budget.
 #[derive(Debug)]
 pub struct PooledEmbeddingCache {
-    map: HashMap<PooledKey, PooledEntry>,
-    lru: BTreeMap<u64, PooledKey>,
+    map: HashMap<PooledKey, usize>,
+    slots: Vec<PooledSlot>,
+    free_slots: Vec<usize>,
+    lru: LruList,
+    data: SlabArena<f32>,
     budget: Bytes,
     used: u64,
-    clock: u64,
     len_threshold: usize,
     stats: CacheStats,
     hit_len_total: u64,
     skipped_short: u64,
 }
 
-/// Metadata overhead per pooled entry (key, stamps, allocation headers).
+/// Metadata overhead per pooled entry (key, LRU links, allocation headers).
 const ENTRY_OVERHEAD: usize = 64;
 
 impl PooledEmbeddingCache {
@@ -96,10 +105,12 @@ impl PooledEmbeddingCache {
     pub fn new(budget: Bytes, len_threshold: usize) -> Self {
         PooledEmbeddingCache {
             map: HashMap::new(),
-            lru: BTreeMap::new(),
+            slots: Vec::new(),
+            free_slots: Vec::new(),
+            lru: LruList::new(),
+            data: SlabArena::new(),
             budget,
             used: 0,
-            clock: 0,
             len_threshold: len_threshold.max(1),
             stats: CacheStats::new(),
             hit_len_total: 0,
@@ -117,73 +128,94 @@ impl PooledEmbeddingCache {
         len >= self.len_threshold
     }
 
-    /// Looks up the pooled output for a table + index sequence.
+    fn entry_cost(vector_len: usize) -> u64 {
+        (vector_len * 4 + ENTRY_OVERHEAD) as u64
+    }
+
+    fn remove_slot(&mut self, slot: usize) {
+        let s = self.slots[slot];
+        self.map.remove(&s.key);
+        self.lru.unlink(slot);
+        self.data.free(s.start, s.len);
+        self.free_slots.push(slot);
+        self.used -= Self::entry_cost(s.len);
+    }
+
+    /// Looks up the pooled output for a table + index sequence, returning a
+    /// slice borrowed from the cache's arena.
     ///
     /// Ineligible (short) sequences return `None` without being counted as
     /// misses — the paper's Algorithm 1 only consults the cache above the
     /// threshold.
-    pub fn lookup(&mut self, table: u32, indices: &[u64]) -> Option<Vec<f32>> {
+    pub fn lookup(&mut self, table: u32, indices: &[u64]) -> Option<&[f32]> {
         if !self.eligible(indices.len()) {
             self.skipped_short += 1;
             return None;
         }
         let key = PooledKey::new(table, indices);
-        self.clock += 1;
-        if let Some(entry) = self.map.get_mut(&key) {
-            self.lru.remove(&entry.stamp);
-            entry.stamp = self.clock;
-            self.lru.insert(self.clock, key);
-            self.stats.record_hit();
-            self.hit_len_total += entry.sequence_len as u64;
-            Some(entry.vector.clone())
-        } else {
-            self.stats.record_miss();
-            None
+        match self.map.get(&key).copied() {
+            Some(slot) => {
+                self.lru.touch(slot);
+                self.stats.record_hit();
+                let s = self.slots[slot];
+                self.hit_len_total += s.sequence_len as u64;
+                Some(self.data.slice(s.start, s.len))
+            }
+            None => {
+                self.stats.record_miss();
+                None
+            }
         }
     }
 
     /// Inserts the pooled output for a table + index sequence. Ineligible
-    /// sequences are ignored.
-    pub fn insert(&mut self, table: u32, indices: &[u64], vector: Vec<f32>) {
+    /// sequences are ignored; the vector is only copied (into the cache's
+    /// arena) when the entry is actually admitted.
+    pub fn insert(&mut self, table: u32, indices: &[u64], vector: &[f32]) {
         if !self.eligible(indices.len()) {
             return;
         }
         let key = PooledKey::new(table, indices);
-        let cost = (vector.len() * 4 + ENTRY_OVERHEAD) as u64;
+        let cost = Self::entry_cost(vector.len());
         if cost > self.budget.as_u64() {
             self.stats.rejected += 1;
             return;
         }
-        if let Some(old) = self.map.remove(&key) {
-            self.lru.remove(&old.stamp);
-            self.used -= (old.vector.len() * 4 + ENTRY_OVERHEAD) as u64;
+        if let Some(slot) = self.map.get(&key).copied() {
+            self.remove_slot(slot);
         }
         while self.used + cost > self.budget.as_u64() {
-            let Some((&stamp, &victim)) = self.lru.iter().next() else {
+            let Some(victim) = self.lru.lru() else {
                 break;
             };
-            self.lru.remove(&stamp);
-            if let Some(e) = self.map.remove(&victim) {
-                self.used -= (e.vector.len() * 4 + ENTRY_OVERHEAD) as u64;
-                self.stats.evictions += 1;
-            }
+            self.remove_slot(victim);
+            self.stats.evictions += 1;
         }
         if self.used + cost > self.budget.as_u64() {
             self.stats.rejected += 1;
             return;
         }
-        self.clock += 1;
         self.used += cost;
         self.stats.insertions += 1;
-        self.lru.insert(self.clock, key);
-        self.map.insert(
+        let start = self.data.alloc(vector);
+        let record = PooledSlot {
             key,
-            PooledEntry {
-                vector,
-                stamp: self.clock,
-                sequence_len: indices.len() as u32,
-            },
-        );
+            start,
+            len: vector.len(),
+            sequence_len: indices.len() as u32,
+        };
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                self.slots[slot] = record;
+                slot
+            }
+            None => {
+                self.slots.push(record);
+                self.slots.len() - 1
+            }
+        };
+        self.lru.push_front(slot);
+        self.map.insert(key, slot);
     }
 
     /// Number of cached pooled vectors.
@@ -230,7 +262,10 @@ impl PooledEmbeddingCache {
     /// Drops all cached vectors (statistics are kept).
     pub fn clear(&mut self) {
         self.map.clear();
+        self.slots.clear();
+        self.free_slots.clear();
         self.lru.clear();
+        self.data.clear();
         self.used = 0;
     }
 }
@@ -265,8 +300,8 @@ mod tests {
         let mut c = PooledEmbeddingCache::new(Bytes::from_kib(64), 2);
         let pooled = vec![1.0f32, 2.0, 3.0];
         assert!(c.lookup(3, &[10, 20, 30]).is_none());
-        c.insert(3, &[10, 20, 30], pooled.clone());
-        assert_eq!(c.lookup(3, &[30, 10, 20]).unwrap(), pooled);
+        c.insert(3, &[10, 20, 30], &pooled);
+        assert_eq!(c.lookup(3, &[30, 10, 20]).unwrap(), pooled.as_slice());
         assert_eq!(c.stats().hits, 1);
         assert_eq!(c.stats().misses, 1);
         assert!((c.average_hit_length() - 3.0).abs() < 1e-12);
@@ -277,7 +312,7 @@ mod tests {
         let mut c = PooledEmbeddingCache::new(Bytes::from_kib(64), 8);
         assert!(!c.eligible(4));
         assert!(c.lookup(0, &[1, 2, 3]).is_none());
-        c.insert(0, &[1, 2, 3], vec![1.0]);
+        c.insert(0, &[1, 2, 3], &[1.0]);
         assert!(c.is_empty());
         assert_eq!(c.stats().lookups(), 0);
         assert_eq!(c.skipped_short(), 1);
@@ -290,17 +325,19 @@ mod tests {
         let mut c = PooledEmbeddingCache::new(Bytes(512), 1);
         for t in 0..10u32 {
             let indices: Vec<u64> = (0..5).map(|i| (t as u64) * 100 + i).collect();
-            c.insert(t, &indices, vec![0.5f32; 16]);
+            c.insert(t, &indices, &[0.5f32; 16]);
         }
         assert!(c.len() <= 4);
         assert!(c.memory_used() <= c.budget());
         assert!(c.stats().evictions >= 6);
+        // Churn at one vector size must recycle arena ranges, not grow them.
+        assert!(c.data.len() <= 5 * 16, "{} arena floats", c.data.len());
     }
 
     #[test]
     fn oversized_vector_rejected() {
         let mut c = PooledEmbeddingCache::new(Bytes(100), 1);
-        c.insert(0, &[1, 2], vec![0.0f32; 1000]);
+        c.insert(0, &[1, 2], &[0.0f32; 1000]);
         assert!(c.is_empty());
         assert_eq!(c.stats().rejected, 1);
     }
@@ -308,7 +345,7 @@ mod tests {
     #[test]
     fn clear_empties_cache() {
         let mut c = PooledEmbeddingCache::new(Bytes::from_kib(4), 1);
-        c.insert(0, &[1, 2, 3], vec![1.0; 4]);
+        c.insert(0, &[1, 2, 3], &[1.0; 4]);
         c.clear();
         assert!(c.is_empty());
         assert_eq!(c.memory_used(), Bytes::ZERO);
@@ -317,9 +354,9 @@ mod tests {
     #[test]
     fn replacement_of_same_sequence_updates_value() {
         let mut c = PooledEmbeddingCache::new(Bytes::from_kib(4), 1);
-        c.insert(0, &[4, 5, 6], vec![1.0; 4]);
-        c.insert(0, &[6, 5, 4], vec![2.0; 4]);
+        c.insert(0, &[4, 5, 6], &[1.0; 4]);
+        c.insert(0, &[6, 5, 4], &[2.0; 4]);
         assert_eq!(c.len(), 1);
-        assert_eq!(c.lookup(0, &[4, 5, 6]).unwrap(), vec![2.0; 4]);
+        assert_eq!(c.lookup(0, &[4, 5, 6]).unwrap(), &[2.0f32; 4]);
     }
 }

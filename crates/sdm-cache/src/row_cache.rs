@@ -44,14 +44,19 @@ impl fmt::Display for RowKey {
 /// Both engines are bounded by a byte budget that accounts for the stored
 /// row bytes *plus* a per-entry metadata overhead — the overhead difference
 /// is exactly the memory-vs-CPU trade-off the paper tunes (Figure 6).
+///
+/// Hits return a *borrowed* slice into the cache's internal arena rather
+/// than a cloned `Vec`: the serving loop dequantises straight out of the
+/// cache, so a warm lookup performs no heap allocation and no copy.
 pub trait RowCache {
-    /// Looks a row up, refreshing its recency on a hit.
-    fn get(&mut self, key: &RowKey) -> Option<Vec<u8>>;
+    /// Looks a row up, refreshing its recency on a hit. The returned slice
+    /// borrows from the cache's payload arena.
+    fn get(&mut self, key: &RowKey) -> Option<&[u8]>;
 
-    /// Inserts (or replaces) a row, evicting older entries if needed to stay
-    /// within the byte budget. Rows larger than the whole budget are
-    /// silently not admitted.
-    fn insert(&mut self, key: RowKey, value: Vec<u8>);
+    /// Inserts (or replaces) a row (copied into the cache's arena),
+    /// evicting older entries if needed to stay within the byte budget.
+    /// Rows larger than the whole budget are silently not admitted.
+    fn insert(&mut self, key: RowKey, value: &[u8]);
 
     /// Returns true when the key is resident (without touching recency).
     fn contains(&self, key: &RowKey) -> bool;

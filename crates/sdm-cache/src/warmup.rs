@@ -9,6 +9,12 @@
 
 use sdm_metrics::SimDuration;
 
+/// Upper bound on retained per-window hit rates. Steady-state detection
+/// keeps working past the cap; only the per-window history stops growing,
+/// which keeps [`WarmupTracker::record`] allocation-free and the tracker's
+/// memory bounded for the lifetime of a serving process.
+const MAX_TRACKED_WINDOWS: usize = 4096;
+
 /// Observes hit rate over fixed-size lookup windows and reports when the
 /// cache has reached steady state.
 #[derive(Debug, Clone)]
@@ -17,7 +23,10 @@ pub struct WarmupTracker {
     steady_threshold: f64,
     current_hits: u64,
     current_lookups: u64,
+    /// Hit rates of the first [`MAX_TRACKED_WINDOWS`] completed windows.
     window_rates: Vec<f64>,
+    /// Total completed windows (may exceed the retained history).
+    completed_windows: u64,
     steady_window: Option<usize>,
 }
 
@@ -31,7 +40,10 @@ impl WarmupTracker {
             steady_threshold: steady_threshold.clamp(0.0, 1.0),
             current_hits: 0,
             current_lookups: 0,
-            window_rates: Vec::new(),
+            // Full capacity up front so `record` never allocates on the
+            // serving path (the zero-allocation steady-state guarantee).
+            window_rates: Vec::with_capacity(MAX_TRACKED_WINDOWS),
+            completed_windows: 0,
             steady_window: None,
         }
     }
@@ -44,16 +56,20 @@ impl WarmupTracker {
         }
         if self.current_lookups >= self.window {
             let rate = self.current_hits as f64 / self.current_lookups as f64;
-            self.window_rates.push(rate);
-            if self.steady_window.is_none() && rate >= self.steady_threshold {
-                self.steady_window = Some(self.window_rates.len() - 1);
+            if self.window_rates.len() < MAX_TRACKED_WINDOWS {
+                self.window_rates.push(rate);
             }
+            if self.steady_window.is_none() && rate >= self.steady_threshold {
+                self.steady_window = Some(self.completed_windows as usize);
+            }
+            self.completed_windows += 1;
             self.current_hits = 0;
             self.current_lookups = 0;
         }
     }
 
-    /// Hit rate of each completed window, in order.
+    /// Hit rate of each completed window, in order (capped at the first
+    /// [`MAX_TRACKED_WINDOWS`] windows; steady-state detection is not).
     pub fn window_rates(&self) -> &[f64] {
         &self.window_rates
     }
@@ -114,6 +130,22 @@ mod tests {
         assert_eq!(t.window_rates().len(), 5);
         assert!(t.window_rates()[0] < 0.6);
         assert!(t.window_rates()[4] > 0.9);
+    }
+
+    #[test]
+    fn window_history_is_bounded_but_detection_keeps_working() {
+        let mut t = WarmupTracker::new(1, 0.9);
+        // Miss for longer than the retained history...
+        for _ in 0..(MAX_TRACKED_WINDOWS + 100) {
+            t.record(false);
+        }
+        assert_eq!(t.window_rates().len(), MAX_TRACKED_WINDOWS);
+        assert!(!t.is_warm());
+        // ...then steady state is still detected, past the cap.
+        t.record(true);
+        assert!(t.is_warm());
+        assert_eq!(t.steady_state_window(), Some(MAX_TRACKED_WINDOWS + 100));
+        assert_eq!(t.window_rates().len(), MAX_TRACKED_WINDOWS);
     }
 
     #[test]

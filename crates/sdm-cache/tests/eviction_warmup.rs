@@ -25,7 +25,7 @@ fn demand_fill<C: RowCache>(
             let hit = cache.get(&key).is_some();
             tracker.record(hit);
             if !hit {
-                cache.insert(key, vec![row as u8; row_bytes]);
+                cache.insert(key, &vec![row as u8; row_bytes]);
             }
         }
     }
@@ -80,7 +80,7 @@ fn eviction_keeps_hot_rows_under_skewed_access() {
     let touch = |cache: &mut MemoryOptimizedCache, row: u64| {
         let key = RowKey::new(0, row);
         if cache.get(&key).is_none() {
-            cache.insert(key, vec![row as u8; 64]);
+            cache.insert(key, &[row as u8; 64]);
         }
     };
     for tick in 0..8192u64 {
@@ -110,8 +110,8 @@ fn dual_cache_routes_by_row_size_and_stays_within_budgets() {
     assert!(threshold > 0);
 
     for row in 0..64u64 {
-        dual.insert(RowKey::new(0, row), vec![1u8; threshold / 2]);
-        dual.insert(RowKey::new(1, row), vec![2u8; threshold * 4]);
+        dual.insert(RowKey::new(0, row), &vec![1u8; threshold / 2]);
+        dual.insert(RowKey::new(1, row), &vec![2u8; threshold * 4]);
     }
     // Both engines saw their share of the inserts.
     assert_eq!(dual.small_engine_stats().insertions, 64);
@@ -128,7 +128,7 @@ fn pooled_cache_eviction_respects_budget_under_churn() {
     let mut cache = PooledEmbeddingCache::new(Bytes::from_kib(4), 2);
     for i in 0..512u64 {
         let indices: Vec<u64> = (i..i + 8).collect();
-        cache.insert(0, &indices, vec![i as f32; 16]);
+        cache.insert(0, &indices, &[i as f32; 16]);
         assert!(
             cache.memory_used() <= cache.budget(),
             "pooled cache over budget at insert {i}"

@@ -85,6 +85,9 @@ impl ModelLoader {
         model.validate()?;
         let placement = PlacementPlan::compute(model, &config.placement);
 
+        // Descriptor/model clones below are load-time only (once per model
+        // deployment, never on the query path), so the simplicity of owned
+        // copies beats threading lifetimes through the serving structs.
         let mut fm_tables = HashMap::new();
         let mut loaded_tables = HashMap::new();
         let mut sm_materialised: Vec<(TableDescriptor, EmbeddingTable)> = Vec::new();

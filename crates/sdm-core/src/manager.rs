@@ -6,7 +6,7 @@ use crate::loader::LoadedModel;
 use crate::placement::TableLocation;
 use crate::stats::SdmStats;
 use dlrm::{DlrmError, EmbeddingBackend};
-use embedding::{dequantize_row, QuantScheme, TableId};
+use embedding::{accumulate_row, QuantScheme, TableId};
 use io_engine::{IoEngine, IoRequest};
 use scm_device::{DeviceId, ReadCommand};
 use sdm_cache::{DualRowCache, PooledEmbeddingCache, RowCache, RowKey, WarmupTracker};
@@ -24,12 +24,25 @@ const MAPPING_LOOKUP_COST: SimDuration = SimDuration::from_nanos(40);
 /// DRAM random access cost for rows of directly-placed tables.
 const FM_ROW_COST: SimDuration = SimDuration::from_nanos(150);
 
+/// Reusable per-lookup scratch: the IO miss list survives across lookups so
+/// a steady-state query never allocates for it.
+#[derive(Debug, Default)]
+struct LookupScratch {
+    /// `(position in the index list, stored row)` of each cache miss.
+    io_targets: Vec<(usize, u64)>,
+}
+
 /// The serving-path memory manager.
 ///
 /// Implements [`dlrm::EmbeddingBackend`]: the DLRM inference engine asks for
 /// pooled embeddings, and the manager resolves each one through (in order)
 /// the pooled-embedding cache, the fast-memory row cache, and finally
 /// SGL reads from the SCM devices (paper Algorithm 1).
+///
+/// The hot path is allocation- and copy-free on a warmed cache: cache hits
+/// are dequant-accumulated straight out of the caches' arenas into the
+/// caller's output range, and misses are submitted as one ring submission
+/// whose completions are pooled as they drain.
 #[derive(Debug)]
 pub struct SdmMemoryManager {
     config: SdmConfig,
@@ -39,6 +52,7 @@ pub struct SdmMemoryManager {
     pooled_cache: PooledEmbeddingCache,
     warmup: WarmupTracker,
     stats: SdmStats,
+    scratch: LookupScratch,
     clock: SimInstant,
 }
 
@@ -46,6 +60,7 @@ impl SdmMemoryManager {
     /// Creates the manager from a loaded model and the IO engine that owns
     /// the devices holding its SM image.
     pub fn new(config: SdmConfig, loaded: LoadedModel, engine: IoEngine) -> Self {
+        // Construction-time clone (once per deployment, not per query).
         let mut row_cache = DualRowCache::new(config.cache.clone());
         for table in loaded.placement.uncached_tables() {
             row_cache.disable_table(table);
@@ -62,6 +77,7 @@ impl SdmMemoryManager {
             pooled_cache,
             warmup: WarmupTracker::new(2_000, 0.8),
             stats: SdmStats::new(),
+            scratch: LookupScratch::default(),
             clock: SimInstant::EPOCH,
         }
     }
@@ -134,66 +150,102 @@ impl SdmMemoryManager {
     }
 
     /// Serves a pooled lookup against a table placed directly in fast
-    /// memory.
-    fn fm_pooled_lookup(
+    /// memory, accumulating into `out`.
+    fn fm_pooled_lookup_into(
         &mut self,
         table: TableId,
         indices: &[u64],
-    ) -> Result<(Vec<f32>, SimDuration), SdmError> {
+        out: &mut [f32],
+    ) -> Result<SimDuration, SdmError> {
         let t = self
             .loaded
             .fm_tables
             .get(&table)
             .ok_or(embedding::EmbeddingError::UnknownTable { table })?;
-        let desc = t.descriptor().clone();
-        let mut pooled = vec![0.0f32; desc.dim];
+        // Copy out the two plain fields instead of cloning the descriptor —
+        // the descriptor carries a heap-allocated name, and this runs once
+        // per operator.
+        let (quant, dim) = (t.descriptor().quant, t.descriptor().dim);
+        if out.len() != dim {
+            return Err(embedding::EmbeddingError::MalformedRow {
+                expected: dim,
+                actual: out.len(),
+            }
+            .into());
+        }
         for &idx in indices {
             let row = t.row(idx)?;
-            let values = dequantize_row(row, desc.quant, desc.dim)?;
-            for (o, v) in pooled.iter_mut().zip(&values) {
-                *o += *v;
-            }
+            accumulate_row(row, quant, out)?;
         }
         self.stats.fm_direct_lookups += indices.len() as u64;
         let latency = FM_ROW_COST * indices.len() as u64
-            + DEQUANT_POOL_COST_PER_ELEMENT * (indices.len() * desc.dim) as u64;
+            + DEQUANT_POOL_COST_PER_ELEMENT * (indices.len() * dim) as u64;
         self.stats.fm_op_latency.record(latency);
-        Ok((pooled, latency))
+        Ok(latency)
     }
 
     /// Serves a pooled lookup against an SM-resident table: pooled cache →
-    /// row cache → SGL reads (paper Algorithm 1).
-    fn sm_pooled_lookup(
+    /// row cache → SGL reads (paper Algorithm 1), accumulating into `out`.
+    ///
+    /// Cache hits are dequant-accumulated immediately, straight out of the
+    /// row cache's arena (no copy, no allocation); the misses are gathered
+    /// into a reused scratch list, submitted as **one ring submission**, and
+    /// pooled as their completions drain — overlapping completion reaping
+    /// with the dequantise+pool work.
+    fn sm_pooled_lookup_into(
         &mut self,
         table: TableId,
         indices: &[u64],
         now: SimInstant,
-    ) -> Result<(Vec<f32>, SimDuration), SdmError> {
-        let (stored_desc, logical_rows, has_mapping) = {
-            let t = self
-                .loaded
-                .tables
-                .get(&table)
-                .ok_or(embedding::EmbeddingError::UnknownTable { table })?;
-            (t.stored.clone(), t.logical.num_rows, t.mapping.is_some())
-        };
+        out: &mut [f32],
+    ) -> Result<SimDuration, SdmError> {
+        // Split borrows once so cache hits can be accumulated into `out`
+        // while statistics and scratch update alongside.
+        let Self {
+            config,
+            loaded,
+            engine,
+            row_cache,
+            pooled_cache,
+            warmup,
+            stats,
+            scratch,
+            ..
+        } = self;
+        let t = loaded
+            .tables
+            .get(&table)
+            .ok_or(embedding::EmbeddingError::UnknownTable { table })?;
+        let (quant, dim) = (t.stored.quant, t.stored.dim);
+        let logical_rows = t.logical.num_rows;
+        let mapping = t.mapping.as_ref();
+        if out.len() != dim {
+            return Err(embedding::EmbeddingError::MalformedRow {
+                expected: dim,
+                actual: out.len(),
+            }
+            .into());
+        }
         let mut latency = SimDuration::ZERO;
 
         // 1. Pooled-embedding cache (Algorithm 1).
-        let pooled_enabled = !self.config.cache.pooled_cache_budget.is_zero();
-        if pooled_enabled && self.pooled_cache.eligible(indices.len()) {
+        let pooled_enabled = !config.cache.pooled_cache_budget.is_zero();
+        if pooled_enabled && pooled_cache.eligible(indices.len()) {
             latency += POOLED_CACHE_PROBE_COST;
-            if let Some(vector) = self.pooled_cache.lookup(table, indices) {
-                self.stats.pooled_cache_hits += 1;
-                self.stats.sm_op_latency.record(latency);
-                return Ok((vector, latency));
+            if let Some(vector) = pooled_cache.lookup(table, indices) {
+                out.copy_from_slice(vector);
+                stats.pooled_cache_hits += 1;
+                stats.sm_op_latency.record(latency);
+                return Ok(latency);
             }
         }
 
         // 2. Resolve each index: mapping tensor, row cache, then SM IO.
-        let mut resident_rows: Vec<(usize, Vec<u8>)> = Vec::new();
-        let mut io_targets: Vec<(usize, u64)> = Vec::new(); // (position, stored row)
+        // Hits accumulate straight into `out` in index order; misses queue
+        // in the reused scratch list.
+        scratch.io_targets.clear();
         let mut zero_rows = 0u64;
+        let mut pooled_rows = 0usize;
         for (pos, &idx) in indices.iter().enumerate() {
             if idx >= logical_rows {
                 return Err(embedding::EmbeddingError::RowOutOfRange {
@@ -203,10 +255,9 @@ impl SdmMemoryManager {
                 .into());
             }
             // Pruned tables translate through the FM mapping tensor.
-            let stored_row = if has_mapping {
+            let stored_row = if let Some(mapping) = mapping {
                 latency += MAPPING_LOOKUP_COST;
-                let t = self.loaded.tables.get(&table).expect("checked above");
-                match t.mapping.as_ref().expect("has_mapping").map(idx) {
+                match mapping.map(idx) {
                     Some(r) => r,
                     None => {
                         zero_rows += 1;
@@ -217,88 +268,128 @@ impl SdmMemoryManager {
                 idx
             };
 
-            latency += self.row_cache.lookup_cost();
+            latency += row_cache.lookup_cost();
             let key = RowKey::new(table, stored_row);
-            match self.row_cache.get(&key) {
+            match row_cache.get(&key) {
                 Some(bytes) => {
-                    self.stats.row_cache_hits += 1;
-                    self.warmup.record(true);
-                    resident_rows.push((pos, bytes));
+                    accumulate_row(bytes, quant, out)?;
+                    stats.row_cache_hits += 1;
+                    warmup.record(true);
+                    pooled_rows += 1;
                 }
                 None => {
-                    self.stats.sm_reads += 1;
-                    self.warmup.record(false);
-                    io_targets.push((pos, stored_row));
+                    stats.sm_reads += 1;
+                    warmup.record(false);
+                    scratch.io_targets.push((pos, stored_row));
                 }
             }
         }
-        self.stats.pruned_zero_rows += zero_rows;
+        stats.pruned_zero_rows += zero_rows;
 
-        // 3. Issue the misses as one batch of SGL (or block) reads.
-        if !io_targets.is_empty() {
-            let placement = self.loaded.layout.placement(table)?;
+        // 3. Issue the misses as one ring submission of SGL (or block)
+        // reads, then pool each row as its completion drains.
+        if !scratch.io_targets.is_empty() {
+            let placement = loaded.layout.placement(table)?;
             let device = DeviceId(placement.device_index);
-            for (pos, stored_row) in &io_targets {
+            for (pos, stored_row) in &scratch.io_targets {
                 let offset = placement.row_offset(*stored_row)?;
-                let command = match self.config.granularity {
+                let command = match config.granularity {
                     AccessGranularity::Sgl => ReadCommand::sgl(offset, placement.row_bytes),
                     AccessGranularity::Block => ReadCommand::block(offset, placement.row_bytes),
                 };
-                self.engine.submit(
+                engine.submit(
                     IoRequest::new(device, command)
                         .with_table(table)
                         .with_user_data(*pos as u64),
                     now,
                 )?;
             }
-            let (completions, finished_at) = self.engine.drain(now)?;
-            let io_time = finished_at.duration_since(now);
-            self.stats.io_time += io_time;
-            latency += io_time;
-            for completion in completions {
-                self.stats.sm_bytes_read += Bytes(completion.data.len() as u64);
-                self.stats.sm_bus_bytes += completion.bus_bytes;
+            let io_targets = &scratch.io_targets;
+            let mut pool_error: Option<SdmError> = None;
+            let finished_at = engine.drain_each(now, |completion| {
+                stats.sm_bytes_read += Bytes(completion.data.len() as u64);
+                stats.sm_bus_bytes += completion.bus_bytes;
                 let pos = completion.user_data as usize;
+                // io_targets is built in ascending position order, so the
+                // reverse lookup is a binary search, not a linear scan.
                 let stored_row = io_targets
-                    .iter()
-                    .find(|(p, _)| *p == pos)
-                    .map(|(_, r)| *r)
+                    .binary_search_by_key(&pos, |(p, _)| *p)
+                    .map(|i| io_targets[i].1)
                     .expect("completion for unknown position");
-                self.row_cache
-                    .insert(RowKey::new(table, stored_row), completion.data.clone());
-                resident_rows.push((pos, completion.data));
+                if pool_error.is_none() {
+                    if let Err(e) = accumulate_row(&completion.data, quant, out) {
+                        pool_error = Some(e.into());
+                    } else {
+                        pooled_rows += 1;
+                    }
+                }
+                // Copied into the cache's arena (the seed's extra
+                // intermediate clone is gone, not the final copy).
+                row_cache.insert(RowKey::new(table, stored_row), &completion.data);
+            })?;
+            if let Some(e) = pool_error {
+                return Err(e);
             }
+            let io_time = finished_at.duration_since(now);
+            stats.io_time += io_time;
+            latency += io_time;
         }
 
-        // 4. Dequantise and pool.
-        resident_rows.sort_by_key(|(pos, _)| *pos);
-        let mut pooled = vec![0.0f32; stored_desc.dim];
-        for (_, bytes) in &resident_rows {
-            let values = dequantize_row(bytes, stored_desc.quant, stored_desc.dim)?;
-            for (o, v) in pooled.iter_mut().zip(&values) {
-                *o += *v;
-            }
-        }
-        let per_element = if stored_desc.quant == QuantScheme::Fp32 {
+        // 4. Account the dequantise+pool cost.
+        let per_element = if quant == QuantScheme::Fp32 {
             POOL_ONLY_COST_PER_ELEMENT
         } else {
             DEQUANT_POOL_COST_PER_ELEMENT
         };
-        let pool_time = per_element * (resident_rows.len() * stored_desc.dim) as u64
-            + SimDuration::from_nanos(100);
-        self.stats.pooling_time += pool_time;
+        let pool_time = per_element * (pooled_rows * dim) as u64 + SimDuration::from_nanos(100);
+        stats.pooling_time += pool_time;
         latency += pool_time;
 
-        // 5. Feed the pooled-embedding cache.
+        // 5. Feed the pooled-embedding cache (copies only on admission).
         if pooled_enabled {
-            self.pooled_cache.insert(table, indices, pooled.clone());
+            pooled_cache.insert(table, indices, out);
         }
 
-        self.stats.sm_op_latency.record(latency);
-        Ok((pooled, latency))
+        stats.sm_op_latency.record(latency);
+        Ok(latency)
+    }
+
+    /// Serves one pooled embedding operator into `out` (sized to the
+    /// table's dimension), advancing the manager's clock. This is the
+    /// zero-allocation hot path.
+    ///
+    /// Unlike the trait's minimum contract (which requires a zero-filled
+    /// buffer), this implementation overwrites `out` unconditionally: the
+    /// result may be persisted into the shared pooled-embedding cache, so a
+    /// stale buffer must never be able to poison later queries.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdmError`] for unknown tables, out-of-range indices or IO
+    /// failures.
+    pub fn pooled_lookup_into_at(
+        &mut self,
+        table: TableId,
+        indices: &[u64],
+        now: SimInstant,
+        out: &mut [f32],
+    ) -> Result<SimDuration, SdmError> {
+        out.fill(0.0);
+        self.stats.pooled_ops += 1;
+        let location = self.loaded.placement.location(table);
+        let took = match location {
+            TableLocation::FastMemory => self.fm_pooled_lookup_into(table, indices, out),
+            TableLocation::SlowMemoryCached | TableLocation::SlowMemoryUncached => {
+                self.sm_pooled_lookup_into(table, indices, now, out)
+            }
+        }?;
+        self.clock = self.clock.max(now + took);
+        Ok(took)
     }
 
     /// Serves one pooled embedding operator, advancing the manager's clock.
+    /// Allocating convenience form of
+    /// [`SdmMemoryManager::pooled_lookup_into_at`].
     ///
     /// # Errors
     ///
@@ -310,16 +401,16 @@ impl SdmMemoryManager {
         indices: &[u64],
         now: SimInstant,
     ) -> Result<(Vec<f32>, SimDuration), SdmError> {
-        self.stats.pooled_ops += 1;
-        let location = self.loaded.placement.location(table);
-        let result = match location {
-            TableLocation::FastMemory => self.fm_pooled_lookup(table, indices),
-            TableLocation::SlowMemoryCached | TableLocation::SlowMemoryUncached => {
-                self.sm_pooled_lookup(table, indices, now)
-            }
-        }?;
-        self.clock = self.clock.max(now + result.1);
-        Ok(result)
+        let dim = self
+            .loaded
+            .tables
+            .get(&table)
+            .ok_or(embedding::EmbeddingError::UnknownTable { table })?
+            .stored
+            .dim;
+        let mut pooled = vec![0.0f32; dim];
+        let took = self.pooled_lookup_into_at(table, indices, now, &mut pooled)?;
+        Ok((pooled, took))
     }
 }
 
@@ -331,6 +422,17 @@ impl EmbeddingBackend for SdmMemoryManager {
         now: SimInstant,
     ) -> Result<(Vec<f32>, SimDuration), DlrmError> {
         self.pooled_lookup_at(table, indices, now)
+            .map_err(DlrmError::backend)
+    }
+
+    fn pooled_lookup_into(
+        &mut self,
+        table: TableId,
+        indices: &[u64],
+        now: SimInstant,
+        out: &mut [f32],
+    ) -> Result<SimDuration, DlrmError> {
+        self.pooled_lookup_into_at(table, indices, now, out)
             .map_err(DlrmError::backend)
     }
 

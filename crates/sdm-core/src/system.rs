@@ -4,7 +4,9 @@ use crate::config::SdmConfig;
 use crate::error::SdmError;
 use crate::loader::ModelLoader;
 use crate::manager::SdmMemoryManager;
-use dlrm::{ComputeModel, InferenceEngine, ModelConfig, QueryResult};
+use dlrm::{
+    ComputeModel, InferenceEngine, LatencyBreakdown, ModelConfig, PoolingBuffers, QueryResult,
+};
 use io_engine::IoEngine;
 use scm_device::DeviceArray;
 use sdm_metrics::{LatencyHistogram, SimDuration, SimInstant};
@@ -35,6 +37,32 @@ impl QpsReport {
     }
 }
 
+/// Reusable storage for the results of the last [`SdmSystem::run_batch`]:
+/// scores live back to back in one flat arena, so executing a batch
+/// allocates nothing once the capacity has warmed up.
+#[derive(Debug, Default)]
+struct BatchScratch {
+    /// Scores of every query in the batch, concatenated.
+    scores: Vec<f32>,
+    /// `(start, len)` of each query's scores within `scores`.
+    ranges: Vec<(usize, usize)>,
+    /// Latency breakdown of each query.
+    latencies: Vec<LatencyBreakdown>,
+    /// Latency histogram, reset per batch (buckets reused).
+    hist: LatencyHistogram,
+    /// The per-query result the engine writes into, recycled across queries.
+    result: QueryResult,
+}
+
+impl BatchScratch {
+    fn reset(&mut self) {
+        self.scores.clear();
+        self.ranges.clear();
+        self.latencies.clear();
+        self.hist.reset();
+    }
+}
+
 /// A complete single-host serving system: devices, IO engine, SDM manager
 /// and the DLRM inference engine.
 #[derive(Debug)]
@@ -42,6 +70,9 @@ pub struct SdmSystem {
     engine: InferenceEngine,
     manager: SdmMemoryManager,
     clock: SimInstant,
+    /// Persistent execution scratch shared by every query this system runs.
+    buffers: PoolingBuffers,
+    batch: BatchScratch,
 }
 
 impl SdmSystem {
@@ -57,6 +88,7 @@ impl SdmSystem {
             config.device_capacity,
             config.device_count,
         )?;
+        // Build-time clones (config/model), once per system — not hot.
         let mut io = IoEngine::new(array, config.io.clone());
         let loaded = ModelLoader::load(model, &config, &mut io)?;
         let manager = SdmMemoryManager::new(config, loaded, io);
@@ -65,6 +97,8 @@ impl SdmSystem {
             engine,
             manager,
             clock: SimInstant::EPOCH,
+            buffers: PoolingBuffers::new(),
+            batch: BatchScratch::default(),
         })
     }
 
@@ -110,7 +144,39 @@ impl SdmSystem {
         self.clock
     }
 
+    /// Executes one query into a caller-provided (reusable) result,
+    /// advancing the virtual clock by its latency.
+    ///
+    /// This is the steady-state serving path: with warm system scratch, a
+    /// warmed cache and a recycled `result`, it performs **zero heap
+    /// allocations per query** (asserted by the `zero_alloc` test suite).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and memory errors.
+    pub fn run_query_into(
+        &mut self,
+        query: &Query,
+        result: &mut QueryResult,
+    ) -> Result<(), SdmError> {
+        self.engine.execute_into(
+            query,
+            &mut self.manager,
+            self.clock,
+            &mut self.buffers,
+            result,
+        )?;
+        self.clock += result.latency.total;
+        Ok(())
+    }
+
     /// Executes one query, advancing the virtual clock by its latency.
+    ///
+    /// Stateless convenience form: scratch is created per call and the
+    /// returned `QueryResult` owns its scores, so each call pays the
+    /// allocation cost the reusable paths ([`SdmSystem::run_query_into`]
+    /// and [`SdmSystem::run_batch`]) amortise away. Results are identical
+    /// either way — scratch never affects values.
     ///
     /// # Errors
     ///
@@ -121,17 +187,101 @@ impl SdmSystem {
         Ok(result)
     }
 
-    /// Executes a batch of queries back to back and summarises latency and
-    /// throughput.
+    /// Executes a batch of queries through the zero-allocation hot path and
+    /// summarises latency and throughput.
+    ///
+    /// Virtual-time semantics are identical to looping
+    /// [`SdmSystem::run_query`] — each query still observes the clock its
+    /// predecessors advanced, so results, cache counters and IO totals are
+    /// bit-for-bit the same (asserted by the `batch_equivalence` suite).
+    /// What batching buys is host-side efficiency: one set of scratch
+    /// buffers serves the whole batch, per-query results land in a flat
+    /// reused arena (readable via [`SdmSystem::batch_scores`]) instead of a
+    /// fresh `QueryResult` per query, and each operator's SM misses go to
+    /// the device as one ring submission whose completions are pooled as
+    /// they drain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and memory errors; the batch stops at the first
+    /// failing query.
+    pub fn run_batch(&mut self, queries: &[Query]) -> Result<QpsReport, SdmError> {
+        self.batch.reset();
+        for q in queries {
+            self.engine.execute_into(
+                q,
+                &mut self.manager,
+                self.clock,
+                &mut self.buffers,
+                &mut self.batch.result,
+            )?;
+            self.clock += self.batch.result.latency.total;
+            let start = self.batch.scores.len();
+            self.batch
+                .scores
+                .extend_from_slice(&self.batch.result.scores);
+            self.batch
+                .ranges
+                .push((start, self.batch.result.scores.len()));
+            self.batch.latencies.push(self.batch.result.latency);
+            self.batch.hist.record(self.batch.result.latency.total);
+        }
+        let mean = self.batch.hist.mean();
+        Ok(QpsReport {
+            queries: self.batch.hist.count(),
+            mean_latency: mean,
+            p95_latency: self.batch.hist.p95(),
+            p99_latency: self.batch.hist.p99(),
+            qps_single_stream: if mean.is_zero() {
+                0.0
+            } else {
+                1.0 / mean.as_secs_f64()
+            },
+        })
+    }
+
+    /// Number of queries in the last [`SdmSystem::run_batch`].
+    pub fn batch_len(&self) -> usize {
+        self.batch.ranges.len()
+    }
+
+    /// Scores of query `i` of the last batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range for the last batch.
+    pub fn batch_scores(&self, i: usize) -> &[f32] {
+        let (start, len) = self.batch.ranges[i];
+        &self.batch.scores[start..start + len]
+    }
+
+    /// Latency breakdown of query `i` of the last batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range for the last batch.
+    pub fn batch_latency(&self, i: usize) -> LatencyBreakdown {
+        self.batch.latencies[i]
+    }
+
+    /// Executes a stream of queries and summarises latency and throughput:
+    /// a thin loop over [`SdmSystem::run_batch`] in bounded chunks, so an
+    /// arbitrarily long stream never retains more than one chunk's worth of
+    /// per-query scores in the batch scratch.
     ///
     /// # Errors
     ///
     /// Propagates engine and memory errors.
     pub fn run_queries(&mut self, queries: &[Query]) -> Result<QpsReport, SdmError> {
+        /// Caps batch-scratch retention (scores, latencies) for long streams.
+        const CHUNK: usize = 1024;
+        if queries.len() <= CHUNK {
+            return self.run_batch(queries);
+        }
         let mut hist = LatencyHistogram::new();
-        for q in queries {
-            let result = self.run_query(q)?;
-            hist.record(result.latency.total);
+        for chunk in queries.chunks(CHUNK) {
+            self.run_batch(chunk)?;
+            hist.merge(&self.batch.hist);
         }
         let mean = hist.mean();
         Ok(QpsReport {
@@ -194,6 +344,24 @@ mod tests {
             cold.mean_latency
         );
         assert!(system.manager().stats().row_cache_hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn chunked_run_queries_matches_single_batch_report() {
+        let model = model_zoo::tiny(1, 1, 200);
+        let queries = workload(&model, 1200, 8); // > CHUNK forces the chunked path
+        let mut chunked = SdmSystem::build(&model, SdmConfig::for_tests(), 8).unwrap();
+        let mut single = SdmSystem::build(&model, SdmConfig::for_tests(), 8).unwrap();
+        let a = chunked.run_queries(&queries).unwrap();
+        let b = single.run_batch(&queries).unwrap();
+        assert_eq!(a.queries, 1200);
+        assert_eq!(a.queries, b.queries);
+        assert_eq!(a.mean_latency, b.mean_latency);
+        assert_eq!(a.p95_latency, b.p95_latency);
+        assert_eq!(a.p99_latency, b.p99_latency);
+        assert_eq!(chunked.now(), single.now());
+        // The chunked path retains at most one chunk of scores.
+        assert!(chunked.batch_len() <= 1024);
     }
 
     #[test]

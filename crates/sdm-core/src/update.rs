@@ -63,7 +63,8 @@ impl ModelUpdater {
         };
 
         // Collect the SM-resident tables and their placements first so we do
-        // not hold borrows across the device writes.
+        // not hold borrows across the device writes. The descriptor clones
+        // are update-time only (minutes apart), never on the query path.
         let sm_tables: Vec<(u32, embedding::TableDescriptor)> = manager
             .loaded()
             .tables

@@ -14,6 +14,9 @@
 //! * [`RateEstimator`] — windowed rate estimation (QPS, IOPS).
 //! * [`units`] — byte, power and cost units used by the datacenter-level
 //!   modelling.
+//! * [`alloc_hook`] — process-wide allocation counters fed by counting
+//!   `GlobalAlloc` wrappers in tests/benches, used to assert the serving
+//!   loop's zero-allocation steady state.
 //!
 //! # Example
 //!
@@ -31,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod alloc_hook;
 mod clock;
 mod counters;
 mod histogram;

@@ -54,8 +54,8 @@ proptest! {
         for (table, row, len) in ops {
             let key = RowKey::new(table, row);
             let value = vec![0xABu8; len];
-            memory.insert(key, value.clone());
-            cpu.insert(key, value);
+            memory.insert(key, &value);
+            cpu.insert(key, &value);
             prop_assert!(memory.memory_used() <= memory.budget());
             prop_assert!(cpu.memory_used() <= cpu.budget());
         }
@@ -100,7 +100,7 @@ proptest! {
         mut indices in prop::collection::vec(0u64..1_000_000, 2..64),
     ) {
         let mut cache = PooledEmbeddingCache::new(Bytes::from_kib(256), 1);
-        cache.insert(7, &indices, vec![1.0, 2.0, 3.0]);
+        cache.insert(7, &indices, &[1.0, 2.0, 3.0]);
         let mut reversed = indices.clone();
         reversed.reverse();
         prop_assert!(cache.lookup(7, &reversed).is_some());
