@@ -19,6 +19,13 @@ if [[ "$mode" == "bench" ]]; then
     echo "==> exp_hotpath --quick (writes BENCH_hotpath.json)"
     cargo run --release -p sdm-bench --bin exp_hotpath -- --quick
 
+    echo "==> BENCH_hotpath.json sanity (tracked fields present)"
+    for field in slice_ns_per_row run_batch_qps allocations_per_query \
+                 qps_streams_1 qps_streams_4 scaling_efficiency_4; do
+        grep -q "\"$field\"" BENCH_hotpath.json \
+            || { echo "missing $field in BENCH_hotpath.json"; exit 1; }
+    done
+
     echo "Bench gate passed; see BENCH_hotpath.json."
     exit 0
 fi

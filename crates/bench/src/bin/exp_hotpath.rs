@@ -2,7 +2,7 @@
 //! writes machine-readable numbers to `BENCH_hotpath.json` so the perf
 //! trajectory is tracked from PR to PR.
 //!
-//! Three measurements (wall clock, release build recommended):
+//! Four measurements (wall clock, release build recommended):
 //!
 //! 1. **Pooling** — seed-style `Vec<Vec<f32>>` pooling (fresh vector per
 //!    row + fresh output) vs the fused slice-based `pool_quantized_into`
@@ -12,6 +12,12 @@
 //! 3. **Allocations** — heap allocations per query on the warmed hot path,
 //!    counted by a `GlobalAlloc` wrapper around the system allocator
 //!    (expected: 0 for `run_batch` / `run_query_into`).
+//! 4. **Multi-stream serving** — *measured* wall-clock QPS of a
+//!    `ServingHost` at 1/2/4/8 shards over the same M1 stream, plus the
+//!    scaling-efficiency ratio against perfectly linear scaling. This is
+//!    the measurement that replaces the deprecated
+//!    `QpsReport::qps_with_streams` extrapolation; the delivered numbers
+//!    depend on the machine's core count (recorded alongside).
 //!
 //! Usage: `exp_hotpath [--quick] [--out PATH]` (quick mode shrinks the
 //! iteration counts for CI smoke runs).
@@ -19,8 +25,8 @@
 use dlrm::QueryResult;
 use embedding::{pooling, QuantScheme};
 use sdm_bench::{
-    bench_quantized_rows, bench_sdm_config, build_system, header, pool_seed_style, queries_for,
-    scaled,
+    bench_quantized_rows, bench_sdm_config, build_system, header, measure_streams, pool_seed_style,
+    queries_for, scaled,
 };
 use sdm_metrics::alloc_hook;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -220,6 +226,37 @@ fn main() {
     println!("    run_query_into            {run_query_allocs:>8.3}");
     println!("    run_batch                 {run_batch_allocs:>8.3}");
 
+    // --- 4. Multi-stream serving: measured wall-clock QPS per shard
+    // count (user-sticky routing, evenly divided budgets). ---
+    let stream_counts = [1usize, 2, 4, 8];
+    let (stream_queries, stream_rounds) = if quick { (96, 5) } else { (384, 9) };
+    let ms_queries = queries_for(&m1, stream_queries, 101);
+    let ms = measure_streams(
+        &m1,
+        &bench_sdm_config(),
+        &ms_queries,
+        &stream_counts,
+        stream_rounds,
+    );
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("\n  multi-stream serving (M1 scaled, {stream_queries} queries, {cores} cores)");
+    for m in ms.iter() {
+        let speedup = ms.speedup(m.streams).unwrap_or(0.0);
+        let eff = ms.scaling_efficiency(m.streams).unwrap_or(0.0);
+        println!(
+            "    {} stream(s)               {:>12.0} q/s  (speedup {:>5.2}x, efficiency {})",
+            m.streams,
+            m.wall_qps(),
+            speedup,
+            sdm_bench::pct(eff),
+        );
+    }
+    let qps_at = |streams: usize| ms.get(streams).map(|m| m.wall_qps()).unwrap_or(0.0);
+    let speedup_4 = ms.speedup(4).unwrap_or(0.0);
+    let efficiency_4 = ms.scaling_efficiency(4).unwrap_or(0.0);
+
     // --- Emit BENCH_hotpath.json (hand-rolled: no JSON crate vendored). ---
     let json = format!(
         "{{\n  \"schema\": \"sdm-hotpath-v1\",\n  \"quick\": {quick},\n  \
@@ -237,7 +274,19 @@ fn main() {
          \"gain\": {light_gain:.4}\n  }},\n  \
          \"allocations_per_query\": {{\n    \
          \"run_query_into\": {run_query_allocs:.3},\n    \
-         \"run_batch\": {run_batch_allocs:.3}\n  }}\n}}\n"
+         \"run_batch\": {run_batch_allocs:.3}\n  }},\n  \
+         \"multi_stream\": {{\n    \"model\": \"M1-scaled\",\n    \
+         \"queries\": {stream_queries},\n    \"host_cores\": {cores},\n    \
+         \"qps_streams_1\": {q1:.1},\n    \
+         \"qps_streams_2\": {q2:.1},\n    \
+         \"qps_streams_4\": {q4:.1},\n    \
+         \"qps_streams_8\": {q8:.1},\n    \
+         \"speedup_4\": {speedup_4:.4},\n    \
+         \"scaling_efficiency_4\": {efficiency_4:.4}\n  }}\n}}\n",
+        q1 = qps_at(1),
+        q2 = qps_at(2),
+        q4 = qps_at(4),
+        q8 = qps_at(8),
     );
     std::fs::write(&out_path, &json).expect("failed to write BENCH_hotpath.json");
     println!("\n  wrote {out_path}");

@@ -6,9 +6,10 @@
 //! produce.
 
 use dlrm::{model_zoo, ModelConfig};
-use sdm_core::{SdmConfig, SdmSystem};
+use sdm_core::{SdmConfig, SdmSystem, ServingHost};
 use sdm_metrics::units::Bytes;
-use workload::{Query, QueryGenerator, WorkloadConfig};
+use sdm_metrics::MultiStreamReport;
+use workload::{Query, QueryGenerator, RoutingPolicy, WorkloadConfig};
 
 /// Divisor applied to paper-scale row counts so experiments run in seconds
 /// on a development machine. Capacity-derived results always use the
@@ -76,6 +77,49 @@ pub fn pct(x: f64) -> String {
     format!("{:.1}%", x * 100.0)
 }
 
+/// Measures wall-clock multi-stream throughput: for each entry of
+/// `stream_counts`, builds a [`ServingHost`] with that many shards
+/// (user-sticky routing, evenly divided budgets), warms it on the full
+/// stream, then records the median-wall-clock round of `rounds` repeated
+/// `run_batch` calls into a [`MultiStreamReport`].
+///
+/// The median (rather than the minimum) keeps scheduler jitter out of the
+/// scaling ratios without hiding the real cost of thread coordination.
+///
+/// # Panics
+///
+/// Panics when a host cannot be built or a batch fails — experiments treat
+/// both as fatal setup errors.
+pub fn measure_streams(
+    model: &ModelConfig,
+    config: &SdmConfig,
+    queries: &[Query],
+    stream_counts: &[usize],
+    rounds: usize,
+) -> MultiStreamReport {
+    let rounds = rounds.max(1);
+    let mut report = MultiStreamReport::new();
+    for &streams in stream_counts {
+        let mut host = ServingHost::build(
+            model,
+            config,
+            EXPERIMENT_SEED,
+            streams,
+            RoutingPolicy::UserSticky,
+        )
+        .expect("failed to build serving host");
+        // Warm caches, scratch capacity and the partition buffers.
+        host.run_batch(queries).expect("warmup batch failed");
+        host.run_batch(queries).expect("warmup batch failed");
+        let mut runs: Vec<sdm_core::HostReport> = (0..rounds)
+            .map(|_| host.run_batch(queries).expect("measured batch failed"))
+            .collect();
+        runs.sort_by(|a, b| f64::total_cmp(&a.wall_seconds, &b.wall_seconds));
+        report.record(runs[runs.len() / 2].measurement());
+    }
+    report
+}
+
 /// Deterministic quantised rows for the pooling benchmarks (`pf` rows of
 /// `dim` elements), shared by `pooling_bench` and `exp_hotpath` so both
 /// measure the same inputs.
@@ -129,5 +173,18 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.205), "20.5%");
+    }
+
+    #[test]
+    fn measure_streams_records_every_count() {
+        let model = model_zoo::tiny(2, 1, 400);
+        let queries = queries_for(&model, 16, 3);
+        let report = measure_streams(&model, &SdmConfig::for_tests(), &queries, &[1, 2], 3);
+        assert_eq!(report.len(), 2);
+        for m in report.iter() {
+            assert_eq!(m.queries, 16);
+            assert!(m.wall_qps() > 0.0);
+        }
+        assert!(report.speedup(2).is_some());
     }
 }

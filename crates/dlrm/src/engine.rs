@@ -66,6 +66,10 @@ struct PooledOp {
 /// Reusable scratch for query execution — the heart of the zero-copy hot
 /// path.
 ///
+/// Owned flat buffers only — no shared handles — so the scratch is `Send`
+/// and each shard of a multi-stream serving host can carry its own across
+/// worker threads (statically asserted by `engine_and_scratch_are_send`).
+///
 /// The seed `execute` allocated per query: the dense-feature vector, one
 /// `Vec<f32>` per MLP layer, one pooled `Vec<f32>` per embedding operator
 /// (plus a `Vec<Vec<…>>` to group them per item), and the interaction
@@ -109,6 +113,12 @@ impl PoolingBuffers {
 }
 
 /// Executes DLRM queries against an [`EmbeddingBackend`].
+///
+/// The engine owns its model, MLP weights and a plain RNG seed — nothing
+/// reference-counted or interior-mutable — so it is `Send` and can be moved
+/// onto (or borrowed by) a shard worker thread. Multi-stream serving
+/// depends on this bound; `engine_and_scratch_are_send` pins it down so a
+/// future field can't silently regress it.
 #[derive(Debug)]
 pub struct InferenceEngine {
     model: ModelConfig,
@@ -442,6 +452,15 @@ mod tests {
             + r.latency.item_embeddings
             + r.latency.top_mlp;
         assert_eq!(sum, r.latency.total);
+    }
+
+    #[test]
+    fn engine_and_scratch_are_send() {
+        fn assert_send<T: Send>() {}
+        assert_send::<InferenceEngine>();
+        assert_send::<PoolingBuffers>();
+        assert_send::<QueryResult>();
+        assert_send::<LatencyBreakdown>();
     }
 
     #[test]

@@ -109,6 +109,23 @@ impl Default for EngineConfig {
 }
 
 impl EngineConfig {
+    /// Divides the host-shared IO limits among `shards` serving shards.
+    ///
+    /// Each shard runs its own engine instance, but the device queue slots
+    /// they model are one physical resource: the per-device outstanding
+    /// limit and the tables-in-flight limit are split evenly (never below
+    /// one). The per-table limit bounds a single operator's burst and is a
+    /// per-stream property, so it carries over unchanged, as do the
+    /// completion mode and CPU cost model.
+    pub fn divide_among(&self, shards: usize) -> EngineConfig {
+        let n = shards.max(1);
+        EngineConfig {
+            max_outstanding_per_device: (self.max_outstanding_per_device / n).max(1),
+            max_tables_in_flight: (self.max_tables_in_flight / n).max(1),
+            ..self.clone()
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -462,6 +479,33 @@ mod tests {
     fn engine_with(profile: TechnologyProfile, devices: usize, cfg: EngineConfig) -> IoEngine {
         let array = DeviceArray::homogeneous(profile, Bytes::from_mib(4), devices).unwrap();
         IoEngine::new(array, cfg)
+    }
+
+    #[test]
+    fn divide_among_splits_shared_limits_with_floor() {
+        let cfg = EngineConfig::default();
+        let quarter = cfg.divide_among(4);
+        assert_eq!(
+            quarter.max_outstanding_per_device,
+            cfg.max_outstanding_per_device / 4
+        );
+        assert_eq!(quarter.max_tables_in_flight, cfg.max_tables_in_flight / 4);
+        assert_eq!(
+            quarter.max_outstanding_per_table,
+            cfg.max_outstanding_per_table
+        );
+        assert_eq!(quarter.completion_mode, cfg.completion_mode);
+        assert!(quarter.validate().is_ok());
+        // More shards than queue slots still yields a valid config.
+        let tiny = cfg.divide_among(10_000);
+        assert_eq!(tiny.max_outstanding_per_device, 1);
+        assert_eq!(tiny.max_tables_in_flight, 1);
+        assert!(tiny.validate().is_ok());
+        // Zero clamps to one (identity).
+        assert_eq!(
+            cfg.divide_among(0).max_outstanding_per_device,
+            cfg.max_outstanding_per_device
+        );
     }
 
     #[test]

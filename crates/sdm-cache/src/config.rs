@@ -78,6 +78,23 @@ impl CacheConfig {
         Ok(())
     }
 
+    /// Divides the fast-memory cache budgets among `shards` serving shards.
+    ///
+    /// The row-cache and pooled-cache budgets are host-shared fast memory,
+    /// so each shard receives an equal slice; the structural knobs
+    /// (thresholds, partition count, engine split) describe *how* a cache
+    /// behaves, not how much memory it owns, and carry over unchanged. A
+    /// disabled pooled cache (zero budget) stays disabled at any shard
+    /// count.
+    pub fn divide_among(&self, shards: usize) -> CacheConfig {
+        let n = shards.max(1) as u64;
+        CacheConfig {
+            row_cache_budget: self.row_cache_budget / n,
+            pooled_cache_budget: self.pooled_cache_budget / n,
+            ..self.clone()
+        }
+    }
+
     /// Budget for the memory-optimized engine.
     pub fn memory_optimized_budget(&self) -> Bytes {
         Bytes((self.row_cache_budget.as_u64() as f64 * self.memory_optimized_fraction) as u64)
@@ -128,6 +145,28 @@ mod tests {
             c.validate(),
             Err(CacheError::InvalidConfig { .. })
         ));
+    }
+
+    #[test]
+    fn divide_among_splits_budgets_and_keeps_knobs() {
+        let c = CacheConfig::with_total_budget(Bytes::from_mib(16));
+        let per_shard = c.divide_among(4);
+        assert_eq!(per_shard.row_cache_budget, Bytes::from_mib(4));
+        assert_eq!(
+            per_shard.pooled_cache_budget,
+            Bytes(c.pooled_cache_budget.as_u64() / 4)
+        );
+        assert_eq!(per_shard.partitions, c.partitions);
+        assert_eq!(per_shard.small_row_threshold, c.small_row_threshold);
+        assert!(per_shard.validate().is_ok());
+        // Degenerate inputs: zero shards clamp to one, disabled stays
+        // disabled.
+        assert_eq!(c.divide_among(0), c.divide_among(1));
+        let disabled = CacheConfig {
+            pooled_cache_budget: Bytes::ZERO,
+            ..c
+        };
+        assert!(disabled.divide_among(8).pooled_cache_budget.is_zero());
     }
 
     #[test]

@@ -163,6 +163,28 @@ impl SdmConfig {
     pub fn total_sm_capacity(&self) -> Bytes {
         self.device_capacity * self.device_count as u64
     }
+
+    /// The per-shard slice of this host configuration when serving with
+    /// `shards` concurrent shards.
+    ///
+    /// Host-shared fast-memory resources are split evenly: the overall FM
+    /// budget, the row-cache and pooled-cache budgets, and the IO engine's
+    /// device-queue limits. Each shard still serves the *full* model — a
+    /// shard is a serving replica that owns a complete SM image — so the
+    /// device technology, count and capacity carry over unchanged, as do
+    /// placement policy and load transforms.
+    ///
+    /// `divide_among(1)` is the identity, which keeps the single-shard
+    /// serving path bit-identical to an undivided [`SdmConfig`].
+    pub fn divide_among(&self, shards: usize) -> SdmConfig {
+        let n = shards.max(1) as u64;
+        SdmConfig {
+            fm_budget: self.fm_budget / n,
+            cache: self.cache.divide_among(shards),
+            io: self.io.divide_among(shards),
+            ..self.clone()
+        }
+    }
 }
 
 #[cfg(test)]

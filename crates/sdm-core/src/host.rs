@@ -1,0 +1,418 @@
+//! Shard-partitioned, thread-parallel serving host.
+//!
+//! The paper reports host-level QPS by extrapolating single-stream latency
+//! across concurrent serving streams (§3, Table 4). This module replaces
+//! that assumption with a measurement: a [`ServingHost`] owns N
+//! [`Shard`]s — each a complete serving replica with its own
+//! [`crate::SdmMemoryManager`], IO engine, caches and scratch — routes each
+//! incoming batch across them with a [`workload::Scheduler`] policy, runs
+//! the shards on scoped worker threads, and merges per-shard scores,
+//! latencies and cache counters back into query order. The reported
+//! [`HostReport::wall_qps`] is real wall-clock throughput, shaped by the
+//! machine's core count and by how the routing policy concentrates each
+//! shard's working set, not by an idealized linear model.
+
+use crate::config::SdmConfig;
+use crate::error::SdmError;
+use crate::shard::Shard;
+use crate::stats::SdmStats;
+use dlrm::{LatencyBreakdown, ModelConfig};
+use sdm_metrics::{CounterSet, LatencyHistogram, SimDuration, StreamMeasurement};
+use std::time::Instant;
+use workload::{Query, RoutingPolicy, Scheduler};
+
+/// Measured outcome of one [`ServingHost::run_batch`].
+#[derive(Debug, Clone)]
+pub struct HostReport {
+    /// Queries executed across all shards.
+    pub queries: u64,
+    /// Shards (concurrent serving streams) that served the batch.
+    pub shards: usize,
+    /// Mean per-query virtual latency across all shards.
+    pub mean_latency: SimDuration,
+    /// 95th percentile per-query virtual latency.
+    pub p95_latency: SimDuration,
+    /// 99th percentile per-query virtual latency.
+    pub p99_latency: SimDuration,
+    /// Host wall-clock duration of the batch, in seconds.
+    pub wall_seconds: f64,
+    /// Measured host throughput: queries per wall-clock second.
+    pub wall_qps: f64,
+}
+
+impl HostReport {
+    /// This run as a [`StreamMeasurement`], ready to be recorded into a
+    /// [`sdm_metrics::MultiStreamReport`].
+    pub fn measurement(&self) -> StreamMeasurement {
+        StreamMeasurement {
+            streams: self.shards,
+            queries: self.queries,
+            wall_seconds: self.wall_seconds,
+            mean_latency: self.mean_latency,
+            p95_latency: self.p95_latency,
+            p99_latency: self.p99_latency,
+        }
+    }
+}
+
+/// Reusable merge buffers: per-query score ranges and latencies in original
+/// query order, refilled from the shards' batch scratch after each batch.
+#[derive(Debug, Default)]
+struct MergeScratch {
+    /// Scores of every query of the last batch (shard-major order).
+    scores: Vec<f32>,
+    /// `(start, len)` into `scores` for each query, in query order.
+    ranges: Vec<(usize, usize)>,
+    /// Latency breakdown per query, in query order.
+    latencies: Vec<LatencyBreakdown>,
+    /// Merged latency histogram of the last batch.
+    hist: LatencyHistogram,
+}
+
+/// A multi-stream serving host: N shards behind a routing scheduler.
+///
+/// Shards are full serving replicas of the same model, built from an evenly
+/// divided [`SdmConfig`] (see [`SdmConfig::divide_among`]): each owns a
+/// slice of the host's fast-memory cache budget and device-queue slots. A
+/// batch is partitioned by the configured [`RoutingPolicy`] — user-sticky
+/// routing keeps each user's repeating index sequences on one shard, which
+/// is what makes per-shard caches effective (paper Figure 4c) — executed on
+/// one `std::thread::scope` worker per shard, and merged back into query
+/// order.
+///
+/// A 1-shard host divides nothing, spawns nothing and executes exactly the
+/// [`crate::SdmSystem::run_batch`] hot path, so its results are bit-identical
+/// to the single-stream system (asserted by the `sharded_equivalence`
+/// suite).
+#[derive(Debug)]
+pub struct ServingHost {
+    shards: Vec<Shard>,
+    scheduler: Scheduler,
+    /// Per-shard pick lists (positions into the current batch), reused
+    /// across batches so steady-state partitioning allocates nothing.
+    parts: Vec<Vec<usize>>,
+    merged: MergeScratch,
+}
+
+impl ServingHost {
+    /// Builds a host of `shards` serving replicas of `model`, each from an
+    /// equal slice of `config`, routed by `policy`.
+    ///
+    /// All shards are seeded identically, so they materialise bit-identical
+    /// table and MLP weights: which shard serves a query never changes its
+    /// scores.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, layout and device errors — including a
+    /// per-shard budget slice that divides down to zero.
+    pub fn build(
+        model: &ModelConfig,
+        config: &SdmConfig,
+        seed: u64,
+        shards: usize,
+        policy: RoutingPolicy,
+    ) -> Result<Self, SdmError> {
+        let count = shards.max(1);
+        let per_shard = config.divide_among(count);
+        let mut built = Vec::with_capacity(count);
+        for _ in 0..count {
+            built.push(Shard::build(model, per_shard.clone(), seed)?);
+        }
+        Ok(ServingHost {
+            shards: built,
+            scheduler: Scheduler::new(count, policy),
+            parts: Vec::new(),
+            merged: MergeScratch::default(),
+        })
+    }
+
+    /// Number of shards (concurrent serving streams).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The routing policy partitioning batches across shards.
+    pub fn policy(&self) -> RoutingPolicy {
+        self.scheduler.policy()
+    }
+
+    /// Read access to shard `i` (its manager, caches and statistics).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn shard(&self, i: usize) -> &Shard {
+        &self.shards[i]
+    }
+
+    /// Aggregated serving statistics across all shards (counters add,
+    /// histograms merge).
+    pub fn stats(&self) -> SdmStats {
+        let mut total = SdmStats::new();
+        for shard in &self.shards {
+            total.merge(shard.manager().stats());
+        }
+        total
+    }
+
+    /// Host-level device counters: every device's [`CounterSet`] (reads,
+    /// writes, bus bytes) across every shard, folded into one set.
+    pub fn device_counters(&self) -> CounterSet {
+        let total = CounterSet::new();
+        for shard in &self.shards {
+            for (_, device) in shard.manager().io_engine().array().iter() {
+                total.merge_from(device.counters());
+            }
+        }
+        total
+    }
+
+    /// Executes a batch: partitions it across the shards, runs every shard
+    /// on its own worker thread, merges the results back into query order
+    /// and reports **measured** wall-clock throughput.
+    ///
+    /// Scores are readable per query via [`ServingHost::scores`] — query
+    /// `i` of `queries` produces the same scores no matter how many shards
+    /// the host has or which policy routed it (asserted by the
+    /// `sharded_equivalence` suite). With one shard the batch runs inline
+    /// on the calling thread, bit-identical to
+    /// [`crate::SdmSystem::run_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard error; shard threads always join before
+    /// this returns. After an error the result accessors
+    /// ([`ServingHost::len`], [`ServingHost::scores`], …) report an empty
+    /// batch — never a previous batch's stale results.
+    pub fn run_batch(&mut self, queries: &[Query]) -> Result<HostReport, SdmError> {
+        let Self {
+            shards,
+            scheduler,
+            parts,
+            merged,
+        } = self;
+        // The measured window covers the whole host-side batch — the
+        // serial partition, the parallel shard execution and the serial
+        // merge — so `wall_qps` is delivered throughput, not just the
+        // threaded middle.
+        let wall = Instant::now();
+        scheduler.partition_indices_into(queries, parts);
+        merged.scores.clear();
+        merged.ranges.clear();
+        merged.latencies.clear();
+        merged.hist.reset();
+
+        let results: Vec<Result<(), SdmError>> = if shards.len() == 1 {
+            vec![shards[0].run_indexed_batch(queries, &parts[0])]
+        } else {
+            std::thread::scope(|scope| {
+                let workers: Vec<_> = shards
+                    .iter_mut()
+                    .zip(parts.iter())
+                    .map(|(shard, picks)| {
+                        scope.spawn(move || shard.run_indexed_batch(queries, picks))
+                    })
+                    .collect();
+                workers
+                    .into_iter()
+                    .map(|w| w.join().expect("shard worker panicked"))
+                    .collect()
+            })
+        };
+        for r in results {
+            r?;
+        }
+
+        // Merge per-shard results back into query order: shard `s` executed
+        // its picks in stream order, so its k-th batch entry is query
+        // `parts[s][k]`.
+        merged.ranges.resize(queries.len(), (0, 0));
+        merged
+            .latencies
+            .resize(queries.len(), LatencyBreakdown::default());
+        for (shard, picks) in shards.iter().zip(parts.iter()) {
+            debug_assert_eq!(shard.batch_len(), picks.len());
+            for (k, &qi) in picks.iter().enumerate() {
+                let scores = shard.batch_scores(k);
+                let start = merged.scores.len();
+                merged.scores.extend_from_slice(scores);
+                merged.ranges[qi] = (start, scores.len());
+                merged.latencies[qi] = shard.batch_latency(k);
+            }
+            merged.hist.merge(shard.batch_hist());
+        }
+        let wall_seconds = wall.elapsed().as_secs_f64();
+
+        // One source of truth for the query count, so `wall_qps` always
+        // agrees with `measurement().wall_qps()`.
+        let executed = merged.hist.count();
+        Ok(HostReport {
+            queries: executed,
+            shards: shards.len(),
+            mean_latency: merged.hist.mean(),
+            p95_latency: merged.hist.p95(),
+            p99_latency: merged.hist.p99(),
+            wall_seconds,
+            wall_qps: if wall_seconds > 0.0 {
+                executed as f64 / wall_seconds
+            } else {
+                0.0
+            },
+        })
+    }
+
+    /// Number of queries in the last [`ServingHost::run_batch`].
+    pub fn len(&self) -> usize {
+        self.merged.ranges.len()
+    }
+
+    /// Whether the host has executed no batch (or an empty one).
+    pub fn is_empty(&self) -> bool {
+        self.merged.ranges.is_empty()
+    }
+
+    /// Scores of query `i` of the last batch, in original query order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range for the last batch.
+    pub fn scores(&self, i: usize) -> &[f32] {
+        let (start, len) = self.merged.ranges[i];
+        &self.merged.scores[start..start + len]
+    }
+
+    /// Latency breakdown of query `i` of the last batch, in original query
+    /// order.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range for the last batch.
+    pub fn latency(&self, i: usize) -> LatencyBreakdown {
+        self.merged.latencies[i]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm::model_zoo;
+    use workload::{QueryGenerator, WorkloadConfig};
+
+    fn workload(model: &ModelConfig, count: usize, seed: u64) -> Vec<Query> {
+        let cfg = WorkloadConfig {
+            item_batch: model.item_batch,
+            user_population: 64,
+            ..WorkloadConfig::default()
+        };
+        let mut gen = QueryGenerator::new(&model.tables, cfg, seed).unwrap();
+        gen.generate(count)
+    }
+
+    #[test]
+    fn host_serves_batches_across_shards() {
+        let model = model_zoo::tiny(2, 1, 400);
+        let queries = workload(&model, 24, 9);
+        let mut host = ServingHost::build(
+            &model,
+            &SdmConfig::for_tests(),
+            9,
+            4,
+            RoutingPolicy::UserSticky,
+        )
+        .unwrap();
+        assert_eq!(host.shards(), 4);
+        assert_eq!(host.policy(), RoutingPolicy::UserSticky);
+        assert!(host.is_empty());
+        let report = host.run_batch(&queries).unwrap();
+        assert_eq!(report.queries, 24);
+        assert_eq!(report.shards, 4);
+        assert_eq!(host.len(), 24);
+        assert!(report.mean_latency > SimDuration::ZERO);
+        assert!(report.wall_seconds > 0.0);
+        assert!(report.wall_qps > 0.0);
+        let m = report.measurement();
+        assert_eq!(m.streams, 4);
+        assert!((m.wall_qps() - report.wall_qps).abs() < 1e-9);
+        // Every query produced scores of the item-batch width.
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(host.scores(i).len(), q.item_batch as usize);
+            assert!(host.latency(i).total > SimDuration::ZERO);
+        }
+        // All shards saw work under sticky routing with many users.
+        let stats = host.stats();
+        assert!(stats.pooled_ops > 0);
+        // Host-level device counters aggregate across shards: model load
+        // writes plus serving-time SM reads all land in one set.
+        let devices = host.device_counters();
+        assert!(devices.value("writes") > 0);
+        assert!(devices.value("reads") > 0);
+    }
+
+    #[test]
+    fn single_shard_host_matches_sdm_system_bit_for_bit() {
+        let model = model_zoo::tiny(2, 1, 300);
+        let queries = workload(&model, 16, 10);
+        let mut host = ServingHost::build(
+            &model,
+            &SdmConfig::for_tests(),
+            10,
+            1,
+            RoutingPolicy::RoundRobin,
+        )
+        .unwrap();
+        let mut system = crate::SdmSystem::build(&model, SdmConfig::for_tests(), 10).unwrap();
+        host.run_batch(&queries).unwrap();
+        let report = system.run_batch(&queries).unwrap();
+        assert_eq!(host.len(), system.batch_len());
+        for i in 0..host.len() {
+            assert_eq!(host.scores(i), system.batch_scores(i));
+            assert_eq!(host.latency(i), system.batch_latency(i));
+        }
+        let a = host.stats();
+        let b = system.manager().stats();
+        assert_eq!(a.row_cache_hits, b.row_cache_hits);
+        assert_eq!(a.sm_reads, b.sm_reads);
+        assert_eq!(report.queries, queries.len() as u64);
+    }
+
+    #[test]
+    fn zero_shards_clamp_to_one() {
+        let model = model_zoo::tiny(1, 0, 200);
+        let host = ServingHost::build(
+            &model,
+            &SdmConfig::for_tests(),
+            11,
+            0,
+            RoutingPolicy::RoundRobin,
+        )
+        .unwrap();
+        assert_eq!(host.shards(), 1);
+    }
+
+    #[test]
+    fn repeated_batches_reuse_merge_buffers() {
+        let model = model_zoo::tiny(1, 1, 200);
+        let queries = workload(&model, 12, 12);
+        let mut host = ServingHost::build(
+            &model,
+            &SdmConfig::for_tests(),
+            12,
+            2,
+            RoutingPolicy::UserSticky,
+        )
+        .unwrap();
+        let first = host.run_batch(&queries).unwrap();
+        let mut reference: Vec<Vec<f32>> = Vec::new();
+        for i in 0..host.len() {
+            reference.push(host.scores(i).to_vec());
+        }
+        let second = host.run_batch(&queries).unwrap();
+        assert_eq!(first.queries, second.queries);
+        // Warm caches mean the second pass is not slower in virtual time.
+        assert!(second.mean_latency <= first.mean_latency);
+        for (i, want) in reference.iter().enumerate() {
+            assert_eq!(host.scores(i), want.as_slice());
+        }
+    }
+}

@@ -23,6 +23,10 @@
 //!   run on top of DRAM or SDM interchangeably.
 //! * [`ModelUpdater`] — full and incremental model updates and their
 //!   endurance / warmup consequences (§A.3, §A.4).
+//! * [`Shard`] / [`ServingHost`] — multi-stream serving: N complete
+//!   per-stream serving replicas run on worker threads behind a
+//!   [`workload::Scheduler`] routing policy, replacing the paper's linear
+//!   single-stream QPS extrapolation with measured wall-clock throughput.
 //!
 //! # Example
 //!
@@ -50,18 +54,22 @@
 
 mod config;
 mod error;
+mod host;
 mod loader;
 mod manager;
 mod placement;
+mod shard;
 mod stats;
 mod system;
 mod update;
 
 pub use config::{AccessGranularity, LoadTransform, SdmConfig};
 pub use error::SdmError;
+pub use host::{HostReport, ServingHost};
 pub use loader::{LoadedModel, LoadedTable, ModelLoader};
 pub use manager::SdmMemoryManager;
 pub use placement::{PlacementPlan, PlacementPolicy, TableLocation};
+pub use shard::Shard;
 pub use stats::SdmStats;
 pub use system::{QpsReport, SdmSystem};
 pub use update::{ModelUpdater, UpdateKind, UpdateReport};

@@ -1,0 +1,367 @@
+//! One serving shard: the complete per-stream serving state of a host.
+//!
+//! A shard owns everything one concurrent serving stream needs — an
+//! inference engine, an SDM memory manager (with its own IO engine and
+//! caches), a virtual clock and the reusable scratch that makes the hot
+//! path allocation-free. Shards share nothing, so they are `Send` by
+//! construction (asserted by the `send_assertions` suite) and a
+//! [`crate::ServingHost`] can run one per worker thread. A single-shard
+//! deployment is exactly the [`crate::SdmSystem`] of previous revisions:
+//! `SdmSystem` is now a thin wrapper over one `Shard`.
+
+use crate::config::SdmConfig;
+use crate::error::SdmError;
+use crate::loader::ModelLoader;
+use crate::manager::SdmMemoryManager;
+use crate::system::QpsReport;
+use dlrm::{
+    ComputeModel, InferenceEngine, LatencyBreakdown, ModelConfig, PoolingBuffers, QueryResult,
+};
+use io_engine::IoEngine;
+use scm_device::DeviceArray;
+use sdm_metrics::{LatencyHistogram, SimInstant};
+use workload::Query;
+
+/// Reusable storage for the results of the last batch a shard executed:
+/// scores live back to back in one flat arena, so executing a batch
+/// allocates nothing once the capacity has warmed up.
+#[derive(Debug, Default)]
+pub(crate) struct BatchScratch {
+    /// Scores of every query in the batch, concatenated.
+    pub(crate) scores: Vec<f32>,
+    /// `(start, len)` of each query's scores within `scores`.
+    pub(crate) ranges: Vec<(usize, usize)>,
+    /// Latency breakdown of each query.
+    pub(crate) latencies: Vec<LatencyBreakdown>,
+    /// Latency histogram, reset per batch (buckets reused).
+    pub(crate) hist: LatencyHistogram,
+    /// The per-query result the engine writes into, recycled across queries.
+    pub(crate) result: QueryResult,
+}
+
+impl BatchScratch {
+    fn reset(&mut self) {
+        self.scores.clear();
+        self.ranges.clear();
+        self.latencies.clear();
+        self.hist.reset();
+    }
+}
+
+/// A self-contained serving shard: devices, IO engine, SDM manager and the
+/// DLRM inference engine, plus per-stream execution scratch.
+#[derive(Debug)]
+pub struct Shard {
+    engine: InferenceEngine,
+    manager: SdmMemoryManager,
+    clock: SimInstant,
+    /// Persistent execution scratch shared by every query this shard runs.
+    buffers: PoolingBuffers,
+    pub(crate) batch: BatchScratch,
+}
+
+impl Shard {
+    /// Builds the full per-stream stack for a (scaled) model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, layout and device errors.
+    pub fn build(model: &ModelConfig, config: SdmConfig, seed: u64) -> Result<Self, SdmError> {
+        config.validate()?;
+        let array = DeviceArray::homogeneous(
+            config.technology.clone(),
+            config.device_capacity,
+            config.device_count,
+        )?;
+        // Build-time clones (config/model), once per shard — not hot.
+        let mut io = IoEngine::new(array, config.io.clone());
+        let loaded = ModelLoader::load(model, &config, &mut io)?;
+        let manager = SdmMemoryManager::new(config, loaded, io);
+        let engine = InferenceEngine::new(model.clone(), ComputeModel::default(), seed)?;
+        Ok(Shard {
+            engine,
+            manager,
+            clock: SimInstant::EPOCH,
+            buffers: PoolingBuffers::new(),
+            batch: BatchScratch::default(),
+        })
+    }
+
+    /// Replaces the inference engine with one using an explicit compute
+    /// model (e.g. accelerator hosts).
+    ///
+    /// # Errors
+    ///
+    /// Propagates model validation errors.
+    pub fn set_compute(&mut self, compute: ComputeModel, seed: u64) -> Result<(), SdmError> {
+        self.engine = InferenceEngine::new(self.engine.model().clone(), compute, seed)?;
+        Ok(())
+    }
+
+    /// The DLRM inference engine.
+    pub fn engine(&self) -> &InferenceEngine {
+        &self.engine
+    }
+
+    /// Mutable access to the inference engine (to switch execution mode).
+    pub fn engine_mut(&mut self) -> &mut InferenceEngine {
+        &mut self.engine
+    }
+
+    /// The SDM memory manager.
+    pub fn manager(&self) -> &SdmMemoryManager {
+        &self.manager
+    }
+
+    /// Mutable access to the memory manager (cache invalidation, updates).
+    pub fn manager_mut(&mut self) -> &mut SdmMemoryManager {
+        &mut self.manager
+    }
+
+    /// Current virtual time of this shard's serving loop.
+    pub fn now(&self) -> SimInstant {
+        self.clock
+    }
+
+    /// Executes one query into a caller-provided (reusable) result,
+    /// advancing the shard's virtual clock by its latency.
+    ///
+    /// This is the steady-state serving path: with warm shard scratch, a
+    /// warmed cache and a recycled `result`, it performs **zero heap
+    /// allocations per query** (asserted by the `zero_alloc` test suite).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and memory errors.
+    pub fn run_query_into(
+        &mut self,
+        query: &Query,
+        result: &mut QueryResult,
+    ) -> Result<(), SdmError> {
+        self.engine.execute_into(
+            query,
+            &mut self.manager,
+            self.clock,
+            &mut self.buffers,
+            result,
+        )?;
+        self.clock += result.latency.total;
+        Ok(())
+    }
+
+    /// Executes one query, advancing the virtual clock by its latency.
+    ///
+    /// Stateless convenience form: scratch is created per call and the
+    /// returned `QueryResult` owns its scores, so each call pays the
+    /// allocation cost the reusable paths ([`Shard::run_query_into`] and
+    /// [`Shard::run_batch`]) amortise away. Results are identical either
+    /// way — scratch never affects values.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and memory errors.
+    pub fn run_query(&mut self, query: &Query) -> Result<QueryResult, SdmError> {
+        let result = self.engine.execute(query, &mut self.manager, self.clock)?;
+        self.clock += result.latency.total;
+        Ok(result)
+    }
+
+    /// The shared core of the batch paths: executes every yielded query
+    /// through the zero-allocation hot path, recording scores, latencies
+    /// and the latency histogram into the batch scratch.
+    fn run_batch_iter<'a>(
+        &mut self,
+        queries: impl Iterator<Item = &'a Query>,
+    ) -> Result<(), SdmError> {
+        self.batch.reset();
+        for q in queries {
+            self.engine.execute_into(
+                q,
+                &mut self.manager,
+                self.clock,
+                &mut self.buffers,
+                &mut self.batch.result,
+            )?;
+            self.clock += self.batch.result.latency.total;
+            let start = self.batch.scores.len();
+            self.batch
+                .scores
+                .extend_from_slice(&self.batch.result.scores);
+            self.batch
+                .ranges
+                .push((start, self.batch.result.scores.len()));
+            self.batch.latencies.push(self.batch.result.latency);
+            self.batch.hist.record(self.batch.result.latency.total);
+        }
+        Ok(())
+    }
+
+    /// Summarises the last batch from its histogram.
+    pub(crate) fn batch_report(&self) -> QpsReport {
+        let mean = self.batch.hist.mean();
+        QpsReport {
+            queries: self.batch.hist.count(),
+            mean_latency: mean,
+            p95_latency: self.batch.hist.p95(),
+            p99_latency: self.batch.hist.p99(),
+            qps_single_stream: if mean.is_zero() {
+                0.0
+            } else {
+                1.0 / mean.as_secs_f64()
+            },
+        }
+    }
+
+    /// Executes a batch of queries through the zero-allocation hot path and
+    /// summarises latency and throughput.
+    ///
+    /// Virtual-time semantics are identical to looping
+    /// [`Shard::run_query`] — each query still observes the clock its
+    /// predecessors advanced, so results, cache counters and IO totals are
+    /// bit-for-bit the same (asserted by the `batch_equivalence` suite).
+    /// What batching buys is host-side efficiency: one set of scratch
+    /// buffers serves the whole batch, per-query results land in a flat
+    /// reused arena (readable via [`Shard::batch_scores`]) instead of a
+    /// fresh `QueryResult` per query, and each operator's SM misses go to
+    /// the device as one ring submission whose completions are pooled as
+    /// they drain.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and memory errors; the batch stops at the first
+    /// failing query.
+    pub fn run_batch(&mut self, queries: &[Query]) -> Result<QpsReport, SdmError> {
+        self.run_batch_iter(queries.iter())?;
+        Ok(self.batch_report())
+    }
+
+    /// Executes the subset of `queries` selected by `picks` (positions into
+    /// `queries`, in stream order) through the batched hot path.
+    ///
+    /// This is the sharded serving entry point: a
+    /// [`workload::Scheduler`] partitions a host batch into per-shard
+    /// index lists, each shard runs its picks, and the host merges results
+    /// back into query order via the pick positions — query `picks[k]`'s
+    /// scores are [`Shard::batch_scores`]`(k)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine and memory errors.
+    ///
+    /// # Panics
+    ///
+    /// Panics when a pick is out of range for `queries`.
+    pub fn run_indexed_batch(
+        &mut self,
+        queries: &[Query],
+        picks: &[usize],
+    ) -> Result<(), SdmError> {
+        self.run_batch_iter(picks.iter().map(|&i| &queries[i]))
+    }
+
+    /// Number of queries in the last batch.
+    pub fn batch_len(&self) -> usize {
+        self.batch.ranges.len()
+    }
+
+    /// Scores of query `i` of the last batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range for the last batch.
+    pub fn batch_scores(&self, i: usize) -> &[f32] {
+        let (start, len) = self.batch.ranges[i];
+        &self.batch.scores[start..start + len]
+    }
+
+    /// Latency breakdown of query `i` of the last batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range for the last batch.
+    pub fn batch_latency(&self, i: usize) -> LatencyBreakdown {
+        self.batch.latencies[i]
+    }
+
+    /// Latency histogram of the last batch.
+    pub fn batch_hist(&self) -> &LatencyHistogram {
+        &self.batch.hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dlrm::model_zoo;
+    use workload::{QueryGenerator, WorkloadConfig};
+
+    fn workload(model: &ModelConfig, count: usize, seed: u64) -> Vec<Query> {
+        let cfg = WorkloadConfig {
+            item_batch: model.item_batch,
+            user_population: 150,
+            ..WorkloadConfig::default()
+        };
+        let mut gen = QueryGenerator::new(&model.tables, cfg, seed).unwrap();
+        gen.generate(count)
+    }
+
+    #[test]
+    fn indexed_batch_matches_contiguous_batch_on_identity_picks() {
+        let model = model_zoo::tiny(2, 1, 400);
+        let queries = workload(&model, 16, 5);
+        let picks: Vec<usize> = (0..queries.len()).collect();
+        let mut direct = Shard::build(&model, SdmConfig::for_tests(), 5).unwrap();
+        let mut indexed = Shard::build(&model, SdmConfig::for_tests(), 5).unwrap();
+        direct.run_batch(&queries).unwrap();
+        indexed.run_indexed_batch(&queries, &picks).unwrap();
+        assert_eq!(direct.batch_len(), indexed.batch_len());
+        for i in 0..direct.batch_len() {
+            assert_eq!(direct.batch_scores(i), indexed.batch_scores(i));
+            assert_eq!(direct.batch_latency(i), indexed.batch_latency(i));
+        }
+        assert_eq!(direct.now(), indexed.now());
+    }
+
+    #[test]
+    fn indexed_batch_executes_picks_in_given_order() {
+        let model = model_zoo::tiny(1, 1, 300);
+        let queries = workload(&model, 8, 6);
+        let picks = [6usize, 2, 4, 2];
+        let mut batched = Shard::build(&model, SdmConfig::for_tests(), 6).unwrap();
+        batched.run_indexed_batch(&queries, &picks).unwrap();
+        assert_eq!(batched.batch_len(), picks.len());
+        // Bit-identical to a per-query loop visiting the same picks in the
+        // same order (so cache warm-up history matches exactly).
+        let mut looped = Shard::build(&model, SdmConfig::for_tests(), 6).unwrap();
+        for (k, &qi) in picks.iter().enumerate() {
+            let r = looped.run_query(&queries[qi]).unwrap();
+            assert_eq!(r.scores.as_slice(), batched.batch_scores(k));
+            assert_eq!(r.latency, batched.batch_latency(k));
+        }
+        assert_eq!(looped.now(), batched.now());
+    }
+
+    #[test]
+    fn empty_picks_produce_empty_batch() {
+        let model = model_zoo::tiny(1, 0, 200);
+        let queries = workload(&model, 2, 7);
+        let mut shard = Shard::build(&model, SdmConfig::for_tests(), 7).unwrap();
+        shard.run_indexed_batch(&queries, &[]).unwrap();
+        assert_eq!(shard.batch_len(), 0);
+        assert_eq!(shard.batch_report().queries, 0);
+        assert_eq!(shard.now(), SimInstant::EPOCH);
+    }
+
+    #[test]
+    fn set_compute_switches_the_engine() {
+        let model = model_zoo::tiny(1, 1, 200);
+        let queries = workload(&model, 1, 8);
+        let mut cpu = Shard::build(&model, SdmConfig::for_tests(), 8).unwrap();
+        let mut accel = Shard::build(&model, SdmConfig::for_tests(), 8).unwrap();
+        accel.set_compute(ComputeModel::accelerator(), 8).unwrap();
+        let c = cpu.run_query(&queries[0]).unwrap();
+        let a = accel.run_query(&queries[0]).unwrap();
+        assert!(a.latency.top_mlp < c.latency.top_mlp);
+        assert_eq!(a.scores, c.scores);
+    }
+}

@@ -38,6 +38,28 @@ impl SdmStats {
         SdmStats::default()
     }
 
+    /// Folds another statistics block into this one: counters and byte
+    /// totals add, histograms merge, simulated-time totals add.
+    ///
+    /// This is how a multi-shard host aggregates its per-shard serving
+    /// statistics after the worker threads have joined — every shard owns
+    /// its stats exclusively while serving, so aggregation needs no
+    /// serving-path synchronisation.
+    pub fn merge(&mut self, other: &SdmStats) {
+        self.pooled_ops += other.pooled_ops;
+        self.pooled_cache_hits += other.pooled_cache_hits;
+        self.fm_direct_lookups += other.fm_direct_lookups;
+        self.row_cache_hits += other.row_cache_hits;
+        self.sm_reads += other.sm_reads;
+        self.pruned_zero_rows += other.pruned_zero_rows;
+        self.sm_bytes_read += other.sm_bytes_read;
+        self.sm_bus_bytes += other.sm_bus_bytes;
+        self.sm_op_latency.merge(&other.sm_op_latency);
+        self.fm_op_latency.merge(&other.fm_op_latency);
+        self.pooling_time += other.pooling_time;
+        self.io_time += other.io_time;
+    }
+
     /// Row-cache hit rate over SM-resident lookups.
     pub fn row_cache_hit_rate(&self) -> f64 {
         let lookups = self.row_cache_hits + self.sm_reads;
@@ -70,6 +92,32 @@ impl SdmStats {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_adds_counters_and_histograms() {
+        let mut a = SdmStats::new();
+        a.pooled_ops = 3;
+        a.row_cache_hits = 5;
+        a.sm_bytes_read = Bytes(100);
+        a.io_time = SimDuration::from_micros(7);
+        a.sm_op_latency.record(SimDuration::from_micros(10));
+        let mut b = SdmStats::new();
+        b.pooled_ops = 2;
+        b.sm_reads = 4;
+        b.sm_bytes_read = Bytes(50);
+        b.io_time = SimDuration::from_micros(3);
+        b.sm_op_latency.record(SimDuration::from_micros(20));
+        b.sm_op_latency.record(SimDuration::from_micros(30));
+        a.merge(&b);
+        assert_eq!(a.pooled_ops, 5);
+        assert_eq!(a.row_cache_hits, 5);
+        assert_eq!(a.sm_reads, 4);
+        assert_eq!(a.sm_bytes_read, Bytes(150));
+        assert_eq!(a.io_time, SimDuration::from_micros(10));
+        assert_eq!(a.sm_op_latency.count(), 3);
+        // `b` is unchanged.
+        assert_eq!(b.pooled_ops, 2);
+    }
 
     #[test]
     fn rates_handle_empty_and_populated() {

@@ -139,6 +139,16 @@ impl CounterSet {
     pub fn reset_all(&self) {
         self.counters.reset_all();
     }
+
+    /// Adds every counter of `other` into this set, creating counters on
+    /// first sight. Both sets stay usable; the adds are atomic, so a
+    /// host-level set can be aggregated (e.g. per-device counters across
+    /// serving shards) while other threads keep counting.
+    pub fn merge_from(&self, other: &CounterSet) {
+        for (name, value) in other.snapshot() {
+            self.counter(&name).add(value);
+        }
+    }
 }
 
 impl fmt::Display for CounterSet {
@@ -209,6 +219,24 @@ mod tests {
         assert_eq!(set.to_string(), "(empty)");
         set.counter("x").add(1);
         assert_eq!(set.to_string(), "x=1");
+    }
+
+    #[test]
+    fn counter_set_merge_from_aggregates_across_sets() {
+        let host = CounterSet::new();
+        host.counter("hits").add(1);
+        let shard_a = CounterSet::new();
+        shard_a.counter("hits").add(4);
+        shard_a.counter("misses").add(2);
+        let shard_b = CounterSet::new();
+        shard_b.counter("hits").add(5);
+        host.merge_from(&shard_a);
+        host.merge_from(&shard_b);
+        assert_eq!(host.value("hits"), 10);
+        assert_eq!(host.value("misses"), 2);
+        // Sources are unchanged.
+        assert_eq!(shard_a.value("hits"), 4);
+        assert_eq!(shard_b.value("misses"), 0);
     }
 
     #[test]

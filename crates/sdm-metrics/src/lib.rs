@@ -10,7 +10,10 @@
 //!   virtual time.
 //! * [`LatencyHistogram`] — log-bucketed latency histograms with percentile
 //!   queries (p50/p95/p99 as used throughout the paper).
-//! * [`Counter`] and [`CounterSet`] — named monotonic counters.
+//! * [`Counter`] and [`CounterSet`] — named monotonic counters, mergeable
+//!   across threads for per-shard statistic aggregation.
+//! * [`MultiStreamReport`] — *measured* wall-clock QPS per concurrent
+//!   stream count, replacing linear single-stream extrapolation.
 //! * [`RateEstimator`] — windowed rate estimation (QPS, IOPS).
 //! * [`units`] — byte, power and cost units used by the datacenter-level
 //!   modelling.
@@ -38,10 +41,12 @@ pub mod alloc_hook;
 mod clock;
 mod counters;
 mod histogram;
+mod multistream;
 mod rate;
 pub mod units;
 
 pub use clock::{LocalCursor, SimClock, SimDuration, SimInstant};
 pub use counters::{Counter, CounterSet};
 pub use histogram::LatencyHistogram;
+pub use multistream::{MultiStreamReport, StreamMeasurement};
 pub use rate::RateEstimator;

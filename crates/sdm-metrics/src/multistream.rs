@@ -1,0 +1,190 @@
+//! Measured multi-stream serving throughput.
+//!
+//! The paper extrapolates host-level QPS from single-stream latency by
+//! multiplying with the stream count (§3, Table 4). A real host serves
+//! concurrent streams whose delivered QPS is shaped by cache contention,
+//! per-stream working sets and the core count — so this module records what
+//! was actually *measured*: one wall-clock [`StreamMeasurement`] per stream
+//! count, collected into a [`MultiStreamReport`] that can answer speedup
+//! and scaling-efficiency questions without assuming linearity.
+
+use crate::clock::SimDuration;
+
+/// One measured serving run at a fixed number of concurrent streams.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamMeasurement {
+    /// Concurrent serving streams (shards) during the run.
+    pub streams: usize,
+    /// Queries executed across all streams.
+    pub queries: u64,
+    /// Host wall-clock duration of the run, in seconds.
+    pub wall_seconds: f64,
+    /// Mean per-query virtual latency across all streams.
+    pub mean_latency: SimDuration,
+    /// 95th percentile per-query virtual latency.
+    pub p95_latency: SimDuration,
+    /// 99th percentile per-query virtual latency.
+    pub p99_latency: SimDuration,
+}
+
+impl StreamMeasurement {
+    /// Measured host throughput: queries per wall-clock second.
+    pub fn wall_qps(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.queries as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Measured wall-clock QPS per stream count.
+///
+/// # Example
+///
+/// ```
+/// use sdm_metrics::{MultiStreamReport, SimDuration, StreamMeasurement};
+///
+/// let mut report = MultiStreamReport::new();
+/// for (streams, wall) in [(1usize, 1.0f64), (4, 0.4)] {
+///     report.record(StreamMeasurement {
+///         streams,
+///         queries: 1000,
+///         wall_seconds: wall,
+///         mean_latency: SimDuration::from_micros(100),
+///         p95_latency: SimDuration::from_micros(180),
+///         p99_latency: SimDuration::from_micros(250),
+///     });
+/// }
+/// assert!((report.speedup(4).unwrap() - 2.5).abs() < 1e-9);
+/// assert!((report.scaling_efficiency(4).unwrap() - 0.625).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MultiStreamReport {
+    /// Measurements, kept sorted by stream count (one entry per count).
+    entries: Vec<StreamMeasurement>,
+}
+
+impl MultiStreamReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        MultiStreamReport::default()
+    }
+
+    /// Records a measurement, replacing any previous entry for the same
+    /// stream count.
+    pub fn record(&mut self, measurement: StreamMeasurement) {
+        match self
+            .entries
+            .binary_search_by_key(&measurement.streams, |m| m.streams)
+        {
+            Ok(i) => self.entries[i] = measurement,
+            Err(i) => self.entries.insert(i, measurement),
+        }
+    }
+
+    /// The measurement at a given stream count, when recorded.
+    pub fn get(&self, streams: usize) -> Option<&StreamMeasurement> {
+        self.entries
+            .binary_search_by_key(&streams, |m| m.streams)
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// The single-stream baseline measurement.
+    pub fn baseline(&self) -> Option<&StreamMeasurement> {
+        self.get(1)
+    }
+
+    /// Measured speedup of `streams` concurrent streams over the measured
+    /// single-stream baseline; `None` until both runs are recorded.
+    pub fn speedup(&self, streams: usize) -> Option<f64> {
+        let base = self.baseline()?.wall_qps();
+        if base <= 0.0 {
+            return None;
+        }
+        Some(self.get(streams)?.wall_qps() / base)
+    }
+
+    /// Scaling efficiency at `streams`: measured speedup divided by the
+    /// stream count (1.0 means perfectly linear scaling, the assumption the
+    /// paper's extrapolation bakes in).
+    pub fn scaling_efficiency(&self, streams: usize) -> Option<f64> {
+        if streams == 0 {
+            return None;
+        }
+        Some(self.speedup(streams)? / streams as f64)
+    }
+
+    /// Iterates measurements in ascending stream-count order.
+    pub fn iter(&self) -> impl Iterator<Item = &StreamMeasurement> {
+        self.entries.iter()
+    }
+
+    /// Number of recorded stream counts.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(streams: usize, queries: u64, wall_seconds: f64) -> StreamMeasurement {
+        StreamMeasurement {
+            streams,
+            queries,
+            wall_seconds,
+            mean_latency: SimDuration::from_micros(120),
+            p95_latency: SimDuration::from_micros(200),
+            p99_latency: SimDuration::from_micros(300),
+        }
+    }
+
+    #[test]
+    fn wall_qps_guards_zero_duration() {
+        assert_eq!(m(1, 100, 0.0).wall_qps(), 0.0);
+        assert!((m(1, 100, 0.5).wall_qps() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn record_sorts_and_replaces() {
+        let mut r = MultiStreamReport::new();
+        r.record(m(4, 100, 1.0));
+        r.record(m(1, 100, 2.0));
+        r.record(m(2, 100, 1.5));
+        r.record(m(4, 100, 0.8)); // replaces the first 4-stream entry
+        assert_eq!(r.len(), 3);
+        let counts: Vec<usize> = r.iter().map(|e| e.streams).collect();
+        assert_eq!(counts, vec![1, 2, 4]);
+        assert!((r.get(4).unwrap().wall_seconds - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_and_efficiency_are_relative_to_measured_baseline() {
+        let mut r = MultiStreamReport::new();
+        assert!(r.is_empty());
+        assert!(r.speedup(2).is_none());
+        r.record(m(1, 1000, 1.0)); // 1000 q/s
+        r.record(m(2, 1000, 0.625)); // 1600 q/s
+        assert!((r.speedup(2).unwrap() - 1.6).abs() < 1e-9);
+        assert!((r.scaling_efficiency(2).unwrap() - 0.8).abs() < 1e-9);
+        assert!(r.speedup(8).is_none(), "unmeasured counts stay unknown");
+        assert!(r.scaling_efficiency(0).is_none());
+        assert_eq!(r.baseline().unwrap().queries, 1000);
+    }
+
+    #[test]
+    fn zero_qps_baseline_yields_no_speedup() {
+        let mut r = MultiStreamReport::new();
+        r.record(m(1, 0, 0.0));
+        r.record(m(2, 100, 1.0));
+        assert!(r.speedup(2).is_none());
+    }
+}

@@ -78,13 +78,44 @@ impl Scheduler {
     }
 
     /// Partitions a stream of queries into per-host query lists.
+    ///
+    /// Allocating convenience form of [`Scheduler::partition_into`].
     pub fn partition<'a>(&mut self, queries: &'a [Query]) -> Vec<Vec<&'a Query>> {
-        let mut parts: Vec<Vec<&Query>> = vec![Vec::new(); self.hosts];
+        let mut parts = Vec::new();
+        self.partition_into(queries, &mut parts);
+        parts
+    }
+
+    /// Partitions a stream of queries into caller-owned per-host query
+    /// lists, reusing the inner `Vec` capacity across calls so a serving
+    /// loop that partitions batch after batch stays allocation-free once
+    /// warmed.
+    pub fn partition_into<'a>(&mut self, queries: &'a [Query], parts: &mut Vec<Vec<&'a Query>>) {
+        parts.resize_with(self.hosts, Vec::new);
+        for p in parts.iter_mut() {
+            p.clear();
+        }
         for q in queries {
             let host = self.route(q);
             parts[host].push(q);
         }
-        parts
+    }
+
+    /// Partitions a stream of queries into per-host lists of *positions
+    /// within `queries`*, reusing the inner `Vec` capacity across calls.
+    ///
+    /// Sharded serving uses this form: each shard executes its picks by
+    /// index and the host can merge per-shard results back into the
+    /// original query order without any per-batch bookkeeping allocation.
+    pub fn partition_indices_into(&mut self, queries: &[Query], parts: &mut Vec<Vec<usize>>) {
+        parts.resize_with(self.hosts, Vec::new);
+        for p in parts.iter_mut() {
+            p.clear();
+        }
+        for (i, q) in queries.iter().enumerate() {
+            let host = self.route(q);
+            parts[host].push(i);
+        }
     }
 }
 
@@ -197,5 +228,64 @@ mod tests {
     fn zero_hosts_clamped_to_one() {
         let sched = Scheduler::new(0, RoutingPolicy::RoundRobin);
         assert_eq!(sched.hosts(), 1);
+    }
+
+    #[test]
+    fn partition_into_matches_partition_and_reuses_capacity() {
+        let mut gen = QueryGenerator::new(&tables(), WorkloadConfig::default(), 5).unwrap();
+        let queries = gen.generate(120);
+        let expected = Scheduler::new(4, RoutingPolicy::UserSticky).partition(&queries);
+        let mut parts = Vec::new();
+        // Two rounds over the same stream: the second must refill the same
+        // buffers (same results, no extra inner vectors).
+        for _ in 0..2 {
+            let mut sched = Scheduler::new(4, RoutingPolicy::UserSticky);
+            sched.partition_into(&queries, &mut parts);
+        }
+        assert_eq!(parts.len(), expected.len());
+        for (got, want) in parts.iter().zip(&expected) {
+            assert_eq!(got.len(), want.len());
+            for (a, b) in got.iter().zip(want) {
+                assert!(std::ptr::eq(*a, *b));
+            }
+        }
+    }
+
+    #[test]
+    fn partition_indices_preserve_query_order_and_cover_all() {
+        let mut gen = QueryGenerator::new(&tables(), WorkloadConfig::default(), 6).unwrap();
+        let queries = gen.generate(100);
+        for policy in [RoutingPolicy::RoundRobin, RoutingPolicy::UserSticky] {
+            let mut sched = Scheduler::new(3, policy);
+            let mut parts = Vec::new();
+            sched.partition_indices_into(&queries, &mut parts);
+            assert_eq!(parts.len(), 3);
+            // Every query appears exactly once, and each part is sorted
+            // (queries are visited in stream order).
+            let mut seen = vec![false; queries.len()];
+            for part in &parts {
+                assert!(part.windows(2).all(|w| w[0] < w[1]));
+                for &i in part {
+                    assert!(!seen[i], "query {i} assigned twice");
+                    seen[i] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s));
+        }
+    }
+
+    #[test]
+    fn partition_indices_agree_with_reference_partition() {
+        let mut gen = QueryGenerator::new(&tables(), WorkloadConfig::default(), 7).unwrap();
+        let queries = gen.generate(80);
+        let expected = Scheduler::new(5, RoutingPolicy::UserSticky).partition(&queries);
+        let mut parts = Vec::new();
+        Scheduler::new(5, RoutingPolicy::UserSticky).partition_indices_into(&queries, &mut parts);
+        for (idx_part, ref_part) in parts.iter().zip(&expected) {
+            assert_eq!(idx_part.len(), ref_part.len());
+            for (&i, q) in idx_part.iter().zip(ref_part) {
+                assert!(std::ptr::eq(&queries[i], *q));
+            }
+        }
     }
 }

@@ -1,0 +1,40 @@
+//! Static `Send` assertions for the sharded serving stack.
+//!
+//! `ServingHost` moves whole shards onto `std::thread::scope` worker
+//! threads, so every layer of the per-shard state must be `Send`: the
+//! shard itself, the inference engine and its scratch, the memory manager,
+//! the caches and the IO engine. These are compile-time assertions — if a
+//! future change introduces an `Rc`, a raw pointer or a non-`Send` trait
+//! object anywhere in the stack, this suite stops compiling instead of the
+//! regression surfacing as a confusing build error (or worse, forcing the
+//! host back to single-stream serving).
+
+use dlrm::{InferenceEngine, PoolingBuffers, QueryResult};
+use io_engine::IoEngine;
+use sdm_cache::{DualRowCache, PooledEmbeddingCache};
+use sdm_core::{SdmMemoryManager, SdmSystem, ServingHost, Shard};
+use workload::Scheduler;
+
+fn assert_send<T: Send>() {}
+
+#[test]
+fn per_shard_serving_state_is_send() {
+    // The shard type a worker thread owns, and the system wrapper.
+    assert_send::<Shard>();
+    assert_send::<SdmSystem>();
+    assert_send::<ServingHost>();
+}
+
+#[test]
+fn shard_components_are_send() {
+    // Every layer inside a shard, individually, so a regression points at
+    // the offending component rather than just at `Shard`.
+    assert_send::<InferenceEngine>();
+    assert_send::<PoolingBuffers>();
+    assert_send::<QueryResult>();
+    assert_send::<SdmMemoryManager>();
+    assert_send::<IoEngine>();
+    assert_send::<DualRowCache>();
+    assert_send::<PooledEmbeddingCache>();
+    assert_send::<Scheduler>();
+}

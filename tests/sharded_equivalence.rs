@@ -1,0 +1,273 @@
+//! Sharded-serving equivalence: a `ServingHost` must produce, per query
+//! id, the same scores as the single-stream `run_batch` baseline — no
+//! matter how many shards serve the batch or which routing policy
+//! partitions it — and its cache counters must obey the conservation laws
+//! partitioning cannot break.
+//!
+//! What is (and isn't) invariant under sharding:
+//!
+//! * **Scores** — invariant up to f32 reassociation. Shards are seeded
+//!   identically, so every replica materialises bit-identical tables and
+//!   MLPs, and each query pools exactly the same row values. The
+//!   *summation order* is not invariant, though: the hot path accumulates
+//!   row-cache hits during the index scan and misses later as their IO
+//!   completions drain (a deliberate PR-2 overlap optimisation), so a
+//!   different hit/miss split — which is what sharding changes — pools the
+//!   same values in a different order. Multi-shard scores are therefore
+//!   compared within a tight reassociation tolerance, and a 1-shard host
+//!   is asserted bit-exact. (The pooled-embedding cache adds a second
+//!   order effect — it is keyed on the index *multiset* — so the main
+//!   sweep disables it and a separate case covers the pooled-enabled
+//!   path.)
+//! * **Per-operator / per-row totals** — `pooled_ops`, `fm_direct_lookups`
+//!   and `pruned_zero_rows` are decided per query, so their totals are
+//!   invariant; `row_cache_hits + sm_reads` (every SM row access is exactly
+//!   one of the two) is invariant too. The hit/miss *split* is not — that
+//!   is precisely the cache-contention effect measured multi-stream QPS
+//!   exists to capture.
+//! * **1 shard** — everything is invariant: a single-shard host divides
+//!   nothing and runs today's `run_batch` inline, bit for bit, latencies
+//!   and clock included.
+
+use dlrm::model_zoo;
+use sdm_core::{SdmConfig, SdmSystem, ServingHost};
+use sdm_metrics::units::Bytes;
+use workload::{Query, QueryGenerator, RoutingPolicy, WorkloadConfig};
+
+const SHARD_COUNTS: &[usize] = &[1, 2, 4];
+const POLICIES: &[RoutingPolicy] = &[RoutingPolicy::RoundRobin, RoutingPolicy::UserSticky];
+
+fn queries_for(model: &dlrm::ModelConfig, count: usize, seed: u64) -> Vec<Query> {
+    let cfg = WorkloadConfig {
+        item_batch: model.item_batch.min(8),
+        // Small population so users repeat and sticky routing has
+        // per-shard locality to exploit.
+        user_population: 200,
+        ..WorkloadConfig::default()
+    };
+    QueryGenerator::new(&model.tables, cfg, seed)
+        .unwrap()
+        .generate(count)
+}
+
+fn scaled_config() -> SdmConfig {
+    SdmConfig {
+        device_capacity: Bytes::from_mib(64),
+        cache: sdm_cache::CacheConfig::with_total_budget(Bytes::from_mib(4)),
+        ..SdmConfig::for_tests()
+    }
+}
+
+/// The main sweep config: pooled cache off (see module docs).
+fn exact_config() -> SdmConfig {
+    let mut config = scaled_config();
+    config.cache.pooled_cache_budget = Bytes::ZERO;
+    config
+}
+
+/// Asserts two score slices are equal up to f32 summation reassociation:
+/// same values pooled in a (possibly) different order, then passed through
+/// the same MLPs.
+fn assert_scores_close(got: &[f32], want: &[f32], context: &str) {
+    assert_eq!(got.len(), want.len(), "{context}: score count");
+    for (i, (a, b)) in got.iter().zip(want).enumerate() {
+        let tol = 1e-4 * a.abs().max(b.abs()).max(1.0);
+        assert!(
+            (a - b).abs() <= tol,
+            "{context}: score {i} diverges beyond reassociation tolerance: {a} vs {b}"
+        );
+    }
+}
+
+/// Runs `queries` through the single-stream baseline and through sharded
+/// hosts at every `SHARD_COUNTS` × `POLICIES` combination, asserting score
+/// equivalence per query id and the partition-invariant counter totals.
+fn assert_sharding_equivalent(model: &dlrm::ModelConfig, config: &SdmConfig, seed: u64) {
+    let queries = queries_for(model, 48, seed);
+    let mut baseline = SdmSystem::build(model, config.clone(), seed).unwrap();
+    let report = baseline.run_batch(&queries).unwrap();
+    assert_eq!(report.queries, queries.len() as u64);
+    let base = baseline.manager().stats().clone();
+
+    for &shards in SHARD_COUNTS {
+        for &policy in POLICIES {
+            let mut host = ServingHost::build(model, config, seed, shards, policy).unwrap();
+            let host_report = host.run_batch(&queries).unwrap();
+            assert_eq!(host_report.queries, queries.len() as u64);
+            assert_eq!(host.len(), baseline.batch_len());
+
+            // Scores per query id: bit-exact at 1 shard, reassociation
+            // tolerance beyond (see module docs).
+            for i in 0..queries.len() {
+                if shards == 1 {
+                    assert_eq!(
+                        host.scores(i),
+                        baseline.batch_scores(i),
+                        "{}: scores diverge at query {i} (1 shard, {policy:?})",
+                        model.name
+                    );
+                } else {
+                    assert_scores_close(
+                        host.scores(i),
+                        baseline.batch_scores(i),
+                        &format!("{}: query {i} ({shards} shards, {policy:?})", model.name),
+                    );
+                }
+            }
+
+            // Partition-invariant counter totals.
+            let agg = host.stats();
+            let tag = format!("{} ({shards} shards, {policy:?})", model.name);
+            assert_eq!(agg.pooled_ops, base.pooled_ops, "{tag}: pooled_ops");
+            assert_eq!(
+                agg.fm_direct_lookups, base.fm_direct_lookups,
+                "{tag}: fm_direct_lookups"
+            );
+            assert_eq!(
+                agg.pruned_zero_rows, base.pruned_zero_rows,
+                "{tag}: pruned_zero_rows"
+            );
+            assert_eq!(
+                agg.row_cache_hits + agg.sm_reads,
+                base.row_cache_hits + base.sm_reads,
+                "{tag}: SM row accesses"
+            );
+
+            // A single-shard host *is* the baseline: latencies, clock and
+            // the full counter block match exactly.
+            if shards == 1 {
+                for i in 0..queries.len() {
+                    assert_eq!(host.latency(i), baseline.batch_latency(i), "{tag}: latency");
+                }
+                assert_eq!(host.shard(0).now(), baseline.now(), "{tag}: clock");
+                assert_eq!(agg.row_cache_hits, base.row_cache_hits, "{tag}: hits");
+                assert_eq!(agg.sm_reads, base.sm_reads, "{tag}: sm_reads");
+                assert_eq!(
+                    agg.pooled_cache_hits, base.pooled_cache_hits,
+                    "{tag}: pooled hits"
+                );
+                assert_eq!(agg.sm_bytes_read, base.sm_bytes_read, "{tag}: sm bytes");
+                assert_eq!(agg.sm_bus_bytes, base.sm_bus_bytes, "{tag}: bus bytes");
+                assert_eq!(agg.io_time, base.io_time, "{tag}: io time");
+                assert_eq!(agg.pooling_time, base.pooling_time, "{tag}: pooling time");
+                assert_eq!(
+                    host_report.mean_latency, report.mean_latency,
+                    "{tag}: mean latency"
+                );
+                assert_eq!(
+                    host_report.p99_latency, report.p99_latency,
+                    "{tag}: p99 latency"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn tiny_model_sharding_is_equivalent() {
+    assert_sharding_equivalent(&model_zoo::tiny(3, 2, 500), &exact_config(), 41);
+}
+
+#[test]
+fn tiny_pruned_model_sharding_is_equivalent() {
+    let mut model = model_zoo::tiny(2, 1, 400);
+    model.tables[0].pruned_fraction = 0.4;
+    assert_sharding_equivalent(&model, &exact_config(), 42);
+}
+
+#[test]
+fn m1_scaled_sharding_is_equivalent() {
+    let model = model_zoo::scaled_model(&model_zoo::m1(), 400_000, 60.0);
+    assert_sharding_equivalent(&model, &exact_config(), 43);
+}
+
+#[test]
+fn m2_scaled_sharding_is_equivalent() {
+    let model = model_zoo::scaled_model(&model_zoo::m2(), 400_000, 60.0);
+    assert_sharding_equivalent(&model, &exact_config(), 44);
+}
+
+#[test]
+fn m3_scaled_sharding_is_equivalent() {
+    // M3 is the terabyte-scale model (2700 tables); sharding decisions are
+    // made per query and equivalence per embedding operator, so a subset of
+    // its tables exercises the same code paths at a fraction of the cost.
+    let mut model = model_zoo::scaled_model(&model_zoo::m3(), 4_000_000, 300.0);
+    let user: Vec<_> = model
+        .tables
+        .iter()
+        .filter(|t| t.kind == embedding::TableKind::User)
+        .take(40)
+        .cloned()
+        .collect();
+    let item: Vec<_> = model
+        .tables
+        .iter()
+        .filter(|t| t.kind == embedding::TableKind::Item)
+        .take(20)
+        .cloned()
+        .collect();
+    model.tables = user.into_iter().chain(item).collect();
+    assert_sharding_equivalent(&model, &exact_config(), 45);
+}
+
+#[test]
+fn pooled_cache_enabled_sharding_keeps_scores_equivalent() {
+    // With the pooled-embedding cache on, a hit replays a previously
+    // pooled vector — same values, possibly a different summation order —
+    // so the reassociation tolerance applies at every shard count except
+    // one, where the host is the baseline bit for bit.
+    let model = model_zoo::tiny(3, 2, 500);
+    let config = scaled_config();
+    let queries = queries_for(&model, 48, 46);
+    let mut baseline = SdmSystem::build(&model, config.clone(), 46).unwrap();
+    baseline.run_batch(&queries).unwrap();
+    let base = baseline.manager().stats().clone();
+    for &shards in SHARD_COUNTS {
+        for &policy in POLICIES {
+            let mut host = ServingHost::build(&model, &config, 46, shards, policy).unwrap();
+            host.run_batch(&queries).unwrap();
+            for i in 0..queries.len() {
+                if shards == 1 {
+                    assert_eq!(
+                        host.scores(i),
+                        baseline.batch_scores(i),
+                        "scores diverge at query {i} (1 shard, {policy:?})"
+                    );
+                } else {
+                    assert_scores_close(
+                        host.scores(i),
+                        baseline.batch_scores(i),
+                        &format!("pooled-on query {i} ({shards} shards, {policy:?})"),
+                    );
+                }
+            }
+            let agg = host.stats();
+            assert_eq!(agg.pooled_ops, base.pooled_ops);
+            assert_eq!(agg.fm_direct_lookups, base.fm_direct_lookups);
+        }
+    }
+}
+
+#[test]
+fn sticky_routing_concentrates_cache_locality() {
+    // The reason user-sticky routing exists (paper Figure 4c): pinning a
+    // user's repeating sequences to one shard must not *lower* the
+    // aggregate row-cache hit count relative to spraying them round-robin
+    // across shards. (With divided per-shard budgets the two policies see
+    // the same total capacity, so this compares pure locality.)
+    let model = model_zoo::tiny(2, 1, 500);
+    let config = exact_config();
+    let queries = queries_for(&model, 160, 47);
+    let mut hits = Vec::new();
+    for &policy in POLICIES {
+        let mut host = ServingHost::build(&model, &config, 47, 4, policy).unwrap();
+        host.run_batch(&queries).unwrap();
+        hits.push(host.stats().row_cache_hits);
+    }
+    let (rr, sticky) = (hits[0], hits[1]);
+    assert!(
+        sticky >= rr,
+        "sticky routing lost locality: {sticky} hits vs round-robin {rr}"
+    );
+}
