@@ -4,8 +4,10 @@
 #
 #   ./ci.sh        # full gate: fmt, clippy, build, test, bench compile
 #   ./ci.sh quick  # skip fmt/clippy (what the paper-repro driver runs)
-#   ./ci.sh bench  # run the criterion benches (quick shim) and write
-#                  # BENCH_hotpath.json via the exp_hotpath experiment
+#   ./ci.sh bench  # run the criterion benches (quick shim), write
+#                  # BENCH_hotpath.json via the exp_hotpath experiment and
+#                  # enforce the numeric regression gate vs the committed
+#                  # snapshot (exp_hotpath --check)
 
 set -euo pipefail
 cd "$(dirname "${BASH_SOURCE[0]}")"
@@ -14,14 +16,17 @@ mode="${1:-full}"
 
 if [[ "$mode" == "bench" ]]; then
     echo "==> cargo bench --workspace (quick criterion shim)"
-    cargo bench --workspace
+    cargo bench --locked --workspace
 
-    echo "==> exp_hotpath --quick (writes BENCH_hotpath.json)"
-    cargo run --release -p sdm-bench --bin exp_hotpath -- --quick
+    echo "==> exp_hotpath --quick --check (writes BENCH_hotpath.json, gates vs committed snapshot)"
+    cargo run --locked --release -p sdm-bench --bin exp_hotpath -- --quick --check
 
     echo "==> BENCH_hotpath.json sanity (tracked fields present)"
     for field in slice_ns_per_row run_batch_qps allocations_per_query \
-                 qps_streams_1 qps_streams_4 scaling_efficiency_4; do
+                 qps_streams_1 qps_streams_4 scaling_efficiency_4 \
+                 exact_qps relaxed_qps \
+                 mean_queue_depth_exact mean_queue_depth_relaxed \
+                 p99_latency_exact p99_latency_relaxed; do
         grep -q "\"$field\"" BENCH_hotpath.json \
             || { echo "missing $field in BENCH_hotpath.json"; exit 1; }
     done
@@ -35,16 +40,16 @@ if [[ "$mode" == "full" ]]; then
     cargo fmt --all --check
 
     echo "==> cargo clippy --workspace --all-targets -- -D warnings"
-    cargo clippy --workspace --all-targets -- -D warnings
+    cargo clippy --locked --workspace --all-targets -- -D warnings
 fi
 
 echo "==> cargo build --release --workspace (lib, bins, examples)"
-cargo build --release --workspace --lib --bins --examples
+cargo build --locked --release --workspace --lib --bins --examples
 
 echo "==> cargo test --workspace"
-cargo test -q --workspace
+cargo test --locked -q --workspace
 
 echo "==> cargo bench --no-run --workspace"
-cargo bench --no-run --workspace
+cargo bench --locked --no-run --workspace
 
 echo "CI gate passed."

@@ -2,7 +2,8 @@
 //! writes machine-readable numbers to `BENCH_hotpath.json` so the perf
 //! trajectory is tracked from PR to PR.
 //!
-//! Four measurements (wall clock, release build recommended):
+//! Five measurements (release build recommended; 1–4 are wall clock, 5 is
+//! virtual-clock and therefore deterministic):
 //!
 //! 1. **Pooling** — seed-style `Vec<Vec<f32>>` pooling (fresh vector per
 //!    row + fresh output) vs the fused slice-based `pool_quantized_into`
@@ -15,18 +16,25 @@
 //! 4. **Multi-stream serving** — *measured* wall-clock QPS of a
 //!    `ServingHost` at 1/2/4/8 shards over the same M1 stream, plus the
 //!    scaling-efficiency ratio against perfectly linear scaling. This is
-//!    the measurement that replaces the deprecated
+//!    the measurement that replaced the removed
 //!    `QpsReport::qps_with_streams` extrapolation; the delivered numbers
 //!    depend on the machine's core count (recorded alongside).
+//! 5. **Cross-query IO overlap** — exact vs relaxed batch execution on the
+//!    *virtual* clock (paper §3.2): batch QPS, p50/p99 query latency and
+//!    observed device-queue depth per mode. Deterministic, so CI gates on
+//!    these numbers directly.
 //!
-//! Usage: `exp_hotpath [--quick] [--out PATH]` (quick mode shrinks the
-//! iteration counts for CI smoke runs).
+//! Usage: `exp_hotpath [--quick] [--out PATH] [--check]`. Quick mode
+//! shrinks the iteration counts for CI smoke runs; `--check` compares the
+//! fresh numbers against the committed `BENCH_hotpath.json` (read before it
+//! is overwritten) and exits non-zero on a >25 % regression in the gated
+//! fields or a violated overlap invariant.
 
 use dlrm::QueryResult;
 use embedding::{pooling, QuantScheme};
 use sdm_bench::{
-    bench_quantized_rows, bench_sdm_config, build_system, header, measure_streams, pool_seed_style,
-    queries_for, scaled,
+    bench_quantized_rows, bench_sdm_config, build_system, header, json_field, measure_batch_modes,
+    measure_streams, pool_seed_style, queries_for, scaled,
 };
 use sdm_metrics::alloc_hook;
 use std::alloc::{GlobalAlloc, Layout, System};
@@ -60,15 +68,94 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static ALLOCATOR: CountingAllocator = CountingAllocator;
 
+/// Allowed wall-clock regression vs the committed snapshot (25 %).
+const REGRESSION_TOLERANCE: f64 = 0.25;
+
+/// The `--check` gate: compares gated fields of the fresh document against
+/// the committed baseline and verifies the overlap invariants. Returns the
+/// failure messages (empty = pass).
+///
+/// `compare_wall_clock` gates the machine-dependent fields (pooling ns/row,
+/// batch and multi-stream QPS); the caller sets it only when the fresh run
+/// and the snapshot report the same `host_cores`, so a slower CI runner
+/// cannot fail spuriously. The virtual-clock `io_overlap` fields are
+/// deterministic and always gated.
+fn regression_failures(baseline: &str, fresh: &str, compare_wall_clock: bool) -> Vec<String> {
+    let mut failures = Vec::new();
+    // (section, field, higher_is_better)
+    let deterministic = [("io_overlap", "relaxed_qps", true)];
+    let wall_clock = [
+        ("pooling", "slice_ns_per_row", false),
+        ("batch", "run_batch_qps", true),
+        ("multi_stream", "qps_streams_1", true),
+        ("multi_stream", "qps_streams_4", true),
+    ];
+    let mut compare = |section: &str, field: &str, higher_is_better: bool| {
+        let (Some(base), Some(now)) = (
+            json_field(baseline, section, field),
+            json_field(fresh, section, field),
+        ) else {
+            failures.push(format!(
+                "{section}.{field}: missing in baseline or fresh run"
+            ));
+            return;
+        };
+        let regressed = if higher_is_better {
+            now < base * (1.0 - REGRESSION_TOLERANCE)
+        } else {
+            now > base * (1.0 + REGRESSION_TOLERANCE)
+        };
+        if regressed {
+            failures.push(format!(
+                "{section}.{field}: {now:.3} regressed >{:.0}% vs baseline {base:.3}",
+                REGRESSION_TOLERANCE * 100.0
+            ));
+        }
+    };
+    for (section, field, higher_is_better) in deterministic {
+        compare(section, field, higher_is_better);
+    }
+    if compare_wall_clock {
+        for (section, field, higher_is_better) in wall_clock {
+            compare(section, field, higher_is_better);
+        }
+    }
+
+    // Overlap invariants on the fresh run (virtual clock — deterministic).
+    let overlap = |field: &str| json_field(fresh, "io_overlap", field);
+    match (overlap("exact_qps"), overlap("relaxed_qps")) {
+        (Some(exact), Some(relaxed)) if relaxed >= exact => {}
+        other => failures.push(format!("io_overlap: relaxed_qps < exact_qps ({other:?})")),
+    }
+    match (
+        overlap("mean_queue_depth_exact"),
+        overlap("mean_queue_depth_relaxed"),
+    ) {
+        (Some(exact), Some(relaxed)) if relaxed > exact => {}
+        other => failures.push(format!(
+            "io_overlap: relaxed queue depth not strictly deeper ({other:?})"
+        )),
+    }
+    failures
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
     let out_path = args
         .iter()
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1))
         .cloned()
         .unwrap_or_else(|| "BENCH_hotpath.json".to_string());
+    // The committed snapshot is the regression baseline; read it before the
+    // fresh numbers overwrite it.
+    let baseline = if check {
+        std::fs::read_to_string(&out_path).ok()
+    } else {
+        None
+    };
 
     header("Hot path: arena-backed rows, slice pooling, batched execution");
     let (pool_iters, batch_reps) = if quick { (2_000, 9) } else { (40_000, 36) };
@@ -257,6 +344,46 @@ fn main() {
     let speedup_4 = ms.speedup(4).unwrap_or(0.0);
     let efficiency_4 = ms.scaling_efficiency(4).unwrap_or(0.0);
 
+    // --- 5. Cross-query IO overlap: exact vs relaxed batch execution on
+    // the virtual clock (deterministic; numerically gated by CI). ---
+    let overlap_window = 8usize;
+    // Same size in quick and full mode: the measurement is virtual-clock
+    // (cheap and deterministic), and the CI gate compares quick runs
+    // against the committed full-mode snapshot.
+    let overlap_batch = 256usize;
+    let overlap_queries = queries_for(&m1, overlap_batch, 103);
+    let overlap = measure_batch_modes(&m1, &bench_sdm_config(), &overlap_queries, overlap_window);
+    let (oe, or) = (
+        *overlap.exact().expect("exact mode measured"),
+        *overlap.relaxed().expect("relaxed mode measured"),
+    );
+    println!(
+        "\n  cross-query IO overlap (M1 scaled, {overlap_batch} cold queries, \
+         window {overlap_window}, virtual clock)"
+    );
+    println!(
+        "    exact    {:>12.0} q/s  p50 {:>9} p99 {:>9}  depth mean {:>5.2} max {:>3}",
+        oe.qps(),
+        oe.p50_latency,
+        oe.p99_latency,
+        oe.mean_queue_depth,
+        oe.max_queue_depth,
+    );
+    println!(
+        "    relaxed  {:>12.0} q/s  p50 {:>9} p99 {:>9}  depth mean {:>5.2} max {:>3}",
+        or.qps(),
+        or.p50_latency,
+        or.p99_latency,
+        or.mean_queue_depth,
+        or.max_queue_depth,
+    );
+    println!(
+        "    gain                      {:>8.3}x qps, {:>5.2}x p99, {:>5.2}x depth",
+        overlap.qps_gain().unwrap_or(0.0),
+        overlap.p99_ratio().unwrap_or(0.0),
+        overlap.depth_gain().unwrap_or(0.0),
+    );
+
     // --- Emit BENCH_hotpath.json (hand-rolled: no JSON crate vendored). ---
     let json = format!(
         "{{\n  \"schema\": \"sdm-hotpath-v1\",\n  \"quick\": {quick},\n  \
@@ -282,13 +409,66 @@ fn main() {
          \"qps_streams_4\": {q4:.1},\n    \
          \"qps_streams_8\": {q8:.1},\n    \
          \"speedup_4\": {speedup_4:.4},\n    \
-         \"scaling_efficiency_4\": {efficiency_4:.4}\n  }}\n}}\n",
+         \"scaling_efficiency_4\": {efficiency_4:.4}\n  }},\n  \
+         \"io_overlap\": {{\n    \"model\": \"M1-scaled\",\n    \
+         \"queries\": {overlap_batch},\n    \
+         \"max_inflight_queries\": {overlap_window},\n    \
+         \"exact_qps\": {exact_qps:.1},\n    \
+         \"relaxed_qps\": {relaxed_qps:.1},\n    \
+         \"qps_gain\": {qps_gain:.4},\n    \
+         \"p50_latency_exact\": {p50_exact:.3},\n    \
+         \"p50_latency_relaxed\": {p50_relaxed:.3},\n    \
+         \"p99_latency_exact\": {p99_exact:.3},\n    \
+         \"p99_latency_relaxed\": {p99_relaxed:.3},\n    \
+         \"mean_queue_depth_exact\": {depth_exact:.3},\n    \
+         \"mean_queue_depth_relaxed\": {depth_relaxed:.3},\n    \
+         \"max_queue_depth_exact\": {max_depth_exact},\n    \
+         \"max_queue_depth_relaxed\": {max_depth_relaxed}\n  }}\n}}\n",
         q1 = qps_at(1),
         q2 = qps_at(2),
         q4 = qps_at(4),
         q8 = qps_at(8),
+        exact_qps = oe.qps(),
+        relaxed_qps = or.qps(),
+        qps_gain = overlap.qps_gain().unwrap_or(0.0),
+        p50_exact = oe.p50_latency.as_nanos() as f64 / 1_000.0,
+        p50_relaxed = or.p50_latency.as_nanos() as f64 / 1_000.0,
+        p99_exact = oe.p99_latency.as_nanos() as f64 / 1_000.0,
+        p99_relaxed = or.p99_latency.as_nanos() as f64 / 1_000.0,
+        depth_exact = oe.mean_queue_depth,
+        depth_relaxed = or.mean_queue_depth,
+        max_depth_exact = oe.max_queue_depth,
+        max_depth_relaxed = or.max_queue_depth,
     );
     std::fs::write(&out_path, &json).expect("failed to write BENCH_hotpath.json");
     println!("\n  wrote {out_path}");
     black_box(sink);
+
+    // --- Numeric regression gate (--check). ---
+    if check {
+        println!("\n  regression gate vs committed {out_path}");
+        match baseline {
+            None => println!("    no committed baseline found; skipping comparison"),
+            Some(base) => {
+                // Wall-clock fields only compare like with like.
+                let compare_wall_clock = json_field(&base, "multi_stream", "host_cores")
+                    == json_field(&json, "multi_stream", "host_cores");
+                if !compare_wall_clock {
+                    println!(
+                        "    (host_cores differs from baseline; gating only the \
+                         deterministic io_overlap fields)"
+                    );
+                }
+                let failures = regression_failures(&base, &json, compare_wall_clock);
+                if failures.is_empty() {
+                    println!("    all gated fields within tolerance; overlap invariants hold");
+                } else {
+                    for f in &failures {
+                        println!("    FAIL {f}");
+                    }
+                    std::process::exit(1);
+                }
+            }
+        }
+    }
 }

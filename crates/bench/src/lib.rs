@@ -8,7 +8,7 @@
 use dlrm::{model_zoo, ModelConfig};
 use sdm_core::{SdmConfig, SdmSystem, ServingHost};
 use sdm_metrics::units::Bytes;
-use sdm_metrics::MultiStreamReport;
+use sdm_metrics::{BatchModeMeasurement, BatchModeReport, MultiStreamReport};
 use workload::{Query, QueryGenerator, RoutingPolicy, WorkloadConfig};
 
 /// Divisor applied to paper-scale row counts so experiments run in seconds
@@ -120,6 +120,71 @@ pub fn measure_streams(
     report
 }
 
+/// Measures the exact-vs-relaxed batch trade-off on the *virtual* clock:
+/// one freshly built system per mode runs the same cold query stream, so
+/// every number (makespan QPS, p50/p99 latency, observed queue depth) is
+/// deterministic and machine-independent — which is what lets CI gate on
+/// them numerically.
+///
+/// # Panics
+///
+/// Panics when a system cannot be built or a batch fails — experiments
+/// treat both as fatal setup errors.
+pub fn measure_batch_modes(
+    model: &ModelConfig,
+    config: &SdmConfig,
+    queries: &[Query],
+    window: usize,
+) -> BatchModeReport {
+    let mut report = BatchModeReport::new();
+    for relaxed in [false, true] {
+        let cfg = if relaxed {
+            config.clone().with_relaxed_batching(window)
+        } else {
+            config.clone()
+        };
+        let mut system =
+            SdmSystem::build(model, cfg, EXPERIMENT_SEED).expect("failed to build SDM system");
+        let qps = system.run_batch(queries).expect("mode batch failed");
+        let depth = &system.manager().io_engine().stats().queue_depth;
+        let m = BatchModeMeasurement {
+            queries: qps.queries,
+            makespan: qps.makespan,
+            p50_latency: system.shard().batch_hist().percentile(0.5),
+            p99_latency: qps.p99_latency,
+            mean_queue_depth: depth.mean_depth(),
+            max_queue_depth: depth.max_depth,
+        };
+        if relaxed {
+            report.record_relaxed(m);
+        } else {
+            report.record_exact(m);
+        }
+    }
+    report
+}
+
+/// Extracts the numeric value of `"field":` inside the object introduced by
+/// `"section":` from a `BENCH_*.json` document (the hand-rolled emitter's
+/// format: flat single-level section objects; no JSON crate is vendored).
+/// Returns `None` when either key is missing from that section or the
+/// value does not parse — a field that only exists in a *later* section is
+/// not silently substituted.
+pub fn json_field(text: &str, section: &str, field: &str) -> Option<f64> {
+    let sec = format!("\"{section}\":");
+    let start = text.find(&sec)? + sec.len();
+    let scoped = &text[start..];
+    // Bound the search to the section's own object.
+    let scoped = &scoped[..scoped.find('}').unwrap_or(scoped.len())];
+    let key = format!("\"{field}\":");
+    let at = scoped.find(&key)? + key.len();
+    let rest = scoped[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || "+-.eE".contains(c)))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 /// Deterministic quantised rows for the pooling benchmarks (`pf` rows of
 /// `dim` elements), shared by `pooling_bench` and `exp_hotpath` so both
 /// measure the same inputs.
@@ -173,6 +238,46 @@ mod tests {
     #[test]
     fn pct_formats() {
         assert_eq!(pct(0.205), "20.5%");
+    }
+
+    #[test]
+    fn json_field_scopes_to_section() {
+        let doc = r#"{
+  "batch": {
+    "model": "M1-scaled",
+    "run_batch_qps": 1916.6
+  },
+  "batch_light": {
+    "run_batch_qps": 61945.5
+  },
+  "multi_stream": {
+    "host_cores": 4,
+    "qps_streams_1": 1528.9
+  }
+}"#;
+        assert_eq!(json_field(doc, "batch", "run_batch_qps"), Some(1916.6));
+        assert_eq!(
+            json_field(doc, "batch_light", "run_batch_qps"),
+            Some(61945.5)
+        );
+        assert_eq!(json_field(doc, "multi_stream", "host_cores"), Some(4.0));
+        assert_eq!(json_field(doc, "multi_stream", "missing"), None);
+        assert_eq!(json_field(doc, "missing", "run_batch_qps"), None);
+        // A field absent from the named section must not resolve to a
+        // same-named field of a later section.
+        assert_eq!(json_field(doc, "batch", "qps_streams_1"), None);
+        assert_eq!(json_field(doc, "batch", "host_cores"), None);
+    }
+
+    #[test]
+    fn measure_batch_modes_shows_the_overlap_trade_off() {
+        let model = model_zoo::tiny(2, 1, 400);
+        let queries = queries_for(&model, 32, 9);
+        let report = measure_batch_modes(&model, &SdmConfig::for_tests(), &queries, 8);
+        assert!(report.is_complete());
+        assert!(report.qps_gain().unwrap() >= 1.0);
+        assert!(report.depth_gain().unwrap() > 1.0);
+        assert_eq!(report.exact().unwrap().queries, 32);
     }
 
     #[test]

@@ -65,6 +65,52 @@ pub trait EmbeddingBackend {
     }
 }
 
+/// Handle to a pooled lookup that has been *begun* but not yet folded into
+/// the query's pooled-vector arena (see [`OverlappedBackend`]).
+///
+/// Tickets are only meaningful to the backend that issued them and must be
+/// finished exactly once, in any order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LookupTicket(pub u64);
+
+/// Split-phase extension of [`EmbeddingBackend`] for overlapped batch
+/// execution (paper §3.2: deep device queues across in-flight queries).
+///
+/// `lookup_begin` resolves everything that is immediately available (cache
+/// hits, fast-memory rows) into backend-owned scratch and *issues* the slow
+/// reads without waiting for them; `lookup_finish` waits for the op's IO,
+/// writes the completed pooled vector into `out` and reports the op's total
+/// simulated latency. Between the two calls the backend may begin ops of
+/// *other* queries, which is what lets a relaxed batch executor keep many
+/// queries' misses in flight at once.
+pub trait OverlappedBackend: EmbeddingBackend {
+    /// Begins one pooled lookup at virtual time `now`: accumulates hits into
+    /// backend scratch and issues IO for the misses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError`] for unknown tables or out-of-range indices.
+    fn lookup_begin(
+        &mut self,
+        table: TableId,
+        indices: &[u64],
+        now: SimInstant,
+    ) -> Result<LookupTicket, DlrmError>;
+
+    /// Completes a begun lookup: writes the pooled vector into `out` (sized
+    /// to the table's dimension) and returns the op's simulated latency,
+    /// including any IO wait.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DlrmError`] for stale tickets or a mis-sized buffer.
+    fn lookup_finish(
+        &mut self,
+        ticket: LookupTicket,
+        out: &mut [f32],
+    ) -> Result<SimDuration, DlrmError>;
+}
+
 /// Baseline backend: every table fully resident in DRAM.
 ///
 /// This is the paper's HW-L style deployment (dual socket, 256 GB DRAM) and
@@ -76,6 +122,9 @@ pub struct DramBackend {
     per_row_latency: SimDuration,
     /// Per-element dequantise + accumulate cost.
     per_element_cost: SimDuration,
+    /// Begun-but-unfinished split-phase lookups (DRAM has no asynchronous
+    /// IO, so `lookup_begin` resolves eagerly and parks the result here).
+    pending: Vec<Option<(Vec<f32>, SimDuration)>>,
 }
 
 impl DramBackend {
@@ -90,6 +139,7 @@ impl DramBackend {
             tables,
             per_row_latency: SimDuration::from_nanos(150),
             per_element_cost: SimDuration::from_nanos(1),
+            pending: Vec::new(),
         }
     }
 
@@ -99,6 +149,7 @@ impl DramBackend {
             tables: tables.into_iter().map(|t| (t.descriptor().id, t)).collect(),
             per_row_latency: SimDuration::from_nanos(150),
             per_element_cost: SimDuration::from_nanos(1),
+            pending: Vec::new(),
         }
     }
 
@@ -110,6 +161,13 @@ impl DramBackend {
     /// Access to a resident table (for tests).
     pub fn table(&self, id: TableId) -> Option<&EmbeddingTable> {
         self.tables.get(&id)
+    }
+
+    /// Discards every begun-but-unfinished split-phase lookup. Callers that
+    /// abandon a pipeline mid-flight (an error between `lookup_begin` and
+    /// `lookup_finish`) use this so orphaned slots cannot accumulate.
+    pub fn reset_pending(&mut self) {
+        self.pending.clear();
     }
 }
 
@@ -162,6 +220,55 @@ impl EmbeddingBackend for DramBackend {
 
     fn backend_name(&self) -> &str {
         "dram"
+    }
+}
+
+impl OverlappedBackend for DramBackend {
+    fn lookup_begin(
+        &mut self,
+        table: TableId,
+        indices: &[u64],
+        now: SimInstant,
+    ) -> Result<LookupTicket, DlrmError> {
+        // DRAM resolves synchronously: begin computes the pooled vector
+        // eagerly, finish just hands it back. This keeps the baseline
+        // backend usable under the overlapped executor for comparisons.
+        let pooled = self.pooled_lookup(table, indices, now)?;
+        let slot = self
+            .pending
+            .iter()
+            .position(Option::is_none)
+            .unwrap_or_else(|| {
+                self.pending.push(None);
+                self.pending.len() - 1
+            });
+        self.pending[slot] = Some(pooled);
+        Ok(LookupTicket(slot as u64))
+    }
+
+    fn lookup_finish(
+        &mut self,
+        ticket: LookupTicket,
+        out: &mut [f32],
+    ) -> Result<SimDuration, DlrmError> {
+        let slot = ticket.0 as usize;
+        let entry = self
+            .pending
+            .get_mut(slot)
+            .filter(|e| e.is_some())
+            .ok_or(DlrmError::StaleTicket { ticket: ticket.0 })?;
+        // Validate before consuming, so a mis-sized buffer is retryable —
+        // the same semantics as the SDM manager's finish half.
+        let pooled_len = entry.as_ref().map(|(p, _)| p.len()).unwrap_or(0);
+        if pooled_len != out.len() {
+            return Err(DlrmError::DimensionMismatch {
+                expected: out.len(),
+                actual: pooled_len,
+            });
+        }
+        let (pooled, took) = entry.take().expect("checked above");
+        out.copy_from_slice(&pooled);
+        Ok(took)
     }
 }
 

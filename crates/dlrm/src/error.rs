@@ -24,6 +24,11 @@ pub enum DlrmError {
         /// Actual length.
         actual: usize,
     },
+    /// A split-phase lookup ticket was finished twice or never begun.
+    StaleTicket {
+        /// The offending ticket value.
+        ticket: u64,
+    },
     /// The embedding backend failed.
     Backend {
         /// The underlying error.
@@ -40,6 +45,9 @@ impl fmt::Display for DlrmError {
             }
             DlrmError::DimensionMismatch { expected, actual } => {
                 write!(f, "dimension mismatch: expected {expected}, got {actual}")
+            }
+            DlrmError::StaleTicket { ticket } => {
+                write!(f, "lookup ticket {ticket} is not pending")
             }
             DlrmError::Backend { source } => write!(f, "embedding backend error: {source}"),
         }

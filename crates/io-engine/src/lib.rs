@@ -51,7 +51,7 @@ mod mmap;
 mod ring;
 
 pub use completion::{CompletionMode, CpuCostModel};
-pub use engine::{EngineConfig, EngineStats, IoCompletion, IoEngine, IoRequest};
+pub use engine::{EngineConfig, EngineStats, IoCompletion, IoEngine, IoRequest, IoStats};
 pub use error::IoError;
 pub use mmap::{MmapIo, MmapStats};
 pub use ring::{IoRing, RingEntry};

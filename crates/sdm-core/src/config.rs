@@ -20,6 +20,31 @@ pub enum AccessGranularity {
     Block,
 }
 
+/// How batches of queries move through the serving loop (paper §3.2).
+///
+/// The paper's serving stack hides SCM latency by keeping the device queues
+/// deep: reads from many in-flight requests overlap, so pooling work runs
+/// while other requests' IO is still in the queue. `Exact` keeps the
+/// seed-compatible contract — each query's SM reads drain before the next
+/// query issues, bit-identical to a sequential loop — while `Relaxed`
+/// pipelines the batch: up to `max_inflight_queries` queries issue their
+/// cache misses before the oldest query completes, trading per-query tail
+/// latency for batch throughput and queue occupancy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchMode {
+    /// Batches execute exactly like a sequential per-query loop (the
+    /// `batch_equivalence` contract).
+    #[default]
+    Exact,
+    /// Overlapped execution: queries are begun up to a window ahead, so
+    /// their SM reads share the device queues (`batch_overlap` contract:
+    /// a window of 1 is bit-identical to [`BatchMode::Exact`]).
+    Relaxed {
+        /// In-flight query window; must be at least 1.
+        max_inflight_queries: usize,
+    },
+}
+
 /// Optional transformations applied when loading tables onto SM
 /// (paper §4.5 and §A.5).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -54,6 +79,8 @@ pub struct SdmConfig {
     pub placement: PlacementPolicy,
     /// Load-time transformations.
     pub transform: LoadTransform,
+    /// Batch execution mode (exact vs relaxed/overlapped).
+    pub batch_mode: BatchMode,
     /// Seed for table materialisation.
     pub seed: u64,
 }
@@ -70,6 +97,7 @@ impl Default for SdmConfig {
             granularity: AccessGranularity::Sgl,
             placement: PlacementPolicy::SmOnlyWithCache,
             transform: LoadTransform::default(),
+            batch_mode: BatchMode::default(),
             seed: 0x5d31,
         }
     }
@@ -116,6 +144,20 @@ impl SdmConfig {
         self
     }
 
+    /// Sets the batch execution mode (exact vs relaxed/overlapped).
+    pub fn with_batch_mode(mut self, mode: BatchMode) -> Self {
+        self.batch_mode = mode;
+        self
+    }
+
+    /// Shorthand for relaxed batching with an in-flight window of `window`
+    /// queries.
+    pub fn with_relaxed_batching(self, window: usize) -> Self {
+        self.with_batch_mode(BatchMode::Relaxed {
+            max_inflight_queries: window,
+        })
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -152,6 +194,14 @@ impl SdmConfig {
                     "technology {} does not support SGL reads; use block granularity",
                     self.technology.kind
                 ),
+            });
+        }
+        if let BatchMode::Relaxed {
+            max_inflight_queries: 0,
+        } = self.batch_mode
+        {
+            return Err(SdmError::InvalidConfig {
+                reason: "relaxed batch mode needs max_inflight_queries >= 1".into(),
             });
         }
         self.cache.validate()?;
@@ -221,6 +271,24 @@ mod tests {
         assert!(c.validate().is_err());
         c.granularity = AccessGranularity::Block;
         assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn batch_mode_round_trips_and_validates() {
+        let c = SdmConfig::for_tests().with_relaxed_batching(8);
+        assert_eq!(
+            c.batch_mode,
+            BatchMode::Relaxed {
+                max_inflight_queries: 8
+            }
+        );
+        assert!(c.validate().is_ok());
+        // The divided per-shard slice keeps the mode.
+        assert_eq!(c.divide_among(4).batch_mode, c.batch_mode);
+
+        let zero = SdmConfig::for_tests().with_relaxed_batching(0);
+        assert!(zero.validate().is_err());
+        assert_eq!(SdmConfig::for_tests().batch_mode, BatchMode::Exact);
     }
 
     #[test]

@@ -17,6 +17,7 @@ use crate::error::SdmError;
 use crate::shard::Shard;
 use crate::stats::SdmStats;
 use dlrm::{LatencyBreakdown, ModelConfig};
+use io_engine::IoStats;
 use sdm_metrics::{CounterSet, LatencyHistogram, SimDuration, StreamMeasurement};
 use std::time::Instant;
 use workload::{Query, RoutingPolicy, Scheduler};
@@ -152,6 +153,17 @@ impl ServingHost {
         let mut total = SdmStats::new();
         for shard in &self.shards {
             total.merge(shard.manager().stats());
+        }
+        total
+    }
+
+    /// Host-level queue-occupancy accounting: every shard engine's
+    /// per-submission depth samples folded into one [`IoStats`]. Relaxed
+    /// batch mode exists to push this distribution deeper (paper §3.2).
+    pub fn queue_depth(&self) -> IoStats {
+        let mut total = IoStats::default();
+        for shard in &self.shards {
+            total.merge(&shard.manager().io_engine().stats().queue_depth);
         }
         total
     }

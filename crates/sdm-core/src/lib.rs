@@ -63,7 +63,7 @@ mod stats;
 mod system;
 mod update;
 
-pub use config::{AccessGranularity, LoadTransform, SdmConfig};
+pub use config::{AccessGranularity, BatchMode, LoadTransform, SdmConfig};
 pub use error::SdmError;
 pub use host::{HostReport, ServingHost};
 pub use loader::{LoadedModel, LoadedTable, ModelLoader};

@@ -5,7 +5,7 @@ use crate::error::SdmError;
 use crate::loader::LoadedModel;
 use crate::placement::TableLocation;
 use crate::stats::SdmStats;
-use dlrm::{DlrmError, EmbeddingBackend};
+use dlrm::{DlrmError, EmbeddingBackend, LookupTicket, OverlappedBackend};
 use embedding::{accumulate_row, QuantScheme, TableId};
 use io_engine::{IoEngine, IoRequest};
 use scm_device::{DeviceId, ReadCommand};
@@ -32,6 +32,77 @@ struct LookupScratch {
     io_targets: Vec<(usize, u64)>,
 }
 
+/// Which resolution path a split-phase lookup took at begin time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+enum PendingKind {
+    /// Table placed directly in fast memory; fully resolved at begin.
+    Fm,
+    /// Answered by the pooled-embedding cache; fully resolved at begin.
+    PooledHit,
+    /// SM-resident table: hits resolved at begin, misses read from SM.
+    #[default]
+    Sm,
+}
+
+/// One begun-but-unfinished pooled lookup of the relaxed batch path.
+///
+/// Everything is owned and capacity-reusing: the accumulation buffer plays
+/// the role the caller's `out` slice plays on the exact path (hits in index
+/// order, then misses in completion order — the identical summation order),
+/// and the index copy allows the deferred pooled-cache insert at finish.
+#[derive(Debug, Default)]
+struct PendingLookup {
+    in_use: bool,
+    kind: PendingKind,
+    table: TableId,
+    quant: QuantScheme,
+    /// Pooled accumulation buffer, sized to the table's dimension.
+    acc: Vec<f32>,
+    /// The op's index sequence (for the pooled-cache insert at finish).
+    indices: Vec<u64>,
+    /// Probe + mapping + hit-side latency accumulated at begin.
+    hit_latency: SimDuration,
+    /// Rows pooled so far (hits at begin, misses at drain).
+    pooled_rows: usize,
+    /// Time the op's SM reads spent in flight (zero without misses).
+    io_time: SimDuration,
+    /// Virtual instant the op was begun (and its misses submitted) at.
+    submitted_at: SimInstant,
+}
+
+/// Slab of [`PendingLookup`]s plus its free list; both reuse capacity, so a
+/// warmed relaxed pipeline acquires and releases slots without allocating.
+#[derive(Debug, Default)]
+struct PendingOps {
+    slots: Vec<PendingLookup>,
+    free: Vec<usize>,
+}
+
+impl PendingOps {
+    fn acquire(&mut self) -> usize {
+        self.free.pop().unwrap_or_else(|| {
+            self.slots.push(PendingLookup::default());
+            self.slots.len() - 1
+        })
+    }
+
+    fn release(&mut self, id: usize) {
+        self.slots[id].in_use = false;
+        self.free.push(id);
+    }
+
+    /// Returns every slot to the free list (error recovery between
+    /// batches). Slot pop order is restored so steady-state batches assign
+    /// slots deterministically.
+    fn reset(&mut self) {
+        self.free.clear();
+        for (i, slot) in self.slots.iter_mut().enumerate().rev() {
+            slot.in_use = false;
+            self.free.push(i);
+        }
+    }
+}
+
 /// The serving-path memory manager.
 ///
 /// Implements [`dlrm::EmbeddingBackend`]: the DLRM inference engine asks for
@@ -53,6 +124,7 @@ pub struct SdmMemoryManager {
     warmup: WarmupTracker,
     stats: SdmStats,
     scratch: LookupScratch,
+    pending: PendingOps,
     clock: SimInstant,
 }
 
@@ -78,6 +150,7 @@ impl SdmMemoryManager {
             warmup: WarmupTracker::new(2_000, 0.8),
             stats: SdmStats::new(),
             scratch: LookupScratch::default(),
+            pending: PendingOps::default(),
             clock: SimInstant::EPOCH,
         }
     }
@@ -412,6 +485,307 @@ impl SdmMemoryManager {
         let took = self.pooled_lookup_into_at(table, indices, now, &mut pooled)?;
         Ok((pooled, took))
     }
+
+    /// Returns every split-phase lookup slot to the free list. The relaxed
+    /// batch executor calls this before each batch so an aborted previous
+    /// batch can never leak pending slots.
+    pub(crate) fn reset_pending(&mut self) {
+        self.pending.reset();
+    }
+
+    /// Begin half of a split-phase pooled lookup (the relaxed batch path).
+    ///
+    /// Resolves everything immediately available — fast-memory rows,
+    /// pooled-cache hits, row-cache hits — into a manager-owned
+    /// accumulation buffer and issues the misses to the IO engine at
+    /// virtual time `now`. The summation order matches the exact path
+    /// exactly (hits in index order, then misses in completion order), so
+    /// a pipeline whose begin instants equal the exact path's query starts
+    /// produces bit-identical pooled vectors.
+    pub(crate) fn lookup_begin_at(
+        &mut self,
+        table: TableId,
+        indices: &[u64],
+        now: SimInstant,
+    ) -> Result<LookupTicket, SdmError> {
+        self.stats.pooled_ops += 1;
+        let id = self.pending.acquire();
+        let outcome = match self.loaded.placement.location(table) {
+            TableLocation::FastMemory => self.fm_lookup_begin(id, table, indices, now),
+            TableLocation::SlowMemoryCached | TableLocation::SlowMemoryUncached => {
+                self.sm_lookup_begin(id, table, indices, now)
+            }
+        };
+        match outcome {
+            Ok(()) => Ok(LookupTicket(id as u64)),
+            Err(e) => {
+                self.pending.release(id);
+                Err(e)
+            }
+        }
+    }
+
+    /// Begin path for a table placed directly in fast memory: fully
+    /// resolved at begin time (mirrors
+    /// [`SdmMemoryManager::fm_pooled_lookup_into`], accumulating into the
+    /// slot's buffer instead of the caller's).
+    fn fm_lookup_begin(
+        &mut self,
+        id: usize,
+        table: TableId,
+        indices: &[u64],
+        now: SimInstant,
+    ) -> Result<(), SdmError> {
+        let Self {
+            loaded,
+            stats,
+            pending,
+            ..
+        } = self;
+        let op = &mut pending.slots[id];
+        let t = loaded
+            .fm_tables
+            .get(&table)
+            .ok_or(embedding::EmbeddingError::UnknownTable { table })?;
+        let (quant, dim) = (t.descriptor().quant, t.descriptor().dim);
+        op.in_use = true;
+        op.kind = PendingKind::Fm;
+        op.table = table;
+        op.quant = quant;
+        op.acc.clear();
+        op.acc.resize(dim, 0.0);
+        op.indices.clear();
+        op.pooled_rows = 0;
+        op.io_time = SimDuration::ZERO;
+        op.submitted_at = now;
+        for &idx in indices {
+            let row = t.row(idx)?;
+            accumulate_row(row, quant, &mut op.acc)?;
+        }
+        stats.fm_direct_lookups += indices.len() as u64;
+        let latency = FM_ROW_COST * indices.len() as u64
+            + DEQUANT_POOL_COST_PER_ELEMENT * (indices.len() * dim) as u64;
+        stats.fm_op_latency.record(latency);
+        op.hit_latency = latency;
+        Ok(())
+    }
+
+    /// Begin path for an SM-resident table: pooled cache → row cache →
+    /// issued SGL reads (mirrors
+    /// [`SdmMemoryManager::sm_pooled_lookup_into`] except that the pooled
+    /// vector lands in the slot's buffer and the pooled-cache insert is
+    /// deferred to finish time, when the vector is final).
+    fn sm_lookup_begin(
+        &mut self,
+        id: usize,
+        table: TableId,
+        indices: &[u64],
+        now: SimInstant,
+    ) -> Result<(), SdmError> {
+        let Self {
+            config,
+            loaded,
+            engine,
+            row_cache,
+            pooled_cache,
+            warmup,
+            stats,
+            scratch,
+            pending,
+            ..
+        } = self;
+        let op = &mut pending.slots[id];
+        let t = loaded
+            .tables
+            .get(&table)
+            .ok_or(embedding::EmbeddingError::UnknownTable { table })?;
+        let (quant, dim) = (t.stored.quant, t.stored.dim);
+        let logical_rows = t.logical.num_rows;
+        let mapping = t.mapping.as_ref();
+        op.in_use = true;
+        op.kind = PendingKind::Sm;
+        op.table = table;
+        op.quant = quant;
+        op.acc.clear();
+        op.acc.resize(dim, 0.0);
+        op.indices.clear();
+        op.indices.extend_from_slice(indices);
+        op.pooled_rows = 0;
+        op.io_time = SimDuration::ZERO;
+        op.submitted_at = now;
+        let mut latency = SimDuration::ZERO;
+
+        // 1. Pooled-embedding cache (Algorithm 1). A hit copies the cached
+        // vector; the insert side waits until finish, when the vector is
+        // complete.
+        let pooled_enabled = !config.cache.pooled_cache_budget.is_zero();
+        if pooled_enabled && pooled_cache.eligible(indices.len()) {
+            latency += POOLED_CACHE_PROBE_COST;
+            if let Some(vector) = pooled_cache.lookup(table, indices) {
+                op.acc.copy_from_slice(vector);
+                op.kind = PendingKind::PooledHit;
+                op.hit_latency = latency;
+                stats.pooled_cache_hits += 1;
+                return Ok(());
+            }
+        }
+
+        // 2. Resolve each index: mapping tensor, row cache, then SM IO.
+        scratch.io_targets.clear();
+        let mut zero_rows = 0u64;
+        for (pos, &idx) in indices.iter().enumerate() {
+            if idx >= logical_rows {
+                return Err(embedding::EmbeddingError::RowOutOfRange {
+                    row: idx,
+                    rows: logical_rows,
+                }
+                .into());
+            }
+            let stored_row = if let Some(mapping) = mapping {
+                latency += MAPPING_LOOKUP_COST;
+                match mapping.map(idx) {
+                    Some(r) => r,
+                    None => {
+                        zero_rows += 1;
+                        continue; // pruned row contributes zeros, no access
+                    }
+                }
+            } else {
+                idx
+            };
+
+            latency += row_cache.lookup_cost();
+            let key = RowKey::new(table, stored_row);
+            match row_cache.get(&key) {
+                Some(bytes) => {
+                    accumulate_row(bytes, quant, &mut op.acc)?;
+                    stats.row_cache_hits += 1;
+                    warmup.record(true);
+                    op.pooled_rows += 1;
+                }
+                None => {
+                    stats.sm_reads += 1;
+                    warmup.record(false);
+                    scratch.io_targets.push((pos, stored_row));
+                }
+            }
+        }
+        stats.pruned_zero_rows += zero_rows;
+        op.hit_latency = latency;
+
+        // 3. Issue the misses as one ring submission at `now` and reap them
+        // straight away. The engine schedules completion instants at
+        // submission, so the *queue overlap* — later in-flight queries'
+        // reads stacking behind this op's — is locked in here regardless of
+        // when the completions are reaped; reaping immediately keeps the
+        // row-cache insert order identical to the exact path.
+        if !scratch.io_targets.is_empty() {
+            let placement = loaded.layout.placement(table)?;
+            let device = DeviceId(placement.device_index);
+            for (pos, stored_row) in &scratch.io_targets {
+                let offset = placement.row_offset(*stored_row)?;
+                let command = match config.granularity {
+                    AccessGranularity::Sgl => ReadCommand::sgl(offset, placement.row_bytes),
+                    AccessGranularity::Block => ReadCommand::block(offset, placement.row_bytes),
+                };
+                engine.submit(
+                    IoRequest::new(device, command)
+                        .with_table(table)
+                        .with_user_data(*pos as u64),
+                    now,
+                )?;
+            }
+            let io_targets = &scratch.io_targets;
+            let acc = &mut op.acc;
+            let mut pooled_inc = 0usize;
+            let mut pool_error: Option<SdmError> = None;
+            let finished_at = engine.drain_each(now, |completion| {
+                stats.sm_bytes_read += Bytes(completion.data.len() as u64);
+                stats.sm_bus_bytes += completion.bus_bytes;
+                let pos = completion.user_data as usize;
+                let stored_row = io_targets
+                    .binary_search_by_key(&pos, |(p, _)| *p)
+                    .map(|i| io_targets[i].1)
+                    .expect("completion for unknown position");
+                if pool_error.is_none() {
+                    if let Err(e) = accumulate_row(&completion.data, quant, acc) {
+                        pool_error = Some(e.into());
+                    } else {
+                        pooled_inc += 1;
+                    }
+                }
+                row_cache.insert(RowKey::new(table, stored_row), &completion.data);
+            })?;
+            if let Some(e) = pool_error {
+                return Err(e);
+            }
+            op.pooled_rows += pooled_inc;
+            op.io_time = finished_at.duration_since(now);
+            stats.io_time += op.io_time;
+        }
+        Ok(())
+    }
+
+    /// Finish half of a split-phase pooled lookup: copies the completed
+    /// vector into `out`, performs the deferred pooled-cache insert,
+    /// accounts pooling cost and returns the op's full latency (hit side +
+    /// IO wait + pooling).
+    pub(crate) fn lookup_finish_into(
+        &mut self,
+        ticket: LookupTicket,
+        out: &mut [f32],
+    ) -> Result<SimDuration, SdmError> {
+        let id = ticket.0 as usize;
+        if !self.pending.slots.get(id).is_some_and(|s| s.in_use) {
+            return Err(SdmError::Dlrm(DlrmError::StaleTicket { ticket: ticket.0 }));
+        }
+        let Self {
+            config,
+            pooled_cache,
+            stats,
+            pending,
+            clock,
+            ..
+        } = self;
+        let op = &mut pending.slots[id];
+        if out.len() != op.acc.len() {
+            return Err(embedding::EmbeddingError::MalformedRow {
+                expected: op.acc.len(),
+                actual: out.len(),
+            }
+            .into());
+        }
+        out.copy_from_slice(&op.acc);
+        let latency = match op.kind {
+            PendingKind::Fm => op.hit_latency, // fm stats recorded at begin
+            PendingKind::PooledHit => {
+                stats.sm_op_latency.record(op.hit_latency);
+                op.hit_latency
+            }
+            PendingKind::Sm => {
+                // 4. Account the dequantise+pool cost (identical formula to
+                // the exact path's step 4).
+                let per_element = if op.quant == QuantScheme::Fp32 {
+                    POOL_ONLY_COST_PER_ELEMENT
+                } else {
+                    DEQUANT_POOL_COST_PER_ELEMENT
+                };
+                let pool_time = per_element * (op.pooled_rows * op.acc.len()) as u64
+                    + SimDuration::from_nanos(100);
+                stats.pooling_time += pool_time;
+                // 5. Deferred pooled-cache feed: the vector is final now.
+                if !config.cache.pooled_cache_budget.is_zero() {
+                    pooled_cache.insert(op.table, &op.indices, out);
+                }
+                let latency = op.hit_latency + op.io_time + pool_time;
+                stats.sm_op_latency.record(latency);
+                latency
+            }
+        };
+        *clock = (*clock).max(op.submitted_at + latency);
+        pending.release(id);
+        Ok(latency)
+    }
 }
 
 impl EmbeddingBackend for SdmMemoryManager {
@@ -438,6 +812,31 @@ impl EmbeddingBackend for SdmMemoryManager {
 
     fn backend_name(&self) -> &str {
         "sdm"
+    }
+}
+
+impl OverlappedBackend for SdmMemoryManager {
+    fn lookup_begin(
+        &mut self,
+        table: TableId,
+        indices: &[u64],
+        now: SimInstant,
+    ) -> Result<LookupTicket, DlrmError> {
+        self.lookup_begin_at(table, indices, now)
+            .map_err(DlrmError::backend)
+    }
+
+    fn lookup_finish(
+        &mut self,
+        ticket: LookupTicket,
+        out: &mut [f32],
+    ) -> Result<SimDuration, DlrmError> {
+        match self.lookup_finish_into(ticket, out) {
+            Ok(latency) => Ok(latency),
+            // Surface stale tickets unwrapped so callers can match on them.
+            Err(SdmError::Dlrm(e @ DlrmError::StaleTicket { .. })) => Err(e),
+            Err(e) => Err(DlrmError::backend(e)),
+        }
     }
 }
 
@@ -535,6 +934,53 @@ mod tests {
         assert_eq!(sdm.stats().sm_reads, 0);
         assert_eq!(sdm.stats().fm_direct_lookups, 3);
         assert_eq!(sdm.io_engine().stats().submitted, 0);
+    }
+
+    #[test]
+    fn split_phase_lookup_matches_exact_lookup() {
+        let model = model_zoo::tiny(2, 1, 400);
+        let config = SdmConfig::for_tests();
+        let mut exact = build(&model, config.clone());
+        let mut split = build(&model, config);
+        let indices = vec![3u64, 17, 99, 250, 3];
+        // Two passes: cold (IO on the misses) and warm (cache hits, pooled
+        // cache); covers FM tables (id 2 is the item table) and SM tables.
+        for _pass in 0..2 {
+            for table in [0u32, 1, 2] {
+                let (want, took_exact) = exact
+                    .pooled_lookup_at(table, &indices, SimInstant::EPOCH)
+                    .unwrap();
+                let ticket = split
+                    .lookup_begin_at(table, &indices, SimInstant::EPOCH)
+                    .unwrap();
+                let mut got = vec![0.0f32; want.len()];
+                let took_split = split.lookup_finish_into(ticket, &mut got).unwrap();
+                assert_eq!(want, got, "table {table} pooled vectors diverge");
+                assert_eq!(took_exact, took_split, "table {table} latency diverges");
+            }
+        }
+        // Counters agree between the two paths.
+        let a = exact.stats();
+        let b = split.stats();
+        assert_eq!(a.pooled_ops, b.pooled_ops);
+        assert_eq!(a.row_cache_hits, b.row_cache_hits);
+        assert_eq!(a.sm_reads, b.sm_reads);
+        assert_eq!(a.pooled_cache_hits, b.pooled_cache_hits);
+        assert_eq!(a.fm_direct_lookups, b.fm_direct_lookups);
+        assert_eq!(a.io_time, b.io_time);
+        assert_eq!(a.pooling_time, b.pooling_time);
+        assert_eq!(exact.now(), split.now());
+
+        // A consumed ticket goes stale.
+        let ticket = split
+            .lookup_begin_at(0, &indices, SimInstant::EPOCH)
+            .unwrap();
+        let mut out = vec![0.0f32; 32];
+        split.lookup_finish_into(ticket, &mut out).unwrap();
+        assert!(matches!(
+            split.lookup_finish_into(ticket, &mut out),
+            Err(SdmError::Dlrm(DlrmError::StaleTicket { .. }))
+        ));
     }
 
     #[test]

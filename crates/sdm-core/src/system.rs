@@ -8,6 +8,10 @@ use sdm_metrics::{LatencyHistogram, SimDuration, SimInstant};
 use workload::Query;
 
 /// Throughput/latency summary of a batch of queries executed on one stream.
+///
+/// The deprecated `qps_with_streams` linear extrapolation was removed:
+/// multi-stream throughput is *measured* by [`crate::ServingHost`] and
+/// reported through [`sdm_metrics::MultiStreamReport`].
 #[derive(Debug, Clone)]
 pub struct QpsReport {
     /// Queries executed.
@@ -21,20 +25,15 @@ pub struct QpsReport {
     /// Queries per second a single serving stream achieves
     /// (`1 / mean latency`).
     pub qps_single_stream: f64,
-}
-
-impl QpsReport {
-    /// QPS with `streams` concurrent serving streams **assuming perfectly
-    /// linear scaling** — the way the paper extrapolates host-level QPS
-    /// from per-query latency.
-    ///
-    /// Real concurrent streams contend for cores, cache capacity and device
-    /// queues, so this extrapolation over-estimates delivered throughput.
-    #[deprecated(note = "linear extrapolation; measure with ServingHost::run_batch \
-                and read MultiStreamReport instead")]
-    pub fn qps_with_streams(&self, streams: usize) -> f64 {
-        self.qps_single_stream * streams.max(1) as f64
-    }
+    /// Virtual time from the batch's first issue to its last completion.
+    /// Under [`crate::BatchMode::Exact`] this is the sum of per-query
+    /// latencies; under [`crate::BatchMode::Relaxed`] overlapped IO makes
+    /// it shorter than the sum.
+    pub makespan: SimDuration,
+    /// Batch throughput on the virtual clock: `queries / makespan`. This is
+    /// the number the exact-vs-relaxed comparison trades against per-query
+    /// tail latency.
+    pub batch_qps: f64,
 }
 
 /// A complete single-stream serving system: devices, IO engine, SDM manager
@@ -193,12 +192,14 @@ impl SdmSystem {
         if queries.len() <= CHUNK {
             return self.run_batch(queries);
         }
+        let started = self.now();
         let mut hist = LatencyHistogram::new();
         for chunk in queries.chunks(CHUNK) {
             self.run_batch(chunk)?;
             hist.merge(self.shard.batch_hist());
         }
         let mean = hist.mean();
+        let makespan = self.now().duration_since(started);
         Ok(QpsReport {
             queries: hist.count(),
             mean_latency: mean,
@@ -208,6 +209,12 @@ impl SdmSystem {
                 0.0
             } else {
                 1.0 / mean.as_secs_f64()
+            },
+            makespan,
+            batch_qps: if makespan.is_zero() {
+                0.0
+            } else {
+                hist.count() as f64 / makespan.as_secs_f64()
             },
         })
     }
@@ -245,23 +252,26 @@ mod tests {
     }
 
     #[test]
-    fn qps_with_streams_is_a_deprecated_linear_extrapolation() {
-        // The linear model survives only for comparison against measured
-        // multi-stream QPS (ServingHost); it must keep multiplying so the
-        // "extrapolated vs measured" gap stays quantifiable.
-        let report = QpsReport {
-            queries: 10,
-            mean_latency: SimDuration::from_micros(100),
-            p95_latency: SimDuration::from_micros(150),
-            p99_latency: SimDuration::from_micros(200),
-            qps_single_stream: 10_000.0,
-        };
-        #[allow(deprecated)]
-        let extrapolated = report.qps_with_streams(4);
-        assert_eq!(extrapolated, 40_000.0);
-        #[allow(deprecated)]
-        let clamped = report.qps_with_streams(0);
-        assert_eq!(clamped, report.qps_single_stream);
+    fn batch_report_carries_virtual_makespan_and_qps() {
+        // In exact mode the makespan is the serial sum of per-query
+        // latencies, so batch_qps and the 1/mean extrapolation agree.
+        let model = model_zoo::tiny(2, 1, 300);
+        let mut system = SdmSystem::build(&model, SdmConfig::for_tests(), 5).unwrap();
+        let queries = workload(&model, 12, 5);
+        let before = system.now();
+        let report = system.run_batch(&queries).unwrap();
+        assert_eq!(
+            report.makespan,
+            system.now().duration_since(before),
+            "exact makespan must equal the clock advance"
+        );
+        assert!(report.batch_qps > 0.0);
+        // Mean latency truncates to whole nanoseconds, so the two rates
+        // agree only up to that rounding.
+        assert!(
+            (report.batch_qps - report.qps_single_stream).abs() / report.qps_single_stream < 1e-4,
+            "serial batch throughput equals 1/mean-latency (up to ns rounding)"
+        );
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Exact-vs-relaxed batch execution comparison.
+//!
+//! The paper's serving throughput comes from keeping SCM device queues deep
+//! (§3.2): reads from many in-flight requests overlap so device latency
+//! hides behind pooling work. A [`BatchModeReport`] holds one measured
+//! [`BatchModeMeasurement`] per execution mode so the trade-off — batch
+//! throughput and queue occupancy versus per-query tail latency — is
+//! quantified instead of asserted.
+
+use crate::clock::SimDuration;
+
+/// One mode's measured serving numbers over a query stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatchModeMeasurement {
+    /// Queries executed.
+    pub queries: u64,
+    /// Virtual time from the first query's issue to the last completion.
+    pub makespan: SimDuration,
+    /// Median per-query latency.
+    pub p50_latency: SimDuration,
+    /// 99th percentile per-query latency.
+    pub p99_latency: SimDuration,
+    /// Mean device-queue depth observed per IO submission.
+    pub mean_queue_depth: f64,
+    /// Deepest device queue any submission was issued at.
+    pub max_queue_depth: usize,
+}
+
+impl BatchModeMeasurement {
+    /// Batch throughput on the virtual clock: queries per makespan second.
+    pub fn qps(&self) -> f64 {
+        if self.makespan.is_zero() {
+            0.0
+        } else {
+            self.queries as f64 / self.makespan.as_secs_f64()
+        }
+    }
+}
+
+/// Measured exact-vs-relaxed comparison over the same query stream.
+///
+/// # Example
+///
+/// ```
+/// use sdm_metrics::{BatchModeMeasurement, BatchModeReport, SimDuration};
+///
+/// let mut report = BatchModeReport::new();
+/// report.record_exact(BatchModeMeasurement {
+///     queries: 100,
+///     makespan: SimDuration::from_millis(100),
+///     p50_latency: SimDuration::from_micros(900),
+///     p99_latency: SimDuration::from_micros(1500),
+///     mean_queue_depth: 4.0,
+///     max_queue_depth: 12,
+/// });
+/// report.record_relaxed(BatchModeMeasurement {
+///     queries: 100,
+///     makespan: SimDuration::from_millis(50),
+///     p50_latency: SimDuration::from_micros(1100),
+///     p99_latency: SimDuration::from_micros(3000),
+///     mean_queue_depth: 9.0,
+///     max_queue_depth: 40,
+/// });
+/// assert!((report.qps_gain().unwrap() - 2.0).abs() < 1e-9);
+/// assert!((report.p99_ratio().unwrap() - 2.0).abs() < 1e-9);
+/// assert!(report.depth_gain().unwrap() > 2.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BatchModeReport {
+    exact: Option<BatchModeMeasurement>,
+    relaxed: Option<BatchModeMeasurement>,
+}
+
+impl BatchModeReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        BatchModeReport::default()
+    }
+
+    /// Records the exact-mode measurement.
+    pub fn record_exact(&mut self, m: BatchModeMeasurement) {
+        self.exact = Some(m);
+    }
+
+    /// Records the relaxed-mode measurement.
+    pub fn record_relaxed(&mut self, m: BatchModeMeasurement) {
+        self.relaxed = Some(m);
+    }
+
+    /// The exact-mode measurement, when recorded.
+    pub fn exact(&self) -> Option<&BatchModeMeasurement> {
+        self.exact.as_ref()
+    }
+
+    /// The relaxed-mode measurement, when recorded.
+    pub fn relaxed(&self) -> Option<&BatchModeMeasurement> {
+        self.relaxed.as_ref()
+    }
+
+    /// Whether both sides have been measured.
+    pub fn is_complete(&self) -> bool {
+        self.exact.is_some() && self.relaxed.is_some()
+    }
+
+    /// Relaxed-over-exact batch throughput gain; `None` until both sides
+    /// are recorded with a non-zero exact QPS.
+    pub fn qps_gain(&self) -> Option<f64> {
+        let exact = self.exact?.qps();
+        if exact <= 0.0 {
+            return None;
+        }
+        Some(self.relaxed?.qps() / exact)
+    }
+
+    /// Relaxed-over-exact p99 latency ratio (the price of the overlap);
+    /// `None` until both sides are recorded with a non-zero exact p99.
+    pub fn p99_ratio(&self) -> Option<f64> {
+        let exact = self.exact?.p99_latency;
+        if exact.is_zero() {
+            return None;
+        }
+        Some(self.relaxed?.p99_latency.as_secs_f64() / exact.as_secs_f64())
+    }
+
+    /// Relaxed-over-exact mean queue-depth ratio; `None` until both sides
+    /// are recorded with a non-zero exact depth.
+    pub fn depth_gain(&self) -> Option<f64> {
+        let exact = self.exact?.mean_queue_depth;
+        if exact <= 0.0 {
+            return None;
+        }
+        Some(self.relaxed?.mean_queue_depth / exact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(queries: u64, makespan_us: u64, p99_us: u64, depth: f64) -> BatchModeMeasurement {
+        BatchModeMeasurement {
+            queries,
+            makespan: SimDuration::from_micros(makespan_us),
+            p50_latency: SimDuration::from_micros(p99_us / 2),
+            p99_latency: SimDuration::from_micros(p99_us),
+            mean_queue_depth: depth,
+            max_queue_depth: depth.ceil() as usize * 2,
+        }
+    }
+
+    #[test]
+    fn qps_guards_zero_makespan() {
+        assert_eq!(m(10, 0, 5, 1.0).qps(), 0.0);
+        assert!((m(10, 1_000, 5, 1.0).qps() - 10_000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ratios_need_both_sides() {
+        let mut r = BatchModeReport::new();
+        assert!(!r.is_complete());
+        assert!(r.qps_gain().is_none());
+        r.record_exact(m(100, 10_000, 200, 2.0));
+        assert!(r.qps_gain().is_none());
+        r.record_relaxed(m(100, 4_000, 500, 7.0));
+        assert!(r.is_complete());
+        assert!((r.qps_gain().unwrap() - 2.5).abs() < 1e-9);
+        assert!((r.p99_ratio().unwrap() - 2.5).abs() < 1e-9);
+        assert!((r.depth_gain().unwrap() - 3.5).abs() < 1e-9);
+        assert_eq!(r.exact().unwrap().queries, 100);
+        assert_eq!(r.relaxed().unwrap().max_queue_depth, 14);
+    }
+
+    #[test]
+    fn degenerate_baselines_yield_none() {
+        let mut r = BatchModeReport::new();
+        r.record_exact(m(0, 0, 0, 0.0));
+        r.record_relaxed(m(100, 4_000, 500, 7.0));
+        assert!(r.qps_gain().is_none());
+        assert!(r.p99_ratio().is_none());
+        assert!(r.depth_gain().is_none());
+    }
+}

@@ -14,6 +14,8 @@
 //!   across threads for per-shard statistic aggregation.
 //! * [`MultiStreamReport`] — *measured* wall-clock QPS per concurrent
 //!   stream count, replacing linear single-stream extrapolation.
+//! * [`BatchModeReport`] — exact-vs-relaxed batch execution comparison
+//!   (virtual QPS, p50/p99 latency, device-queue depth per mode).
 //! * [`RateEstimator`] — windowed rate estimation (QPS, IOPS).
 //! * [`units`] — byte, power and cost units used by the datacenter-level
 //!   modelling.
@@ -38,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc_hook;
+mod batchmode;
 mod clock;
 mod counters;
 mod histogram;
@@ -45,6 +48,7 @@ mod multistream;
 mod rate;
 pub mod units;
 
+pub use batchmode::{BatchModeMeasurement, BatchModeReport};
 pub use clock::{LocalCursor, SimClock, SimDuration, SimInstant};
 pub use counters::{Counter, CounterSet};
 pub use histogram::LatencyHistogram;

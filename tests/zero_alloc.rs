@@ -8,7 +8,7 @@
 //! do not pollute the count.
 
 use dlrm::{model_zoo, QueryResult};
-use sdm_core::{SdmConfig, SdmSystem};
+use sdm_core::{BatchMode, SdmConfig, SdmSystem};
 use sdm_metrics::alloc_hook;
 use std::alloc::{GlobalAlloc, Layout, System};
 use workload::{Query, QueryGenerator, WorkloadConfig};
@@ -122,6 +122,29 @@ fn warmed_hot_path_performs_zero_allocations() {
         stats.row_cache_hits + stats.pooled_cache_hits > 0,
         "stream never hit a cache; the measurement is vacuous"
     );
+
+    // --- relaxed (overlapped) run_batch over a warmed stream ---
+    // The pipeline's slot pool, pending-op slab and accumulation buffers
+    // all reuse capacity, so the overlapped executor is as allocation-free
+    // as the exact one once warmed.
+    let relaxed_cfg = SdmConfig::for_tests().with_batch_mode(BatchMode::Relaxed {
+        max_inflight_queries: 4,
+    });
+    let mut relaxed = SdmSystem::build(&model, relaxed_cfg, 7).unwrap();
+    relaxed.run_batch(&queries).unwrap();
+    relaxed.run_batch(&queries).unwrap();
+    relaxed.run_batch(&queries).unwrap();
+    alloc_hook::reset();
+    alloc_hook::set_enabled(true);
+    let relaxed_report = relaxed.run_batch(&queries).unwrap();
+    alloc_hook::set_enabled(false);
+    let relaxed_allocs = alloc_hook::allocations();
+    assert_eq!(
+        relaxed_allocs, 0,
+        "steady-state relaxed run_batch allocated {relaxed_allocs} times for {} queries",
+        relaxed_report.queries
+    );
+    assert_eq!(relaxed_report.queries, queries.len() as u64);
 
     // Control: the allocating run_query wrapper does allocate (the returned
     // QueryResult), proving the counter actually observes this code path.
