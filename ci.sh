@@ -26,7 +26,11 @@ if [[ "$mode" == "bench" ]]; then
                  qps_streams_1 qps_streams_4 scaling_efficiency_4 \
                  exact_qps relaxed_qps \
                  mean_queue_depth_exact mean_queue_depth_relaxed \
-                 p99_latency_exact p99_latency_relaxed; do
+                 p99_latency_exact p99_latency_relaxed \
+                 off_qps_2 on_qps_2 off_qps_4 on_qps_4 \
+                 qps_gain_4 hit_rate_4 \
+                 cross_shard_hit_rate_2 cross_shard_hit_rate_4 \
+                 row_hit_ns shared_hit_ns pooled_hit_ns; do
         grep -q "\"$field\"" BENCH_hotpath.json \
             || { echo "missing $field in BENCH_hotpath.json"; exit 1; }
     done

@@ -23,6 +23,14 @@
 //!    *virtual* clock (paper §3.2): batch QPS, p50/p99 query latency and
 //!    observed device-queue depth per mode. Deterministic, so CI gates on
 //!    these numbers directly.
+//! 6. **Shared host cache tier** — tier-on vs tier-off serving at 1/2/4
+//!    shards on a skewed Zipf stream, on the *virtual* clock: batch QPS,
+//!    shared-tier hit rate and the cross-shard hit rate (hits served by a
+//!    row another shard promoted). Deterministic, so CI gates on the gain
+//!    and on cross-shard reuse staying strictly positive.
+//! 7. **Cache-hit latency** — wall-clock ns per warmed hit in each cache
+//!    level (private row cache, shared tier, pooled-embedding cache), the
+//!    numbers the ROADMAP's perf-trajectory item tracks.
 //!
 //! Usage: `exp_hotpath [--quick] [--out PATH] [--check]`. Quick mode
 //! shrinks the iteration counts for CI smoke runs; `--check` compares the
@@ -34,9 +42,11 @@ use dlrm::QueryResult;
 use embedding::{pooling, QuantScheme};
 use sdm_bench::{
     bench_quantized_rows, bench_sdm_config, build_system, header, json_field, measure_batch_modes,
-    measure_streams, pool_seed_style, queries_for, scaled,
+    measure_shared_tier, measure_streams, pool_seed_style, queries_for, scaled, skewed_queries_for,
 };
+use sdm_cache::{CacheConfig, DualRowCache, PooledEmbeddingCache, RowCache, RowKey, SharedRowTier};
 use sdm_metrics::alloc_hook;
+use sdm_metrics::units::Bytes;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::time::Instant;
@@ -83,7 +93,21 @@ const REGRESSION_TOLERANCE: f64 = 0.25;
 fn regression_failures(baseline: &str, fresh: &str, compare_wall_clock: bool) -> Vec<String> {
     let mut failures = Vec::new();
     // (section, field, higher_is_better)
-    let deterministic = [("io_overlap", "relaxed_qps", true)];
+    // The shared-tier QPS and hit-rate fields are deterministic (virtual
+    // clock over deterministic cache states); the cross-shard *attribution*
+    // rates are not quite — origin tags depend on which shard's warmup
+    // thread promoted a row first — so those are gated as strictly-positive
+    // invariants below rather than compared numerically.
+    let deterministic = [
+        ("io_overlap", "relaxed_qps", true),
+        ("shared_tier", "on_qps_2", true),
+        ("shared_tier", "on_qps_4", true),
+        ("shared_tier", "hit_rate_4", true),
+    ];
+    // The `cache_latency` ns/hit fields are deliberately *not* gated:
+    // single-digit-nanosecond microbenches jitter well past 25 % run to
+    // run; they are tracked in the JSON (and presence-checked by ci.sh)
+    // as trajectory numbers only.
     let wall_clock = [
         ("pooling", "slice_ns_per_row", false),
         ("batch", "run_batch_qps", true),
@@ -135,6 +159,29 @@ fn regression_failures(baseline: &str, fresh: &str, compare_wall_clock: bool) ->
         other => failures.push(format!(
             "io_overlap: relaxed queue depth not strictly deeper ({other:?})"
         )),
+    }
+
+    // Shared-tier invariants on the fresh run (virtual clock —
+    // deterministic): enabling the tier must never cost batch throughput on
+    // the skewed stream at 2+ shards, and the cross-shard hit rate — the
+    // reuse the tier exists to recover — must stay strictly positive.
+    let tier = |field: &str| json_field(fresh, "shared_tier", field);
+    for shards in [2u32, 4] {
+        match (
+            tier(&format!("off_qps_{shards}")),
+            tier(&format!("on_qps_{shards}")),
+        ) {
+            (Some(off), Some(on)) if on >= off => {}
+            other => failures.push(format!(
+                "shared_tier: on_qps_{shards} < off_qps_{shards} ({other:?})"
+            )),
+        }
+        match tier(&format!("cross_shard_hit_rate_{shards}")) {
+            Some(rate) if rate > 0.0 => {}
+            other => failures.push(format!(
+                "shared_tier: cross_shard_hit_rate_{shards} not strictly positive ({other:?})"
+            )),
+        }
     }
     failures
 }
@@ -384,6 +431,101 @@ fn main() {
         overlap.depth_gain().unwrap_or(0.0),
     );
 
+    // --- 6. Shared host cache tier: tier-on vs tier-off at 1/2/4 shards
+    // on a skewed Zipf stream (virtual clock; deterministic; CI-gated).
+    // Same stream size in quick and full mode so the gate compares like
+    // with like. ---
+    let tier_counts = [1usize, 2, 4];
+    let tier_batch = 256usize;
+    let tier_budget = Bytes::from_mib(8);
+    // The regime the tier exists for (paper §3): private row caches too
+    // small for the hot row set — dividing the budget across shards shrinks
+    // every slice further — while one host-level tier holds the whole hot
+    // set. The pooled cache is off so whole-operator replay cannot mask the
+    // row path in the measured batch.
+    let mut tier_config = bench_sdm_config();
+    tier_config.cache.row_cache_budget = Bytes::from_kib(512);
+    tier_config.cache.pooled_cache_budget = Bytes::ZERO;
+    let tier_queries = skewed_queries_for(&m1, tier_batch, 107);
+    let tiers = measure_shared_tier(&m1, &tier_config, &tier_queries, &tier_counts, tier_budget);
+    println!(
+        "\n  shared host cache tier (M1 scaled, {tier_batch} skewed queries, \
+         512KiB private row budget, {tier_budget} tier budget, virtual clock)"
+    );
+    for &shards in &tier_counts {
+        let off = tiers.get(shards, false).expect("tier-off measured");
+        let on = tiers.get(shards, true).expect("tier-on measured");
+        println!(
+            "    {shards} shard(s)  off {:>12.0} q/s  on {:>12.0} q/s  \
+             (gain {:>5.2}x, hit rate {}, cross-shard {})",
+            off.virtual_qps,
+            on.virtual_qps,
+            tiers.qps_gain(shards).unwrap_or(0.0),
+            sdm_bench::pct(on.hit_rate()),
+            sdm_bench::pct(on.cross_shard_hit_rate()),
+        );
+    }
+    let tier_at =
+        |shards: usize, enabled: bool| *tiers.get(shards, enabled).expect("tier run measured");
+
+    // --- 7. Cache-hit latency: wall-clock ns per warmed hit in each cache
+    // level. ---
+    let hit_iters = if quick { 40_000usize } else { 400_000 };
+    let row_bytes = [7u8; 128];
+    let keys: Vec<RowKey> = (0..1024u64).map(|i| RowKey::new(0, i)).collect();
+
+    let mut row_cache = DualRowCache::new(CacheConfig::with_total_budget(Bytes::from_mib(4)));
+    for key in &keys {
+        row_cache.insert(*key, &row_bytes);
+    }
+    let mut checksum = 0u64;
+    for i in 0..hit_iters / 10 {
+        checksum += u64::from(row_cache.get(&keys[i % keys.len()]).unwrap()[0]);
+    }
+    let start = Instant::now();
+    for i in 0..hit_iters {
+        checksum += u64::from(row_cache.get(black_box(&keys[i % keys.len()])).unwrap()[0]);
+    }
+    let row_hit_ns = start.elapsed().as_nanos() as f64 / hit_iters as f64;
+
+    let shared_tier = SharedRowTier::new(Bytes::from_mib(4), 8);
+    for key in &keys {
+        shared_tier.insert(*key, &row_bytes, 0);
+    }
+    let start = Instant::now();
+    for i in 0..hit_iters {
+        shared_tier
+            .lookup_with(black_box(&keys[i % keys.len()]), 1, |bytes| {
+                checksum += u64::from(bytes[0]);
+            })
+            .expect("warmed shared-tier hit");
+    }
+    let shared_hit_ns = start.elapsed().as_nanos() as f64 / hit_iters as f64;
+
+    let mut pooled_cache = PooledEmbeddingCache::new(Bytes::from_mib(4), 2);
+    let sequences: Vec<Vec<u64>> = (0..256u64)
+        .map(|i| (0..8).map(|j| i * 8 + j).collect())
+        .collect();
+    let vector = [0.5f32; 64];
+    for seq in &sequences {
+        pooled_cache.insert(0, seq, &vector);
+    }
+    let mut fsum = 0.0f32;
+    let start = Instant::now();
+    for i in 0..hit_iters {
+        fsum += pooled_cache
+            .lookup(0, black_box(&sequences[i % sequences.len()]))
+            .expect("warmed pooled hit")[0];
+    }
+    let pooled_hit_ns = start.elapsed().as_nanos() as f64 / hit_iters as f64;
+    black_box(checksum);
+    black_box(fsum);
+
+    println!("\n  cache-hit latency (warmed, wall clock)");
+    println!("    row cache (dual)          {row_hit_ns:>8.1} ns/hit");
+    println!("    shared tier (striped)     {shared_hit_ns:>8.1} ns/hit");
+    println!("    pooled cache (keyed)      {pooled_hit_ns:>8.1} ns/hit");
+
     // --- Emit BENCH_hotpath.json (hand-rolled: no JSON crate vendored). ---
     let json = format!(
         "{{\n  \"schema\": \"sdm-hotpath-v1\",\n  \"quick\": {quick},\n  \
@@ -423,7 +565,27 @@ fn main() {
          \"mean_queue_depth_exact\": {depth_exact:.3},\n    \
          \"mean_queue_depth_relaxed\": {depth_relaxed:.3},\n    \
          \"max_queue_depth_exact\": {max_depth_exact},\n    \
-         \"max_queue_depth_relaxed\": {max_depth_relaxed}\n  }}\n}}\n",
+         \"max_queue_depth_relaxed\": {max_depth_relaxed}\n  }},\n  \
+         \"shared_tier\": {{\n    \"model\": \"M1-scaled\",\n    \
+         \"queries\": {tier_batch},\n    \
+         \"budget_mib\": {tier_budget_mib:.1},\n    \
+         \"off_qps_1\": {t_off_1:.1},\n    \
+         \"on_qps_1\": {t_on_1:.1},\n    \
+         \"off_qps_2\": {t_off_2:.1},\n    \
+         \"on_qps_2\": {t_on_2:.1},\n    \
+         \"off_qps_4\": {t_off_4:.1},\n    \
+         \"on_qps_4\": {t_on_4:.1},\n    \
+         \"qps_gain_2\": {t_gain_2:.4},\n    \
+         \"qps_gain_4\": {t_gain_4:.4},\n    \
+         \"hit_rate_2\": {t_hit_2:.4},\n    \
+         \"hit_rate_4\": {t_hit_4:.4},\n    \
+         \"cross_shard_hit_rate_2\": {t_cross_2:.4},\n    \
+         \"cross_shard_hit_rate_4\": {t_cross_4:.4},\n    \
+         \"promotions_4\": {t_promo_4}\n  }},\n  \
+         \"cache_latency\": {{\n    \
+         \"row_hit_ns\": {row_hit_ns:.1},\n    \
+         \"shared_hit_ns\": {shared_hit_ns:.1},\n    \
+         \"pooled_hit_ns\": {pooled_hit_ns:.1}\n  }}\n}}\n",
         q1 = qps_at(1),
         q2 = qps_at(2),
         q4 = qps_at(4),
@@ -439,6 +601,20 @@ fn main() {
         depth_relaxed = or.mean_queue_depth,
         max_depth_exact = oe.max_queue_depth,
         max_depth_relaxed = or.max_queue_depth,
+        tier_budget_mib = tier_budget.as_mib_f64(),
+        t_off_1 = tier_at(1, false).virtual_qps,
+        t_on_1 = tier_at(1, true).virtual_qps,
+        t_off_2 = tier_at(2, false).virtual_qps,
+        t_on_2 = tier_at(2, true).virtual_qps,
+        t_off_4 = tier_at(4, false).virtual_qps,
+        t_on_4 = tier_at(4, true).virtual_qps,
+        t_gain_2 = tiers.qps_gain(2).unwrap_or(0.0),
+        t_gain_4 = tiers.qps_gain(4).unwrap_or(0.0),
+        t_hit_2 = tier_at(2, true).hit_rate(),
+        t_hit_4 = tier_at(4, true).hit_rate(),
+        t_cross_2 = tier_at(2, true).cross_shard_hit_rate(),
+        t_cross_4 = tier_at(4, true).cross_shard_hit_rate(),
+        t_promo_4 = tier_at(4, true).promotions,
     );
     std::fs::write(&out_path, &json).expect("failed to write BENCH_hotpath.json");
     println!("\n  wrote {out_path}");

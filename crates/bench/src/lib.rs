@@ -8,7 +8,10 @@
 use dlrm::{model_zoo, ModelConfig};
 use sdm_core::{SdmConfig, SdmSystem, ServingHost};
 use sdm_metrics::units::Bytes;
-use sdm_metrics::{BatchModeMeasurement, BatchModeReport, MultiStreamReport};
+use sdm_metrics::{
+    BatchModeMeasurement, BatchModeReport, MultiStreamReport, SharedTierMeasurement,
+    SharedTierReport,
+};
 use workload::{Query, QueryGenerator, RoutingPolicy, WorkloadConfig};
 
 /// Divisor applied to paper-scale row counts so experiments run in seconds
@@ -66,6 +69,23 @@ pub fn queries_for(model: &ModelConfig, count: usize, seed: u64) -> Vec<Query> {
         user_population: 5_000,
         user_zipf_exponent: 0.8,
         inference_eval: false,
+    };
+    let mut generator =
+        QueryGenerator::new(&model.tables, cfg, seed).expect("workload generation failed");
+    generator.generate(count)
+}
+
+/// Generates a heavily skewed query stream (small hot user set under a
+/// steep Zipf exponent) — the workload shape under which cross-shard row
+/// reuse shows up, used by the shared-tier measurements.
+///
+/// # Panics
+///
+/// Panics when the workload generator rejects the model (empty table set).
+pub fn skewed_queries_for(model: &ModelConfig, count: usize, seed: u64) -> Vec<Query> {
+    let cfg = WorkloadConfig {
+        item_batch: model.item_batch.min(16),
+        ..WorkloadConfig::skewed(64, 1.1)
     };
     let mut generator =
         QueryGenerator::new(&model.tables, cfg, seed).expect("workload generation failed");
@@ -159,6 +179,71 @@ pub fn measure_batch_modes(
             report.record_relaxed(m);
         } else {
             report.record_exact(m);
+        }
+    }
+    report
+}
+
+/// Measures the shared-tier trade-off on the *virtual* clock: for each
+/// shard count, a tier-off and a tier-on host (identical seeds and routing)
+/// serve the same skewed stream, and the third batch — private caches
+/// warmed, tier populated — is recorded. Reported counters are the
+/// measured batch's deltas, not cumulative totals.
+///
+/// `config` should model the regime the tier exists for: a private
+/// row-cache budget *smaller than the hot row set* (dividing it across
+/// shards shrinks every slice further) and the pooled-embedding cache
+/// disabled, so the row path stays live in the measured batch instead of
+/// being short-circuited by whole-operator replay. In that regime the
+/// measured batch is deterministic: private miss patterns are per-shard
+/// LRU state, and the tier — sized by `tier_budget` to hold the hot set at
+/// the host level — serves every probe, turning what would be repeated SM
+/// reads (tier off) into sub-microsecond DRAM hits (tier on).
+///
+/// # Panics
+///
+/// Panics when a host cannot be built or a batch fails — experiments treat
+/// both as fatal setup errors.
+pub fn measure_shared_tier(
+    model: &ModelConfig,
+    config: &SdmConfig,
+    queries: &[Query],
+    shard_counts: &[usize],
+    tier_budget: Bytes,
+) -> SharedTierReport {
+    let mut report = SharedTierReport::new();
+    for &shards in shard_counts {
+        for enabled in [false, true] {
+            let cfg = if enabled {
+                config.clone().with_shared_tier(tier_budget)
+            } else {
+                config.clone()
+            };
+            let mut host = ServingHost::build(
+                model,
+                &cfg,
+                EXPERIMENT_SEED,
+                shards,
+                RoutingPolicy::UserSticky,
+            )
+            .expect("failed to build serving host");
+            // Two warmup batches settle the private LRU states and (when
+            // enabled) promote the stream's hot rows into the shared tier.
+            host.run_batch(queries).expect("warmup batch failed");
+            host.run_batch(queries).expect("warmup batch failed");
+            let before = host.stats();
+            let run = host.run_batch(queries).expect("measured batch failed");
+            let stats = host.stats();
+            report.record(SharedTierMeasurement {
+                shards,
+                enabled,
+                queries: run.queries,
+                virtual_qps: run.virtual_qps,
+                shared_hits: stats.shared_tier_hits - before.shared_tier_hits,
+                shared_misses: stats.shared_tier_misses - before.shared_tier_misses,
+                cross_shard_hits: stats.shared_tier_cross_hits - before.shared_tier_cross_hits,
+                promotions: stats.shared_tier_promotions - before.shared_tier_promotions,
+            });
         }
     }
     report
@@ -278,6 +363,26 @@ mod tests {
         assert!(report.qps_gain().unwrap() >= 1.0);
         assert!(report.depth_gain().unwrap() > 1.0);
         assert_eq!(report.exact().unwrap().queries, 32);
+    }
+
+    #[test]
+    fn measure_shared_tier_shows_cross_shard_reuse() {
+        let model = model_zoo::tiny(2, 1, 400);
+        let queries = skewed_queries_for(&model, 48, 11);
+        // The tier's regime: private row caches too small for the hot set
+        // (so private misses persist in steady state) and the pooled cache
+        // off (so whole-operator replay cannot mask the row path).
+        let mut config = SdmConfig::for_tests();
+        config.cache.row_cache_budget = Bytes::from_kib(16);
+        config.cache.pooled_cache_budget = Bytes::ZERO;
+        let report = measure_shared_tier(&model, &config, &queries, &[2], Bytes::from_mib(2));
+        assert_eq!(report.len(), 2);
+        let off = report.get(2, false).unwrap();
+        let on = report.get(2, true).unwrap();
+        assert_eq!(off.shared_hits, 0, "tier-off runs never probe the tier");
+        assert!(on.shared_hits > 0);
+        assert!(on.cross_shard_hit_rate() > 0.0);
+        assert!(report.qps_gain(2).unwrap() >= 1.0);
     }
 
     #[test]

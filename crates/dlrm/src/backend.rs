@@ -125,6 +125,11 @@ pub struct DramBackend {
     /// Begun-but-unfinished split-phase lookups (DRAM has no asynchronous
     /// IO, so `lookup_begin` resolves eagerly and parks the result here).
     pending: Vec<Option<(Vec<f32>, SimDuration)>>,
+    /// Per-slot generation, bumped when a slot's result is consumed and
+    /// packed into the ticket's high 32 bits, so a retained ticket whose
+    /// slot was re-acquired is rejected as stale instead of consuming the
+    /// new occupant's result.
+    generations: Vec<u32>,
 }
 
 impl DramBackend {
@@ -140,6 +145,7 @@ impl DramBackend {
             per_row_latency: SimDuration::from_nanos(150),
             per_element_cost: SimDuration::from_nanos(1),
             pending: Vec::new(),
+            generations: Vec::new(),
         }
     }
 
@@ -150,6 +156,7 @@ impl DramBackend {
             per_row_latency: SimDuration::from_nanos(150),
             per_element_cost: SimDuration::from_nanos(1),
             pending: Vec::new(),
+            generations: Vec::new(),
         }
     }
 
@@ -167,7 +174,15 @@ impl DramBackend {
     /// abandon a pipeline mid-flight (an error between `lookup_begin` and
     /// `lookup_finish`) use this so orphaned slots cannot accumulate.
     pub fn reset_pending(&mut self) {
-        self.pending.clear();
+        // Abandon in place (rather than clearing the vectors) so slot
+        // indices and generations stay in sync; bumping the generation of
+        // every abandoned slot makes the orphaned tickets stale even after
+        // the slot is re-acquired.
+        for (entry, generation) in self.pending.iter_mut().zip(&mut self.generations) {
+            if entry.take().is_some() {
+                *generation = generation.wrapping_add(1);
+            }
+        }
     }
 }
 
@@ -240,10 +255,13 @@ impl OverlappedBackend for DramBackend {
             .position(Option::is_none)
             .unwrap_or_else(|| {
                 self.pending.push(None);
+                self.generations.push(0);
                 self.pending.len() - 1
             });
         self.pending[slot] = Some(pooled);
-        Ok(LookupTicket(slot as u64))
+        Ok(LookupTicket(
+            (u64::from(self.generations[slot]) << 32) | slot as u64,
+        ))
     }
 
     fn lookup_finish(
@@ -251,7 +269,11 @@ impl OverlappedBackend for DramBackend {
         ticket: LookupTicket,
         out: &mut [f32],
     ) -> Result<SimDuration, DlrmError> {
-        let slot = ticket.0 as usize;
+        let slot = (ticket.0 & u64::from(u32::MAX)) as usize;
+        let generation = (ticket.0 >> 32) as u32;
+        if self.generations.get(slot).copied() != Some(generation) {
+            return Err(DlrmError::StaleTicket { ticket: ticket.0 });
+        }
         let entry = self
             .pending
             .get_mut(slot)
@@ -267,6 +289,9 @@ impl OverlappedBackend for DramBackend {
             });
         }
         let (pooled, took) = entry.take().expect("checked above");
+        // The consumed generation goes stale; the next begin of this slot
+        // issues a fresh one.
+        self.generations[slot] = self.generations[slot].wrapping_add(1);
         out.copy_from_slice(&pooled);
         Ok(took)
     }

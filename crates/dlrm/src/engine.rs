@@ -646,13 +646,31 @@ mod tests {
             backend.lookup_finish(ticket, &mut out),
             Err(crate::DlrmError::StaleTicket { .. })
         ));
-        // Abandoned tickets can be reclaimed wholesale.
+        // A retained ticket stays stale after its slot is re-acquired by a
+        // later begin (generation mismatch) — it must not consume the new
+        // occupant's result, which remains finishable.
+        let reused = backend.lookup_begin(0, &[5, 6], SimInstant::EPOCH).unwrap();
+        assert_ne!(ticket, reused);
+        assert!(matches!(
+            backend.lookup_finish(ticket, &mut out),
+            Err(crate::DlrmError::StaleTicket { .. })
+        ));
+        backend.lookup_finish(reused, &mut out).unwrap();
+
+        // Abandoned tickets can be reclaimed wholesale, and stay stale even
+        // once their slot is re-acquired after the reset.
         let orphan = backend.lookup_begin(0, &[3, 4], SimInstant::EPOCH).unwrap();
         backend.reset_pending();
         assert!(matches!(
             backend.lookup_finish(orphan, &mut out),
             Err(crate::DlrmError::StaleTicket { .. })
         ));
+        let fresh = backend.lookup_begin(0, &[7, 8], SimInstant::EPOCH).unwrap();
+        assert!(matches!(
+            backend.lookup_finish(orphan, &mut out),
+            Err(crate::DlrmError::StaleTicket { .. })
+        ));
+        backend.lookup_finish(fresh, &mut out).unwrap();
     }
 
     #[test]

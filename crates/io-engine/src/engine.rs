@@ -3,7 +3,7 @@
 use crate::completion::{CompletionMode, CpuCostModel};
 use crate::error::IoError;
 use scm_device::{DeviceArray, DeviceId, ReadCommand};
-use sdm_metrics::units::Bytes;
+use sdm_metrics::units::{split_share, Bytes};
 use sdm_metrics::{LatencyHistogram, SimDuration, SimInstant};
 use std::collections::HashMap;
 
@@ -109,21 +109,39 @@ impl Default for EngineConfig {
 }
 
 impl EngineConfig {
-    /// Divides the host-shared IO limits among `shards` serving shards.
+    /// The per-shard slice (`index` of `shards`) of the host-shared IO
+    /// limits.
     ///
     /// Each shard runs its own engine instance, but the device queue slots
     /// they model are one physical resource: the per-device outstanding
-    /// limit and the tables-in-flight limit are split evenly (never below
-    /// one). The per-table limit bounds a single operator's burst and is a
+    /// limit and the tables-in-flight limit are split **losslessly** —
+    /// every shard gets `limit / shards` slots and the remainder goes one
+    /// each to the first shards, so the slices sum exactly to the host
+    /// limit whenever `shards <= limit` (a truncating division lost up to
+    /// `shards - 1` slots: 7 slots over 4 shards kept only 4 of 7). Slices
+    /// still floor at one slot so every shard's engine stays valid, which
+    /// is the only case where the sum can exceed the host limit. The
+    /// per-table limit bounds a single operator's burst and is a
     /// per-stream property, so it carries over unchanged, as do the
     /// completion mode and CPU cost model.
-    pub fn divide_among(&self, shards: usize) -> EngineConfig {
-        let n = shards.max(1);
+    pub fn divide_among_indexed(&self, shards: usize, index: usize) -> EngineConfig {
+        let n = shards.max(1) as u64;
+        let i = index as u64;
         EngineConfig {
-            max_outstanding_per_device: (self.max_outstanding_per_device / n).max(1),
-            max_tables_in_flight: (self.max_tables_in_flight / n).max(1),
+            max_outstanding_per_device: (split_share(self.max_outstanding_per_device as u64, n, i)
+                as usize)
+                .max(1),
+            max_tables_in_flight: (split_share(self.max_tables_in_flight as u64, n, i) as usize)
+                .max(1),
             ..self.clone()
         }
+    }
+
+    /// The first (largest) per-shard slice; see
+    /// [`EngineConfig::divide_among_indexed`]. `divide_among(1)` is the
+    /// identity.
+    pub fn divide_among(&self, shards: usize) -> EngineConfig {
+        self.divide_among_indexed(shards, 0)
     }
 
     /// Validates the configuration.
@@ -551,6 +569,40 @@ mod tests {
             cfg.divide_among(0).max_outstanding_per_device,
             cfg.max_outstanding_per_device
         );
+    }
+
+    #[test]
+    fn indexed_slices_conserve_queue_slots_at_awkward_counts() {
+        // The motivating bug: a 7-slot queue limit over 4 shards used to
+        // keep only floor(7/4) = 1 slot per shard — 3 of 7 submission slots
+        // (43 % of capacity) silently vanished from the host budget.
+        let cfg = EngineConfig {
+            max_outstanding_per_device: 7,
+            max_tables_in_flight: 13,
+            ..EngineConfig::default()
+        };
+        for shards in [1usize, 2, 3, 4, 5, 7] {
+            let device: usize = (0..shards)
+                .map(|i| {
+                    cfg.divide_among_indexed(shards, i)
+                        .max_outstanding_per_device
+                })
+                .sum();
+            let tables: usize = (0..shards)
+                .map(|i| cfg.divide_among_indexed(shards, i).max_tables_in_flight)
+                .sum();
+            assert_eq!(
+                device, cfg.max_outstanding_per_device,
+                "{shards} shards: device slots"
+            );
+            assert_eq!(
+                tables, cfg.max_tables_in_flight,
+                "{shards} shards: tables in flight"
+            );
+            for i in 0..shards {
+                assert!(cfg.divide_among_indexed(shards, i).validate().is_ok());
+            }
+        }
     }
 
     #[test]

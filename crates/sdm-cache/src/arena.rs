@@ -30,6 +30,8 @@ pub struct SlabArena<T> {
     buf: Vec<T>,
     /// Freed ranges, keyed by exact length → list of start offsets.
     free: HashMap<usize, Vec<usize>>,
+    /// Elements currently live (allocated and not yet freed).
+    live: usize,
 }
 
 impl<T: Copy + Default> SlabArena<T> {
@@ -38,12 +40,14 @@ impl<T: Copy + Default> SlabArena<T> {
         SlabArena {
             buf: Vec::new(),
             free: HashMap::new(),
+            live: 0,
         }
     }
 
     /// Copies `data` into the arena, reusing a freed range of the same
     /// length when one exists, and returns the start offset.
     pub fn alloc(&mut self, data: &[T]) -> usize {
+        self.live += data.len();
         if let Some(list) = self.free.get_mut(&data.len()) {
             if let Some(start) = list.pop() {
                 self.buf[start..start + data.len()].copy_from_slice(data);
@@ -58,6 +62,7 @@ impl<T: Copy + Default> SlabArena<T> {
     /// Returns a range to the free list for reuse. The caller must not use
     /// the range afterwards (ranges are plain offsets, not guarded).
     pub fn free(&mut self, start: usize, len: usize) {
+        self.live = self.live.saturating_sub(len);
         self.free.entry(len).or_default().push(start);
     }
 
@@ -76,11 +81,21 @@ impl<T: Copy + Default> SlabArena<T> {
     pub fn clear(&mut self) {
         self.buf.clear();
         self.free.clear();
+        self.live = 0;
     }
 
     /// Elements currently backing the arena (live + freed).
     pub fn len(&self) -> usize {
         self.buf.len()
+    }
+
+    /// Elements currently live (allocated and not yet freed). The gap
+    /// between [`SlabArena::len`] and this is the exact-size free-list
+    /// retention the ROADMAP's arena-compaction item describes: freed
+    /// ranges of one size never serve another size, so resident memory can
+    /// exceed live payload under mixed-size churn.
+    pub fn live_len(&self) -> usize {
+        self.live
     }
 
     /// True when nothing has been allocated since the last clear.
@@ -121,6 +136,29 @@ mod tests {
         a.free(x, 2);
         let y = a.alloc(&[1u8, 2, 3]);
         assert_ne!(y, x);
+    }
+
+    #[test]
+    fn live_len_tracks_allocations_and_frees() {
+        let mut a = SlabArena::new();
+        let x = a.alloc(&[1u8, 2, 3]);
+        let y = a.alloc(&[4u8, 5]);
+        assert_eq!(a.live_len(), 5);
+        a.free(x, 3);
+        assert_eq!(a.live_len(), 2);
+        assert_eq!(a.len(), 5, "freed ranges stay resident");
+        // A different-size alloc cannot reuse the freed range: resident
+        // grows past live (the compaction gap the stats expose).
+        let z = a.alloc(&[9u8; 4]);
+        assert_eq!(a.live_len(), 6);
+        assert_eq!(a.len(), 9);
+        assert!(a.len() > a.live_len());
+        a.free(y, 2);
+        a.free(z, 4);
+        assert_eq!(a.live_len(), 0);
+        a.clear();
+        assert_eq!(a.live_len(), 0);
+        assert_eq!(a.len(), 0);
     }
 
     #[test]

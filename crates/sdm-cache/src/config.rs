@@ -26,6 +26,15 @@ pub struct CacheConfig {
     /// Minimum index-sequence length admitted to the pooled-embedding cache
     /// (`LenThreshold` in paper Table 4).
     pub pooled_len_threshold: usize,
+    /// Budget of the host-shared second cache tier
+    /// ([`crate::SharedRowTier`]) sitting behind the per-shard private
+    /// caches (0 disables it, the default). This is a *host-level* budget:
+    /// [`CacheConfig::divide_among_indexed`] does not divide it — the
+    /// serving host carves the tier out once and hands every shard a
+    /// handle to the same instance.
+    pub shared_tier_budget: Bytes,
+    /// Number of lock stripes in the shared tier.
+    pub shared_tier_stripes: usize,
 }
 
 impl Default for CacheConfig {
@@ -37,6 +46,8 @@ impl Default for CacheConfig {
             partitions: 16,
             pooled_cache_budget: Bytes::from_mib(4),
             pooled_len_threshold: 4,
+            shared_tier_budget: Bytes::ZERO,
+            shared_tier_stripes: 8,
         }
     }
 }
@@ -75,24 +86,43 @@ impl CacheConfig {
                 reason: "partitions must be at least 1".into(),
             });
         }
+        if !self.shared_tier_budget.is_zero() && self.shared_tier_stripes == 0 {
+            return Err(CacheError::InvalidConfig {
+                reason: "shared_tier_stripes must be at least 1 when the shared tier is enabled"
+                    .into(),
+            });
+        }
         Ok(())
     }
 
-    /// Divides the fast-memory cache budgets among `shards` serving shards.
+    /// The per-shard slice (`index` of `shards`) of the fast-memory cache
+    /// budgets.
     ///
     /// The row-cache and pooled-cache budgets are host-shared fast memory,
-    /// so each shard receives an equal slice; the structural knobs
-    /// (thresholds, partition count, engine split) describe *how* a cache
-    /// behaves, not how much memory it owns, and carry over unchanged. A
+    /// split **losslessly**: every shard receives `budget / shards`, and
+    /// the remainder bytes go one each to the first shards, so the slices
+    /// always sum exactly to the host budget (a plain truncating division
+    /// silently dropped up to `shards - 1` bytes per resource). The
+    /// structural knobs (thresholds, partition count, engine split)
+    /// describe *how* a cache behaves, not how much memory it owns, and
+    /// carry over unchanged — as does the shared-tier budget, which is a
+    /// host-level resource the serving host carves out exactly once. A
     /// disabled pooled cache (zero budget) stays disabled at any shard
     /// count.
-    pub fn divide_among(&self, shards: usize) -> CacheConfig {
+    pub fn divide_among_indexed(&self, shards: usize, index: usize) -> CacheConfig {
         let n = shards.max(1) as u64;
         CacheConfig {
-            row_cache_budget: self.row_cache_budget / n,
-            pooled_cache_budget: self.pooled_cache_budget / n,
+            row_cache_budget: self.row_cache_budget.split_among(n, index as u64),
+            pooled_cache_budget: self.pooled_cache_budget.split_among(n, index as u64),
             ..self.clone()
         }
+    }
+
+    /// The first (largest) per-shard slice; see
+    /// [`CacheConfig::divide_among_indexed`]. `divide_among(1)` is the
+    /// bit-identical identity.
+    pub fn divide_among(&self, shards: usize) -> CacheConfig {
+        self.divide_among_indexed(shards, 0)
     }
 
     /// Budget for the memory-optimized engine.
@@ -174,5 +204,60 @@ mod tests {
         let c = CacheConfig::with_total_budget(Bytes::from_gib(1));
         assert_eq!(c.row_cache_budget, Bytes::from_gib(1));
         assert_eq!(c.small_row_threshold, 255);
+    }
+
+    #[test]
+    fn indexed_slices_sum_exactly_at_awkward_shard_counts() {
+        // Budgets chosen so nothing divides evenly: the old truncating
+        // division lost the remainder bytes from the host aggregate.
+        let c = CacheConfig {
+            row_cache_budget: Bytes(10_000_019), // prime
+            pooled_cache_budget: Bytes(65_537),  // prime
+            shared_tier_budget: Bytes::from_mib(3),
+            ..CacheConfig::default()
+        };
+        for shards in [1usize, 2, 3, 5, 7] {
+            let row: u64 = (0..shards)
+                .map(|i| c.divide_among_indexed(shards, i).row_cache_budget.as_u64())
+                .sum();
+            let pooled: u64 = (0..shards)
+                .map(|i| {
+                    c.divide_among_indexed(shards, i)
+                        .pooled_cache_budget
+                        .as_u64()
+                })
+                .sum();
+            assert_eq!(row, c.row_cache_budget.as_u64(), "{shards} shards: row");
+            assert_eq!(
+                pooled,
+                c.pooled_cache_budget.as_u64(),
+                "{shards} shards: pooled"
+            );
+            // The shared-tier budget is host-level: never divided.
+            for i in 0..shards {
+                assert_eq!(
+                    c.divide_among_indexed(shards, i).shared_tier_budget,
+                    c.shared_tier_budget
+                );
+            }
+        }
+        // divide_among(1) stays the bit-identical identity.
+        assert_eq!(c.divide_among(1), c);
+    }
+
+    #[test]
+    fn shared_tier_knobs_validate() {
+        let mut c = CacheConfig::default();
+        assert!(c.shared_tier_budget.is_zero(), "disabled by default");
+        c.shared_tier_budget = Bytes::from_mib(1);
+        assert!(c.validate().is_ok());
+        c.shared_tier_stripes = 0;
+        assert!(matches!(
+            c.validate(),
+            Err(CacheError::InvalidConfig { .. })
+        ));
+        // A zero budget ignores the stripe count (the tier is off).
+        c.shared_tier_budget = Bytes::ZERO;
+        assert!(c.validate().is_ok());
     }
 }

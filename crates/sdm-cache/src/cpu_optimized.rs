@@ -69,6 +69,13 @@ impl CpuOptimizedCache {
         self.stats.record_miss();
     }
 
+    /// Refreshes the residency gauges from the arena after any mutation
+    /// that allocates or frees payload ranges.
+    fn note_residency(&mut self) {
+        self.stats.resident_bytes = self.arena.len() as u64;
+        self.stats.live_bytes = self.arena.live_len() as u64;
+    }
+
     fn remove_slot(&mut self, slot: usize) -> Slot {
         let s = self.slots[slot];
         self.map.remove(&s.key);
@@ -111,8 +118,18 @@ impl RowCache for CpuOptimizedCache {
             self.stats.rejected += 1;
             return;
         }
-        // Remove any existing entry first so usage accounting stays exact.
+        // Replace in place when the payload length is unchanged (rows of
+        // one table never change size), so a same-size refresh touches no
+        // free list — usage is unchanged and no eviction can be needed.
         if let Some(slot) = self.map.get(&key).copied() {
+            let s = self.slots[slot];
+            if s.len == value.len() {
+                self.arena.write(s.start, value);
+                self.lru.touch(slot);
+                self.stats.insertions += 1;
+                return;
+            }
+            // Remove the differently-sized entry so accounting stays exact.
             self.remove_slot(slot);
         }
         while self.used + cost > self.budget.as_u64() {
@@ -122,6 +139,7 @@ impl RowCache for CpuOptimizedCache {
         }
         if self.used + cost > self.budget.as_u64() {
             self.stats.rejected += 1;
+            self.note_residency();
             return;
         }
         self.used += cost;
@@ -144,6 +162,7 @@ impl RowCache for CpuOptimizedCache {
         };
         self.lru.push_front(slot);
         self.map.insert(key, slot);
+        self.note_residency();
     }
 
     fn contains(&self, key: &RowKey) -> bool {
@@ -177,6 +196,7 @@ impl RowCache for CpuOptimizedCache {
         self.lru.clear();
         self.arena.clear();
         self.used = 0;
+        self.note_residency();
     }
 }
 
@@ -249,6 +269,23 @@ mod tests {
         c.insert(k, &[2u8; 128]);
         assert_eq!(c.len(), 1);
         assert_eq!(c.get(&k).unwrap(), &[2u8; 128]);
+    }
+
+    #[test]
+    fn same_size_replacement_overwrites_in_place() {
+        let mut c = CpuOptimizedCache::new(Bytes::from_kib(4));
+        let k = RowKey::new(2, 2);
+        c.insert(k, &[1u8; 64]);
+        let (arena_before, used_before) = (c.arena.len(), c.memory_used());
+        c.insert(k, &[9u8; 64]);
+        assert_eq!(
+            c.arena.len(),
+            arena_before,
+            "in-place overwrite must not grow the arena"
+        );
+        assert_eq!(c.memory_used(), used_before);
+        assert_eq!(c.get(&k).unwrap(), &[9u8; 64]);
+        assert_eq!(c.len(), 1);
     }
 
     #[test]

@@ -73,6 +73,19 @@ impl DualRowCache {
     pub fn large_engine_stats(&self) -> &CacheStats {
         self.large.stats()
     }
+
+    /// Payload bytes currently backing both engines' arenas (live plus
+    /// retained free-list ranges). Compare against [`RowCache::memory_used`]
+    /// to observe the exact-size free-list over-retention the ROADMAP's
+    /// arena-compaction item describes.
+    pub fn resident_bytes(&self) -> Bytes {
+        Bytes(self.small.stats().resident_bytes + self.large.stats().resident_bytes)
+    }
+
+    /// Payload bytes of live entries across both engines.
+    pub fn live_bytes(&self) -> Bytes {
+        Bytes(self.small.stats().live_bytes + self.large.stats().live_bytes)
+    }
 }
 
 impl RowCache for DualRowCache {

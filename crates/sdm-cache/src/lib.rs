@@ -17,6 +17,10 @@
 //!   operators keyed by an order-invariant hash of the full index sequence
 //!   (§4.4, Algorithm 1), skipping lookup + dequantisation + pooling on a
 //!   hit;
+//! * [`SharedRowTier`] — the host-shared second tier behind the per-shard
+//!   private caches: K lock-striped arena-backed LRU partitions with a
+//!   `&self` API, recovering the cross-shard row reuse that fully private
+//!   per-shard caches lose;
 //! * [`WarmupTracker`] — detects when the cache has reached steady state
 //!   after a model update (§A.4).
 //!
@@ -49,6 +53,7 @@ mod lru;
 mod memory_optimized;
 mod pooled;
 mod row_cache;
+mod shared;
 mod stats;
 mod warmup;
 
@@ -60,5 +65,6 @@ pub use error::CacheError;
 pub use memory_optimized::MemoryOptimizedCache;
 pub use pooled::{PooledEmbeddingCache, PooledKey};
 pub use row_cache::{RowCache, RowKey};
+pub use shared::{SharedHit, SharedRowTier};
 pub use stats::CacheStats;
 pub use warmup::{warmup_capacity_overhead, WarmupTracker};

@@ -132,6 +132,14 @@ impl PooledEmbeddingCache {
         (vector_len * 4 + ENTRY_OVERHEAD) as u64
     }
 
+    /// Refreshes the residency gauges from the arena (an `f32` arena, so
+    /// elements convert to bytes) after any mutation that allocates or
+    /// frees payload ranges.
+    fn note_residency(&mut self) {
+        self.stats.resident_bytes = (self.data.len() * 4) as u64;
+        self.stats.live_bytes = (self.data.live_len() * 4) as u64;
+    }
+
     fn remove_slot(&mut self, slot: usize) {
         let s = self.slots[slot];
         self.map.remove(&s.key);
@@ -193,6 +201,7 @@ impl PooledEmbeddingCache {
         }
         if self.used + cost > self.budget.as_u64() {
             self.stats.rejected += 1;
+            self.note_residency();
             return;
         }
         self.used += cost;
@@ -216,6 +225,7 @@ impl PooledEmbeddingCache {
         };
         self.lru.push_front(slot);
         self.map.insert(key, slot);
+        self.note_residency();
     }
 
     /// Number of cached pooled vectors.
@@ -267,6 +277,7 @@ impl PooledEmbeddingCache {
         self.lru.clear();
         self.data.clear();
         self.used = 0;
+        self.note_residency();
     }
 }
 

@@ -1,0 +1,432 @@
+//! The host-shared second cache tier (paper §3, §4.2).
+//!
+//! The paper keeps *one* DRAM cache tier per host in front of the SM
+//! devices precisely because hot rows under power-law access are shared
+//! across the whole request stream: a row made hot by one serving stream
+//! serves every stream. The sharded `ServingHost` gives each shard a fully
+//! private [`crate::DualRowCache`], which is ideal for user-sticky locality
+//! but loses exactly that cross-shard reuse — a row hot on every shard is
+//! cached N times, and a miss on shard A cannot be served by shard B's
+//! earlier SM read.
+//!
+//! [`SharedRowTier`] recovers the reuse without a global lock: keys hash to
+//! one of K independent stripes, each its own mutex-guarded arena-backed
+//! exact-LRU cache ([`crate::SlabArena`] payloads + [`crate::lru::LruList`]
+//! recency, the same machinery as the private engines). All operations take
+//! `&self`, so shards on `std::thread::scope` workers share one tier
+//! through an `Arc` — the tier is `Send + Sync` by construction (asserted
+//! by the `send_assertions` suite).
+//!
+//! Lookups hand the row bytes to a caller closure *under the stripe lock*
+//! ([`SharedRowTier::lookup_with`]): the serving loop dequant-accumulates
+//! straight out of the stripe's arena, so a shared-tier hit performs no
+//! copy and no allocation, and the lock is released the moment the closure
+//! returns. Fills happen only at IO completion ([`SharedRowTier::insert`]),
+//! so no stripe lock is ever held across an SM read.
+//!
+//! Every entry records the shard that promoted it, which is what makes the
+//! tier's effect measurable: a hit whose origin differs from the probing
+//! shard is a *cross-shard* hit — one SM read amortised across streams.
+
+use crate::arena::SlabArena;
+use crate::lru::LruList;
+use crate::row_cache::RowKey;
+use crate::stats::CacheStats;
+use sdm_metrics::units::{split_share, Bytes};
+use sdm_metrics::SimDuration;
+use std::sync::Mutex;
+
+/// Metadata overhead per shared-tier entry (hash node, LRU links, slot
+/// record, origin tag).
+pub const ENTRY_OVERHEAD: usize = 64;
+
+/// Outcome of a shared-tier hit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SharedHit {
+    /// True when the entry was promoted by a *different* shard than the one
+    /// probing — the cross-shard reuse the tier exists to recover.
+    pub cross_shard: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    key: RowKey,
+    start: usize,
+    len: usize,
+    /// Shard that promoted this row.
+    origin: u32,
+}
+
+/// One lock-striped partition: an arena-backed exact-LRU row cache, the
+/// same shape as [`crate::CpuOptimizedCache`] plus the per-entry origin
+/// tag. DRAM per-entry overhead is paid once per *host* here rather than
+/// once per shard, so the CPU-optimized organisation is the right one.
+#[derive(Debug, Default)]
+struct Stripe {
+    map: std::collections::HashMap<RowKey, usize>,
+    slots: Vec<Slot>,
+    free_slots: Vec<usize>,
+    lru: LruList,
+    arena: SlabArena<u8>,
+    budget: u64,
+    used: u64,
+    stats: CacheStats,
+}
+
+impl Stripe {
+    fn entry_cost(value_len: usize) -> u64 {
+        (value_len + ENTRY_OVERHEAD) as u64
+    }
+
+    fn note_residency(&mut self) {
+        self.stats.resident_bytes = self.arena.len() as u64;
+        self.stats.live_bytes = self.arena.live_len() as u64;
+    }
+
+    fn remove_slot(&mut self, slot: usize) {
+        let s = self.slots[slot];
+        self.map.remove(&s.key);
+        self.lru.unlink(slot);
+        self.arena.free(s.start, s.len);
+        self.free_slots.push(slot);
+        self.used -= Self::entry_cost(s.len);
+    }
+
+    fn insert(&mut self, key: RowKey, value: &[u8], origin: u32) -> bool {
+        let cost = Self::entry_cost(value.len());
+        if cost > self.budget {
+            self.stats.rejected += 1;
+            return false;
+        }
+        // Replace in place when the payload length is unchanged (the
+        // overwhelmingly common case — rows of one table never change
+        // size), so steady-state re-promotion touches no allocator. Counts
+        // as an insertion, matching `CpuOptimizedCache`'s in-place path.
+        if let Some(slot) = self.map.get(&key).copied() {
+            let s = self.slots[slot];
+            if s.len == value.len() {
+                self.arena.write(s.start, value);
+                self.slots[slot].origin = origin;
+                self.lru.touch(slot);
+                self.stats.insertions += 1;
+                return true;
+            }
+            self.remove_slot(slot);
+        }
+        while self.used + cost > self.budget {
+            let Some(victim) = self.lru.lru() else {
+                break;
+            };
+            self.remove_slot(victim);
+            self.stats.evictions += 1;
+        }
+        if self.used + cost > self.budget {
+            self.stats.rejected += 1;
+            self.note_residency();
+            return false;
+        }
+        self.used += cost;
+        self.stats.insertions += 1;
+        let start = self.arena.alloc(value);
+        let record = Slot {
+            key,
+            start,
+            len: value.len(),
+            origin,
+        };
+        let slot = match self.free_slots.pop() {
+            Some(slot) => {
+                self.slots[slot] = record;
+                slot
+            }
+            None => {
+                self.slots.push(record);
+                self.slots.len() - 1
+            }
+        };
+        self.lru.push_front(slot);
+        self.map.insert(key, slot);
+        self.note_residency();
+        true
+    }
+
+    fn clear(&mut self) {
+        self.map.clear();
+        self.slots.clear();
+        self.free_slots.clear();
+        self.lru.clear();
+        self.arena.clear();
+        self.used = 0;
+        self.note_residency();
+    }
+}
+
+/// The host-shared row-cache tier: K lock-striped arena-backed LRU
+/// partitions behind a `&self` API, shared across shards via `Arc`.
+#[derive(Debug)]
+pub struct SharedRowTier {
+    stripes: Vec<Mutex<Stripe>>,
+    budget: Bytes,
+}
+
+impl SharedRowTier {
+    /// Builds a tier of `stripes` lock-striped partitions sharing `budget`
+    /// bytes. The budget is split losslessly across stripes (remainder
+    /// bytes go to the first stripes); a zero stripe count clamps to one.
+    pub fn new(budget: Bytes, stripes: usize) -> Self {
+        let n = stripes.max(1);
+        let stripes = (0..n)
+            .map(|i| {
+                Mutex::new(Stripe {
+                    budget: split_share(budget.as_u64(), n as u64, i as u64),
+                    ..Stripe::default()
+                })
+            })
+            .collect();
+        SharedRowTier { stripes, budget }
+    }
+
+    /// Number of lock stripes.
+    pub fn stripe_count(&self) -> usize {
+        self.stripes.len()
+    }
+
+    /// Configured byte budget across all stripes.
+    pub fn budget(&self) -> Bytes {
+        self.budget
+    }
+
+    /// Host CPU time of one tier probe (hash, stripe lock, index lookup).
+    /// Costlier than a private-cache probe — the stripe lock is shared
+    /// state — which is why the tier sits *behind* the private caches.
+    pub fn lookup_cost(&self) -> SimDuration {
+        SimDuration::from_nanos(300)
+    }
+
+    fn stripe_of(&self, key: &RowKey) -> &Mutex<Stripe> {
+        // Use the high half of the mixed key so stripe choice stays
+        // decorrelated from the private caches' bucket choice (which uses
+        // the low bits via `mix() % buckets`).
+        let h = (key.mix() >> 32) as usize;
+        &self.stripes[h % self.stripes.len()]
+    }
+
+    /// Looks a row up and, on a hit, hands its bytes to `f` under the
+    /// stripe lock (recency refreshed). Returns whether the hit was
+    /// promoted by a different shard than `source`. The closure must not
+    /// call back into the same tier (single-stripe locks are not
+    /// re-entrant).
+    pub fn lookup_with<F: FnOnce(&[u8])>(
+        &self,
+        key: &RowKey,
+        source: u32,
+        f: F,
+    ) -> Option<SharedHit> {
+        let mut stripe = self
+            .stripe_of(key)
+            .lock()
+            .expect("shared-tier stripe poisoned");
+        match stripe.map.get(key).copied() {
+            Some(slot) => {
+                stripe.lru.touch(slot);
+                stripe.stats.record_hit();
+                let s = stripe.slots[slot];
+                f(stripe.arena.slice(s.start, s.len));
+                Some(SharedHit {
+                    cross_shard: s.origin != source,
+                })
+            }
+            None => {
+                stripe.stats.record_miss();
+                None
+            }
+        }
+    }
+
+    /// Promotes a row read from SM into the tier, tagged with the shard
+    /// that read it. Returns true when the row was admitted (false when a
+    /// single entry exceeds the stripe budget). Called at IO completion
+    /// only, so no stripe lock is ever held across an SM read.
+    pub fn insert(&self, key: RowKey, value: &[u8], source: u32) -> bool {
+        let mut stripe = self
+            .stripe_of(&key)
+            .lock()
+            .expect("shared-tier stripe poisoned");
+        stripe.insert(key, value, source)
+    }
+
+    /// Returns true when the key is resident (without touching recency).
+    pub fn contains(&self, key: &RowKey) -> bool {
+        let stripe = self
+            .stripe_of(key)
+            .lock()
+            .expect("shared-tier stripe poisoned");
+        stripe.map.contains_key(key)
+    }
+
+    /// Number of resident rows across all stripes.
+    pub fn len(&self) -> usize {
+        self.stripes
+            .iter()
+            .map(|s| s.lock().expect("shared-tier stripe poisoned").map.len())
+            .sum()
+    }
+
+    /// True when no rows are resident.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes currently consumed (payload + per-entry overhead) across all
+    /// stripes.
+    pub fn memory_used(&self) -> Bytes {
+        Bytes(
+            self.stripes
+                .iter()
+                .map(|s| s.lock().expect("shared-tier stripe poisoned").used)
+                .sum(),
+        )
+    }
+
+    /// Aggregated statistics across all stripes (hits/misses recorded under
+    /// the stripe locks; residency gauges sum).
+    pub fn stats(&self) -> CacheStats {
+        let mut total = CacheStats::new();
+        for s in &self.stripes {
+            total.merge(&s.lock().expect("shared-tier stripe poisoned").stats);
+        }
+        total
+    }
+
+    /// Drops every resident row in every stripe (statistics are kept).
+    /// Model updates call this once, host-wide.
+    pub fn clear(&self) {
+        for s in &self.stripes {
+            s.lock().expect("shared-tier stripe poisoned").clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn tier(budget: Bytes, stripes: usize) -> SharedRowTier {
+        SharedRowTier::new(budget, stripes)
+    }
+
+    #[test]
+    fn insert_lookup_roundtrip_with_origin_tracking() {
+        let t = tier(Bytes::from_kib(64), 4);
+        let key = RowKey::new(1, 42);
+        assert!(t.lookup_with(&key, 0, |_| {}).is_none());
+        assert!(t.insert(key, &[7u8; 96], 0));
+        // Same shard: hit, not cross-shard.
+        let mut seen = Vec::new();
+        let hit = t.lookup_with(&key, 0, |bytes| seen.extend_from_slice(bytes));
+        assert_eq!(hit, Some(SharedHit { cross_shard: false }));
+        assert_eq!(seen, vec![7u8; 96]);
+        // Another shard: the same entry is a cross-shard hit.
+        let hit = t.lookup_with(&key, 3, |_| {});
+        assert_eq!(hit, Some(SharedHit { cross_shard: true }));
+        let stats = t.stats();
+        assert_eq!(stats.hits, 2);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.insertions, 1);
+        assert_eq!(t.len(), 1);
+        assert!(t.contains(&key));
+        assert!(t.memory_used() > Bytes::ZERO);
+    }
+
+    #[test]
+    fn stripe_budgets_split_losslessly_and_evict_lru() {
+        // 1000 bytes over 3 stripes: 334 + 333 + 333.
+        let t = tier(Bytes(1000), 3);
+        let per_stripe: u64 = t.stripes.iter().map(|s| s.lock().unwrap().budget).sum();
+        assert_eq!(per_stripe, 1000);
+        // Fill well past the budget; usage stays bounded and evictions run.
+        for i in 0..64u64 {
+            t.insert(RowKey::new(0, i), &[0u8; 100], 0);
+        }
+        assert!(t.memory_used() <= t.budget());
+        assert!(t.stats().evictions > 0);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn oversized_rows_are_rejected_per_stripe() {
+        let t = tier(Bytes(256), 2);
+        assert!(!t.insert(RowKey::new(0, 0), &[0u8; 1024], 0));
+        assert!(t.is_empty());
+        assert_eq!(t.stats().rejected, 1);
+    }
+
+    #[test]
+    fn same_size_repromotion_overwrites_in_place() {
+        let t = tier(Bytes::from_kib(4), 1);
+        let key = RowKey::new(2, 7);
+        assert!(t.insert(key, &[1u8; 64], 0));
+        let resident = t.stats().resident_bytes;
+        // Shard 1 re-promotes the same row: value and origin update without
+        // growing the arena.
+        assert!(t.insert(key, &[2u8; 64], 1));
+        assert_eq!(t.stats().resident_bytes, resident);
+        let hit = t.lookup_with(&key, 0, |bytes| assert_eq!(bytes, &[2u8; 64]));
+        assert_eq!(hit, Some(SharedHit { cross_shard: true }));
+    }
+
+    #[test]
+    fn clear_empties_every_stripe() {
+        let t = tier(Bytes::from_kib(16), 8);
+        for i in 0..32u64 {
+            t.insert(RowKey::new(0, i), &[1u8; 32], 0);
+        }
+        assert!(!t.is_empty());
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.memory_used(), Bytes::ZERO);
+    }
+
+    #[test]
+    fn zero_stripes_clamp_to_one() {
+        let t = tier(Bytes::from_kib(1), 0);
+        assert_eq!(t.stripe_count(), 1);
+        assert!(t.insert(RowKey::new(0, 0), &[0u8; 16], 0));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_shards_share_one_tier() {
+        // Four worker "shards" hammer one tier through an Arc: every row
+        // promoted by shard 0 must be visible (as a cross-shard hit) to the
+        // others, and the stripe locks must serialise without deadlock.
+        let t = Arc::new(tier(Bytes::from_kib(256), 8));
+        let rows: Vec<RowKey> = (0..64).map(|i| RowKey::new(0, i)).collect();
+        for key in &rows {
+            t.insert(*key, &[9u8; 64], 0);
+        }
+        std::thread::scope(|scope| {
+            for shard in 1u32..5 {
+                let t = Arc::clone(&t);
+                let rows = &rows;
+                scope.spawn(move || {
+                    let mut cross = 0u64;
+                    for _ in 0..50 {
+                        for key in rows {
+                            if let Some(hit) = t.lookup_with(key, shard, |bytes| {
+                                assert_eq!(bytes[0], 9);
+                            }) {
+                                cross += u64::from(hit.cross_shard);
+                            }
+                        }
+                    }
+                    assert_eq!(cross, 50 * rows.len() as u64);
+                });
+            }
+        });
+        let stats = t.stats();
+        assert_eq!(stats.hits, 4 * 50 * rows.len() as u64);
+        assert_eq!(stats.misses, 0);
+    }
+}

@@ -15,6 +15,15 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Insertions rejected because a single entry exceeded the budget.
     pub rejected: u64,
+    /// Payload bytes currently backing the cache's arena (live entries plus
+    /// freed ranges retained on the exact-size free lists). This is the
+    /// cache's actual resident footprint, which can exceed the modelled
+    /// `memory_used()` under mixed-size churn — the `SlabArena`
+    /// over-retention the ROADMAP's compaction item describes, made
+    /// measurable here instead of staying silent.
+    pub resident_bytes: u64,
+    /// Payload bytes of entries currently live in the cache.
+    pub live_bytes: u64,
 }
 
 impl CacheStats {
@@ -48,13 +57,24 @@ impl CacheStats {
         self.misses += 1;
     }
 
-    /// Merges another stats block into this one.
+    /// Bytes of backing memory retained beyond the live payload: the
+    /// exact-size free-list slack the arena-compaction ROADMAP item is
+    /// about. Zero for a cache whose entries all share one size.
+    pub fn retained_bytes(&self) -> u64 {
+        self.resident_bytes.saturating_sub(self.live_bytes)
+    }
+
+    /// Merges another stats block into this one. Counters add; the
+    /// residency gauges add too, so a merged block reports the aggregate
+    /// footprint of the merged caches.
     pub fn merge(&mut self, other: &CacheStats) {
         self.hits += other.hits;
         self.misses += other.misses;
         self.insertions += other.insertions;
         self.evictions += other.evictions;
         self.rejected += other.rejected;
+        self.resident_bytes += other.resident_bytes;
+        self.live_bytes += other.live_bytes;
     }
 }
 
@@ -95,10 +115,15 @@ mod tests {
             insertions: 3,
             evictions: 4,
             rejected: 5,
+            resident_bytes: 100,
+            live_bytes: 60,
         };
         a.merge(&a.clone());
         assert_eq!(a.hits, 2);
         assert_eq!(a.rejected, 10);
+        assert_eq!(a.resident_bytes, 200);
+        assert_eq!(a.live_bytes, 120);
+        assert_eq!(a.retained_bytes(), 80);
     }
 
     #[test]

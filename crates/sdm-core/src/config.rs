@@ -158,6 +158,20 @@ impl SdmConfig {
         })
     }
 
+    /// Enables the host-shared second cache tier with the given budget
+    /// (paper §3's host-level DRAM cache in front of SM). The budget is a
+    /// host-level resource: [`SdmConfig::divide_among_indexed`] does not
+    /// divide it, and [`crate::ServingHost::build`] carves the tier out
+    /// exactly once and hands every shard a handle
+    /// ([`crate::SdmSystem::build`] likewise attaches one for its single
+    /// stream; only a bare [`crate::Shard::build`] leaves attachment to
+    /// its owner). Zero disables the tier (the default), which keeps
+    /// single-tier serving bit-identical.
+    pub fn with_shared_tier(mut self, budget: Bytes) -> Self {
+        self.cache.shared_tier_budget = budget;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -214,26 +228,38 @@ impl SdmConfig {
         self.device_capacity * self.device_count as u64
     }
 
-    /// The per-shard slice of this host configuration when serving with
-    /// `shards` concurrent shards.
+    /// The per-shard slice (`index` of `shards`) of this host configuration
+    /// when serving with `shards` concurrent shards.
     ///
-    /// Host-shared fast-memory resources are split evenly: the overall FM
-    /// budget, the row-cache and pooled-cache budgets, and the IO engine's
-    /// device-queue limits. Each shard still serves the *full* model — a
-    /// shard is a serving replica that owns a complete SM image — so the
-    /// device technology, count and capacity carry over unchanged, as do
-    /// placement policy and load transforms.
+    /// Host-shared fast-memory resources are split **losslessly**: the
+    /// overall FM budget, the row-cache and pooled-cache budgets, and the
+    /// IO engine's device-queue limits each give every shard its
+    /// `total / shards` share, with the remainder distributed one unit each
+    /// to the first shards — so the per-shard slices always sum exactly to
+    /// the host budget (a truncating division silently dropped the
+    /// remainder from every resource). Each shard still serves the *full*
+    /// model — a shard is a serving replica that owns a complete SM image —
+    /// so the device technology, count and capacity carry over unchanged,
+    /// as do placement policy and load transforms. The shared-tier budget
+    /// is host-level and is never divided (the host builds one tier and
+    /// hands every shard a handle).
+    pub fn divide_among_indexed(&self, shards: usize, index: usize) -> SdmConfig {
+        let n = shards.max(1) as u64;
+        SdmConfig {
+            fm_budget: self.fm_budget.split_among(n, index as u64),
+            cache: self.cache.divide_among_indexed(shards, index),
+            io: self.io.divide_among_indexed(shards, index),
+            ..self.clone()
+        }
+    }
+
+    /// The first (largest) per-shard slice; see
+    /// [`SdmConfig::divide_among_indexed`].
     ///
     /// `divide_among(1)` is the identity, which keeps the single-shard
     /// serving path bit-identical to an undivided [`SdmConfig`].
     pub fn divide_among(&self, shards: usize) -> SdmConfig {
-        let n = shards.max(1) as u64;
-        SdmConfig {
-            fm_budget: self.fm_budget / n,
-            cache: self.cache.divide_among(shards),
-            io: self.io.divide_among(shards),
-            ..self.clone()
-        }
+        self.divide_among_indexed(shards, 0)
     }
 }
 
@@ -289,6 +315,72 @@ mod tests {
         let zero = SdmConfig::for_tests().with_relaxed_batching(0);
         assert!(zero.validate().is_err());
         assert_eq!(SdmConfig::for_tests().batch_mode, BatchMode::Exact);
+    }
+
+    #[test]
+    fn indexed_division_conserves_every_budget() {
+        // Awkward budgets and shard counts: nothing divides evenly, yet the
+        // per-shard slices must sum exactly to the host configuration.
+        let mut c = SdmConfig::for_tests().with_shared_tier(Bytes::from_mib(2));
+        c.fm_budget = Bytes(10_000_019);
+        c.cache.row_cache_budget = Bytes(1_000_003);
+        c.cache.pooled_cache_budget = Bytes(65_537);
+        c.io.max_outstanding_per_device = 7;
+        c.io.max_tables_in_flight = 13;
+        for shards in [1usize, 3, 5, 7] {
+            let slices: Vec<SdmConfig> = (0..shards)
+                .map(|i| c.divide_among_indexed(shards, i))
+                .collect();
+            let fm: u64 = slices.iter().map(|s| s.fm_budget.as_u64()).sum();
+            let row: u64 = slices
+                .iter()
+                .map(|s| s.cache.row_cache_budget.as_u64())
+                .sum();
+            let pooled: u64 = slices
+                .iter()
+                .map(|s| s.cache.pooled_cache_budget.as_u64())
+                .sum();
+            let dev: usize = slices.iter().map(|s| s.io.max_outstanding_per_device).sum();
+            let tables: usize = slices.iter().map(|s| s.io.max_tables_in_flight).sum();
+            assert_eq!(fm, c.fm_budget.as_u64(), "{shards} shards: fm");
+            assert_eq!(
+                row,
+                c.cache.row_cache_budget.as_u64(),
+                "{shards} shards: row"
+            );
+            assert_eq!(
+                pooled,
+                c.cache.pooled_cache_budget.as_u64(),
+                "{shards} shards: pooled"
+            );
+            assert_eq!(dev, c.io.max_outstanding_per_device, "{shards} shards: io");
+            assert_eq!(tables, c.io.max_tables_in_flight, "{shards} shards: tables");
+            for (i, s) in slices.iter().enumerate() {
+                assert!(s.validate().is_ok(), "{shards} shards: slice {i} invalid");
+                // The shared tier is host-level and never divided.
+                assert_eq!(s.cache.shared_tier_budget, c.cache.shared_tier_budget);
+            }
+        }
+        // divide_among(1) remains the bit-identical identity.
+        let identity = c.divide_among(1);
+        assert_eq!(identity.fm_budget, c.fm_budget);
+        assert_eq!(identity.cache, c.cache);
+        assert_eq!(
+            identity.io.max_outstanding_per_device,
+            c.io.max_outstanding_per_device
+        );
+    }
+
+    #[test]
+    fn shared_tier_builder_round_trips() {
+        let c = SdmConfig::for_tests().with_shared_tier(Bytes::from_mib(2));
+        assert_eq!(c.cache.shared_tier_budget, Bytes::from_mib(2));
+        assert!(c.validate().is_ok());
+        assert!(SdmConfig::for_tests().cache.shared_tier_budget.is_zero());
+        // Stripe misconfiguration is caught through the cache validation.
+        let mut bad = c;
+        bad.cache.shared_tier_stripes = 0;
+        assert!(bad.validate().is_err());
     }
 
     #[test]

@@ -18,7 +18,9 @@ use crate::shard::Shard;
 use crate::stats::SdmStats;
 use dlrm::{LatencyBreakdown, ModelConfig};
 use io_engine::IoStats;
+use sdm_cache::SharedRowTier;
 use sdm_metrics::{CounterSet, LatencyHistogram, SimDuration, StreamMeasurement};
+use std::sync::Arc;
 use std::time::Instant;
 use workload::{Query, RoutingPolicy, Scheduler};
 
@@ -39,6 +41,14 @@ pub struct HostReport {
     pub wall_seconds: f64,
     /// Measured host throughput: queries per wall-clock second.
     pub wall_qps: f64,
+    /// Virtual makespan of the batch: the longest per-shard makespan, since
+    /// shards execute their partitions in parallel. Deterministic (virtual
+    /// clock), unlike the wall-clock fields.
+    pub virtual_makespan: SimDuration,
+    /// Batch throughput on the virtual clock: `queries / virtual_makespan`.
+    /// Deterministic, so CI can gate on it — this is the number that shows
+    /// the shared tier's avoided SM reads, independent of host core count.
+    pub virtual_qps: f64,
 }
 
 impl HostReport {
@@ -89,6 +99,9 @@ struct MergeScratch {
 pub struct ServingHost {
     shards: Vec<Shard>,
     scheduler: Scheduler,
+    /// The host-shared second cache tier, `None` when disabled. Shards hold
+    /// `Arc` clones; this handle serves the host-level accessors.
+    shared: Option<Arc<SharedRowTier>>,
     /// Per-shard pick lists (positions into the current batch), reused
     /// across batches so steady-state partitioning allocates nothing.
     parts: Vec<Vec<usize>>,
@@ -115,17 +128,45 @@ impl ServingHost {
         policy: RoutingPolicy,
     ) -> Result<Self, SdmError> {
         let count = shards.max(1);
-        let per_shard = config.divide_among(count);
         let mut built = Vec::with_capacity(count);
-        for _ in 0..count {
-            built.push(Shard::build(model, per_shard.clone(), seed)?);
+        for i in 0..count {
+            // Lossless per-shard slices: shard `i` receives share `i` of
+            // every divided resource, so the shards' budgets sum exactly to
+            // the host configuration (remainders go to the first shards).
+            built.push(Shard::build(
+                model,
+                config.divide_among_indexed(count, i),
+                seed,
+            )?);
         }
+        // The shared tier is carved out once at the host level — its budget
+        // is deliberately *not* divided — and every shard gets a handle,
+        // tagged with its index so cross-shard hits are distinguishable.
+        let shared = if config.cache.shared_tier_budget.is_zero() {
+            None
+        } else {
+            let tier = Arc::new(SharedRowTier::new(
+                config.cache.shared_tier_budget,
+                config.cache.shared_tier_stripes,
+            ));
+            for (i, shard) in built.iter_mut().enumerate() {
+                shard.attach_shared_tier(Arc::clone(&tier), i as u32);
+            }
+            Some(tier)
+        };
         Ok(ServingHost {
             shards: built,
             scheduler: Scheduler::new(count, policy),
+            shared,
             parts: Vec::new(),
             merged: MergeScratch::default(),
         })
+    }
+
+    /// The host-shared cache tier, `None` when the configuration disables
+    /// it (`shared_tier_budget == 0`).
+    pub fn shared_tier(&self) -> Option<&SharedRowTier> {
+        self.shared.as_deref()
     }
 
     /// Number of shards (concurrent serving streams).
@@ -203,6 +244,7 @@ impl ServingHost {
             scheduler,
             parts,
             merged,
+            ..
         } = self;
         // The measured window covers the whole host-side batch — the
         // serial partition, the parallel shard execution and the serial
@@ -259,6 +301,13 @@ impl ServingHost {
         // One source of truth for the query count, so `wall_qps` always
         // agrees with `measurement().wall_qps()`.
         let executed = merged.hist.count();
+        // Shards run in parallel, so the batch's virtual makespan is the
+        // slowest shard's makespan — deterministic, unlike the wall clock.
+        let virtual_makespan = shards
+            .iter()
+            .map(|s| s.batch_report().makespan)
+            .max()
+            .unwrap_or(SimDuration::ZERO);
         Ok(HostReport {
             queries: executed,
             shards: shards.len(),
@@ -270,6 +319,12 @@ impl ServingHost {
                 executed as f64 / wall_seconds
             } else {
                 0.0
+            },
+            virtual_makespan,
+            virtual_qps: if virtual_makespan.is_zero() {
+                0.0
+            } else {
+                executed as f64 / virtual_makespan.as_secs_f64()
             },
         })
     }

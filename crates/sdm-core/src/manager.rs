@@ -9,9 +9,12 @@ use dlrm::{DlrmError, EmbeddingBackend, LookupTicket, OverlappedBackend};
 use embedding::{accumulate_row, QuantScheme, TableId};
 use io_engine::{IoEngine, IoRequest};
 use scm_device::{DeviceId, ReadCommand};
-use sdm_cache::{DualRowCache, PooledEmbeddingCache, RowCache, RowKey, WarmupTracker};
+use sdm_cache::{
+    DualRowCache, PooledEmbeddingCache, RowCache, RowKey, SharedRowTier, WarmupTracker,
+};
 use sdm_metrics::units::Bytes;
 use sdm_metrics::{SimDuration, SimInstant};
+use std::sync::Arc;
 
 /// Per-element cost of dequantise + accumulate during pooling.
 const DEQUANT_POOL_COST_PER_ELEMENT: SimDuration = SimDuration::from_nanos(1);
@@ -30,6 +33,55 @@ const FM_ROW_COST: SimDuration = SimDuration::from_nanos(150);
 struct LookupScratch {
     /// `(position in the index list, stored row)` of each cache miss.
     io_targets: Vec<(usize, u64)>,
+}
+
+/// This shard's handle on the host-shared cache tier: the tier itself
+/// (shared via `Arc` across every shard's manager) plus the shard id used
+/// to tag promotions, which is what distinguishes cross-shard hits from a
+/// shard re-reading its own promotion.
+#[derive(Debug, Clone)]
+struct SharedTierHandle {
+    tier: Arc<SharedRowTier>,
+    source: u32,
+}
+
+/// Probes the shared tier for a private-cache miss, dequant-accumulating a
+/// hit into `acc` under the stripe lock and keeping the hit/miss/cross
+/// counters and warmup tracking consistent between the exact and
+/// split-phase scan loops (which share this helper). Returns whether the
+/// row was served; a detached tier (`None`) serves nothing.
+fn probe_shared_tier(
+    shared: &Option<SharedTierHandle>,
+    stats: &mut SdmStats,
+    warmup: &mut WarmupTracker,
+    key: &RowKey,
+    quant: QuantScheme,
+    latency: &mut SimDuration,
+    acc: &mut [f32],
+) -> Result<bool, SdmError> {
+    let Some(shared) = shared else {
+        return Ok(false);
+    };
+    *latency += shared.tier.lookup_cost();
+    let mut pool_error: Option<embedding::EmbeddingError> = None;
+    let hit = shared.tier.lookup_with(key, shared.source, |bytes| {
+        pool_error = accumulate_row(bytes, quant, acc).err();
+    });
+    match hit {
+        Some(h) => {
+            if let Some(e) = pool_error {
+                return Err(e.into());
+            }
+            stats.shared_tier_hits += 1;
+            stats.shared_tier_cross_hits += u64::from(h.cross_shard);
+            warmup.record(true);
+            Ok(true)
+        }
+        None => {
+            stats.shared_tier_misses += 1;
+            Ok(false)
+        }
+    }
 }
 
 /// Which resolution path a split-phase lookup took at begin time.
@@ -53,6 +105,11 @@ enum PendingKind {
 #[derive(Debug, Default)]
 struct PendingLookup {
     in_use: bool,
+    /// Bumped every time the slot is released, and packed into the issued
+    /// [`LookupTicket`]: a retained ticket whose slot was re-acquired by a
+    /// later begin carries a stale generation and is rejected instead of
+    /// silently consuming the new occupant's result.
+    generation: u32,
     kind: PendingKind,
     table: TableId,
     quant: QuantScheme,
@@ -88,15 +145,27 @@ impl PendingOps {
 
     fn release(&mut self, id: usize) {
         self.slots[id].in_use = false;
+        self.slots[id].generation = self.slots[id].generation.wrapping_add(1);
         self.free.push(id);
+    }
+
+    /// The ticket for slot `id` at its current generation (low 32 bits:
+    /// slot index; high 32 bits: generation).
+    fn ticket(&self, id: usize) -> LookupTicket {
+        LookupTicket((u64::from(self.slots[id].generation) << 32) | id as u64)
     }
 
     /// Returns every slot to the free list (error recovery between
     /// batches). Slot pop order is restored so steady-state batches assign
-    /// slots deterministically.
+    /// slots deterministically. Abandoned (still in-use) slots get their
+    /// generation bumped, so tickets orphaned by the reset stay stale even
+    /// after their slot is re-acquired.
     fn reset(&mut self) {
         self.free.clear();
         for (i, slot) in self.slots.iter_mut().enumerate().rev() {
+            if slot.in_use {
+                slot.generation = slot.generation.wrapping_add(1);
+            }
             slot.in_use = false;
             self.free.push(i);
         }
@@ -121,6 +190,10 @@ pub struct SdmMemoryManager {
     engine: IoEngine,
     row_cache: DualRowCache,
     pooled_cache: PooledEmbeddingCache,
+    /// Host-shared second tier, consulted between a private-cache miss and
+    /// SM-IO submission. `None` (the default) keeps the single-tier serving
+    /// path bit-identical to previous revisions.
+    shared: Option<SharedTierHandle>,
     warmup: WarmupTracker,
     stats: SdmStats,
     scratch: LookupScratch,
@@ -147,12 +220,26 @@ impl SdmMemoryManager {
             engine,
             row_cache,
             pooled_cache,
+            shared: None,
             warmup: WarmupTracker::new(2_000, 0.8),
             stats: SdmStats::new(),
             scratch: LookupScratch::default(),
             pending: PendingOps::default(),
             clock: SimInstant::EPOCH,
         }
+    }
+
+    /// Attaches the host-shared cache tier, tagging this manager's
+    /// promotions with `source` (its shard id). The serving host calls
+    /// this once per shard at build time; without an attachment the
+    /// manager serves exactly as before (private caches then SM).
+    pub fn attach_shared_tier(&mut self, tier: Arc<SharedRowTier>, source: u32) {
+        self.shared = Some(SharedTierHandle { tier, source });
+    }
+
+    /// The attached host-shared tier, if any.
+    pub fn shared_tier(&self) -> Option<&Arc<SharedRowTier>> {
+        self.shared.as_ref().map(|h| &h.tier)
     }
 
     /// The deployment configuration.
@@ -215,10 +302,16 @@ impl SdmMemoryManager {
     }
 
     /// Drops every cached row and pooled vector (what a full model update
-    /// does) and restarts warmup tracking.
+    /// does) and restarts warmup tracking. With a shared tier attached the
+    /// tier is cleared too — it caches rows of the same model image, so a
+    /// model update invalidates it host-wide (idempotent when several
+    /// shards invalidate after the same update).
     pub fn invalidate_caches(&mut self) {
         self.row_cache.clear();
         self.pooled_cache.clear();
+        if let Some(shared) = &self.shared {
+            shared.tier.clear();
+        }
         self.warmup = WarmupTracker::new(2_000, 0.8);
     }
 
@@ -258,13 +351,18 @@ impl SdmMemoryManager {
     }
 
     /// Serves a pooled lookup against an SM-resident table: pooled cache →
-    /// row cache → SGL reads (paper Algorithm 1), accumulating into `out`.
+    /// row cache → shared tier → SGL reads (paper Algorithm 1 with the
+    /// host-shared second tier between the private miss and the device),
+    /// accumulating into `out`.
     ///
-    /// Cache hits are dequant-accumulated immediately, straight out of the
-    /// row cache's arena (no copy, no allocation); the misses are gathered
-    /// into a reused scratch list, submitted as **one ring submission**, and
+    /// Cache hits — private or shared — are dequant-accumulated
+    /// immediately, straight out of the owning arena (no copy, no
+    /// allocation; shared hits accumulate under the stripe lock, which is
+    /// released before the scan continues); the misses are gathered into a
+    /// reused scratch list, submitted as **one ring submission**, and
     /// pooled as their completions drain — overlapping completion reaping
-    /// with the dequantise+pool work.
+    /// with the dequantise+pool work. Completed reads are promoted into the
+    /// shared tier at drain time, so no stripe lock is ever held across IO.
     fn sm_pooled_lookup_into(
         &mut self,
         table: TableId,
@@ -280,6 +378,7 @@ impl SdmMemoryManager {
             engine,
             row_cache,
             pooled_cache,
+            shared,
             warmup,
             stats,
             scratch,
@@ -351,9 +450,16 @@ impl SdmMemoryManager {
                     pooled_rows += 1;
                 }
                 None => {
-                    stats.sm_reads += 1;
-                    warmup.record(false);
-                    scratch.io_targets.push((pos, stored_row));
+                    // Host-shared tier between the private miss and SM IO:
+                    // a hit accumulates under the stripe lock, in the same
+                    // index-order slot a private hit would occupy.
+                    if probe_shared_tier(shared, stats, warmup, &key, quant, &mut latency, out)? {
+                        pooled_rows += 1;
+                    } else {
+                        stats.sm_reads += 1;
+                        warmup.record(false);
+                        scratch.io_targets.push((pos, stored_row));
+                    }
                 }
             }
         }
@@ -398,7 +504,15 @@ impl SdmMemoryManager {
                 }
                 // Copied into the cache's arena (the seed's extra
                 // intermediate clone is gone, not the final copy).
-                row_cache.insert(RowKey::new(table, stored_row), &completion.data);
+                let key = RowKey::new(table, stored_row);
+                row_cache.insert(key, &completion.data);
+                // Promote into the shared tier so other shards can serve
+                // this row without their own SM read.
+                if let Some(shared) = shared {
+                    if shared.tier.insert(key, &completion.data, shared.source) {
+                        stats.shared_tier_promotions += 1;
+                    }
+                }
             })?;
             if let Some(e) = pool_error {
                 return Err(e);
@@ -517,7 +631,7 @@ impl SdmMemoryManager {
             }
         };
         match outcome {
-            Ok(()) => Ok(LookupTicket(id as u64)),
+            Ok(()) => Ok(self.pending.ticket(id)),
             Err(e) => {
                 self.pending.release(id);
                 Err(e)
@@ -588,6 +702,7 @@ impl SdmMemoryManager {
             engine,
             row_cache,
             pooled_cache,
+            shared,
             warmup,
             stats,
             scratch,
@@ -608,8 +723,6 @@ impl SdmMemoryManager {
         op.quant = quant;
         op.acc.clear();
         op.acc.resize(dim, 0.0);
-        op.indices.clear();
-        op.indices.extend_from_slice(indices);
         op.pooled_rows = 0;
         op.io_time = SimDuration::ZERO;
         op.submitted_at = now;
@@ -629,6 +742,12 @@ impl SdmMemoryManager {
                 return Ok(());
             }
         }
+
+        // Only the SM path reaches finish-time with a deferred pooled-cache
+        // insert, so the index copy happens after the pooled probe — a
+        // pooled hit never reads `op.indices` and skips the copy entirely.
+        op.indices.clear();
+        op.indices.extend_from_slice(indices);
 
         // 2. Resolve each index: mapping tensor, row cache, then SM IO.
         scratch.io_targets.clear();
@@ -664,9 +783,24 @@ impl SdmMemoryManager {
                     op.pooled_rows += 1;
                 }
                 None => {
-                    stats.sm_reads += 1;
-                    warmup.record(false);
-                    scratch.io_targets.push((pos, stored_row));
+                    // Host-shared tier between the private miss and SM IO
+                    // (same helper as the exact path, accumulating into the
+                    // slot's buffer).
+                    if probe_shared_tier(
+                        shared,
+                        stats,
+                        warmup,
+                        &key,
+                        quant,
+                        &mut latency,
+                        &mut op.acc,
+                    )? {
+                        op.pooled_rows += 1;
+                    } else {
+                        stats.sm_reads += 1;
+                        warmup.record(false);
+                        scratch.io_targets.push((pos, stored_row));
+                    }
                 }
             }
         }
@@ -714,7 +848,15 @@ impl SdmMemoryManager {
                         pooled_inc += 1;
                     }
                 }
-                row_cache.insert(RowKey::new(table, stored_row), &completion.data);
+                let key = RowKey::new(table, stored_row);
+                row_cache.insert(key, &completion.data);
+                // Deferred promotion, identical to the exact path: the
+                // stripe lock is taken only now, after the IO completed.
+                if let Some(shared) = shared {
+                    if shared.tier.insert(key, &completion.data, shared.source) {
+                        stats.shared_tier_promotions += 1;
+                    }
+                }
             })?;
             if let Some(e) = pool_error {
                 return Err(e);
@@ -735,8 +877,14 @@ impl SdmMemoryManager {
         ticket: LookupTicket,
         out: &mut [f32],
     ) -> Result<SimDuration, SdmError> {
-        let id = ticket.0 as usize;
-        if !self.pending.slots.get(id).is_some_and(|s| s.in_use) {
+        let id = (ticket.0 & u64::from(u32::MAX)) as usize;
+        let generation = (ticket.0 >> 32) as u32;
+        if !self
+            .pending
+            .slots
+            .get(id)
+            .is_some_and(|s| s.in_use && s.generation == generation)
+        {
             return Err(SdmError::Dlrm(DlrmError::StaleTicket { ticket: ticket.0 }));
         }
         let Self {
@@ -981,6 +1129,103 @@ mod tests {
             split.lookup_finish_into(ticket, &mut out),
             Err(SdmError::Dlrm(DlrmError::StaleTicket { .. }))
         ));
+
+        // A retained ticket stays stale even after its slot is re-acquired
+        // by a later begin (generation mismatch): the old ticket must not
+        // consume the new occupant's result.
+        let reused = split
+            .lookup_begin_at(0, &indices, SimInstant::EPOCH)
+            .unwrap();
+        assert_ne!(ticket, reused, "re-acquired slot must issue a new ticket");
+        assert!(matches!(
+            split.lookup_finish_into(ticket, &mut out),
+            Err(SdmError::Dlrm(DlrmError::StaleTicket { .. }))
+        ));
+        // The legitimate in-flight lookup is unaffected by the rejection.
+        split.lookup_finish_into(reused, &mut out).unwrap();
+    }
+
+    #[test]
+    fn shared_tier_serves_other_managers_misses() {
+        let model = model_zoo::tiny(1, 0, 500);
+        let config = SdmConfig::for_tests();
+        let tier = Arc::new(SharedRowTier::new(Bytes::from_mib(2), 4));
+        let mut a = build(&model, config.clone());
+        let mut b = build(&model, config.clone());
+        a.attach_shared_tier(Arc::clone(&tier), 0);
+        b.attach_shared_tier(Arc::clone(&tier), 1);
+        let indices = vec![10u64, 20, 30, 40];
+        // Manager A reads cold: SM reads, then promotion into the tier.
+        let (want, _) = a.pooled_lookup_at(0, &indices, SimInstant::EPOCH).unwrap();
+        assert_eq!(a.stats().sm_reads, 4);
+        assert_eq!(a.stats().shared_tier_promotions, 4);
+        assert_eq!(tier.len(), 4);
+        // Manager B misses privately but hits the shared tier: no SM IO,
+        // every hit is cross-shard, and the pooled values are bit-identical
+        // (same rows accumulated in the same index order).
+        let (got, _) = b.pooled_lookup_at(0, &indices, SimInstant::EPOCH).unwrap();
+        assert_eq!(got, want);
+        assert_eq!(b.stats().sm_reads, 0);
+        assert_eq!(b.stats().shared_tier_hits, 4);
+        assert_eq!(b.stats().shared_tier_cross_hits, 4);
+        assert_eq!(b.io_engine().stats().submitted, 0);
+        assert!(b.stats().shared_tier_hit_rate() > 0.99);
+        // A re-reading its own promotions hits, but not cross-shard (the
+        // private cache serves first, so force a private-cache-miss path by
+        // invalidating only the private side via a fresh manager).
+        let mut a2 = build(&model, config);
+        a2.attach_shared_tier(Arc::clone(&tier), 0);
+        a2.pooled_lookup_at(0, &indices, SimInstant::EPOCH).unwrap();
+        assert_eq!(a2.stats().shared_tier_hits, 4);
+        assert_eq!(a2.stats().shared_tier_cross_hits, 0);
+    }
+
+    #[test]
+    fn split_phase_lookup_matches_exact_with_shared_tier() {
+        let model = model_zoo::tiny(2, 1, 400);
+        let config = SdmConfig::for_tests();
+        let exact_tier = Arc::new(SharedRowTier::new(Bytes::from_mib(1), 4));
+        let split_tier = Arc::new(SharedRowTier::new(Bytes::from_mib(1), 4));
+        let mut exact = build(&model, config.clone());
+        let mut split = build(&model, config);
+        exact.attach_shared_tier(exact_tier, 2);
+        split.attach_shared_tier(split_tier, 2);
+        let indices = vec![3u64, 17, 99, 250, 3];
+        for _pass in 0..2 {
+            for table in [0u32, 1, 2] {
+                let (want, took_exact) = exact
+                    .pooled_lookup_at(table, &indices, SimInstant::EPOCH)
+                    .unwrap();
+                let ticket = split
+                    .lookup_begin_at(table, &indices, SimInstant::EPOCH)
+                    .unwrap();
+                let mut got = vec![0.0f32; want.len()];
+                let took_split = split.lookup_finish_into(ticket, &mut got).unwrap();
+                assert_eq!(want, got, "table {table} pooled vectors diverge");
+                assert_eq!(took_exact, took_split, "table {table} latency diverges");
+            }
+        }
+        let a = exact.stats();
+        let b = split.stats();
+        assert_eq!(a.shared_tier_hits, b.shared_tier_hits);
+        assert_eq!(a.shared_tier_misses, b.shared_tier_misses);
+        assert_eq!(a.shared_tier_promotions, b.shared_tier_promotions);
+        assert_eq!(a.sm_reads, b.sm_reads);
+        assert_eq!(a.io_time, b.io_time);
+        assert_eq!(exact.now(), split.now());
+    }
+
+    #[test]
+    fn invalidate_caches_clears_the_shared_tier() {
+        let model = model_zoo::tiny(1, 0, 300);
+        let tier = Arc::new(SharedRowTier::new(Bytes::from_mib(1), 2));
+        let mut sdm = build(&model, SdmConfig::for_tests());
+        sdm.attach_shared_tier(Arc::clone(&tier), 0);
+        sdm.pooled_lookup_at(0, &[1, 2, 3], SimInstant::EPOCH)
+            .unwrap();
+        assert!(!tier.is_empty());
+        sdm.invalidate_caches();
+        assert!(tier.is_empty());
     }
 
     #[test]

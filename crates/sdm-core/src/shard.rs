@@ -162,6 +162,17 @@ impl Shard {
         &mut self.engine
     }
 
+    /// Attaches the host-shared cache tier to this shard's manager,
+    /// tagging its promotions with `source` (the shard's index in the
+    /// host). See [`crate::SdmMemoryManager::attach_shared_tier`].
+    pub fn attach_shared_tier(
+        &mut self,
+        tier: std::sync::Arc<sdm_cache::SharedRowTier>,
+        source: u32,
+    ) {
+        self.manager.attach_shared_tier(tier, source);
+    }
+
     /// The SDM memory manager.
     pub fn manager(&self) -> &SdmMemoryManager {
         &self.manager

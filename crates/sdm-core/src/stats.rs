@@ -14,6 +14,17 @@ pub struct SdmStats {
     pub fm_direct_lookups: u64,
     /// Row lookups that hit the FM row cache.
     pub row_cache_hits: u64,
+    /// Row lookups that missed the private cache but hit the host-shared
+    /// tier (served from another shard's — or an earlier — SM read).
+    pub shared_tier_hits: u64,
+    /// Shared-tier probes that missed (private miss and shared miss, so the
+    /// row went to SM).
+    pub shared_tier_misses: u64,
+    /// Shared-tier hits whose entry was promoted by a *different* shard:
+    /// the cross-shard reuse the tier exists to recover.
+    pub shared_tier_cross_hits: u64,
+    /// Rows promoted into the shared tier at IO completion.
+    pub shared_tier_promotions: u64,
     /// Row lookups that missed the cache and went to SM.
     pub sm_reads: u64,
     /// Row lookups resolved to pruned (zero) rows without any access.
@@ -50,6 +61,10 @@ impl SdmStats {
         self.pooled_cache_hits += other.pooled_cache_hits;
         self.fm_direct_lookups += other.fm_direct_lookups;
         self.row_cache_hits += other.row_cache_hits;
+        self.shared_tier_hits += other.shared_tier_hits;
+        self.shared_tier_misses += other.shared_tier_misses;
+        self.shared_tier_cross_hits += other.shared_tier_cross_hits;
+        self.shared_tier_promotions += other.shared_tier_promotions;
         self.sm_reads += other.sm_reads;
         self.pruned_zero_rows += other.pruned_zero_rows;
         self.sm_bytes_read += other.sm_bytes_read;
@@ -62,11 +77,34 @@ impl SdmStats {
 
     /// Row-cache hit rate over SM-resident lookups.
     pub fn row_cache_hit_rate(&self) -> f64 {
-        let lookups = self.row_cache_hits + self.sm_reads;
+        let lookups = self.row_cache_hits + self.shared_tier_hits + self.sm_reads;
         if lookups == 0 {
             0.0
         } else {
             self.row_cache_hits as f64 / lookups as f64
+        }
+    }
+
+    /// Shared-tier hit rate over shared-tier probes (private-cache misses
+    /// with the tier attached); zero before any probe.
+    pub fn shared_tier_hit_rate(&self) -> f64 {
+        let probes = self.shared_tier_hits + self.shared_tier_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.shared_tier_hits as f64 / probes as f64
+        }
+    }
+
+    /// Cross-shard share of shared-tier probes: hits served by a row
+    /// another shard promoted. This is the reuse fully private per-shard
+    /// caches cannot express; zero before any probe.
+    pub fn shared_tier_cross_hit_rate(&self) -> f64 {
+        let probes = self.shared_tier_hits + self.shared_tier_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.shared_tier_cross_hits as f64 / probes as f64
         }
     }
 
@@ -135,5 +173,29 @@ mod tests {
         assert!((s.row_cache_hit_rate() - 0.9).abs() < 1e-12);
         assert!((s.pooled_cache_hit_rate() - 0.05).abs() < 1e-12);
         assert!((s.read_amplification() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shared_tier_rates_and_merge() {
+        let mut s = SdmStats::new();
+        assert_eq!(s.shared_tier_hit_rate(), 0.0);
+        assert_eq!(s.shared_tier_cross_hit_rate(), 0.0);
+        s.shared_tier_hits = 6;
+        s.shared_tier_misses = 4;
+        s.shared_tier_cross_hits = 3;
+        s.shared_tier_promotions = 4;
+        assert!((s.shared_tier_hit_rate() - 0.6).abs() < 1e-12);
+        assert!((s.shared_tier_cross_hit_rate() - 0.3).abs() < 1e-12);
+        // Shared-tier hits count toward the row-lookup denominator.
+        s.row_cache_hits = 10;
+        s.sm_reads = 4;
+        assert!((s.row_cache_hit_rate() - 0.5).abs() < 1e-12);
+        let mut merged = SdmStats::new();
+        merged.merge(&s);
+        merged.merge(&s);
+        assert_eq!(merged.shared_tier_hits, 12);
+        assert_eq!(merged.shared_tier_misses, 8);
+        assert_eq!(merged.shared_tier_cross_hits, 6);
+        assert_eq!(merged.shared_tier_promotions, 8);
     }
 }

@@ -52,13 +52,27 @@ pub struct SdmSystem {
 impl SdmSystem {
     /// Builds the full stack for a (scaled) model.
     ///
+    /// A configuration with `with_shared_tier` set builds and attaches the
+    /// tier here too (as shard 0), so the single-stream system honours the
+    /// knob exactly like a 1-shard [`crate::ServingHost`] — with one
+    /// stream the tier acts as a second-level row cache behind the private
+    /// cache. (A bare [`Shard::build`] never attaches a tier; attachment
+    /// is its owner's job.)
+    ///
     /// # Errors
     ///
     /// Propagates configuration, layout and device errors.
     pub fn build(model: &ModelConfig, config: SdmConfig, seed: u64) -> Result<Self, SdmError> {
-        Ok(SdmSystem {
-            shard: Shard::build(model, config, seed)?,
-        })
+        let tier_budget = config.cache.shared_tier_budget;
+        let tier_stripes = config.cache.shared_tier_stripes;
+        let mut shard = Shard::build(model, config, seed)?;
+        if !tier_budget.is_zero() {
+            shard.attach_shared_tier(
+                std::sync::Arc::new(sdm_cache::SharedRowTier::new(tier_budget, tier_stripes)),
+                0,
+            );
+        }
+        Ok(SdmSystem { shard })
     }
 
     /// Builds the stack with an explicit compute model (e.g. accelerator
@@ -306,6 +320,32 @@ mod tests {
         assert_eq!(chunked.now(), single.now());
         // The chunked path retains at most one chunk of scores.
         assert!(chunked.batch_len() <= 1024);
+    }
+
+    #[test]
+    fn with_shared_tier_is_honoured_by_the_single_stream_system() {
+        use sdm_metrics::units::Bytes;
+        let model = model_zoo::tiny(1, 0, 400);
+        // A private row cache too small for the stream, so private misses
+        // reach the tier; the tier then holds what the slice cannot.
+        let mut config = SdmConfig::for_tests().with_shared_tier(Bytes::from_mib(2));
+        config.cache.row_cache_budget = Bytes::from_kib(2);
+        config.cache.pooled_cache_budget = Bytes::ZERO;
+        let mut system = SdmSystem::build(&model, config, 9).unwrap();
+        assert!(system.manager().shared_tier().is_some());
+        let queries = workload(&model, 30, 9);
+        system.run_batch(&queries).unwrap();
+        system.run_batch(&queries).unwrap();
+        let stats = system.manager().stats();
+        assert!(
+            stats.shared_tier_hits > 0,
+            "single-stream tier never served a probe"
+        );
+        // One stream, one source: hits are never cross-shard.
+        assert_eq!(stats.shared_tier_cross_hits, 0);
+        // Without the knob the tier stays detached.
+        let plain = SdmSystem::build(&model, SdmConfig::for_tests(), 9).unwrap();
+        assert!(plain.manager().shared_tier().is_none());
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //!   stream count, replacing linear single-stream extrapolation.
 //! * [`BatchModeReport`] — exact-vs-relaxed batch execution comparison
 //!   (virtual QPS, p50/p99 latency, device-queue depth per mode).
+//! * [`SharedTierReport`] — shared-tier-on vs -off serving comparison per
+//!   shard count (deterministic virtual QPS, hit and cross-shard-hit
+//!   rates).
 //! * [`RateEstimator`] — windowed rate estimation (QPS, IOPS).
 //! * [`units`] — byte, power and cost units used by the datacenter-level
 //!   modelling.
@@ -46,6 +49,7 @@ mod counters;
 mod histogram;
 mod multistream;
 mod rate;
+mod sharedtier;
 pub mod units;
 
 pub use batchmode::{BatchModeMeasurement, BatchModeReport};
@@ -54,3 +58,4 @@ pub use counters::{Counter, CounterSet};
 pub use histogram::LatencyHistogram;
 pub use multistream::{MultiStreamReport, StreamMeasurement};
 pub use rate::RateEstimator;
+pub use sharedtier::{SharedTierMeasurement, SharedTierReport};

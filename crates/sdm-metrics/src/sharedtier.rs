@@ -1,0 +1,188 @@
+//! Shared-tier serving comparison: tier-on vs tier-off per shard count.
+//!
+//! The host-shared second cache tier exists to recover cross-shard row
+//! reuse (one SM read serving every shard) that fully private per-shard
+//! caches lose. This module records the measurement that proves it: for
+//! each shard count, one run with the tier disabled and one with it
+//! enabled, each carrying the *virtual-clock* batch throughput (which is
+//! deterministic, so CI can gate on it) and the tier's hit/cross-hit
+//! counters.
+
+/// One measured serving run at a fixed shard count with the shared tier on
+/// or off.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SharedTierMeasurement {
+    /// Shards (concurrent serving streams) during the run.
+    pub shards: usize,
+    /// Whether the shared tier was enabled.
+    pub enabled: bool,
+    /// Queries executed across all shards.
+    pub queries: u64,
+    /// Deterministic batch throughput on the virtual clock (the slowest
+    /// shard's makespan bounds the batch).
+    pub virtual_qps: f64,
+    /// Shared-tier hits across all shards (zero with the tier off).
+    pub shared_hits: u64,
+    /// Shared-tier misses across all shards (probes that went to SM).
+    pub shared_misses: u64,
+    /// Shared-tier hits served by a row another shard promoted.
+    pub cross_shard_hits: u64,
+    /// Rows promoted into the tier at IO completion.
+    pub promotions: u64,
+}
+
+impl SharedTierMeasurement {
+    /// Shared-tier hit rate over tier probes; zero before any probe.
+    pub fn hit_rate(&self) -> f64 {
+        let probes = self.shared_hits + self.shared_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.shared_hits as f64 / probes as f64
+        }
+    }
+
+    /// Cross-shard share of tier probes — the reuse private per-shard
+    /// caches cannot express; zero before any probe.
+    pub fn cross_shard_hit_rate(&self) -> f64 {
+        let probes = self.shared_hits + self.shared_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.cross_shard_hits as f64 / probes as f64
+        }
+    }
+}
+
+/// Tier-on vs tier-off measurements per shard count.
+///
+/// # Example
+///
+/// ```
+/// use sdm_metrics::{SharedTierMeasurement, SharedTierReport};
+///
+/// let mut report = SharedTierReport::new();
+/// for (enabled, qps, hits) in [(false, 1000.0, 0u64), (true, 1300.0, 64)] {
+///     report.record(SharedTierMeasurement {
+///         shards: 4,
+///         enabled,
+///         queries: 256,
+///         virtual_qps: qps,
+///         shared_hits: hits,
+///         shared_misses: 32,
+///         cross_shard_hits: hits / 2,
+///         promotions: 32,
+///     });
+/// }
+/// assert!((report.qps_gain(4).unwrap() - 1.3).abs() < 1e-9);
+/// assert!(report.get(4, true).unwrap().cross_shard_hit_rate() > 0.0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SharedTierReport {
+    /// Measurements, kept sorted by `(shards, enabled)` (one entry each).
+    entries: Vec<SharedTierMeasurement>,
+}
+
+impl SharedTierReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        SharedTierReport::default()
+    }
+
+    /// Records a measurement, replacing any previous entry for the same
+    /// shard count and tier state.
+    pub fn record(&mut self, measurement: SharedTierMeasurement) {
+        let key = (measurement.shards, measurement.enabled);
+        match self
+            .entries
+            .binary_search_by_key(&key, |m| (m.shards, m.enabled))
+        {
+            Ok(i) => self.entries[i] = measurement,
+            Err(i) => self.entries.insert(i, measurement),
+        }
+    }
+
+    /// The measurement at a shard count and tier state, when recorded.
+    pub fn get(&self, shards: usize, enabled: bool) -> Option<&SharedTierMeasurement> {
+        self.entries
+            .binary_search_by_key(&(shards, enabled), |m| (m.shards, m.enabled))
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Virtual-QPS gain of enabling the tier at a shard count: on / off.
+    /// `None` until both runs are recorded or when the off run measured
+    /// zero throughput.
+    pub fn qps_gain(&self, shards: usize) -> Option<f64> {
+        let off = self.get(shards, false)?.virtual_qps;
+        if off <= 0.0 {
+            return None;
+        }
+        Some(self.get(shards, true)?.virtual_qps / off)
+    }
+
+    /// Iterates measurements in ascending `(shards, enabled)` order.
+    pub fn iter(&self) -> impl Iterator<Item = &SharedTierMeasurement> {
+        self.entries.iter()
+    }
+
+    /// Number of recorded measurements.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(shards: usize, enabled: bool, qps: f64) -> SharedTierMeasurement {
+        SharedTierMeasurement {
+            shards,
+            enabled,
+            queries: 100,
+            virtual_qps: qps,
+            shared_hits: if enabled { 40 } else { 0 },
+            shared_misses: if enabled { 10 } else { 0 },
+            cross_shard_hits: if enabled { 25 } else { 0 },
+            promotions: if enabled { 10 } else { 0 },
+        }
+    }
+
+    #[test]
+    fn rates_handle_empty_and_populated() {
+        let off = m(2, false, 900.0);
+        assert_eq!(off.hit_rate(), 0.0);
+        assert_eq!(off.cross_shard_hit_rate(), 0.0);
+        let on = m(2, true, 1200.0);
+        assert!((on.hit_rate() - 0.8).abs() < 1e-12);
+        assert!((on.cross_shard_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_sorts_replaces_and_gains() {
+        let mut r = SharedTierReport::new();
+        assert!(r.is_empty());
+        assert!(r.qps_gain(2).is_none());
+        r.record(m(4, true, 1500.0));
+        r.record(m(2, false, 900.0));
+        r.record(m(2, true, 1200.0));
+        r.record(m(4, false, 1000.0));
+        r.record(m(2, true, 1260.0)); // replaces
+        assert_eq!(r.len(), 4);
+        let keys: Vec<(usize, bool)> = r.iter().map(|e| (e.shards, e.enabled)).collect();
+        assert_eq!(keys, vec![(2, false), (2, true), (4, false), (4, true)]);
+        assert!((r.qps_gain(2).unwrap() - 1.4).abs() < 1e-9);
+        assert!((r.qps_gain(4).unwrap() - 1.5).abs() < 1e-9);
+        assert!(r.qps_gain(8).is_none());
+        // A zero-throughput off run yields no gain instead of infinity.
+        r.record(m(8, false, 0.0));
+        r.record(m(8, true, 100.0));
+        assert!(r.qps_gain(8).is_none());
+    }
+}

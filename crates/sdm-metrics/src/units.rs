@@ -55,6 +55,14 @@ impl Bytes {
         self.0 as f64 / (1024.0 * 1024.0)
     }
 
+    /// Slice `index` of this quantity divided losslessly among `shards`:
+    /// every share is `total / shards`, and the `total % shards` remainder
+    /// bytes go one each to the first shards, so the shares always sum to
+    /// the exact total. See [`split_share`].
+    pub fn split_among(self, shards: u64, index: u64) -> Bytes {
+        Bytes(split_share(self.0, shards, index))
+    }
+
     /// Saturating subtraction.
     pub fn saturating_sub(self, rhs: Bytes) -> Bytes {
         Bytes(self.0.saturating_sub(rhs.0))
@@ -114,6 +122,19 @@ impl Sum for Bytes {
     fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
         iter.fold(Bytes::ZERO, |a, b| a + b)
     }
+}
+
+/// Share `index` (zero-based) of `total` divided losslessly among `shards`.
+///
+/// Every share is `total / shards`, and the `total % shards` remainder units
+/// go one each to shares `0..remainder`, so
+/// `(0..shards).map(|i| split_share(total, shards, i)).sum() == total` for
+/// every input — unlike a plain truncating division, which silently drops
+/// the remainder from the aggregate. `shards == 0` is treated as 1 (the
+/// identity split), and `split_share(total, 1, 0) == total` exactly.
+pub fn split_share(total: u64, shards: u64, index: u64) -> u64 {
+    let shards = shards.max(1);
+    total / shards + u64::from(index < total % shards)
 }
 
 impl fmt::Display for Bytes {
@@ -273,6 +294,33 @@ mod tests {
     fn bytes_sum() {
         let total: Bytes = vec![Bytes(1), Bytes(2), Bytes(3)].into_iter().sum();
         assert_eq!(total, Bytes(6));
+    }
+
+    #[test]
+    fn split_share_is_lossless_at_awkward_counts() {
+        // Remainders land on the first shares and every total is conserved.
+        for total in [0u64, 1, 6, 7, 64, 1000, u64::from(u32::MAX)] {
+            for shards in [1u64, 2, 3, 4, 5, 7, 16] {
+                let sum: u64 = (0..shards).map(|i| split_share(total, shards, i)).sum();
+                assert_eq!(sum, total, "{total} split {shards} ways");
+                // Shares are within one unit of each other, largest first.
+                for i in 1..shards {
+                    let prev = split_share(total, shards, i - 1);
+                    let cur = split_share(total, shards, i);
+                    assert!(prev == cur || prev == cur + 1);
+                }
+            }
+        }
+        // Identity and zero-shard clamping.
+        assert_eq!(split_share(42, 1, 0), 42);
+        assert_eq!(split_share(42, 0, 0), 42);
+        // The motivating case: 7 queue slots over 4 shards used to lose 3.
+        assert_eq!(
+            (0..4).map(|i| split_share(7, 4, i)).collect::<Vec<_>>(),
+            vec![2, 2, 2, 1]
+        );
+        assert_eq!(Bytes(7).split_among(4, 0), Bytes(2));
+        assert_eq!(Bytes(7).split_among(4, 3), Bytes(1));
     }
 
     #[test]

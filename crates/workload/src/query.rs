@@ -78,6 +78,21 @@ impl Default for WorkloadConfig {
 }
 
 impl WorkloadConfig {
+    /// A heavily skewed stream: a small user population under a steep Zipf
+    /// exponent, so a compact set of hot users (and through them hot
+    /// per-table index sequences) dominates the stream. This is the
+    /// workload shape under which cross-shard row reuse shows up — the
+    /// same hot rows are requested on *every* shard no matter how queries
+    /// are routed — making it the standard stream for shared-tier
+    /// measurements and tests.
+    pub fn skewed(user_population: u64, user_zipf_exponent: f64) -> Self {
+        WorkloadConfig {
+            user_population,
+            user_zipf_exponent,
+            ..WorkloadConfig::default()
+        }
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors
@@ -256,6 +271,24 @@ mod tests {
             TableDescriptor::new(1, "user_b", TableKind::User, 2_000, 16).with_pooling_factor(10),
             TableDescriptor::new(2, "item_a", TableKind::Item, 8_000, 32).with_pooling_factor(5),
         ]
+    }
+
+    #[test]
+    fn skewed_config_concentrates_users() {
+        let cfg = WorkloadConfig::skewed(32, 1.2);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.user_population, 32);
+        assert!((cfg.user_zipf_exponent - 1.2).abs() < 1e-12);
+        // A skewed stream repeats its hot users far more often than the
+        // default stream: count distinct users over a short window.
+        let mut gen = QueryGenerator::new(&tables(), cfg, 7).unwrap();
+        let queries = gen.generate(200);
+        let distinct: std::collections::HashSet<u64> = queries.iter().map(|q| q.user_id).collect();
+        assert!(
+            distinct.len() < 33,
+            "{} distinct users from a population of 32",
+            distinct.len()
+        );
     }
 
     #[test]

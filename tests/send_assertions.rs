@@ -11,11 +11,12 @@
 
 use dlrm::{InferenceEngine, PoolingBuffers, QueryResult};
 use io_engine::IoEngine;
-use sdm_cache::{DualRowCache, PooledEmbeddingCache};
+use sdm_cache::{DualRowCache, PooledEmbeddingCache, SharedRowTier};
 use sdm_core::{SdmMemoryManager, SdmSystem, ServingHost, Shard};
 use workload::Scheduler;
 
 fn assert_send<T: Send>() {}
+fn assert_sync<T: Sync>() {}
 
 #[test]
 fn per_shard_serving_state_is_send() {
@@ -37,4 +38,20 @@ fn shard_components_are_send() {
     assert_send::<DualRowCache>();
     assert_send::<PooledEmbeddingCache>();
     assert_send::<Scheduler>();
+}
+
+#[test]
+fn shared_tier_is_send_and_sync() {
+    // The host-shared tier is handed to every shard as an `Arc` and probed
+    // concurrently from `std::thread::scope` workers through `&self`, so it
+    // must be both `Send` and `Sync` — unlike the private caches, which
+    // only ever move with their owning shard. These assertions are what
+    // makes the tier's loom-free concurrency contract a compile-time fact:
+    // interior mutability anywhere but the stripe mutexes would break them.
+    assert_send::<SharedRowTier>();
+    assert_sync::<SharedRowTier>();
+    assert_send::<std::sync::Arc<SharedRowTier>>();
+    assert_sync::<std::sync::Arc<SharedRowTier>>();
+    // Managers stay `Send` with a tier handle attached (Arc<T: Send+Sync>).
+    assert_send::<SdmMemoryManager>();
 }

@@ -8,9 +8,12 @@
 //! do not pollute the count.
 
 use dlrm::{model_zoo, QueryResult};
-use sdm_core::{BatchMode, SdmConfig, SdmSystem};
+use sdm_cache::SharedRowTier;
+use sdm_core::{BatchMode, SdmConfig, SdmSystem, Shard};
 use sdm_metrics::alloc_hook;
+use sdm_metrics::units::Bytes;
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::Arc;
 use workload::{Query, QueryGenerator, WorkloadConfig};
 
 /// System allocator wrapper that reports into the sdm-metrics hook.
@@ -145,6 +148,41 @@ fn warmed_hot_path_performs_zero_allocations() {
         relaxed_report.queries
     );
     assert_eq!(relaxed_report.queries, queries.len() as u64);
+
+    // --- warmed serving through the shared tier ---
+    // A tiny private row cache forces private misses every query; the
+    // shared tier (populated by the warmup passes' promotions) then serves
+    // them. The stripe lookup — hash, mutex lock, intrusive-LRU touch,
+    // closure accumulate out of the stripe arena — must allocate nothing.
+    let mut tier_cfg = SdmConfig::for_tests();
+    tier_cfg.cache.row_cache_budget = Bytes::from_kib(2);
+    tier_cfg.cache.pooled_cache_budget = Bytes::ZERO;
+    let tier = Arc::new(SharedRowTier::new(Bytes::from_mib(4), 8));
+    let mut shard = Shard::build(&model, tier_cfg, 7).unwrap();
+    shard.attach_shared_tier(Arc::clone(&tier), 0);
+    for _ in 0..3 {
+        for q in &queries {
+            shard.run_query_into(q, &mut result).unwrap();
+        }
+    }
+    let hits_before = shard.manager().stats().shared_tier_hits;
+    alloc_hook::reset();
+    alloc_hook::set_enabled(true);
+    for q in &queries {
+        shard.run_query_into(q, &mut result).unwrap();
+    }
+    alloc_hook::set_enabled(false);
+    let tier_allocs = alloc_hook::allocations();
+    assert_eq!(
+        tier_allocs,
+        0,
+        "steady-state shared-tier serving allocated {tier_allocs} times over {} queries",
+        queries.len()
+    );
+    assert!(
+        shard.manager().stats().shared_tier_hits > hits_before,
+        "measured loop never hit the shared tier; the measurement is vacuous"
+    );
 
     // Control: the allocating run_query wrapper does allocate (the returned
     // QueryResult), proving the counter actually observes this code path.
