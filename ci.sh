@@ -30,7 +30,10 @@ if [[ "$mode" == "bench" ]]; then
                  off_qps_2 on_qps_2 off_qps_4 on_qps_4 \
                  qps_gain_4 hit_rate_4 \
                  cross_shard_hit_rate_2 cross_shard_hit_rate_4 \
-                 row_hit_ns shared_hit_ns pooled_hit_ns; do
+                 row_hit_ns shared_hit_ns pooled_hit_ns \
+                 offered_qps_3 exact_p99_us_3 relaxed_p99_us_3 \
+                 exact_shed_rate_1 relaxed_shed_rate_1 \
+                 exact_served_qps_3 relaxed_served_qps_3; do
         grep -q "\"$field\"" BENCH_hotpath.json \
             || { echo "missing $field in BENCH_hotpath.json"; exit 1; }
     done

@@ -31,6 +31,12 @@
 //! 7. **Cache-hit latency** — wall-clock ns per warmed hit in each cache
 //!    level (private row cache, shared tier, pooled-embedding cache), the
 //!    numbers the ROADMAP's perf-trajectory item tracks.
+//! 8. **Open-loop serving** — latency-vs-offered-load curve on the
+//!    *virtual* clock: a seeded Poisson arrival stream drives an
+//!    SLO-aware front end (dynamic batching, token-bucket admission, load
+//!    shedding) over exact- and relaxed-mode hosts at three offered rates.
+//!    Deterministic; CI gates the curve's shape (p99 monotone in offered
+//!    load, zero shed at the lowest rate, served ≤ offered).
 //!
 //! Usage: `exp_hotpath [--quick] [--out PATH] [--check]`. Quick mode
 //! shrinks the iteration counts for CI smoke runs; `--check` compares the
@@ -42,11 +48,14 @@ use dlrm::QueryResult;
 use embedding::{pooling, QuantScheme};
 use sdm_bench::{
     bench_quantized_rows, bench_sdm_config, build_system, header, json_field, measure_batch_modes,
-    measure_shared_tier, measure_streams, pool_seed_style, queries_for, scaled, skewed_queries_for,
+    measure_load_curve, measure_shared_tier, measure_streams, pool_seed_style, queries_for, scaled,
+    skewed_queries_for,
 };
 use sdm_cache::{CacheConfig, DualRowCache, PooledEmbeddingCache, RowCache, RowKey, SharedRowTier};
+use sdm_core::{FrontendConfig, TokenBucketConfig};
 use sdm_metrics::alloc_hook;
 use sdm_metrics::units::Bytes;
+use sdm_metrics::SimDuration;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::hint::black_box;
 use std::time::Instant;
@@ -103,6 +112,8 @@ fn regression_failures(baseline: &str, fresh: &str, compare_wall_clock: bool) ->
         ("shared_tier", "on_qps_2", true),
         ("shared_tier", "on_qps_4", true),
         ("shared_tier", "hit_rate_4", true),
+        ("open_loop", "exact_served_qps_3", true),
+        ("open_loop", "relaxed_served_qps_3", true),
     ];
     // The `cache_latency` ns/hit fields are deliberately *not* gated:
     // single-digit-nanosecond microbenches jitter well past 25 % run to
@@ -181,6 +192,38 @@ fn regression_failures(baseline: &str, fresh: &str, compare_wall_clock: bool) ->
             other => failures.push(format!(
                 "shared_tier: cross_shard_hit_rate_{shards} not strictly positive ({other:?})"
             )),
+        }
+    }
+
+    // Open-loop curve-shape invariants on the fresh run (virtual clock —
+    // deterministic). Gated on shape, not on jitter-prone absolutes: p99
+    // must be monotone non-decreasing in offered load, nothing may be shed
+    // at the lowest rate, and a host can never serve more than was offered.
+    let open = |field: &str| json_field(fresh, "open_loop", field);
+    for mode in ["exact", "relaxed"] {
+        match open(&format!("{mode}_shed_rate_1")) {
+            Some(rate) if rate <= 0.0 => {}
+            other => failures.push(format!(
+                "open_loop: {mode}_shed_rate_1 not zero at the lowest offered load ({other:?})"
+            )),
+        }
+        let p99 = |i: usize| open(&format!("{mode}_p99_us_{i}"));
+        match (p99(1), p99(2), p99(3)) {
+            (Some(a), Some(b), Some(c)) if a <= b && b <= c => {}
+            other => failures.push(format!(
+                "open_loop: {mode} p99 not monotone non-decreasing in offered load ({other:?})"
+            )),
+        }
+        for i in 1..=3usize {
+            match (
+                open(&format!("{mode}_served_qps_{i}")),
+                open(&format!("offered_qps_{i}")),
+            ) {
+                (Some(served), Some(offered)) if served <= offered => {}
+                other => failures.push(format!(
+                    "open_loop: {mode}_served_qps_{i} exceeds offered_qps_{i} ({other:?})"
+                )),
+            }
         }
     }
     failures
@@ -526,6 +569,101 @@ fn main() {
     println!("    shared tier (striped)     {shared_hit_ns:>8.1} ns/hit");
     println!("    pooled cache (keyed)      {pooled_hit_ns:>8.1} ns/hit");
 
+    // --- 8. Open-loop serving: latency-vs-offered-load curve on the
+    // virtual clock (deterministic; curve-shape gated by CI). The same
+    // seeded Poisson arrival stream drives an exact-mode and a
+    // relaxed-mode host at each offered rate, straddling the exact mode's
+    // measured capacity (~470 virtual q/s cold, section 5) so the curve
+    // shows the serving story: both modes meet the SLO at low load, and at
+    // the top rate the exact host sheds hard while the relaxed host's
+    // overlap absorbs far more of the offered load. Same sizes in quick
+    // and full mode so the gate compares like with like. ---
+    let open_rates = [100.0f64, 250.0, 1_600.0];
+    let open_count = 256usize;
+    let open_queries = queries_for(&m1, open_count, 109);
+    let open_frontend = FrontendConfig {
+        max_batch: 16,
+        max_batch_delay: SimDuration::from_millis(5),
+        max_queue_wait: SimDuration::from_millis(50),
+        token_bucket: Some(TokenBucketConfig {
+            capacity: 256.0,
+            refill_per_sec: 5_000.0,
+        }),
+    };
+    let open_arrival_seed = 113u64;
+    let open_exact = measure_load_curve(
+        &m1,
+        &bench_sdm_config(),
+        &open_queries,
+        &open_frontend,
+        &open_rates,
+        open_arrival_seed,
+    );
+    let open_relaxed = measure_load_curve(
+        &m1,
+        &bench_sdm_config().with_relaxed_batching(overlap_window),
+        &open_queries,
+        &open_frontend,
+        &open_rates,
+        open_arrival_seed,
+    );
+    println!(
+        "\n  open-loop serving (M1 scaled, {open_count} queries/point, max_batch 16, \
+         close deadline 5ms, SLO 50ms, virtual clock)"
+    );
+    for (mode, curve) in [("exact", &open_exact), ("relaxed", &open_relaxed)] {
+        for point in curve.iter() {
+            println!(
+                "    {mode:<8} offered {:>6.0} q/s  p50 {:>9} p99 {:>9}  \
+                 shed {:>6}  served {:>6.0} q/s  batch {:>5.2}",
+                point.offered_qps_target,
+                point.p50_latency,
+                point.p99_latency,
+                sdm_bench::pct(point.shed_rate()),
+                point.served_qps,
+                point.mean_batch,
+            );
+        }
+    }
+    let open_point = |curve: &sdm_metrics::LoadCurveReport, i: usize| {
+        *curve.get(i).expect("load point measured")
+    };
+    // Flat key/value body of the open_loop JSON section (the hand-rolled
+    // `json_field` reader scopes a section to its first `}`, so the
+    // section must stay a single-level object).
+    let mut open_loop_json = format!(
+        "\"model\": \"M1-scaled\",\n    \"queries\": {open_count},\n    \
+         \"max_batch\": 16,\n    \"max_batch_delay_us\": 5000,\n    \"slo_us\": 50000"
+    );
+    for (i, &rate) in open_rates.iter().enumerate() {
+        let n = i + 1;
+        let e = open_point(&open_exact, i);
+        let r = open_point(&open_relaxed, i);
+        // Arrivals are mode-independent (same process and seed), so one
+        // measured offered_qps field serves both modes.
+        open_loop_json.push_str(&format!(
+            ",\n    \"target_qps_{n}\": {rate:.1},\n    \
+             \"offered_qps_{n}\": {:.1},\n    \
+             \"exact_p50_us_{n}\": {:.3},\n    \
+             \"exact_p99_us_{n}\": {:.3},\n    \
+             \"exact_shed_rate_{n}\": {:.4},\n    \
+             \"exact_served_qps_{n}\": {:.1},\n    \
+             \"relaxed_p50_us_{n}\": {:.3},\n    \
+             \"relaxed_p99_us_{n}\": {:.3},\n    \
+             \"relaxed_shed_rate_{n}\": {:.4},\n    \
+             \"relaxed_served_qps_{n}\": {:.1}",
+            e.offered_qps,
+            e.p50_latency.as_micros_f64(),
+            e.p99_latency.as_micros_f64(),
+            e.shed_rate(),
+            e.served_qps,
+            r.p50_latency.as_micros_f64(),
+            r.p99_latency.as_micros_f64(),
+            r.shed_rate(),
+            r.served_qps,
+        ));
+    }
+
     // --- Emit BENCH_hotpath.json (hand-rolled: no JSON crate vendored). ---
     let json = format!(
         "{{\n  \"schema\": \"sdm-hotpath-v1\",\n  \"quick\": {quick},\n  \
@@ -582,6 +720,7 @@ fn main() {
          \"cross_shard_hit_rate_2\": {t_cross_2:.4},\n    \
          \"cross_shard_hit_rate_4\": {t_cross_4:.4},\n    \
          \"promotions_4\": {t_promo_4}\n  }},\n  \
+         \"open_loop\": {{\n    {open_loop_json}\n  }},\n  \
          \"cache_latency\": {{\n    \
          \"row_hit_ns\": {row_hit_ns:.1},\n    \
          \"shared_hit_ns\": {shared_hit_ns:.1},\n    \

@@ -6,13 +6,15 @@
 //! produce.
 
 use dlrm::{model_zoo, ModelConfig};
-use sdm_core::{SdmConfig, SdmSystem, ServingHost};
+use sdm_core::{Frontend, FrontendConfig, SdmConfig, SdmSystem, ServingHost};
 use sdm_metrics::units::Bytes;
 use sdm_metrics::{
-    BatchModeMeasurement, BatchModeReport, MultiStreamReport, SharedTierMeasurement,
-    SharedTierReport,
+    BatchModeMeasurement, BatchModeReport, LoadCurveReport, MultiStreamReport,
+    SharedTierMeasurement, SharedTierReport,
 };
-use workload::{Query, QueryGenerator, RoutingPolicy, WorkloadConfig};
+use workload::{
+    ArrivalGenerator, ArrivalProcess, Query, QueryGenerator, RoutingPolicy, WorkloadConfig,
+};
 
 /// Divisor applied to paper-scale row counts so experiments run in seconds
 /// on a development machine. Capacity-derived results always use the
@@ -245,6 +247,45 @@ pub fn measure_shared_tier(
                 promotions: stats.shared_tier_promotions - before.shared_tier_promotions,
             });
         }
+    }
+    report
+}
+
+/// Measures the open-loop latency-vs-offered-load curve on the *virtual*
+/// clock: for each offered rate, a freshly built 1-shard host (cold
+/// caches, same stream capacity regime as the batch-mode measurement)
+/// serves the query stream through a [`Frontend`] fed by seeded Poisson
+/// arrivals at that rate. Every recorded point — p50/p99, shed rate,
+/// served QPS — is deterministic, so CI gates on curve-shape invariants.
+///
+/// Rates should be passed in increasing order so
+/// [`LoadCurveReport::p99_monotone`] checks the intended shape.
+///
+/// # Panics
+///
+/// Panics when a host, front end or generator cannot be built or a batch
+/// fails — experiments treat these as fatal setup errors.
+pub fn measure_load_curve(
+    model: &ModelConfig,
+    config: &SdmConfig,
+    queries: &[Query],
+    frontend: &FrontendConfig,
+    rates: &[f64],
+    arrival_seed: u64,
+) -> LoadCurveReport {
+    let mut report = LoadCurveReport::new();
+    for &rate in rates {
+        let mut host =
+            ServingHost::build(model, config, EXPERIMENT_SEED, 1, RoutingPolicy::UserSticky)
+                .expect("failed to build serving host");
+        let mut fe = Frontend::new(*frontend).expect("invalid frontend config");
+        let mut arrivals =
+            ArrivalGenerator::new(ArrivalProcess::Poisson { rate_qps: rate }, arrival_seed)
+                .expect("invalid arrival process");
+        let run = fe
+            .run(&mut host, queries, &mut arrivals)
+            .expect("open-loop run failed");
+        report.record(run.load_point(rate));
     }
     report
 }

@@ -130,6 +130,11 @@ pub struct DramBackend {
     /// slot was re-acquired is rejected as stale instead of consuming the
     /// new occupant's result.
     generations: Vec<u32>,
+    /// Vacant `pending` slots, kept as a stack so `lookup_begin` acquires in
+    /// O(1) instead of scanning the window (the same free-list idiom as
+    /// `CpuOptimizedCache` / `SharedRowTier`). Invariant: `slot` is in this
+    /// list iff `pending[slot]` is `None`.
+    free_slots: Vec<usize>,
 }
 
 impl DramBackend {
@@ -146,6 +151,7 @@ impl DramBackend {
             per_element_cost: SimDuration::from_nanos(1),
             pending: Vec::new(),
             generations: Vec::new(),
+            free_slots: Vec::new(),
         }
     }
 
@@ -157,6 +163,7 @@ impl DramBackend {
             per_element_cost: SimDuration::from_nanos(1),
             pending: Vec::new(),
             generations: Vec::new(),
+            free_slots: Vec::new(),
         }
     }
 
@@ -178,9 +185,15 @@ impl DramBackend {
         // indices and generations stay in sync; bumping the generation of
         // every abandoned slot makes the orphaned tickets stale even after
         // the slot is re-acquired.
-        for (entry, generation) in self.pending.iter_mut().zip(&mut self.generations) {
+        for (slot, (entry, generation)) in self
+            .pending
+            .iter_mut()
+            .zip(&mut self.generations)
+            .enumerate()
+        {
             if entry.take().is_some() {
                 *generation = generation.wrapping_add(1);
+                self.free_slots.push(slot);
             }
         }
     }
@@ -249,15 +262,14 @@ impl OverlappedBackend for DramBackend {
         // eagerly, finish just hands it back. This keeps the baseline
         // backend usable under the overlapped executor for comparisons.
         let pooled = self.pooled_lookup(table, indices, now)?;
-        let slot = self
-            .pending
-            .iter()
-            .position(Option::is_none)
-            .unwrap_or_else(|| {
-                self.pending.push(None);
-                self.generations.push(0);
-                self.pending.len() - 1
-            });
+        // O(1) slot acquisition off the free list; grow only when every slot
+        // in the window is occupied.
+        let slot = self.free_slots.pop().unwrap_or_else(|| {
+            self.pending.push(None);
+            self.generations.push(0);
+            self.pending.len() - 1
+        });
+        debug_assert!(self.pending[slot].is_none(), "free slot {slot} occupied");
         self.pending[slot] = Some(pooled);
         Ok(LookupTicket(
             (u64::from(self.generations[slot]) << 32) | slot as u64,
@@ -292,6 +304,7 @@ impl OverlappedBackend for DramBackend {
         // The consumed generation goes stale; the next begin of this slot
         // issues a fresh one.
         self.generations[slot] = self.generations[slot].wrapping_add(1);
+        self.free_slots.push(slot);
         out.copy_from_slice(&pooled);
         Ok(took)
     }
@@ -344,6 +357,70 @@ mod tests {
         assert!(backend
             .pooled_lookup(0, &[10_000], SimInstant::EPOCH)
             .is_err());
+    }
+
+    #[test]
+    fn free_list_reuses_slots_and_keeps_tickets_generation_safe() {
+        let model = model_zoo::tiny(1, 0, 50);
+        let mut backend = DramBackend::new(&model, 7);
+        let dim = backend.table(0).unwrap().descriptor().dim;
+        let mut out = vec![0.0f32; dim];
+
+        // Begin/finish interleaved: after the window drains, later begins
+        // must come from the free list instead of growing `pending`.
+        let a = backend.lookup_begin(0, &[1], SimInstant::EPOCH).unwrap();
+        let b = backend.lookup_begin(0, &[2], SimInstant::EPOCH).unwrap();
+        assert_eq!(backend.pending.len(), 2);
+        backend.lookup_finish(a, &mut out).unwrap();
+        backend.lookup_finish(b, &mut out).unwrap();
+        let c = backend.lookup_begin(0, &[3], SimInstant::EPOCH).unwrap();
+        let d = backend.lookup_begin(0, &[4], SimInstant::EPOCH).unwrap();
+        assert_eq!(backend.pending.len(), 2, "drained slots were not reused");
+
+        // The retained ticket `a` names a reused slot with an older
+        // generation: it must be rejected, not consume the new occupant.
+        assert!(matches!(
+            backend.lookup_finish(a, &mut out),
+            Err(DlrmError::StaleTicket { .. })
+        ));
+        backend.lookup_finish(c, &mut out).unwrap();
+        backend.lookup_finish(d, &mut out).unwrap();
+
+        // reset_pending returns abandoned slots to the free list and stales
+        // their tickets even after the slots are re-acquired.
+        let e = backend.lookup_begin(0, &[5], SimInstant::EPOCH).unwrap();
+        backend.reset_pending();
+        let f = backend.lookup_begin(0, &[6], SimInstant::EPOCH).unwrap();
+        assert_eq!(backend.pending.len(), 2, "reset_pending leaked a slot");
+        assert!(matches!(
+            backend.lookup_finish(e, &mut out),
+            Err(DlrmError::StaleTicket { .. })
+        ));
+        backend.lookup_finish(f, &mut out).unwrap();
+
+        // Free-list invariant: every pending slot is vacant again.
+        assert!(backend.pending.iter().all(Option::is_none));
+        assert_eq!(backend.free_slots.len(), backend.pending.len());
+    }
+
+    #[test]
+    fn mis_sized_finish_is_retryable_and_does_not_free_the_slot() {
+        let model = model_zoo::tiny(1, 0, 50);
+        let mut backend = DramBackend::new(&model, 7);
+        let dim = backend.table(0).unwrap().descriptor().dim;
+        let t = backend.lookup_begin(0, &[1], SimInstant::EPOCH).unwrap();
+        let mut short = vec![0.0f32; dim - 1];
+        assert!(matches!(
+            backend.lookup_finish(t, &mut short),
+            Err(DlrmError::DimensionMismatch { .. })
+        ));
+        assert!(
+            backend.free_slots.is_empty(),
+            "failed finish freed the slot"
+        );
+        let mut out = vec![0.0f32; dim];
+        backend.lookup_finish(t, &mut out).unwrap();
+        assert_eq!(backend.free_slots.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,715 @@
+//! Open-loop request front end: SLO-aware dynamic batching and load
+//! shedding ahead of a [`ServingHost`].
+//!
+//! Closed-loop driving ([`ServingHost::run_batch`] on pre-built batches)
+//! measures how fast shards drain work; the paper's serving criterion is
+//! what p50/p99 the host delivers *at a given offered QPS* while meeting a
+//! latency target. This module provides that measurement surface:
+//!
+//! * arrivals come from a seeded [`workload::ArrivalGenerator`] (open loop
+//!   — the arrival instants do not depend on how fast the server runs);
+//! * a **dynamic batcher** accumulates admitted queries and closes the
+//!   batch on size-or-deadline (`max_batch` reached, or the oldest queued
+//!   query has waited `max_batch_delay`);
+//! * **admission control** sheds queries instead of queueing without
+//!   bound: a token bucket (rate limit) and an SLO guard that rejects a
+//!   query when the estimated queue wait (time until the server frees up)
+//!   already exceeds `max_queue_wait`;
+//! * everything runs on the virtual clock, so a `(stream, seed, config)`
+//!   triple produces a bit-identical [`FrontendReport`] on every run, and
+//!   the warmed admission→batch→serve path performs no per-query heap
+//!   allocation.
+//!
+//! The server is modelled as the serially-reused host: a dispatched batch
+//! starts at `max(close_time, server_free)` and occupies the host for its
+//! measured [`HostReport::virtual_makespan`]. Every query in a batch
+//! completes when the batch does, so a served query's latency is
+//! `batch_completion - arrival`.
+
+use crate::error::SdmError;
+use crate::host::ServingHost;
+use crate::stats::SdmStats;
+use sdm_metrics::{LatencyHistogram, LoadPoint, SimDuration, SimInstant};
+use workload::{ArrivalGenerator, Query};
+
+/// Token-bucket admission parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TokenBucketConfig {
+    /// Maximum burst the bucket absorbs, in queries. Must be ≥ 1.
+    pub capacity: f64,
+    /// Sustained admission rate, queries per virtual second.
+    pub refill_per_sec: f64,
+}
+
+/// Front-end tuning knobs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontendConfig {
+    /// Close the open batch as soon as it holds this many queries.
+    pub max_batch: usize,
+    /// Close the open batch once its oldest query has waited this long —
+    /// no admitted query is held past `arrival + max_batch_delay` before
+    /// its batch is handed to the host.
+    pub max_batch_delay: SimDuration,
+    /// SLO guard: shed an arrival when the estimated queue wait (time
+    /// until the server frees up) already exceeds this.
+    pub max_queue_wait: SimDuration,
+    /// Optional token-bucket rate limit applied before the SLO guard.
+    pub token_bucket: Option<TokenBucketConfig>,
+}
+
+impl FrontendConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), SdmError> {
+        if self.max_batch == 0 {
+            return Err(SdmError::InvalidConfig {
+                reason: "frontend max_batch must be at least 1".to_string(),
+            });
+        }
+        if let Some(bucket) = &self.token_bucket {
+            if !(bucket.capacity.is_finite() && bucket.capacity >= 1.0) {
+                return Err(SdmError::InvalidConfig {
+                    reason: format!(
+                        "token bucket capacity must be >= 1 query, got {}",
+                        bucket.capacity
+                    ),
+                });
+            }
+            if !(bucket.refill_per_sec.is_finite() && bucket.refill_per_sec > 0.0) {
+                return Err(SdmError::InvalidConfig {
+                    reason: format!(
+                        "token bucket refill must be positive, got {}",
+                        bucket.refill_per_sec
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Why the batcher handed a batch to the host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CloseReason {
+    /// The batch reached `max_batch` queries.
+    Full,
+    /// The oldest query reached its `max_batch_delay` deadline.
+    Deadline,
+    /// End of the arrival stream: the final partial batch is dispatched at
+    /// its (not yet reached) deadline.
+    Flush,
+}
+
+/// What happened to one offered query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QueryOutcome {
+    /// Admitted and queued; replaced by [`QueryOutcome::Served`] when its
+    /// batch completes. Never present in the log of a finished run.
+    Pending,
+    /// Served; the batch completed at this instant.
+    Served {
+        /// Completion instant of the query's batch.
+        completed: SimInstant,
+    },
+    /// Shed by the token bucket.
+    ShedRateLimited,
+    /// Shed by the SLO guard (estimated queue wait above `max_queue_wait`).
+    ShedOverload,
+}
+
+/// Per-query front-end record: when it arrived and how it ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryRecord {
+    /// Arrival instant on the virtual clock.
+    pub arrival: SimInstant,
+    /// Final outcome.
+    pub outcome: QueryOutcome,
+}
+
+/// Per-batch front-end record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchRecord {
+    /// Queries in the batch.
+    pub len: usize,
+    /// Arrival of the batch's oldest query.
+    pub oldest_arrival: SimInstant,
+    /// When the batcher closed the batch. Never exceeds
+    /// `oldest_arrival + max_batch_delay`.
+    pub closed_at: SimInstant,
+    /// When the host started executing it: `max(closed_at, server_free)`.
+    pub started_at: SimInstant,
+    /// `started_at` plus the batch's measured virtual makespan.
+    pub completed_at: SimInstant,
+    /// Why the batch closed.
+    pub reason: CloseReason,
+}
+
+/// Measured outcome of one [`Frontend::run`] over an arrival stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrontendReport {
+    /// Queries that arrived.
+    pub offered: u64,
+    /// Queries past admission control (all of which were then served).
+    pub admitted: u64,
+    /// Queries served to completion.
+    pub served: u64,
+    /// Queries shed by the token bucket.
+    pub shed_rate_limited: u64,
+    /// Queries shed by the SLO guard.
+    pub shed_overload: u64,
+    /// Batches dispatched to the host.
+    pub batches: u64,
+    /// Mean dispatched batch size.
+    pub mean_batch: f64,
+    /// Median served latency (arrival → batch completion).
+    pub p50_latency: SimDuration,
+    /// 99th-percentile served latency.
+    pub p99_latency: SimDuration,
+    /// Mean served latency.
+    pub mean_latency: SimDuration,
+    /// Slowest served latency.
+    pub max_latency: SimDuration,
+    /// Measured offered rate: arrivals over the arrival window.
+    pub offered_qps: f64,
+    /// Measured served rate: completions over the window from the first
+    /// arrival to `max(last completion, last arrival)`. The window is at
+    /// least the arrival window and completions are at most arrivals, so
+    /// `served_qps <= offered_qps` holds by construction.
+    pub served_qps: f64,
+}
+
+impl FrontendReport {
+    /// Total queries shed, for either reason.
+    pub fn shed(&self) -> u64 {
+        self.shed_rate_limited + self.shed_overload
+    }
+
+    /// Fraction of offered queries shed, in `[0, 1]`.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed() as f64 / self.offered as f64
+        }
+    }
+
+    /// This run as a [`LoadPoint`] for a [`sdm_metrics::LoadCurveReport`],
+    /// tagged with the arrival process's configured rate.
+    pub fn load_point(&self, offered_qps_target: f64) -> LoadPoint {
+        LoadPoint {
+            offered_qps_target,
+            offered: self.offered,
+            admitted: self.admitted,
+            served: self.served,
+            shed_rate_limited: self.shed_rate_limited,
+            shed_overload: self.shed_overload,
+            offered_qps: self.offered_qps,
+            served_qps: self.served_qps,
+            p50_latency: self.p50_latency,
+            p99_latency: self.p99_latency,
+            mean_latency: self.mean_latency,
+            batches: self.batches,
+            mean_batch: self.mean_batch,
+        }
+    }
+}
+
+/// Token bucket on the virtual clock.
+#[derive(Debug, Clone)]
+struct TokenBucket {
+    capacity: f64,
+    refill_per_sec: f64,
+    fill: f64,
+    last: SimInstant,
+}
+
+impl TokenBucket {
+    fn new(config: TokenBucketConfig) -> Self {
+        TokenBucket {
+            capacity: config.capacity,
+            refill_per_sec: config.refill_per_sec,
+            fill: config.capacity,
+            last: SimInstant::EPOCH,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.fill = self.capacity;
+        self.last = SimInstant::EPOCH;
+    }
+
+    fn refill(&mut self, now: SimInstant) {
+        let elapsed = now.duration_since(self.last).as_secs_f64();
+        self.fill = (self.fill + elapsed * self.refill_per_sec).min(self.capacity);
+        self.last = now;
+    }
+
+    fn try_take(&mut self) -> bool {
+        if self.fill >= 1.0 {
+            self.fill -= 1.0;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// The open-loop front end: admission control plus a dynamic batcher
+/// feeding a [`ServingHost`].
+///
+/// All per-run buffers (pick list, logs, latency histogram) are owned and
+/// reused, so repeated runs of equal length allocate nothing once warmed.
+#[derive(Debug)]
+pub struct Frontend {
+    config: FrontendConfig,
+    bucket: Option<TokenBucket>,
+    /// Open batch: positions within the current query stream.
+    picks: Vec<usize>,
+    /// Arrival of the open batch's oldest query.
+    oldest_arrival: SimInstant,
+    /// Instant the (serially reused) host becomes free.
+    server_free: SimInstant,
+    hist: LatencyHistogram,
+    query_log: Vec<QueryRecord>,
+    batch_log: Vec<BatchRecord>,
+    /// Per-run counters.
+    admitted: u64,
+    served: u64,
+    shed_rate_limited: u64,
+    shed_overload: u64,
+    /// Lifetime counters across runs, surfaced via [`Frontend::stats`].
+    cum_admitted: u64,
+    cum_shed_rate_limited: u64,
+    cum_shed_overload: u64,
+}
+
+impl Frontend {
+    /// Builds a front end from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SdmError::InvalidConfig`] for a zero `max_batch` or a
+    /// degenerate token bucket.
+    pub fn new(config: FrontendConfig) -> Result<Self, SdmError> {
+        config.validate()?;
+        Ok(Frontend {
+            config,
+            bucket: config.token_bucket.map(TokenBucket::new),
+            picks: Vec::new(),
+            oldest_arrival: SimInstant::EPOCH,
+            server_free: SimInstant::EPOCH,
+            hist: LatencyHistogram::new(),
+            query_log: Vec::new(),
+            batch_log: Vec::new(),
+            admitted: 0,
+            served: 0,
+            shed_rate_limited: 0,
+            shed_overload: 0,
+            cum_admitted: 0,
+            cum_shed_rate_limited: 0,
+            cum_shed_overload: 0,
+        })
+    }
+
+    /// The configuration this front end runs with.
+    pub fn config(&self) -> &FrontendConfig {
+        &self.config
+    }
+
+    /// Per-query records of the last run, parallel to its query stream.
+    pub fn query_log(&self) -> &[QueryRecord] {
+        &self.query_log
+    }
+
+    /// Per-batch records of the last run, in dispatch order.
+    pub fn batch_log(&self) -> &[BatchRecord] {
+        &self.batch_log
+    }
+
+    /// Lifetime front-end counters as an [`SdmStats`] block, mergeable
+    /// with [`ServingHost::stats`] for a full serving picture.
+    pub fn stats(&self) -> SdmStats {
+        let mut stats = SdmStats::new();
+        stats.frontend_admitted = self.cum_admitted;
+        stats.frontend_shed_rate_limited = self.cum_shed_rate_limited;
+        stats.frontend_shed_overload = self.cum_shed_overload;
+        stats
+    }
+
+    /// Drives the host with one open-loop pass over `queries`: query `i`
+    /// arrives at the generator's `i`-th arrival instant, passes admission
+    /// control or is shed, and admitted queries are served in dynamic
+    /// batches via [`ServingHost::run_selected_batch`].
+    ///
+    /// The generator is taken `&mut` and *not* reset, so a caller can
+    /// continue one arrival timeline across successive runs; pass a fresh
+    /// seeded generator for independent, reproducible runs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates host errors. After an error the logs describe the
+    /// partial run up to the failed dispatch.
+    pub fn run(
+        &mut self,
+        host: &mut ServingHost,
+        queries: &[Query],
+        arrivals: &mut ArrivalGenerator,
+    ) -> Result<FrontendReport, SdmError> {
+        self.begin_run();
+        let mut first_arrival = SimInstant::EPOCH;
+        let mut last_arrival = SimInstant::EPOCH;
+        for (qi, _) in queries.iter().enumerate() {
+            let t = arrivals.next_arrival();
+            if qi == 0 {
+                first_arrival = t;
+            }
+            last_arrival = t;
+            // The open batch closes on its own timeline, not the server's:
+            // if its deadline passed before this arrival, it was dispatched
+            // back then.
+            if !self.picks.is_empty() {
+                let deadline = self.oldest_arrival + self.config.max_batch_delay;
+                if deadline <= t {
+                    self.dispatch(host, queries, deadline, CloseReason::Deadline)?;
+                }
+            }
+            self.query_log.push(QueryRecord {
+                arrival: t,
+                outcome: QueryOutcome::Pending,
+            });
+            if let Some(bucket) = self.bucket.as_mut() {
+                bucket.refill(t);
+                if !bucket.try_take() {
+                    self.query_log[qi].outcome = QueryOutcome::ShedRateLimited;
+                    self.shed_rate_limited += 1;
+                    continue;
+                }
+            }
+            // SLO guard: the server is busy until `server_free`; a query
+            // that would already wait longer than the SLO allows is shed
+            // now instead of serving a guaranteed-late response.
+            if self.server_free.duration_since(t) > self.config.max_queue_wait {
+                self.query_log[qi].outcome = QueryOutcome::ShedOverload;
+                self.shed_overload += 1;
+                continue;
+            }
+            if self.picks.is_empty() {
+                self.oldest_arrival = t;
+            }
+            self.picks.push(qi);
+            self.admitted += 1;
+            if self.picks.len() >= self.config.max_batch {
+                self.dispatch(host, queries, t, CloseReason::Full)?;
+            }
+        }
+        if !self.picks.is_empty() {
+            let deadline = self.oldest_arrival + self.config.max_batch_delay;
+            self.dispatch(host, queries, deadline, CloseReason::Flush)?;
+        }
+        self.cum_admitted += self.admitted;
+        self.cum_shed_rate_limited += self.shed_rate_limited;
+        self.cum_shed_overload += self.shed_overload;
+        Ok(self.report(first_arrival, last_arrival))
+    }
+
+    /// Resets all per-run state; buffer capacity is retained.
+    fn begin_run(&mut self) {
+        self.picks.clear();
+        self.query_log.clear();
+        self.batch_log.clear();
+        self.hist.reset();
+        self.oldest_arrival = SimInstant::EPOCH;
+        self.server_free = SimInstant::EPOCH;
+        self.admitted = 0;
+        self.served = 0;
+        self.shed_rate_limited = 0;
+        self.shed_overload = 0;
+        if let Some(bucket) = self.bucket.as_mut() {
+            bucket.reset();
+        }
+    }
+
+    /// Hands the open batch to the host, completes its queries and
+    /// advances `server_free`.
+    fn dispatch(
+        &mut self,
+        host: &mut ServingHost,
+        queries: &[Query],
+        closed_at: SimInstant,
+        reason: CloseReason,
+    ) -> Result<(), SdmError> {
+        debug_assert!(!self.picks.is_empty());
+        let started_at = self.server_free.max(closed_at);
+        let host_report = host.run_selected_batch(queries, &self.picks)?;
+        let completed_at = started_at + host_report.virtual_makespan;
+        let Self {
+            picks,
+            query_log,
+            hist,
+            ..
+        } = self;
+        for &qi in picks.iter() {
+            let record = &mut query_log[qi];
+            hist.record(completed_at.duration_since(record.arrival));
+            record.outcome = QueryOutcome::Served {
+                completed: completed_at,
+            };
+        }
+        self.batch_log.push(BatchRecord {
+            len: self.picks.len(),
+            oldest_arrival: self.oldest_arrival,
+            closed_at,
+            started_at,
+            completed_at,
+            reason,
+        });
+        self.served += self.picks.len() as u64;
+        self.server_free = completed_at;
+        self.picks.clear();
+        Ok(())
+    }
+
+    fn report(&self, first_arrival: SimInstant, last_arrival: SimInstant) -> FrontendReport {
+        let offered = self.query_log.len() as u64;
+        let arrival_window = last_arrival.duration_since(first_arrival);
+        let offered_qps = if arrival_window.is_zero() {
+            0.0
+        } else {
+            offered as f64 / arrival_window.as_secs_f64()
+        };
+        // Serving extends past the last arrival while queued batches
+        // drain; taking the max keeps the served window at least as long
+        // as the arrival window, so served_qps <= offered_qps always.
+        let serve_end = self.server_free.max(last_arrival);
+        let served_window = serve_end.duration_since(first_arrival);
+        let served_qps = if served_window.is_zero() {
+            0.0
+        } else {
+            self.served as f64 / served_window.as_secs_f64()
+        };
+        let batches = self.batch_log.len() as u64;
+        FrontendReport {
+            offered,
+            admitted: self.admitted,
+            served: self.served,
+            shed_rate_limited: self.shed_rate_limited,
+            shed_overload: self.shed_overload,
+            batches,
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                self.served as f64 / batches as f64
+            },
+            p50_latency: self.hist.p50(),
+            p99_latency: self.hist.p99(),
+            mean_latency: self.hist.mean(),
+            max_latency: self.hist.max(),
+            offered_qps,
+            served_qps,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SdmConfig;
+    use dlrm::model_zoo;
+    use workload::{ArrivalProcess, QueryGenerator, RoutingPolicy, WorkloadConfig};
+
+    fn setup(count: usize, seed: u64) -> (ServingHost, Vec<Query>) {
+        let model = model_zoo::tiny(2, 1, 400);
+        let cfg = WorkloadConfig {
+            item_batch: model.item_batch,
+            user_population: 64,
+            ..WorkloadConfig::default()
+        };
+        let mut gen = QueryGenerator::new(&model.tables, cfg, seed).unwrap();
+        let queries = gen.generate(count);
+        let host = ServingHost::build(
+            &model,
+            &SdmConfig::for_tests(),
+            seed,
+            1,
+            RoutingPolicy::UserSticky,
+        )
+        .unwrap();
+        (host, queries)
+    }
+
+    fn frontend(max_batch: usize, delay_us: u64, wait_us: u64) -> Frontend {
+        Frontend::new(FrontendConfig {
+            max_batch,
+            max_batch_delay: SimDuration::from_micros(delay_us),
+            max_queue_wait: SimDuration::from_micros(wait_us),
+            token_bucket: None,
+        })
+        .unwrap()
+    }
+
+    fn poisson(rate: f64, seed: u64) -> ArrivalGenerator {
+        ArrivalGenerator::new(ArrivalProcess::Poisson { rate_qps: rate }, seed).unwrap()
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        assert!(Frontend::new(FrontendConfig {
+            max_batch: 0,
+            max_batch_delay: SimDuration::ZERO,
+            max_queue_wait: SimDuration::ZERO,
+            token_bucket: None,
+        })
+        .is_err());
+        for bucket in [
+            TokenBucketConfig {
+                capacity: 0.5,
+                refill_per_sec: 10.0,
+            },
+            TokenBucketConfig {
+                capacity: 8.0,
+                refill_per_sec: 0.0,
+            },
+        ] {
+            assert!(Frontend::new(FrontendConfig {
+                max_batch: 8,
+                max_batch_delay: SimDuration::ZERO,
+                max_queue_wait: SimDuration::ZERO,
+                token_bucket: Some(bucket),
+            })
+            .is_err());
+        }
+    }
+
+    #[test]
+    fn slow_arrivals_close_batches_on_deadline_and_shed_nothing() {
+        let (mut host, queries) = setup(24, 21);
+        // 20 qps: mean gap 50ms, far above both the 2ms close deadline and
+        // the tiny model's service time, and far below capacity.
+        let mut fe = frontend(8, 2_000, 1_000_000);
+        let report = fe.run(&mut host, &queries, &mut poisson(20.0, 1)).unwrap();
+        assert_eq!(report.offered, 24);
+        assert_eq!(report.served, 24);
+        assert_eq!(report.shed(), 0);
+        assert!(report.shed_rate() == 0.0);
+        // Gaps dwarf the deadline, so batches stay small and close by
+        // deadline (the last one by flush).
+        assert!(report.batches >= 20, "batches {}", report.batches);
+        let log = fe.batch_log();
+        assert_eq!(log.len(), report.batches as usize);
+        for batch in &log[..log.len() - 1] {
+            assert_eq!(batch.reason, CloseReason::Deadline);
+        }
+        assert_eq!(log[log.len() - 1].reason, CloseReason::Flush);
+        for batch in log {
+            assert!(batch.closed_at <= batch.oldest_arrival + SimDuration::from_micros(2_000));
+            assert!(batch.started_at >= batch.closed_at);
+            assert!(batch.completed_at > batch.started_at);
+        }
+        // Every query served, with latency ≥ the time to its batch close.
+        for record in fe.query_log() {
+            match record.outcome {
+                QueryOutcome::Served { completed } => assert!(completed > record.arrival),
+                other => panic!("expected served, got {other:?}"),
+            }
+        }
+        assert!(report.p50_latency >= SimDuration::from_micros(2_000));
+        assert!(report.max_latency >= report.p99_latency);
+        assert!(report.served_qps <= report.offered_qps);
+    }
+
+    #[test]
+    fn fast_arrivals_fill_batches_to_max_size() {
+        let (mut host, queries) = setup(32, 22);
+        // 1M qps: ~1µs gaps, so batches hit max_batch long before the 1s
+        // deadline; a generous SLO admits everything.
+        let mut fe = frontend(4, 1_000_000, 10_000_000);
+        let report = fe
+            .run(&mut host, &queries, &mut poisson(1_000_000.0, 2))
+            .unwrap();
+        assert_eq!(report.served, 32);
+        assert_eq!(report.batches, 8);
+        assert!((report.mean_batch - 4.0).abs() < 1e-12);
+        for batch in fe.batch_log() {
+            assert_eq!(batch.len, 4);
+            assert_eq!(batch.reason, CloseReason::Full);
+        }
+    }
+
+    #[test]
+    fn overload_sheds_once_queue_wait_exceeds_slo() {
+        let (mut host, queries) = setup(48, 23);
+        // Offered far above capacity with a zero-wait SLO: any arrival
+        // while the server is busy is shed.
+        let mut fe = frontend(4, 1_000_000, 0);
+        let report = fe
+            .run(&mut host, &queries, &mut poisson(1_000_000.0, 3))
+            .unwrap();
+        assert!(report.shed_overload > 0, "nothing shed: {report:?}");
+        assert_eq!(report.shed_rate_limited, 0);
+        assert_eq!(
+            report.served + report.shed(),
+            report.offered,
+            "every offered query must be accounted for"
+        );
+        assert_eq!(report.admitted, report.served);
+        let shed_logged = fe
+            .query_log()
+            .iter()
+            .filter(|r| r.outcome == QueryOutcome::ShedOverload)
+            .count() as u64;
+        assert_eq!(shed_logged, report.shed_overload);
+        // Shedding is load-dependent: the same stream at trivial load
+        // sheds nothing.
+        let (mut cold_host, _) = setup(48, 23);
+        let relaxed = fe
+            .run(&mut cold_host, &queries, &mut poisson(10.0, 3))
+            .unwrap();
+        assert_eq!(relaxed.shed(), 0);
+    }
+
+    #[test]
+    fn token_bucket_rate_limits_bursts() {
+        let (mut host, queries) = setup(24, 24);
+        let mut fe = Frontend::new(FrontendConfig {
+            max_batch: 4,
+            max_batch_delay: SimDuration::from_micros(500),
+            max_queue_wait: SimDuration::from_secs(10),
+            token_bucket: Some(TokenBucketConfig {
+                capacity: 2.0,
+                refill_per_sec: 1.0,
+            }),
+        })
+        .unwrap();
+        // A ~1µs-gap burst against a 2-token bucket refilling at 1/s: the
+        // first two queries take the stored tokens, the rest are shed.
+        let report = fe
+            .run(&mut host, &queries, &mut poisson(1_000_000.0, 4))
+            .unwrap();
+        assert_eq!(report.admitted, 2);
+        assert_eq!(report.shed_rate_limited, 22);
+        assert_eq!(report.shed_overload, 0);
+        assert_eq!(report.served, 2);
+
+        // Lifetime counters accumulate across runs.
+        let (mut host2, _) = setup(24, 24);
+        fe.run(&mut host2, &queries, &mut poisson(1_000_000.0, 4))
+            .unwrap();
+        let stats = fe.stats();
+        assert_eq!(stats.frontend_admitted, 4);
+        assert_eq!(stats.frontend_shed_rate_limited, 44);
+        assert!((stats.frontend_shed_rate() - 44.0 / 48.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_the_report_bit_for_bit() {
+        let run = || {
+            let (mut host, queries) = setup(40, 25);
+            let mut fe = frontend(8, 1_000, 5_000);
+            fe.run(&mut host, &queries, &mut poisson(2_000.0, 5))
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b);
+        assert!(a.served_qps <= a.offered_qps);
+    }
+}

@@ -105,7 +105,111 @@ pub struct ServingHost {
     /// Per-shard pick lists (positions into the current batch), reused
     /// across batches so steady-state partitioning allocates nothing.
     parts: Vec<Vec<usize>>,
+    /// Per-shard global query positions for [`ServingHost::run_selected_batch`],
+    /// reused like `parts`.
+    sel_exec: Vec<Vec<usize>>,
+    /// Per-shard positions within the selection (where each result merges
+    /// back), parallel to `sel_exec`.
+    sel_pos: Vec<Vec<usize>>,
     merged: MergeScratch,
+}
+
+/// Runs every shard on its partition and merges scores, latencies and the
+/// latency histogram back into selection order; returns the batch's virtual
+/// makespan (the slowest shard's).
+///
+/// `exec_parts[s]` holds the positions within `queries` shard `s` executes;
+/// `merge_pos[s]` the parallel positions within the output selection
+/// (`0..out_len`) each result lands at. `run_batch` passes the same buffers
+/// for both (the selection is the whole batch); `run_selected_batch` passes
+/// the two-level mapping from [`Scheduler::partition_picks_into`].
+fn execute_and_merge(
+    shards: &mut [Shard],
+    queries: &[Query],
+    exec_parts: &[Vec<usize>],
+    merge_pos: &[Vec<usize>],
+    out_len: usize,
+    merged: &mut MergeScratch,
+) -> Result<SimDuration, SdmError> {
+    merged.scores.clear();
+    merged.ranges.clear();
+    merged.latencies.clear();
+    merged.hist.reset();
+
+    if shards.len() == 1 {
+        // Inline, allocation-free: a single stream needs no worker threads.
+        shards[0].run_indexed_batch(queries, &exec_parts[0])?;
+    } else {
+        let results: Vec<Result<(), SdmError>> = std::thread::scope(|scope| {
+            let workers: Vec<_> = shards
+                .iter_mut()
+                .zip(exec_parts.iter())
+                .map(|(shard, picks)| scope.spawn(move || shard.run_indexed_batch(queries, picks)))
+                .collect();
+            workers
+                .into_iter()
+                .map(|w| w.join().expect("shard worker panicked"))
+                .collect()
+        });
+        for r in results {
+            r?;
+        }
+    }
+
+    // Merge per-shard results back into selection order: shard `s` executed
+    // its picks in stream order, so its k-th batch entry lands at position
+    // `merge_pos[s][k]`.
+    merged.ranges.resize(out_len, (0, 0));
+    merged
+        .latencies
+        .resize(out_len, LatencyBreakdown::default());
+    for (shard, positions) in shards.iter().zip(merge_pos.iter()) {
+        debug_assert_eq!(shard.batch_len(), positions.len());
+        for (k, &out) in positions.iter().enumerate() {
+            let scores = shard.batch_scores(k);
+            let start = merged.scores.len();
+            merged.scores.extend_from_slice(scores);
+            merged.ranges[out] = (start, scores.len());
+            merged.latencies[out] = shard.batch_latency(k);
+        }
+        merged.hist.merge(shard.batch_hist());
+    }
+    Ok(shards
+        .iter()
+        .map(|s| s.batch_report().makespan)
+        .max()
+        .unwrap_or(SimDuration::ZERO))
+}
+
+/// Builds the [`HostReport`] from merged results and the measured windows.
+fn finish_report(
+    shards: usize,
+    merged: &MergeScratch,
+    wall_seconds: f64,
+    virtual_makespan: SimDuration,
+) -> HostReport {
+    // One source of truth for the query count, so `wall_qps` always agrees
+    // with `measurement().wall_qps()`.
+    let executed = merged.hist.count();
+    HostReport {
+        queries: executed,
+        shards,
+        mean_latency: merged.hist.mean(),
+        p95_latency: merged.hist.p95(),
+        p99_latency: merged.hist.p99(),
+        wall_seconds,
+        wall_qps: if wall_seconds > 0.0 {
+            executed as f64 / wall_seconds
+        } else {
+            0.0
+        },
+        virtual_makespan,
+        virtual_qps: if virtual_makespan.is_zero() {
+            0.0
+        } else {
+            executed as f64 / virtual_makespan.as_secs_f64()
+        },
+    }
 }
 
 impl ServingHost {
@@ -159,6 +263,8 @@ impl ServingHost {
             scheduler: Scheduler::new(count, policy),
             shared,
             parts: Vec::new(),
+            sel_exec: Vec::new(),
+            sel_pos: Vec::new(),
             merged: MergeScratch::default(),
         })
     }
@@ -252,81 +358,58 @@ impl ServingHost {
         // threaded middle.
         let wall = Instant::now();
         scheduler.partition_indices_into(queries, parts);
-        merged.scores.clear();
-        merged.ranges.clear();
-        merged.latencies.clear();
-        merged.hist.reset();
-
-        let results: Vec<Result<(), SdmError>> = if shards.len() == 1 {
-            vec![shards[0].run_indexed_batch(queries, &parts[0])]
-        } else {
-            std::thread::scope(|scope| {
-                let workers: Vec<_> = shards
-                    .iter_mut()
-                    .zip(parts.iter())
-                    .map(|(shard, picks)| {
-                        scope.spawn(move || shard.run_indexed_batch(queries, picks))
-                    })
-                    .collect();
-                workers
-                    .into_iter()
-                    .map(|w| w.join().expect("shard worker panicked"))
-                    .collect()
-            })
-        };
-        for r in results {
-            r?;
-        }
-
-        // Merge per-shard results back into query order: shard `s` executed
-        // its picks in stream order, so its k-th batch entry is query
-        // `parts[s][k]`.
-        merged.ranges.resize(queries.len(), (0, 0));
-        merged
-            .latencies
-            .resize(queries.len(), LatencyBreakdown::default());
-        for (shard, picks) in shards.iter().zip(parts.iter()) {
-            debug_assert_eq!(shard.batch_len(), picks.len());
-            for (k, &qi) in picks.iter().enumerate() {
-                let scores = shard.batch_scores(k);
-                let start = merged.scores.len();
-                merged.scores.extend_from_slice(scores);
-                merged.ranges[qi] = (start, scores.len());
-                merged.latencies[qi] = shard.batch_latency(k);
-            }
-            merged.hist.merge(shard.batch_hist());
-        }
+        // Over the whole batch, pick positions equal query positions, so
+        // `parts` serves as both the execution and the merge mapping.
+        let virtual_makespan =
+            execute_and_merge(shards, queries, parts, parts, queries.len(), merged)?;
         let wall_seconds = wall.elapsed().as_secs_f64();
-
-        // One source of truth for the query count, so `wall_qps` always
-        // agrees with `measurement().wall_qps()`.
-        let executed = merged.hist.count();
-        // Shards run in parallel, so the batch's virtual makespan is the
-        // slowest shard's makespan — deterministic, unlike the wall clock.
-        let virtual_makespan = shards
-            .iter()
-            .map(|s| s.batch_report().makespan)
-            .max()
-            .unwrap_or(SimDuration::ZERO);
-        Ok(HostReport {
-            queries: executed,
-            shards: shards.len(),
-            mean_latency: merged.hist.mean(),
-            p95_latency: merged.hist.p95(),
-            p99_latency: merged.hist.p99(),
+        Ok(finish_report(
+            shards.len(),
+            merged,
             wall_seconds,
-            wall_qps: if wall_seconds > 0.0 {
-                executed as f64 / wall_seconds
-            } else {
-                0.0
-            },
             virtual_makespan,
-            virtual_qps: if virtual_makespan.is_zero() {
-                0.0
-            } else {
-                executed as f64 / virtual_makespan.as_secs_f64()
-            },
-        })
+        ))
+    }
+
+    /// Executes a *selection* of a query stream: `picks` holds positions
+    /// within `queries`. Otherwise identical to
+    /// [`ServingHost::run_batch`] — partitioned by the same scheduler,
+    /// merged back into selection order (result `i` belongs to query
+    /// `queries[picks[i]]`), measured the same way.
+    ///
+    /// This is the dispatch path for an open-loop front end: a dynamic
+    /// batcher admits a subset of the arrival stream and serves it without
+    /// copying `Query` values, so the warmed admission→batch→serve loop
+    /// performs no per-query allocation.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first shard error, exactly like
+    /// [`ServingHost::run_batch`].
+    pub fn run_selected_batch(
+        &mut self,
+        queries: &[Query],
+        picks: &[usize],
+    ) -> Result<HostReport, SdmError> {
+        let Self {
+            shards,
+            scheduler,
+            sel_exec,
+            sel_pos,
+            merged,
+            ..
+        } = self;
+        let wall = Instant::now();
+        scheduler.partition_picks_into(queries, picks, sel_exec, sel_pos);
+        let virtual_makespan =
+            execute_and_merge(shards, queries, sel_exec, sel_pos, picks.len(), merged)?;
+        let wall_seconds = wall.elapsed().as_secs_f64();
+        Ok(finish_report(
+            shards.len(),
+            merged,
+            wall_seconds,
+            virtual_makespan,
+        ))
     }
 
     /// Number of queries in the last [`ServingHost::run_batch`].
@@ -455,6 +538,74 @@ mod tests {
         )
         .unwrap();
         assert_eq!(host.shards(), 1);
+    }
+
+    #[test]
+    fn selected_batch_on_identity_picks_matches_run_batch() {
+        let model = model_zoo::tiny(2, 1, 300);
+        let queries = workload(&model, 20, 14);
+        let identity: Vec<usize> = (0..queries.len()).collect();
+        for shards in [1, 3] {
+            let mut selected = ServingHost::build(
+                &model,
+                &SdmConfig::for_tests(),
+                14,
+                shards,
+                RoutingPolicy::UserSticky,
+            )
+            .unwrap();
+            let mut full = ServingHost::build(
+                &model,
+                &SdmConfig::for_tests(),
+                14,
+                shards,
+                RoutingPolicy::UserSticky,
+            )
+            .unwrap();
+            let a = selected.run_selected_batch(&queries, &identity).unwrap();
+            let b = full.run_batch(&queries).unwrap();
+            assert_eq!(a.queries, b.queries);
+            assert_eq!(a.virtual_makespan, b.virtual_makespan);
+            assert_eq!(selected.len(), full.len());
+            for i in 0..full.len() {
+                assert_eq!(selected.scores(i), full.scores(i));
+                assert_eq!(selected.latency(i), full.latency(i));
+            }
+        }
+    }
+
+    #[test]
+    fn selected_batch_serves_subsets_in_selection_order() {
+        let model = model_zoo::tiny(2, 1, 300);
+        let queries = workload(&model, 30, 15);
+        let picks: Vec<usize> = (0..queries.len()).step_by(3).collect();
+        let mut host = ServingHost::build(
+            &model,
+            &SdmConfig::for_tests(),
+            15,
+            2,
+            RoutingPolicy::UserSticky,
+        )
+        .unwrap();
+        // Reference: a fresh host serving only the picked queries as a
+        // contiguous batch produces the same scores (same seed, cold start).
+        let subset: Vec<Query> = picks.iter().map(|&i| queries[i].clone()).collect();
+        let mut reference = ServingHost::build(
+            &model,
+            &SdmConfig::for_tests(),
+            15,
+            2,
+            RoutingPolicy::UserSticky,
+        )
+        .unwrap();
+        let a = host.run_selected_batch(&queries, &picks).unwrap();
+        let b = reference.run_batch(&subset).unwrap();
+        assert_eq!(a.queries, picks.len() as u64);
+        assert_eq!(host.len(), picks.len());
+        assert_eq!(a.virtual_makespan, b.virtual_makespan);
+        for i in 0..picks.len() {
+            assert_eq!(host.scores(i), reference.scores(i));
+        }
     }
 
     #[test]

@@ -27,6 +27,10 @@
 //!   per-stream serving replicas run on worker threads behind a
 //!   [`workload::Scheduler`] routing policy, replacing the paper's linear
 //!   single-stream QPS extrapolation with measured wall-clock throughput.
+//! * [`Frontend`] — open-loop serving: seeded arrival processes, an
+//!   SLO-aware dynamic batcher (size-or-deadline close) and token-bucket
+//!   admission control with load shedding, turning makespan numbers into
+//!   latency-vs-offered-load curves.
 //!
 //! # Example
 //!
@@ -54,6 +58,7 @@
 
 mod config;
 mod error;
+mod frontend;
 mod host;
 mod loader;
 mod manager;
@@ -65,6 +70,10 @@ mod update;
 
 pub use config::{AccessGranularity, BatchMode, LoadTransform, SdmConfig};
 pub use error::SdmError;
+pub use frontend::{
+    BatchRecord, CloseReason, Frontend, FrontendConfig, FrontendReport, QueryOutcome, QueryRecord,
+    TokenBucketConfig,
+};
 pub use host::{HostReport, ServingHost};
 pub use loader::{LoadedModel, LoadedTable, ModelLoader};
 pub use manager::SdmMemoryManager;

@@ -41,6 +41,14 @@ pub struct SdmStats {
     pub pooling_time: SimDuration,
     /// Total simulated time spent waiting on SM IO.
     pub io_time: SimDuration,
+    /// Queries admitted by an open-loop front end (zero when serving is
+    /// driven closed-loop, without a front end).
+    pub frontend_admitted: u64,
+    /// Queries shed by the front end's token-bucket admission control.
+    pub frontend_shed_rate_limited: u64,
+    /// Queries shed by the front end because the estimated queue wait
+    /// exceeded the SLO.
+    pub frontend_shed_overload: u64,
 }
 
 impl SdmStats {
@@ -73,6 +81,9 @@ impl SdmStats {
         self.fm_op_latency.merge(&other.fm_op_latency);
         self.pooling_time += other.pooling_time;
         self.io_time += other.io_time;
+        self.frontend_admitted += other.frontend_admitted;
+        self.frontend_shed_rate_limited += other.frontend_shed_rate_limited;
+        self.frontend_shed_overload += other.frontend_shed_overload;
     }
 
     /// Row-cache hit rate over SM-resident lookups.
@@ -114,6 +125,18 @@ impl SdmStats {
             0.0
         } else {
             self.pooled_cache_hits as f64 / self.pooled_ops as f64
+        }
+    }
+
+    /// Fraction of front-end arrivals shed (either cause) over all
+    /// arrivals; zero when no front end fed this serving path.
+    pub fn frontend_shed_rate(&self) -> f64 {
+        let shed = self.frontend_shed_rate_limited + self.frontend_shed_overload;
+        let offered = self.frontend_admitted + shed;
+        if offered == 0 {
+            0.0
+        } else {
+            shed as f64 / offered as f64
         }
     }
 
@@ -173,6 +196,22 @@ mod tests {
         assert!((s.row_cache_hit_rate() - 0.9).abs() < 1e-12);
         assert!((s.pooled_cache_hit_rate() - 0.05).abs() < 1e-12);
         assert!((s.read_amplification() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn frontend_counters_merge_and_rate() {
+        let mut s = SdmStats::new();
+        assert_eq!(s.frontend_shed_rate(), 0.0);
+        s.frontend_admitted = 150;
+        s.frontend_shed_rate_limited = 30;
+        s.frontend_shed_overload = 20;
+        assert!((s.frontend_shed_rate() - 0.25).abs() < 1e-12);
+        let mut merged = SdmStats::new();
+        merged.merge(&s);
+        merged.merge(&s);
+        assert_eq!(merged.frontend_admitted, 300);
+        assert_eq!(merged.frontend_shed_rate_limited, 60);
+        assert_eq!(merged.frontend_shed_overload, 40);
     }
 
     #[test]

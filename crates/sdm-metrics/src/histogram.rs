@@ -12,8 +12,10 @@ const MAX_EXP: usize = 40;
 
 /// A latency histogram with logarithmic buckets.
 ///
-/// Values are recorded as [`SimDuration`]s; percentiles are answered from the
-/// bucket boundaries, so they are upper bounds with bounded relative error.
+/// Values are recorded as [`SimDuration`]s; percentiles interpolate by rank
+/// within the containing bucket (never past its upper boundary), so the
+/// relative error stays bounded by the bucket width while streams whose
+/// quantiles fall inside the *same* bucket still report distinct values.
 ///
 /// # Example
 ///
@@ -67,6 +69,13 @@ impl LatencyHistogram {
         base + (base as u128 * (sub as u128 + 1) / SUB_BUCKETS as u128) as u64
     }
 
+    fn bucket_lower_bound(index: usize) -> u64 {
+        let exp = index / SUB_BUCKETS;
+        let sub = index % SUB_BUCKETS;
+        let base = 1u64 << exp;
+        base + (base as u128 * sub as u128 / SUB_BUCKETS as u128) as u64
+    }
+
     /// Records one latency sample.
     pub fn record(&mut self, d: SimDuration) {
         let idx = Self::bucket_index(d.as_nanos());
@@ -116,6 +125,15 @@ impl LatencyHistogram {
 
     /// Returns an upper bound on the `q`-quantile (`q` in `[0, 1]`).
     ///
+    /// The answer interpolates linearly within the bucket that holds the
+    /// target rank (rank-weighted, rounded up), so two streams whose true
+    /// quantiles differ by less than one bucket width still report different
+    /// values. The result never exceeds the containing bucket's upper
+    /// boundary (the rank-`n`-of-`n` position *is* that boundary) and is
+    /// clamped into `[min, max]`, so it remains an upper bound on the true
+    /// quantile whenever samples are not concentrated above the interpolated
+    /// point within their bucket.
+    ///
     /// Out-of-range `q` values are clamped. Returns zero for an empty
     /// histogram.
     pub fn percentile(&self, q: f64) -> SimDuration {
@@ -131,8 +149,14 @@ impl LatencyHistogram {
             }
             seen += n;
             if seen >= target {
-                let bound = SimDuration::from_nanos(Self::bucket_upper_bound(idx));
-                return bound.min(self.max);
+                let lower = Self::bucket_lower_bound(idx);
+                let width = Self::bucket_upper_bound(idx) - lower;
+                // 1-based rank of the target within this bucket; rank n of n
+                // lands exactly on the bucket's upper boundary.
+                let rank = target - (seen - n);
+                let interp = (width as u128 * rank as u128).div_ceil(n as u128) as u64;
+                let bound = SimDuration::from_nanos(lower + interp);
+                return bound.min(self.max).max(self.min());
             }
         }
         self.max
@@ -287,6 +311,46 @@ mod tests {
         h.record(SimDuration::ZERO);
         assert_eq!(h.count(), 1);
         assert_eq!(h.p99(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn interpolation_resolves_within_one_sub_bucket() {
+        // 1000 evenly spaced samples inside ONE sub-bucket: [2^20, 2^20+2^16)
+        // is a single bucket, so the pre-interpolation histogram answered
+        // every quantile with the same upper boundary. Interpolation must
+        // spread the answers across the bucket by rank.
+        let base = 1u64 << 20;
+        let mut h = LatencyHistogram::new();
+        for i in 0..1000u64 {
+            h.record(SimDuration::from_nanos(base + i * 64));
+        }
+        let p10 = h.percentile(0.10).as_nanos();
+        let p50 = h.p50().as_nanos();
+        let p90 = h.percentile(0.90).as_nanos();
+        assert!(p10 < p50 && p50 < p90, "p10={p10} p50={p50} p90={p90}");
+        // The bucket spans 65536 ns; the interpolated p50 sits near the
+        // bucket's midpoint, not at its upper boundary.
+        let width = 1u64 << 16;
+        assert!(p50 >= base && p50 <= base + width * 55 / 100, "p50={p50}");
+        assert_eq!(h.percentile(1.0), h.max());
+    }
+
+    #[test]
+    fn percentile_is_monotone_in_q() {
+        let mut h = LatencyHistogram::new();
+        let mut x = 17u64;
+        for _ in 0..500 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            h.record(SimDuration::from_nanos(1 + x % 5_000_000));
+        }
+        let mut prev = SimDuration::ZERO;
+        for i in 0..=100 {
+            let p = h.percentile(i as f64 / 100.0);
+            assert!(p >= prev, "percentile not monotone at q={i}");
+            prev = p;
+        }
+        assert!(h.percentile(0.0) >= h.min());
+        assert_eq!(h.percentile(1.0), h.max());
     }
 
     #[test]

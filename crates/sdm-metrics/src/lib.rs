@@ -19,6 +19,8 @@
 //! * [`SharedTierReport`] — shared-tier-on vs -off serving comparison per
 //!   shard count (deterministic virtual QPS, hit and cross-shard-hit
 //!   rates).
+//! * [`LoadCurveReport`] — open-loop latency-vs-offered-load curve
+//!   (p50/p99, shed rate and served QPS per offered-QPS point).
 //! * [`RateEstimator`] — windowed rate estimation (QPS, IOPS).
 //! * [`units`] — byte, power and cost units used by the datacenter-level
 //!   modelling.
@@ -47,6 +49,7 @@ mod batchmode;
 mod clock;
 mod counters;
 mod histogram;
+mod loadcurve;
 mod multistream;
 mod rate;
 mod sharedtier;
@@ -56,6 +59,7 @@ pub use batchmode::{BatchModeMeasurement, BatchModeReport};
 pub use clock::{LocalCursor, SimClock, SimDuration, SimInstant};
 pub use counters::{Counter, CounterSet};
 pub use histogram::LatencyHistogram;
+pub use loadcurve::{LoadCurveReport, LoadPoint};
 pub use multistream::{MultiStreamReport, StreamMeasurement};
 pub use rate::RateEstimator;
 pub use sharedtier::{SharedTierMeasurement, SharedTierReport};

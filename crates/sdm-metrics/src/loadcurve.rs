@@ -1,0 +1,208 @@
+//! Latency-vs-offered-load curve for open-loop serving.
+//!
+//! Closed-loop makespan numbers say how fast a host can drain a pre-built
+//! batch; the paper's serving criterion is different — what p50/p99 does
+//! the host deliver *at a given offered QPS*, and how much load must be
+//! shed to protect the latency SLO. A [`LoadCurveReport`] holds one
+//! [`LoadPoint`] per offered-load level so that curve can be gated on
+//! shape invariants (p99 monotone in load, no shedding far below
+//! capacity) instead of jitter-prone absolutes.
+
+use crate::clock::SimDuration;
+
+/// One offered-load level's measured serving numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadPoint {
+    /// The arrival process's configured mean rate, queries per virtual
+    /// second.
+    pub offered_qps_target: f64,
+    /// Queries that arrived (admitted + shed).
+    pub offered: u64,
+    /// Queries past admission control (all of which are then served).
+    pub admitted: u64,
+    /// Queries served to completion.
+    pub served: u64,
+    /// Queries shed by token-bucket admission control.
+    pub shed_rate_limited: u64,
+    /// Queries shed because the estimated queue wait exceeded the SLO.
+    pub shed_overload: u64,
+    /// Measured offered rate: arrivals over the arrival window.
+    pub offered_qps: f64,
+    /// Measured served rate: completions over the full serving window
+    /// (never exceeds `offered_qps` by construction).
+    pub served_qps: f64,
+    /// Median served latency (arrival to batch completion).
+    pub p50_latency: SimDuration,
+    /// 99th-percentile served latency.
+    pub p99_latency: SimDuration,
+    /// Mean served latency.
+    pub mean_latency: SimDuration,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Mean dispatched batch size.
+    pub mean_batch: f64,
+}
+
+impl LoadPoint {
+    /// Total queries shed, for either reason.
+    pub fn shed(&self) -> u64 {
+        self.shed_rate_limited + self.shed_overload
+    }
+
+    /// Fraction of offered queries shed, in `[0, 1]` (0 when nothing was
+    /// offered).
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed() as f64 / self.offered as f64
+        }
+    }
+}
+
+/// A latency-vs-offered-load curve: one [`LoadPoint`] per offered rate,
+/// recorded in increasing-load order.
+///
+/// # Example
+///
+/// ```
+/// use sdm_metrics::{LoadCurveReport, LoadPoint, SimDuration};
+///
+/// let mut curve = LoadCurveReport::new();
+/// for (rate, p99_us, shed) in [(100.0, 3_000, 0), (400.0, 9_000, 12)] {
+///     curve.record(LoadPoint {
+///         offered_qps_target: rate,
+///         offered: 256,
+///         admitted: 256 - shed,
+///         served: 256 - shed,
+///         shed_rate_limited: 0,
+///         shed_overload: shed,
+///         offered_qps: rate,
+///         served_qps: rate * (256.0 - shed as f64) / 256.0,
+///         p50_latency: SimDuration::from_micros(p99_us / 2),
+///         p99_latency: SimDuration::from_micros(p99_us),
+///         mean_latency: SimDuration::from_micros(p99_us / 2),
+///         batches: 64,
+///         mean_batch: 4.0,
+///     });
+/// }
+/// assert_eq!(curve.len(), 2);
+/// assert!(curve.p99_monotone());
+/// assert_eq!(curve.get(0).unwrap().shed(), 0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LoadCurveReport {
+    points: Vec<LoadPoint>,
+}
+
+impl LoadCurveReport {
+    /// Creates an empty curve.
+    pub fn new() -> Self {
+        LoadCurveReport::default()
+    }
+
+    /// Appends one measured load point (call in increasing-load order).
+    pub fn record(&mut self, point: LoadPoint) {
+        self.points.push(point);
+    }
+
+    /// Number of load points recorded.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether no points have been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The `i`-th load point, in recording order.
+    pub fn get(&self, i: usize) -> Option<&LoadPoint> {
+        self.points.get(i)
+    }
+
+    /// Iterates the load points in recording order.
+    pub fn iter(&self) -> impl Iterator<Item = &LoadPoint> {
+        self.points.iter()
+    }
+
+    /// True when p99 latency never decreases from one recorded point to
+    /// the next — the shape a healthy latency-vs-load curve must have
+    /// when points are recorded in increasing-load order.
+    pub fn p99_monotone(&self) -> bool {
+        self.points
+            .windows(2)
+            .all(|pair| pair[0].p99_latency <= pair[1].p99_latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn point(rate: f64, p99_us: u64, shed_overload: u64) -> LoadPoint {
+        let offered = 256;
+        LoadPoint {
+            offered_qps_target: rate,
+            offered,
+            admitted: offered - shed_overload,
+            served: offered - shed_overload,
+            shed_rate_limited: 0,
+            shed_overload,
+            offered_qps: rate * 0.99,
+            served_qps: rate * 0.9,
+            p50_latency: SimDuration::from_micros(p99_us / 2),
+            p99_latency: SimDuration::from_micros(p99_us),
+            mean_latency: SimDuration::from_micros(p99_us / 2),
+            batches: 32,
+            mean_batch: offered as f64 / 32.0,
+        }
+    }
+
+    #[test]
+    fn shed_rate_counts_both_causes() {
+        let mut p = point(100.0, 2_000, 64);
+        p.shed_rate_limited = 64;
+        assert_eq!(p.shed(), 128);
+        assert!((p.shed_rate() - 0.5).abs() < 1e-12);
+
+        let empty = LoadPoint {
+            offered: 0,
+            ..point(1.0, 1, 0)
+        };
+        assert_eq!(empty.shed_rate(), 0.0);
+    }
+
+    #[test]
+    fn monotonicity_check_spots_dips() {
+        let mut good = LoadCurveReport::new();
+        assert!(good.is_empty() && good.p99_monotone());
+        good.record(point(100.0, 2_000, 0));
+        good.record(point(400.0, 2_000, 0)); // tie is allowed
+        good.record(point(1_600.0, 70_000, 180));
+        assert_eq!(good.len(), 3);
+        assert!(good.p99_monotone());
+
+        let mut dip = LoadCurveReport::new();
+        dip.record(point(100.0, 9_000, 0));
+        dip.record(point(400.0, 2_000, 0));
+        assert!(!dip.p99_monotone());
+    }
+
+    #[test]
+    fn identical_runs_compare_equal() {
+        let a = {
+            let mut c = LoadCurveReport::new();
+            c.record(point(100.0, 2_000, 0));
+            c
+        };
+        let b = {
+            let mut c = LoadCurveReport::new();
+            c.record(point(100.0, 2_000, 0));
+            c
+        };
+        assert_eq!(a, b);
+        assert_eq!(a.iter().count(), 1);
+        assert!(a.get(1).is_none());
+    }
+}

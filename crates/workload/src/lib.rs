@@ -37,6 +37,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arrival;
 mod error;
 mod locality;
 mod query;
@@ -44,6 +45,7 @@ mod router;
 mod trace;
 mod zipf;
 
+pub use arrival::{ArrivalGenerator, ArrivalProcess};
 pub use error::WorkloadError;
 pub use locality::{locality_report, spatial_locality, temporal_locality_cdf, LocalityReport};
 pub use query::{EmbeddingRequest, Query, QueryGenerator, WorkloadConfig};

@@ -117,6 +117,34 @@ impl Scheduler {
             parts[host].push(i);
         }
     }
+
+    /// Partitions a *selection* of queries — `picks` holds positions within
+    /// `queries` — into per-host lists, reusing inner `Vec` capacity.
+    ///
+    /// Two parallel outputs are filled per host: `exec_parts` holds the
+    /// global positions within `queries` (what a shard executes) and
+    /// `pick_parts` the positions within `picks` (where the caller merges
+    /// each result back). A dynamic batcher dispatching admitted subsets of
+    /// an open-loop stream uses this form; it stays allocation-free once
+    /// the buffers are warmed.
+    pub fn partition_picks_into(
+        &mut self,
+        queries: &[Query],
+        picks: &[usize],
+        exec_parts: &mut Vec<Vec<usize>>,
+        pick_parts: &mut Vec<Vec<usize>>,
+    ) {
+        exec_parts.resize_with(self.hosts, Vec::new);
+        pick_parts.resize_with(self.hosts, Vec::new);
+        for p in exec_parts.iter_mut().chain(pick_parts.iter_mut()) {
+            p.clear();
+        }
+        for (pos, &qi) in picks.iter().enumerate() {
+            let host = self.route(&queries[qi]);
+            exec_parts[host].push(qi);
+            pick_parts[host].push(pos);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -272,6 +300,36 @@ mod tests {
             }
             assert!(seen.iter().all(|&s| s));
         }
+    }
+
+    #[test]
+    fn partition_picks_agree_with_full_partition_on_identity_selection() {
+        let mut gen = QueryGenerator::new(&tables(), WorkloadConfig::default(), 9).unwrap();
+        let queries = gen.generate(90);
+        let identity: Vec<usize> = (0..queries.len()).collect();
+        let mut full = Vec::new();
+        Scheduler::new(4, RoutingPolicy::UserSticky).partition_indices_into(&queries, &mut full);
+        let (mut exec, mut pos) = (Vec::new(), Vec::new());
+        Scheduler::new(4, RoutingPolicy::UserSticky)
+            .partition_picks_into(&queries, &identity, &mut exec, &mut pos);
+        assert_eq!(exec, full);
+        // On the identity selection, pick positions equal global positions.
+        assert_eq!(pos, full);
+
+        // A strict subset still covers each pick exactly once.
+        let picks: Vec<usize> = (0..queries.len()).step_by(3).collect();
+        Scheduler::new(4, RoutingPolicy::UserSticky)
+            .partition_picks_into(&queries, &picks, &mut exec, &mut pos);
+        let mut seen = vec![false; picks.len()];
+        for (exec_part, pos_part) in exec.iter().zip(&pos) {
+            assert_eq!(exec_part.len(), pos_part.len());
+            for (&qi, &p) in exec_part.iter().zip(pos_part) {
+                assert_eq!(picks[p], qi);
+                assert!(!seen[p], "pick {p} assigned twice");
+                seen[p] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
     }
 
     #[test]

@@ -9,12 +9,18 @@
 
 use dlrm::{model_zoo, QueryResult};
 use sdm_cache::SharedRowTier;
-use sdm_core::{BatchMode, SdmConfig, SdmSystem, Shard};
+use sdm_core::{
+    BatchMode, Frontend, FrontendConfig, SdmConfig, SdmSystem, ServingHost, Shard,
+    TokenBucketConfig,
+};
 use sdm_metrics::alloc_hook;
 use sdm_metrics::units::Bytes;
+use sdm_metrics::SimDuration;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::Arc;
-use workload::{Query, QueryGenerator, WorkloadConfig};
+use workload::{
+    ArrivalGenerator, ArrivalProcess, Query, QueryGenerator, RoutingPolicy, WorkloadConfig,
+};
 
 /// System allocator wrapper that reports into the sdm-metrics hook.
 struct CountingAllocator;
@@ -182,6 +188,52 @@ fn warmed_hot_path_performs_zero_allocations() {
     assert!(
         shard.manager().stats().shared_tier_hits > hits_before,
         "measured loop never hit the shared tier; the measurement is vacuous"
+    );
+
+    // --- warmed open-loop front end: admission → batch → serve ---
+    // The front end owns its pick list, logs and latency histogram; the
+    // host owns the selection scratch. A repeat of the same seeded arrival
+    // stream therefore touches only retained capacity: token-bucket
+    // refill, SLO check, batch close and dispatch allocate nothing.
+    let frontend_config = FrontendConfig {
+        max_batch: 4,
+        max_batch_delay: SimDuration::from_micros(500),
+        max_queue_wait: SimDuration::from_millis(50),
+        token_bucket: Some(TokenBucketConfig {
+            capacity: 64.0,
+            refill_per_sec: 1_000_000.0,
+        }),
+    };
+    let mut host = ServingHost::build(
+        &model,
+        &SdmConfig::for_tests(),
+        7,
+        1,
+        RoutingPolicy::UserSticky,
+    )
+    .unwrap();
+    let mut frontend = Frontend::new(frontend_config).unwrap();
+    let open_loop = ArrivalProcess::Poisson { rate_qps: 5_000.0 };
+    for _ in 0..3 {
+        let mut arrivals = ArrivalGenerator::new(open_loop, 21).unwrap();
+        frontend.run(&mut host, &queries, &mut arrivals).unwrap();
+    }
+    let mut arrivals = ArrivalGenerator::new(open_loop, 21).unwrap();
+    alloc_hook::reset();
+    alloc_hook::set_enabled(true);
+    let frontend_report = frontend.run(&mut host, &queries, &mut arrivals).unwrap();
+    alloc_hook::set_enabled(false);
+    let frontend_allocs = alloc_hook::allocations();
+    assert_eq!(
+        frontend_allocs,
+        0,
+        "steady-state open-loop serving allocated {frontend_allocs} times over {} arrivals",
+        queries.len()
+    );
+    assert_eq!(frontend_report.offered, queries.len() as u64);
+    assert!(
+        frontend_report.served > 0,
+        "open-loop run served nothing; the measurement is vacuous"
     );
 
     // Control: the allocating run_query wrapper does allocate (the returned
