@@ -33,7 +33,12 @@ if [[ "$mode" == "bench" ]]; then
                  row_hit_ns shared_hit_ns pooled_hit_ns \
                  offered_qps_3 exact_p99_us_3 relaxed_p99_us_3 \
                  exact_shed_rate_1 relaxed_shed_rate_1 \
-                 exact_served_qps_3 relaxed_served_qps_3; do
+                 exact_served_qps_3 relaxed_served_qps_3 \
+                 healthy_qps storm_qps storm_retention \
+                 injected_corruptions detected_corruptions corrupted_served \
+                 storm_degraded_rows outage_degraded_rows outage_failovers \
+                 stuck_deadline_timeouts empty_plan_degraded_rows \
+                 empty_plan_identical replay_identical; do
         grep -q "\"$field\"" BENCH_hotpath.json \
             || { echo "missing $field in BENCH_hotpath.json"; exit 1; }
     done
@@ -55,6 +60,9 @@ cargo build --locked --release --workspace --lib --bins --examples
 
 echo "==> cargo test --workspace"
 cargo test --locked -q --workspace
+
+echo "==> cargo test fault_injection (randomized fault-plan invariants)"
+cargo test --locked -q --test fault_injection
 
 echo "==> cargo bench --no-run --workspace"
 cargo bench --locked --no-run --workspace

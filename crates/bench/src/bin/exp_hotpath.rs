@@ -37,6 +37,13 @@
 //!    shedding) over exact- and relaxed-mode hosts at three offered rates.
 //!    Deterministic; CI gates the curve's shape (p99 monotone in offered
 //!    load, zero shed at the lowest rate, served ≤ offered).
+//! 9. **Fault resilience** — seeded fault injection (transient errors,
+//!    bit flips, stuck IOs, latency storms) vs the end-to-end handling
+//!    stack (checksums, retries, deadlines, hedged reads, degraded rows,
+//!    shard failover) on the *virtual* clock. Deterministic; CI gates
+//!    zero corrupted results served, total corruption detection, a storm
+//!    throughput floor, zero degraded rows under an empty plan and
+//!    bit-identical replay per fault seed.
 //!
 //! Usage: `exp_hotpath [--quick] [--out PATH] [--check]`. Quick mode
 //! shrinks the iteration counts for CI smoke runs; `--check` compares the
@@ -48,8 +55,8 @@ use dlrm::QueryResult;
 use embedding::{pooling, QuantScheme};
 use sdm_bench::{
     bench_quantized_rows, bench_sdm_config, build_system, header, json_field, measure_batch_modes,
-    measure_load_curve, measure_shared_tier, measure_streams, pool_seed_style, queries_for, scaled,
-    skewed_queries_for,
+    measure_fault_resilience, measure_load_curve, measure_shared_tier, measure_streams,
+    pool_seed_style, queries_for, scaled, skewed_queries_for,
 };
 use sdm_cache::{CacheConfig, DualRowCache, PooledEmbeddingCache, RowCache, RowKey, SharedRowTier};
 use sdm_core::{FrontendConfig, TokenBucketConfig};
@@ -90,6 +97,12 @@ static ALLOCATOR: CountingAllocator = CountingAllocator;
 /// Allowed wall-clock regression vs the committed snapshot (25 %).
 const REGRESSION_TOLERANCE: f64 = 0.25;
 
+/// Minimum fraction of healthy virtual QPS the serving stack must retain
+/// under the fault storm (transient errors + bit flips + stuck IOs + a
+/// 6x latency storm). The measured retention is far higher; the floor
+/// exists so a resilience regression cannot hide inside run-to-run noise.
+const STORM_QPS_FLOOR_FRAC: f64 = 0.05;
+
 /// The `--check` gate: compares gated fields of the fresh document against
 /// the committed baseline and verifies the overlap invariants. Returns the
 /// failure messages (empty = pass).
@@ -114,6 +127,8 @@ fn regression_failures(baseline: &str, fresh: &str, compare_wall_clock: bool) ->
         ("shared_tier", "hit_rate_4", true),
         ("open_loop", "exact_served_qps_3", true),
         ("open_loop", "relaxed_served_qps_3", true),
+        ("fault_resilience", "healthy_qps", true),
+        ("fault_resilience", "storm_qps", true),
     ];
     // The `cache_latency` ns/hit fields are deliberately *not* gated:
     // single-digit-nanosecond microbenches jitter well past 25 % run to
@@ -224,6 +239,53 @@ fn regression_failures(baseline: &str, fresh: &str, compare_wall_clock: bool) ->
                     "open_loop: {mode}_served_qps_{i} exceeds offered_qps_{i} ({other:?})"
                 )),
             }
+        }
+    }
+
+    // Fault-resilience invariants on the fresh run (virtual clock —
+    // deterministic). These are the robustness contract, not perf numbers:
+    // a corrupted payload may never reach a query result, an attached but
+    // empty fault plan must be perfectly inert, replay under a pinned
+    // fault seed must be bit-identical, the checksum must catch every
+    // injected flip, and the storm/outage machinery must demonstrably
+    // engage (throughput floor, failovers, deadline timeouts).
+    let fault = |field: &str| json_field(fresh, "fault_resilience", field);
+    for (field, expected) in [
+        ("corrupted_served", 0.0),
+        ("empty_plan_degraded_rows", 0.0),
+        ("empty_plan_identical", 1.0),
+        ("replay_identical", 1.0),
+    ] {
+        match fault(field) {
+            Some(v) if v == expected => {}
+            other => failures.push(format!(
+                "fault_resilience: {field} != {expected} ({other:?})"
+            )),
+        }
+    }
+    match (fault("injected_corruptions"), fault("detected_corruptions")) {
+        (Some(injected), Some(detected)) if injected > 0.0 && detected == injected => {}
+        other => failures.push(format!(
+            "fault_resilience: checksum did not catch every injected corruption ({other:?})"
+        )),
+    }
+    match (fault("healthy_qps"), fault("storm_qps")) {
+        (Some(healthy), Some(storm)) if storm >= healthy * STORM_QPS_FLOOR_FRAC => {}
+        other => failures.push(format!(
+            "fault_resilience: storm_qps below {:.0}% of healthy_qps ({other:?})",
+            STORM_QPS_FLOOR_FRAC * 100.0
+        )),
+    }
+    for field in [
+        "outage_failovers",
+        "stuck_deadline_timeouts",
+        "outage_degraded_rows",
+    ] {
+        match fault(field) {
+            Some(v) if v > 0.0 => {}
+            other => failures.push(format!(
+                "fault_resilience: {field} not strictly positive ({other:?})"
+            )),
         }
     }
     failures
@@ -664,6 +726,119 @@ fn main() {
         ));
     }
 
+    // --- 9. Fault resilience: injected faults vs the end-to-end handling
+    // stack on the virtual clock (deterministic; CI-gated). Same sizes in
+    // quick and full mode so the gate compares like with like. ---
+    let fault_shards = 2usize;
+    // Enough rounds for the health EWMAs to shake off the cold first batch
+    // so the outage shard separates as a straggler and reroutes engage.
+    let fault_rounds = 12usize;
+    let fault_batch = 96usize;
+    let fault_seed = 127u64;
+    // Small row cache, no pooled cache: the SM read path must stay hot
+    // every round — a fully warmed cache would mask the injected faults
+    // (and the outage shard's storm latency) after the first batch.
+    let mut fault_config = bench_sdm_config();
+    fault_config.cache.row_cache_budget = Bytes::from_kib(512);
+    fault_config.cache.pooled_cache_budget = Bytes::ZERO;
+    let fault_queries = queries_for(&m1, fault_batch, 127);
+    let fr = measure_fault_resilience(
+        &m1,
+        &fault_config,
+        &fault_queries,
+        fault_shards,
+        fault_rounds,
+        fault_seed,
+    );
+    let fr_get = |label: &str| fr.report.get(label).expect("fault condition measured");
+    let (fr_healthy, fr_empty, fr_storm, fr_stuck, fr_outage) = (
+        fr_get("healthy"),
+        fr_get("empty_plan"),
+        fr_get("storm"),
+        fr_get("stuck"),
+        fr_get("outage"),
+    );
+    println!(
+        "\n  fault resilience (M1 scaled, {fault_batch} queries x {fault_rounds} rounds, \
+         {fault_shards} shards, fault seed {fault_seed}, hedge after {}, virtual clock)",
+        fr.hedge_after,
+    );
+    for m in fr.report.iter() {
+        println!(
+            "    {:<10} {:>10.0} q/s  injected {:>5}  degraded {:>4}  retries {:>5}  \
+             hedges {:>3} (won {:>3})  timeouts {:>4}  failovers {:>3}",
+            m.label,
+            m.virtual_qps,
+            m.injected_total(),
+            m.degraded_rows,
+            m.retries,
+            m.hedges,
+            m.hedge_wins,
+            m.deadline_timeouts,
+            m.failovers,
+        );
+    }
+    println!(
+        "    storm retention {}  corruption detection {}  corrupted served {}  \
+         empty-plan identical {}  replay identical {}",
+        sdm_bench::pct(fr.report.qps_retention("storm", "healthy").unwrap_or(0.0)),
+        sdm_bench::pct(fr_storm.corruption_detection_rate()),
+        fr.report.total_corrupted_served(),
+        fr.empty_plan_identical,
+        fr.replay_identical,
+    );
+    // Flat key/value body of the fault_resilience JSON section (single
+    // level, like open_loop, for the hand-rolled `json_field` reader).
+    let fault_json = format!(
+        "\"model\": \"M1-scaled\",\n    \"queries\": {fault_batch},\n    \
+         \"shards\": {fault_shards},\n    \"rounds\": {fault_rounds},\n    \
+         \"fault_seed\": {fault_seed},\n    \
+         \"hedge_after_us\": {hedge_us:.3},\n    \
+         \"healthy_qps\": {healthy_qps:.1},\n    \
+         \"storm_qps\": {storm_qps:.1},\n    \
+         \"stuck_qps\": {stuck_qps:.1},\n    \
+         \"outage_qps\": {outage_qps:.1},\n    \
+         \"storm_retention\": {storm_retention:.4},\n    \
+         \"storm_qps_floor_frac\": {floor_frac:.4},\n    \
+         \"injected_transient\": {injected_transient},\n    \
+         \"injected_corruptions\": {injected_corruptions},\n    \
+         \"injected_stuck\": {injected_stuck},\n    \
+         \"detected_corruptions\": {detected_corruptions},\n    \
+         \"corrupted_served\": {corrupted_served},\n    \
+         \"storm_degraded_rows\": {storm_degraded},\n    \
+         \"outage_degraded_rows\": {outage_degraded},\n    \
+         \"storm_retries\": {storm_retries},\n    \
+         \"storm_hedges\": {storm_hedges},\n    \
+         \"storm_hedge_wins\": {storm_hedge_wins},\n    \
+         \"stuck_deadline_timeouts\": {stuck_timeouts},\n    \
+         \"outage_failovers\": {outage_failovers},\n    \
+         \"empty_plan_degraded_rows\": {empty_degraded},\n    \
+         \"empty_plan_identical\": {empty_identical},\n    \
+         \"replay_identical\": {replay_identical}",
+        hedge_us = fr.hedge_after.as_micros_f64(),
+        healthy_qps = fr_healthy.virtual_qps,
+        storm_qps = fr_storm.virtual_qps,
+        stuck_qps = fr_stuck.virtual_qps,
+        outage_qps = fr_outage.virtual_qps,
+        storm_retention = fr.report.qps_retention("storm", "healthy").unwrap_or(0.0),
+        floor_frac = STORM_QPS_FLOOR_FRAC,
+        injected_transient = fr_storm.injected_transient,
+        injected_corruptions = fr_storm.injected_corruptions,
+        injected_stuck = fr_storm.injected_stuck,
+        detected_corruptions = fr_storm.detected_corruptions,
+        corrupted_served = fr.report.total_corrupted_served(),
+        storm_degraded = fr_storm.degraded_rows,
+        outage_degraded = fr_outage.degraded_rows,
+        storm_retries = fr_storm.retries,
+        storm_hedges = fr_storm.hedges,
+        storm_hedge_wins = fr_storm.hedge_wins,
+        stuck_timeouts = fr_stuck.deadline_timeouts,
+        outage_failovers = fr_outage.failovers,
+        empty_degraded = fr_empty.degraded_rows,
+        empty_identical = u8::from(fr.empty_plan_identical),
+        replay_identical = u8::from(fr.replay_identical),
+    );
+
     // --- Emit BENCH_hotpath.json (hand-rolled: no JSON crate vendored). ---
     let json = format!(
         "{{\n  \"schema\": \"sdm-hotpath-v1\",\n  \"quick\": {quick},\n  \
@@ -721,6 +896,7 @@ fn main() {
          \"cross_shard_hit_rate_4\": {t_cross_4:.4},\n    \
          \"promotions_4\": {t_promo_4}\n  }},\n  \
          \"open_loop\": {{\n    {open_loop_json}\n  }},\n  \
+         \"fault_resilience\": {{\n    {fault_json}\n  }},\n  \
          \"cache_latency\": {{\n    \
          \"row_hit_ns\": {row_hit_ns:.1},\n    \
          \"shared_hit_ns\": {shared_hit_ns:.1},\n    \

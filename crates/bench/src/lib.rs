@@ -6,11 +6,14 @@
 //! produce.
 
 use dlrm::{model_zoo, ModelConfig};
+use io_engine::RetryConfig;
+use scm_device::{DeviceId, FaultPlan, FaultStats};
 use sdm_core::{Frontend, FrontendConfig, SdmConfig, SdmSystem, ServingHost};
 use sdm_metrics::units::Bytes;
 use sdm_metrics::{
-    BatchModeMeasurement, BatchModeReport, LoadCurveReport, MultiStreamReport,
-    SharedTierMeasurement, SharedTierReport,
+    BatchModeMeasurement, BatchModeReport, LatencyHistogram, LoadCurveReport, MultiStreamReport,
+    ResilienceMeasurement, ResilienceReport, SharedTierMeasurement, SharedTierReport, SimDuration,
+    SimInstant,
 };
 use workload::{
     ArrivalGenerator, ArrivalProcess, Query, QueryGenerator, RoutingPolicy, WorkloadConfig,
@@ -290,6 +293,275 @@ pub fn measure_load_curve(
     report
 }
 
+/// Everything the fault-resilience measurement produces: the
+/// per-condition [`ResilienceReport`] plus the cross-run gates CI pins.
+#[derive(Debug, Clone)]
+pub struct FaultResilienceOutcome {
+    /// Per-condition measurements (`healthy`, `empty_plan`, `storm`,
+    /// `stuck`, `outage`).
+    pub report: ResilienceReport,
+    /// The hedge delay the faulty conditions ran with, derived from the
+    /// healthy run's p99 IO latency (the classic hedged-request recipe).
+    pub hedge_after: SimDuration,
+    /// Whether two storm runs under the same fault seed produced
+    /// bit-identical scores and counters (deterministic replay gate).
+    pub replay_identical: bool,
+    /// Whether the attached-but-empty-plan run was bit-identical to the
+    /// plan-free run (the "resilience compiled in but inert" gate).
+    pub empty_plan_identical: bool,
+    /// Degraded rows of the empty-plan run — CI pins this to zero.
+    pub empty_plan_degraded_rows: u64,
+}
+
+/// One fault condition executed to completion: its measurement plus a
+/// bit-exact fingerprint (last batch's scores) for replay comparisons.
+struct ConditionRun {
+    measurement: ResilienceMeasurement,
+    scores: Vec<f32>,
+    /// p99 of caller-visible IO latency across all shard engines.
+    io_p99: SimDuration,
+}
+
+/// Runs `rounds` batches of `queries` on a fresh host with `plan_for`
+/// attached to every device (`(shard, device) -> plan`), then folds the
+/// serving and fault ledgers into one measurement.
+fn run_fault_condition(
+    label: &str,
+    model: &ModelConfig,
+    config: &SdmConfig,
+    queries: &[Query],
+    shards: usize,
+    rounds: usize,
+    mut plan_for: impl FnMut(usize, usize) -> Option<FaultPlan>,
+) -> ConditionRun {
+    let mut host = ServingHost::build(
+        model,
+        config,
+        EXPERIMENT_SEED,
+        shards,
+        RoutingPolicy::UserSticky,
+    )
+    .expect("failed to build serving host");
+    for s in 0..host.shards() {
+        let array = host.shard_mut(s).manager_mut().io_engine_mut().array_mut();
+        for d in 0..array.len() {
+            let plan = plan_for(s, d);
+            array
+                .device_mut(DeviceId(d))
+                .expect("device index in range")
+                .set_fault_plan(plan);
+        }
+    }
+    let mut total_makespan = SimDuration::ZERO;
+    let mut served = 0u64;
+    for _ in 0..rounds.max(1) {
+        // Injected faults never fail a batch: reads retry, rows degrade to
+        // zeros, unhealthy shards are routed around.
+        let report = host.run_batch(queries).expect("resilience batch failed");
+        total_makespan += report.virtual_makespan;
+        served += report.queries;
+    }
+    let stats = host.stats();
+    let mut injected = FaultStats::default();
+    let mut io_hist = LatencyHistogram::new();
+    for s in 0..host.shards() {
+        let engine = host.shard(s).manager().io_engine();
+        io_hist.merge(&engine.stats().latency);
+        for (_, device) in engine.array().iter() {
+            if let Some(plan) = device.fault_plan() {
+                injected.merge(plan.stats());
+            }
+        }
+    }
+    let mut scores = Vec::new();
+    for i in 0..host.len() {
+        scores.extend_from_slice(host.scores(i));
+    }
+    let row_accesses = stats.row_cache_hits
+        + stats.shared_tier_hits
+        + stats.sm_reads
+        + stats.pruned_zero_rows
+        + stats.degraded_rows;
+    ConditionRun {
+        measurement: ResilienceMeasurement {
+            label: label.to_string(),
+            queries: served,
+            virtual_qps: if total_makespan.is_zero() {
+                0.0
+            } else {
+                served as f64 / total_makespan.as_secs_f64()
+            },
+            row_accesses,
+            degraded_rows: stats.degraded_rows,
+            injected_transient: injected.transient_errors,
+            injected_corruptions: injected.corruptions,
+            injected_stuck: injected.stuck,
+            detected_corruptions: stats.io_checksum_failures,
+            // Valid wherever every corrupted attempt reaches checksum
+            // verification — conditions that inject corruption run with a
+            // zero IO deadline, so nothing is abandoned unverified.
+            corrupted_served: injected
+                .corruptions
+                .saturating_sub(stats.io_checksum_failures),
+            retries: stats.io_retries,
+            deadline_timeouts: stats.io_deadline_timeouts,
+            hedges: stats.io_hedges,
+            hedge_wins: stats.io_hedge_wins,
+            failovers: stats.shard_failovers,
+        },
+        scores,
+        io_p99: io_hist.p99(),
+    }
+}
+
+/// Per-shard-and-device fault seed: decorrelates device RNG streams while
+/// staying a pure function of the run's fault seed.
+fn device_fault_seed(fault_seed: u64, shard: usize, device: usize) -> u64 {
+    fault_seed ^ (shard as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ (device as u64 + 1)
+}
+
+/// Measures end-to-end fault resilience on the *virtual* clock. Five
+/// deterministic conditions, each a fresh host serving the same stream:
+///
+/// * `healthy` — no fault plans; the baseline every retention compares to.
+/// * `empty_plan` — a [`FaultPlan`] attached to every device but with all
+///   rates zero; must be bit-identical to `healthy` with zero degraded
+///   rows (resilience machinery present but inert).
+/// * `storm` — transient errors, bit-flip corruption, occasional stuck
+///   IOs and a latency-storm window on every device, served with bounded
+///   retries and hedged reads (hedge delay = healthy p99 IO latency).
+///   Run **twice** under the same fault seed; the runs must be
+///   bit-identical (`replay_identical`).
+/// * `stuck` — stuck IOs against a per-IO deadline, exercising
+///   abandon-and-retry.
+/// * `outage` — one shard's devices massively degraded (high transient
+///   rate plus a whole-run storm), exercising degraded rows and
+///   health-based shard failover.
+///
+/// # Panics
+///
+/// Panics when a host cannot be built or a batch fails — experiments
+/// treat both as fatal setup errors.
+pub fn measure_fault_resilience(
+    model: &ModelConfig,
+    config: &SdmConfig,
+    queries: &[Query],
+    shards: usize,
+    rounds: usize,
+    fault_seed: u64,
+) -> FaultResilienceOutcome {
+    let mut report = ResilienceReport::new();
+
+    // Healthy and empty-plan runs use the caller's stock engine config
+    // (default retry policy), so the empty-plan gate certifies the exact
+    // pre-resilience hot path.
+    let healthy = run_fault_condition("healthy", model, config, queries, shards, rounds, |_, _| {
+        None
+    });
+    let empty = run_fault_condition(
+        "empty_plan",
+        model,
+        config,
+        queries,
+        shards,
+        rounds,
+        |s, d| Some(FaultPlan::new(device_fault_seed(fault_seed, s, d))),
+    );
+    let empty_plan_identical = empty.scores == healthy.scores
+        && empty.measurement.virtual_qps == healthy.measurement.virtual_qps
+        && empty.measurement.row_accesses == healthy.measurement.row_accesses
+        && empty.measurement.retries == healthy.measurement.retries;
+    let empty_plan_degraded_rows = empty.measurement.degraded_rows;
+    let hedge_after = healthy.io_p99;
+
+    // Storm: every fault mode at low rate plus a long latency storm.
+    // Retries + hedging absorb it; corruption detection must be total.
+    let mut storm_cfg = config.clone();
+    storm_cfg.io.retry = RetryConfig {
+        max_attempts: 4,
+        hedge_after: Some(hedge_after),
+        ..RetryConfig::default()
+    };
+    let storm_end = SimInstant::EPOCH + SimDuration::from_secs(3600);
+    let stuck_latency = hedge_after.max(SimDuration::from_micros(1)) * 50;
+    let storm_plan = |seed_base: u64| {
+        move |s: usize, d: usize| {
+            Some(
+                FaultPlan::new(device_fault_seed(seed_base, s, d))
+                    .with_transient_errors(0.05)
+                    .with_corruption(0.02)
+                    .with_stuck(0.01, stuck_latency)
+                    .with_storm(SimInstant::EPOCH, storm_end, 6.0),
+            )
+        }
+    };
+    let storm = run_fault_condition(
+        "storm",
+        model,
+        &storm_cfg,
+        queries,
+        shards,
+        rounds,
+        storm_plan(fault_seed),
+    );
+    let storm_replay = run_fault_condition(
+        "storm",
+        model,
+        &storm_cfg,
+        queries,
+        shards,
+        rounds,
+        storm_plan(fault_seed),
+    );
+    let replay_identical =
+        storm.measurement == storm_replay.measurement && storm.scores == storm_replay.scores;
+
+    // Stuck: hung IOs against a per-IO deadline (abandon and retry).
+    let mut stuck_cfg = config.clone();
+    stuck_cfg.io.retry = RetryConfig {
+        max_attempts: 4,
+        io_deadline: hedge_after.max(SimDuration::from_micros(1)) * 4,
+        ..RetryConfig::default()
+    };
+    let stuck = run_fault_condition(
+        "stuck",
+        model,
+        &stuck_cfg,
+        queries,
+        shards,
+        rounds,
+        |s, d| {
+            Some(
+                FaultPlan::new(device_fault_seed(fault_seed, s, d)).with_stuck(0.03, stuck_latency),
+            )
+        },
+    );
+
+    // Outage: one shard's devices mostly failing and massively slowed —
+    // rows degrade to zeros and the host routes batches away from it.
+    let outage_shard = shards.saturating_sub(1);
+    let outage = run_fault_condition("outage", model, config, queries, shards, rounds, |s, d| {
+        (s == outage_shard).then(|| {
+            FaultPlan::new(device_fault_seed(fault_seed, s, d))
+                .with_transient_errors(0.5)
+                .with_storm(SimInstant::EPOCH, storm_end, 20.0)
+        })
+    });
+
+    report.record(healthy.measurement);
+    report.record(empty.measurement);
+    report.record(storm.measurement);
+    report.record(stuck.measurement);
+    report.record(outage.measurement);
+    FaultResilienceOutcome {
+        report,
+        hedge_after,
+        replay_identical,
+        empty_plan_identical,
+        empty_plan_degraded_rows,
+    }
+}
+
 /// Extracts the numeric value of `"field":` inside the object introduced by
 /// `"section":` from a `BENCH_*.json` document (the hand-rolled emitter's
 /// format: flat single-level section objects; no JSON crate is vendored).
@@ -424,6 +696,48 @@ mod tests {
         assert!(on.shared_hits > 0);
         assert!(on.cross_shard_hit_rate() > 0.0);
         assert!(report.qps_gain(2).unwrap() >= 1.0);
+    }
+
+    #[test]
+    fn measure_fault_resilience_gates_hold_on_a_tiny_model() {
+        let model = model_zoo::tiny(2, 1, 400);
+        let queries = queries_for(&model, 24, 7);
+        let out = measure_fault_resilience(&model, &SdmConfig::for_tests(), &queries, 2, 6, 42);
+        assert!(out.empty_plan_identical, "empty plan must be inert");
+        assert_eq!(out.empty_plan_degraded_rows, 0);
+        assert!(
+            out.replay_identical,
+            "same seed must replay bit-identically"
+        );
+        let healthy = out.report.get("healthy").unwrap();
+        assert!(healthy.virtual_qps > 0.0);
+        assert_eq!(healthy.injected_total(), 0);
+        assert_eq!(healthy.degraded_rows, 0);
+        let storm = out.report.get("storm").unwrap();
+        assert!(storm.injected_total() > 0, "storm must inject faults");
+        assert_eq!(
+            storm.corruption_detection_rate(),
+            1.0,
+            "checksums must catch every injected flip: {storm:?}"
+        );
+        assert_eq!(out.report.total_corrupted_served(), 0);
+        assert!(storm.retries > 0);
+        let retention = out.report.qps_retention("storm", "healthy").unwrap();
+        assert!(retention > 0.0 && retention < 1.0, "retention {retention}");
+        let stuck = out.report.get("stuck").unwrap();
+        assert!(
+            stuck.deadline_timeouts > 0,
+            "deadline must abandon stuck IOs"
+        );
+        let outage = out.report.get("outage").unwrap();
+        assert!(
+            outage.degraded_rows > 0,
+            "outage must degrade rows: {outage:?}"
+        );
+        assert!(
+            outage.failovers > 0,
+            "outage must trigger failover: {outage:?}"
+        );
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! The asynchronous IO engine: request routing, throttling and accounting.
 
 use crate::completion::{CompletionMode, CpuCostModel};
-use crate::error::IoError;
-use scm_device::{DeviceArray, DeviceId, ReadCommand};
+use crate::error::{FailureKind, IoError};
+use crate::retry::{ResilienceStats, RetryConfig};
+use scm_device::{checksum64, DeviceArray, DeviceId, ReadCommand, ReadOutcome};
 use sdm_metrics::units::{split_share, Bytes};
 use sdm_metrics::{LatencyHistogram, SimDuration, SimInstant};
 use std::collections::HashMap;
@@ -94,6 +95,9 @@ pub struct EngineConfig {
     pub completion_mode: CompletionMode,
     /// Host CPU cost per IO.
     pub cpu_cost: CpuCostModel,
+    /// Retry, per-IO deadline and hedged-read policy. The default policy
+    /// never changes the behaviour of a fault-free device.
+    pub retry: RetryConfig,
 }
 
 impl Default for EngineConfig {
@@ -104,6 +108,7 @@ impl Default for EngineConfig {
             max_tables_in_flight: 64,
             completion_mode: CompletionMode::Interrupt,
             cpu_cost: CpuCostModel::default(),
+            retry: RetryConfig::default(),
         }
     }
 }
@@ -165,7 +170,7 @@ impl EngineConfig {
                 reason: "max_tables_in_flight must be at least 1".into(),
             });
         }
-        Ok(())
+        self.retry.validate()
     }
 }
 
@@ -232,6 +237,8 @@ pub struct EngineStats {
     pub latency: LatencyHistogram,
     /// Per-submission queue-occupancy accounting (observed mean/max depth).
     pub queue_depth: IoStats,
+    /// Retry / checksum / deadline / hedging counters.
+    pub resilience: ResilienceStats,
 }
 
 impl EngineStats {
@@ -291,6 +298,23 @@ impl DeviceSched {
     fn last_after(&self, now: SimInstant) -> Option<SimInstant> {
         self.completions.last().copied().filter(|t| *t > now)
     }
+}
+
+/// One device command's fate inside the retry loop.
+#[derive(Debug)]
+enum Attempt {
+    /// Clean completion: correct payload, within deadline.
+    Completed {
+        issued_at: SimInstant,
+        completed_at: SimInstant,
+        outcome: ReadOutcome,
+    },
+    /// Failed attempt; `retry_at` is the instant the failure became known
+    /// to the host (backoff starts there).
+    Failed {
+        kind: FailureKind,
+        retry_at: SimInstant,
+    },
 }
 
 /// The asynchronous IO engine.
@@ -362,12 +386,18 @@ impl IoEngine {
     ///
     /// The request is scheduled immediately: its issue time honours the
     /// outstanding-IO limits and its completion time comes from the device
-    /// model. The completion becomes visible through [`IoEngine::poll`] or
-    /// [`IoEngine::drain`].
+    /// model. Failed attempts — transient device errors, payloads that
+    /// flunk end-to-end checksum verification, IOs past the per-IO
+    /// deadline — are retried with exponential backoff per the configured
+    /// [`RetryConfig`]; slow clean completions may additionally be hedged
+    /// with a duplicate read. The winning completion becomes visible
+    /// through [`IoEngine::poll`] or [`IoEngine::drain`].
     ///
     /// # Errors
     ///
-    /// Propagates device errors (out-of-bounds ranges, unsupported SGL).
+    /// Propagates hard device errors (out-of-bounds ranges, unsupported
+    /// SGL) immediately; returns [`IoError::RetriesExhausted`] when every
+    /// attempt failed.
     pub fn submit(&mut self, request: IoRequest, now: SimInstant) -> Result<(), IoError> {
         let dev_index = request.device.0;
         if dev_index >= self.array.len() {
@@ -377,62 +407,65 @@ impl IoEngine {
             }));
         }
 
-        // 1. Work out the earliest admission time allowed by the knobs.
-        self.device_sched[dev_index].prune(now);
-        let mut issue_at = self.device_sched[dev_index]
-            .admission_time(now, self.config.max_outstanding_per_device);
-
-        if let Some(tag) = request.table {
-            let sched = self.table_sched.entry(tag).or_default();
-            sched.prune(now);
-            issue_at =
-                issue_at.max(sched.admission_time(now, self.config.max_outstanding_per_table));
-        }
-
-        // Max-tables-in-flight: if this table is not already active and the
-        // limit is reached, wait until the busiest constraint relaxes (the
-        // earliest instant at which some active table fully drains).
-        // Counted in place — no temporary collection on the submit path.
-        if let Some(tag) = request.table {
-            let active_tables = self
-                .table_sched
-                .iter()
-                .filter(|(t, s)| **t != tag && s.active_at(now) > 0)
-                .count();
-            if active_tables >= self.config.max_tables_in_flight {
-                let earliest_drain = self
-                    .table_sched
-                    .iter()
-                    .filter(|(t, s)| **t != tag && s.active_at(now) > 0)
-                    .filter_map(|(_, s)| s.last_after(now))
-                    .min()
-                    .unwrap_or(now);
-                issue_at = issue_at.max(earliest_drain);
+        let retry = self.config.retry;
+        let mut attempt: u32 = 0;
+        let mut earliest = now;
+        let (issued_at, completed_at, outcome) = loop {
+            attempt += 1;
+            match self.issue_attempt(&request, earliest)? {
+                Attempt::Failed { kind, retry_at } => {
+                    self.note_failure(kind);
+                    if attempt >= retry.max_attempts.max(1) {
+                        self.stats.resilience.exhausted += 1;
+                        return Err(IoError::RetriesExhausted {
+                            attempts: attempt,
+                            last: kind,
+                        });
+                    }
+                    self.stats.resilience.retries += 1;
+                    earliest = retry_at + retry.backoff(attempt);
+                }
+                Attempt::Completed {
+                    issued_at,
+                    completed_at,
+                    outcome,
+                } => {
+                    let mut best = (issued_at, completed_at, outcome);
+                    // Hedge: the primary is clean but slow — issue a
+                    // duplicate at the hedge mark and let the first clean
+                    // completion win. A failed hedge is simply discarded;
+                    // the primary result is already in hand.
+                    if let Some(delay) = retry.hedge_after {
+                        if best.1.duration_since(earliest) > delay {
+                            self.stats.resilience.hedges += 1;
+                            match self.issue_attempt(&request, earliest + delay)? {
+                                Attempt::Completed {
+                                    issued_at: h_issued,
+                                    completed_at: h_done,
+                                    outcome: h_out,
+                                } => {
+                                    if h_done < best.1 {
+                                        self.stats.resilience.hedge_wins += 1;
+                                        best = (h_issued, h_done, h_out);
+                                    }
+                                }
+                                Attempt::Failed { kind, .. } => self.note_failure(kind),
+                            }
+                        }
+                    }
+                    break best;
+                }
             }
-        }
-
-        // 2. Ask the device for the service time at the observed depth.
-        let queue_depth = self.device_sched[dev_index].active_at(issue_at) + 1;
-        self.stats.queue_depth.record(queue_depth);
-        let outcome = self
-            .array
-            .read(request.device, &request.command, queue_depth)?;
-        let completed_at = issue_at + outcome.device_latency;
-
-        // 3. Record scheduling state and the completion.
-        self.device_sched[dev_index].push(completed_at);
-        if let Some(tag) = request.table {
-            self.table_sched.entry(tag).or_default().push(completed_at);
-        }
+        };
 
         let completion = IoCompletion {
             user_data: request.user_data,
             table: request.table,
             data: outcome.data,
             submitted_at: now,
-            issued_at: issue_at,
+            issued_at,
             completed_at,
-            queue_delay: issue_at.duration_since(now),
+            queue_delay: issued_at.duration_since(now),
             device_latency: outcome.device_latency,
             bus_bytes: outcome.bus_bytes,
         };
@@ -451,6 +484,114 @@ impl IoEngine {
 
         self.ready.push(completion);
         Ok(())
+    }
+
+    /// Issues one device command for the request, no earlier than
+    /// `earliest`. Successful and abandoned commands are recorded in the
+    /// scheduling state (they occupy their device queue slot either way);
+    /// transient failures occupy nothing — the device rejected the command
+    /// at issue.
+    fn issue_attempt(
+        &mut self,
+        request: &IoRequest,
+        earliest: SimInstant,
+    ) -> Result<Attempt, IoError> {
+        let dev_index = request.device.0;
+
+        // 1. Work out the earliest admission time allowed by the knobs.
+        self.device_sched[dev_index].prune(earliest);
+        let mut issue_at = self.device_sched[dev_index]
+            .admission_time(earliest, self.config.max_outstanding_per_device);
+
+        if let Some(tag) = request.table {
+            let sched = self.table_sched.entry(tag).or_default();
+            sched.prune(earliest);
+            issue_at =
+                issue_at.max(sched.admission_time(earliest, self.config.max_outstanding_per_table));
+        }
+
+        // Max-tables-in-flight: if this table is not already active and the
+        // limit is reached, wait until the busiest constraint relaxes (the
+        // earliest instant at which some active table fully drains).
+        // Counted in place — no temporary collection on the submit path.
+        if let Some(tag) = request.table {
+            let active_tables = self
+                .table_sched
+                .iter()
+                .filter(|(t, s)| **t != tag && s.active_at(earliest) > 0)
+                .count();
+            if active_tables >= self.config.max_tables_in_flight {
+                let earliest_drain = self
+                    .table_sched
+                    .iter()
+                    .filter(|(t, s)| **t != tag && s.active_at(earliest) > 0)
+                    .filter_map(|(_, s)| s.last_after(earliest))
+                    .min()
+                    .unwrap_or(earliest);
+                issue_at = issue_at.max(earliest_drain);
+            }
+        }
+
+        // 2. Ask the device for the service time at the observed depth.
+        let queue_depth = self.device_sched[dev_index].active_at(issue_at) + 1;
+        self.stats.queue_depth.record(queue_depth);
+        let outcome =
+            match self
+                .array
+                .read_at(request.device, &request.command, queue_depth, issue_at)
+            {
+                Ok(outcome) => outcome,
+                Err(e) if e.is_transient() => {
+                    return Ok(Attempt::Failed {
+                        kind: FailureKind::Transient,
+                        retry_at: issue_at,
+                    })
+                }
+                Err(e) => return Err(IoError::Device(e)),
+            };
+        let completed_at = issue_at + outcome.device_latency;
+
+        // 3. Record scheduling state; even attempts the host abandons keep
+        // their queue slot until the device would have finished.
+        self.track_inflight(dev_index, request.table, completed_at);
+
+        let deadline = self.config.retry.io_deadline;
+        if !deadline.is_zero() && outcome.device_latency > deadline {
+            return Ok(Attempt::Failed {
+                kind: FailureKind::DeadlineExceeded,
+                retry_at: issue_at + deadline,
+            });
+        }
+        // End-to-end protection: verify the guard tag the device stamped
+        // before any injected corruption. A mismatch is known only once the
+        // data is back, so the retry clock starts at completion.
+        if checksum64(&outcome.data) != outcome.checksum {
+            return Ok(Attempt::Failed {
+                kind: FailureKind::ChecksumMismatch,
+                retry_at: completed_at,
+            });
+        }
+
+        Ok(Attempt::Completed {
+            issued_at: issue_at,
+            completed_at,
+            outcome,
+        })
+    }
+
+    fn track_inflight(&mut self, dev_index: usize, table: Option<TableTag>, at: SimInstant) {
+        self.device_sched[dev_index].push(at);
+        if let Some(tag) = table {
+            self.table_sched.entry(tag).or_default().push(at);
+        }
+    }
+
+    fn note_failure(&mut self, kind: FailureKind) {
+        match kind {
+            FailureKind::Transient => self.stats.resilience.transient_errors += 1,
+            FailureKind::ChecksumMismatch => self.stats.resilience.checksum_failures += 1,
+            FailureKind::DeadlineExceeded => self.stats.resilience.deadline_timeouts += 1,
+        }
     }
 
     /// Submits a batch of requests as one ring submission: every request is
@@ -847,6 +988,251 @@ mod tests {
         assert_eq!(depth.depth_samples, 8);
         assert_eq!(depth.max_depth, 8);
         assert!(depth.mean_depth() > 1.0);
+    }
+
+    #[test]
+    fn transient_errors_are_retried_with_backoff() {
+        // 50% transient error rate, 4 attempts: reads succeed eventually
+        // and the retry counters reflect the recovered failures.
+        let cfg = EngineConfig {
+            retry: RetryConfig {
+                max_attempts: 4,
+                ..RetryConfig::default()
+            },
+            ..EngineConfig::default()
+        };
+        let mut engine = engine_with(TechnologyProfile::optane_ssd(), 1, cfg);
+        engine
+            .array_mut()
+            .device_mut(DeviceId(0))
+            .unwrap()
+            .set_fault_plan(Some(
+                scm_device::FaultPlan::new(5).with_transient_errors(0.5),
+            ));
+        let now = SimInstant::EPOCH;
+        let mut served = 0u64;
+        for i in 0..64u64 {
+            match engine.submit(
+                IoRequest::new(DeviceId(0), ReadCommand::sgl(i * 512, 64)).with_user_data(i),
+                now,
+            ) {
+                Ok(()) => served += 1,
+                Err(IoError::RetriesExhausted { attempts, .. }) => assert_eq!(attempts, 4),
+                Err(e) => panic!("unexpected error: {e}"),
+            }
+        }
+        let res = &engine.stats().resilience;
+        assert!(served > 0, "half-rate faults cannot kill every read");
+        assert!(res.transient_errors > 0);
+        assert!(res.retries > 0);
+        assert_eq!(engine.stats().completed, served);
+        // Retried completions pay the backoff in caller-visible latency.
+        let (completions, _) = engine.drain(now).unwrap();
+        assert!(completions
+            .iter()
+            .any(|c| c.queue_delay >= SimDuration::from_micros(10)));
+    }
+
+    #[test]
+    fn exhausted_retries_surface_a_typed_error() {
+        let cfg = EngineConfig {
+            retry: RetryConfig {
+                max_attempts: 3,
+                ..RetryConfig::default()
+            },
+            ..EngineConfig::default()
+        };
+        let mut engine = engine_with(TechnologyProfile::optane_ssd(), 1, cfg);
+        engine
+            .array_mut()
+            .device_mut(DeviceId(0))
+            .unwrap()
+            .set_fault_plan(Some(
+                scm_device::FaultPlan::new(1).with_transient_errors(1.0),
+            ));
+        let err = engine
+            .submit(
+                IoRequest::new(DeviceId(0), ReadCommand::sgl(0, 64)),
+                SimInstant::EPOCH,
+            )
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            IoError::RetriesExhausted {
+                attempts: 3,
+                last: FailureKind::Transient
+            }
+        ));
+        assert_eq!(engine.stats().resilience.exhausted, 1);
+        assert_eq!(engine.stats().resilience.transient_errors, 3);
+        assert_eq!(engine.stats().completed, 0);
+    }
+
+    #[test]
+    fn checksum_verification_catches_every_injected_corruption() {
+        let cfg = EngineConfig {
+            retry: RetryConfig {
+                max_attempts: 6,
+                ..RetryConfig::default()
+            },
+            ..EngineConfig::default()
+        };
+        let mut engine = engine_with(TechnologyProfile::optane_ssd(), 1, cfg);
+        engine
+            .array_mut()
+            .write(DeviceId(0), 0, &[0xA5u8; 4096])
+            .unwrap();
+        engine
+            .array_mut()
+            .device_mut(DeviceId(0))
+            .unwrap()
+            .set_fault_plan(Some(scm_device::FaultPlan::new(8).with_corruption(0.3)));
+        let now = SimInstant::EPOCH;
+        for i in 0..32u64 {
+            engine
+                .submit(
+                    IoRequest::new(DeviceId(0), ReadCommand::sgl(i * 128, 64)).with_user_data(i),
+                    now,
+                )
+                .unwrap();
+        }
+        let injected = engine
+            .array()
+            .device(DeviceId(0))
+            .unwrap()
+            .fault_plan()
+            .unwrap()
+            .stats()
+            .corruptions;
+        assert!(injected > 0, "30% corruption over 32 reads must fire");
+        assert_eq!(
+            engine.stats().resilience.checksum_failures,
+            injected,
+            "every injected corruption must be detected"
+        );
+        // And no delivered payload is corrupt.
+        let (completions, _) = engine.drain(now).unwrap();
+        assert_eq!(completions.len(), 32);
+        for c in &completions {
+            assert_eq!(c.data, vec![0xA5u8; 64], "corrupt payload served");
+        }
+    }
+
+    #[test]
+    fn deadline_abandons_stuck_ios_and_recovers() {
+        let hang = SimDuration::from_millis(100);
+        let cfg = EngineConfig {
+            retry: RetryConfig {
+                max_attempts: 8,
+                io_deadline: SimDuration::from_millis(1),
+                ..RetryConfig::default()
+            },
+            ..EngineConfig::default()
+        };
+        let mut engine = engine_with(TechnologyProfile::optane_ssd(), 1, cfg);
+        engine
+            .array_mut()
+            .device_mut(DeviceId(0))
+            .unwrap()
+            .set_fault_plan(Some(scm_device::FaultPlan::new(3).with_stuck(0.5, hang)));
+        let now = SimInstant::EPOCH;
+        for i in 0..16u64 {
+            engine
+                .submit(
+                    IoRequest::new(DeviceId(0), ReadCommand::sgl(i * 512, 64)),
+                    now,
+                )
+                .unwrap();
+        }
+        assert!(engine.stats().resilience.deadline_timeouts > 0);
+        // Caller-visible latency is bounded by deadline+backoff retries,
+        // far below the 100ms hang.
+        let (completions, _) = engine.drain(now).unwrap();
+        for c in &completions {
+            assert!(
+                c.total_latency() < hang,
+                "stuck IO leaked into caller latency: {:?}",
+                c.total_latency()
+            );
+        }
+    }
+
+    #[test]
+    fn hedged_reads_cut_the_tail_of_a_latency_storm() {
+        // A plan that makes some reads stuck (slow) without storms;
+        // hedging re-issues them at the hedge mark, and the duplicate —
+        // which usually is not stuck — wins.
+        let hang = SimDuration::from_millis(5);
+        let cfg = EngineConfig {
+            retry: RetryConfig {
+                hedge_after: Some(SimDuration::from_micros(100)),
+                ..RetryConfig::default()
+            },
+            ..EngineConfig::default()
+        };
+        let mut engine = engine_with(TechnologyProfile::optane_ssd(), 1, cfg);
+        engine
+            .array_mut()
+            .device_mut(DeviceId(0))
+            .unwrap()
+            .set_fault_plan(Some(scm_device::FaultPlan::new(6).with_stuck(0.3, hang)));
+        let now = SimInstant::EPOCH;
+        for i in 0..32u64 {
+            engine
+                .submit(
+                    IoRequest::new(DeviceId(0), ReadCommand::sgl(i * 512, 64)),
+                    now,
+                )
+                .unwrap();
+        }
+        let res = &engine.stats().resilience;
+        assert!(res.hedges > 0, "stuck reads must trigger hedges");
+        assert!(
+            res.hedge_wins > 0,
+            "some hedges must beat the stuck primary"
+        );
+        assert!(res.hedge_wins <= res.hedges);
+    }
+
+    #[test]
+    fn default_retry_config_is_bit_identical_without_faults() {
+        let make = |cfg: EngineConfig| {
+            let mut e = engine_with(TechnologyProfile::nand_flash(), 1, cfg);
+            for i in 0..32u64 {
+                e.submit(
+                    IoRequest::new(DeviceId(0), ReadCommand::sgl(i * 4096, 128))
+                        .with_table((i % 3) as TableTag)
+                        .with_user_data(i),
+                    SimInstant::from_nanos(i * 10_000),
+                )
+                .unwrap();
+            }
+            e
+        };
+        // Aggressive retry/deadline/hedge settings on a healthy device
+        // change nothing: first attempts are clean and fast.
+        let tuned = EngineConfig {
+            retry: RetryConfig {
+                max_attempts: 7,
+                io_deadline: SimDuration::from_millis(50),
+                hedge_after: Some(SimDuration::from_millis(40)),
+                ..RetryConfig::default()
+            },
+            ..EngineConfig::default()
+        };
+        let mut a = make(EngineConfig::default());
+        let mut b = make(tuned);
+        let (ca, fa) = a.drain(SimInstant::EPOCH).unwrap();
+        let (cb, fb) = b.drain(SimInstant::EPOCH).unwrap();
+        assert_eq!(fa, fb);
+        assert_eq!(ca.len(), cb.len());
+        for (x, y) in ca.iter().zip(&cb) {
+            assert_eq!(x.user_data, y.user_data);
+            assert_eq!(x.completed_at, y.completed_at);
+            assert_eq!(x.data, y.data);
+        }
+        assert_eq!(a.stats().resilience, b.stats().resilience);
+        assert_eq!(a.stats().resilience, ResilienceStats::default());
     }
 
     #[test]

@@ -4,6 +4,29 @@ use scm_device::DeviceError;
 use std::error::Error;
 use std::fmt;
 
+/// The way one IO attempt failed (retry accounting and the terminal error).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FailureKind {
+    /// The device reported a transient, retryable error.
+    Transient,
+    /// The payload failed end-to-end checksum verification (corruption
+    /// detected at completion).
+    ChecksumMismatch,
+    /// The device did not complete the IO within the per-IO deadline.
+    DeadlineExceeded,
+}
+
+impl fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FailureKind::Transient => write!(f, "transient device error"),
+            FailureKind::ChecksumMismatch => write!(f, "payload checksum mismatch"),
+            FailureKind::DeadlineExceeded => write!(f, "per-IO deadline exceeded"),
+        }
+    }
+}
+
 /// Errors returned by the IO engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
@@ -20,6 +43,15 @@ pub enum IoError {
         /// Description of the offending parameter.
         reason: String,
     },
+    /// A read kept failing after the configured number of attempts. The
+    /// serving layer degrades the affected row (pools it as zero) instead
+    /// of failing the query.
+    RetriesExhausted {
+        /// Attempts issued, including the first.
+        attempts: u32,
+        /// Failure mode of the final attempt.
+        last: FailureKind,
+    },
 }
 
 impl fmt::Display for IoError {
@@ -30,6 +62,9 @@ impl fmt::Display for IoError {
             }
             IoError::Device(e) => write!(f, "device error: {e}"),
             IoError::InvalidConfig { reason } => write!(f, "invalid engine config: {reason}"),
+            IoError::RetriesExhausted { attempts, last } => {
+                write!(f, "read failed after {attempts} attempts (last: {last})")
+            }
         }
     }
 }
@@ -68,5 +103,17 @@ mod tests {
         assert!(wrapped.to_string().contains("device error"));
         assert!(Error::source(&wrapped).is_some());
         assert!(Error::source(&IoError::InvalidConfig { reason: "x".into() }).is_none());
+
+        let exhausted = IoError::RetriesExhausted {
+            attempts: 4,
+            last: FailureKind::ChecksumMismatch,
+        };
+        let msg = exhausted.to_string();
+        assert!(msg.contains("4 attempts"));
+        assert!(msg.contains("checksum"));
+        assert!(FailureKind::Transient.to_string().contains("transient"));
+        assert!(FailureKind::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
     }
 }

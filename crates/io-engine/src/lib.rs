@@ -43,15 +43,21 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The submission/completion paths must stay panic-free: every failure is a
+// typed `IoError` the retry layer (and above it, degraded serving) can act
+// on. Tests opt back in locally with `#[allow(clippy::unwrap_used)]`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod completion;
 mod engine;
 mod error;
 mod mmap;
+mod retry;
 mod ring;
 
 pub use completion::{CompletionMode, CpuCostModel};
 pub use engine::{EngineConfig, EngineStats, IoCompletion, IoEngine, IoRequest, IoStats};
-pub use error::IoError;
+pub use error::{FailureKind, IoError};
 pub use mmap::{MmapIo, MmapStats};
+pub use retry::{ResilienceStats, RetryConfig};
 pub use ring::{IoRing, RingEntry};

@@ -5,7 +5,7 @@ use crate::error::DeviceError;
 use crate::nvme::ReadCommand;
 use crate::tech::TechnologyProfile;
 use sdm_metrics::units::Bytes;
-use sdm_metrics::SimDuration;
+use sdm_metrics::{SimDuration, SimInstant};
 use std::fmt;
 
 /// Identifies one device within a [`DeviceArray`].
@@ -130,6 +130,23 @@ impl DeviceArray {
         queue_depth: usize,
     ) -> Result<ReadOutcome, DeviceError> {
         self.device_mut(id)?.read(cmd, queue_depth)
+    }
+
+    /// Issues a read against a specific device at virtual instant `now`,
+    /// consulting any attached fault plan (see [`ScmDevice::read_at`]).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors, including injected
+    /// [`DeviceError::TransientRead`] failures.
+    pub fn read_at(
+        &mut self,
+        id: DeviceId,
+        cmd: &ReadCommand,
+        queue_depth: usize,
+        now: SimInstant,
+    ) -> Result<ReadOutcome, DeviceError> {
+        self.device_mut(id)?.read_at(cmd, queue_depth, now)
     }
 
     /// Writes to a specific device.

@@ -2,11 +2,12 @@
 
 use crate::block::PageStore;
 use crate::error::DeviceError;
+use crate::fault::{checksum64, FaultPlan};
 use crate::latency::LoadedLatencyModel;
 use crate::nvme::ReadCommand;
 use crate::tech::TechnologyProfile;
 use sdm_metrics::units::Bytes;
-use sdm_metrics::{CounterSet, SimDuration};
+use sdm_metrics::{CounterSet, SimDuration, SimInstant};
 
 /// Outcome of one read command.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -21,6 +22,10 @@ pub struct ReadOutcome {
     pub requested_bytes: Bytes,
     /// Device blocks touched on the media.
     pub blocks_touched: u64,
+    /// End-to-end protection guard: [`checksum64`] of the payload as read
+    /// from the media, stamped *before* any injected corruption. The host
+    /// verifies it at IO completion (NVMe end-to-end data protection).
+    pub checksum: u64,
 }
 
 /// Outcome of one write.
@@ -78,6 +83,7 @@ pub struct ScmDevice {
     counters: CounterSet,
     lifetime_write_budget: Option<Bytes>,
     enforce_endurance: bool,
+    fault: Option<FaultPlan>,
 }
 
 impl ScmDevice {
@@ -103,6 +109,7 @@ impl ScmDevice {
             counters: CounterSet::new(),
             lifetime_write_budget,
             enforce_endurance: false,
+            fault: None,
         })
     }
 
@@ -136,6 +143,18 @@ impl ScmDevice {
     /// so functional tests are not bounded by endurance.
     pub fn set_enforce_endurance(&mut self, enforce: bool) {
         self.enforce_endurance = enforce;
+    }
+
+    /// Attaches (or with `None`, detaches) a deterministic fault plan. Reads
+    /// issued through [`ScmDevice::read_at`] consult the plan; an empty plan
+    /// or no plan leaves the device's behaviour bit-identical.
+    pub fn set_fault_plan(&mut self, plan: Option<FaultPlan>) {
+        self.fault = plan;
+    }
+
+    /// The attached fault plan, if any (for reading injection counters).
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
     }
 
     /// Writes `data` at `offset` (model load / model update path).
@@ -187,6 +206,28 @@ impl ScmDevice {
         cmd: &ReadCommand,
         queue_depth: usize,
     ) -> Result<ReadOutcome, DeviceError> {
+        self.read_at(cmd, queue_depth, SimInstant::EPOCH)
+    }
+
+    /// Serves a read command issued at virtual instant `now`.
+    ///
+    /// Identical to [`ScmDevice::read`] except that an attached
+    /// [`FaultPlan`] is consulted: the issue instant selects latency-storm
+    /// windows, and the plan's pinned RNG decides transient errors, stuck
+    /// IOs and payload corruption. With no plan attached the instant is
+    /// ignored and the behaviour is bit-identical to `read`.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ScmDevice::read`] returns, plus
+    /// [`DeviceError::TransientRead`] when the fault plan injects a
+    /// retryable failure.
+    pub fn read_at(
+        &mut self,
+        cmd: &ReadCommand,
+        queue_depth: usize,
+        now: SimInstant,
+    ) -> Result<ReadOutcome, DeviceError> {
         if cmd.requested_bytes().is_zero() {
             return Err(DeviceError::EmptyCommand);
         }
@@ -198,6 +239,9 @@ impl ScmDevice {
             let part = self.store.read_at(range.offset, range.len as u64)?;
             data.extend_from_slice(&part);
         }
+        // Guard tag over the payload as the media holds it; injected
+        // corruption below happens after, so the host can always detect it.
+        let checksum = checksum64(&data);
 
         // Media latency at the current load plus the link transfer time for
         // the bytes that actually cross the bus. Multi-block commands pay the
@@ -215,7 +259,30 @@ impl ScmDevice {
         // cannot drop below the Little's-law bound.
         let queueing_floor =
             SimDuration::from_secs_f64(queue_depth as f64 / self.profile.max_read_iops.max(1.0));
-        let latency = (media_total + transfer).max(queueing_floor);
+        let mut latency = (media_total + transfer).max(queueing_floor);
+
+        if let Some(plan) = self.fault.as_mut() {
+            let decision = plan.decide(now);
+            if decision.transient_error {
+                // A failed command consumes no stats: the engine re-issues
+                // it and the retry is accounted like any other read.
+                return Err(DeviceError::TransientRead {
+                    device: self.name.clone(),
+                });
+            }
+            if decision.storm_multiplier > 1.0 {
+                latency = SimDuration::from_nanos(
+                    (latency.as_nanos() as f64 * decision.storm_multiplier).round() as u64,
+                );
+            }
+            if decision.stuck {
+                latency = latency.max(plan.stuck_latency());
+            }
+            if decision.corrupt {
+                let bit = plan.corrupt_bit(data.len());
+                data[bit / 8] ^= 1 << (bit % 8);
+            }
+        }
 
         self.stats.reads += 1;
         self.stats.bytes_requested += cmd.requested_bytes();
@@ -230,6 +297,7 @@ impl ScmDevice {
             bus_bytes,
             requested_bytes: cmd.requested_bytes(),
             blocks_touched: blocks,
+            checksum,
         })
     }
 
@@ -345,6 +413,89 @@ mod tests {
         let out = dev.read(&cmd, 1).unwrap();
         assert_eq!(&out.data[..64], &[1u8; 64]);
         assert_eq!(&out.data[64..], &[2u8; 64]);
+    }
+
+    #[test]
+    fn read_outcome_checksum_matches_payload() {
+        let mut dev = small_optane();
+        dev.write_at(0, &[5u8; 128]).unwrap();
+        let out = dev.read(&ReadCommand::sgl(0, 128), 1).unwrap();
+        assert_eq!(out.checksum, checksum64(&out.data));
+    }
+
+    #[test]
+    fn attached_empty_plan_is_bit_identical() {
+        let mut plain = small_optane();
+        let mut faulted = small_optane();
+        faulted.set_fault_plan(Some(FaultPlan::new(11)));
+        for i in 0..20u64 {
+            let a = plain.read(&ReadCommand::sgl(i * 512, 128), 3).unwrap();
+            let b = faulted
+                .read_at(
+                    &ReadCommand::sgl(i * 512, 128),
+                    3,
+                    SimInstant::from_nanos(i * 1_000),
+                )
+                .unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(faulted.fault_plan().unwrap().stats().total(), 0);
+    }
+
+    #[test]
+    fn injected_corruption_breaks_the_guard_checksum() {
+        let mut dev = small_optane();
+        dev.write_at(0, &[3u8; 256]).unwrap();
+        dev.set_fault_plan(Some(FaultPlan::new(2).with_corruption(1.0)));
+        let out = dev
+            .read_at(&ReadCommand::sgl(0, 256), 1, SimInstant::EPOCH)
+            .unwrap();
+        assert_ne!(
+            checksum64(&out.data),
+            out.checksum,
+            "corrupted payload must fail guard verification"
+        );
+        assert_eq!(dev.fault_plan().unwrap().stats().corruptions, 1);
+    }
+
+    #[test]
+    fn injected_transient_error_is_retryable_and_unaccounted() {
+        let mut dev = small_optane();
+        dev.set_fault_plan(Some(FaultPlan::new(4).with_transient_errors(1.0)));
+        let err = dev
+            .read_at(&ReadCommand::sgl(0, 64), 1, SimInstant::EPOCH)
+            .unwrap_err();
+        assert!(err.is_transient());
+        assert_eq!(dev.stats().reads, 0, "failed reads do not count as served");
+    }
+
+    #[test]
+    fn storm_and_stuck_inflate_latency() {
+        let baseline = small_optane()
+            .read(&ReadCommand::sgl(0, 128), 1)
+            .unwrap()
+            .device_latency;
+
+        let mut stormy = small_optane();
+        stormy.set_fault_plan(Some(FaultPlan::new(0).with_storm(
+            SimInstant::EPOCH,
+            SimInstant::from_nanos(u64::MAX),
+            8.0,
+        )));
+        let storm_latency = stormy
+            .read_at(&ReadCommand::sgl(0, 128), 1, SimInstant::from_nanos(5))
+            .unwrap()
+            .device_latency;
+        assert!(storm_latency >= baseline * 7, "storm must inflate latency");
+
+        let mut sticky = small_optane();
+        let hang = SimDuration::from_millis(80);
+        sticky.set_fault_plan(Some(FaultPlan::new(0).with_stuck(1.0, hang)));
+        let stuck_latency = sticky
+            .read_at(&ReadCommand::sgl(0, 128), 1, SimInstant::EPOCH)
+            .unwrap()
+            .device_latency;
+        assert_eq!(stuck_latency, hang);
     }
 
     #[test]

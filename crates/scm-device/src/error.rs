@@ -42,6 +42,19 @@ pub enum DeviceError {
         /// Lifetime write budget.
         budget: Bytes,
     },
+    /// A read failed transiently (injected by a [`crate::FaultPlan`] or, in
+    /// a real deployment, a media/link hiccup). Safe to retry.
+    TransientRead {
+        /// Name of the device that failed the read.
+        device: String,
+    },
+}
+
+impl DeviceError {
+    /// Whether re-issuing the same command can reasonably succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, DeviceError::TransientRead { .. })
+    }
 }
 
 impl fmt::Display for DeviceError {
@@ -73,6 +86,9 @@ impl fmt::Display for DeviceError {
                 f,
                 "endurance budget exhausted: {written} written of {budget} lifetime budget"
             ),
+            DeviceError::TransientRead { device } => {
+                write!(f, "transient read failure on device {device} (retryable)")
+            }
         }
     }
 }
@@ -104,6 +120,12 @@ mod tests {
         assert!(DeviceError::UnknownDevice { index: 3, len: 2 }
             .to_string()
             .contains("3"));
+        let transient = DeviceError::TransientRead {
+            device: "ssd0".into(),
+        };
+        assert!(transient.to_string().contains("ssd0"));
+        assert!(transient.is_transient());
+        assert!(!DeviceError::EmptyCommand.is_transient());
     }
 
     #[test]

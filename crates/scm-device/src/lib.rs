@@ -19,7 +19,11 @@
 //!
 //! The central types are [`TechnologyProfile`] (a named point in Table 1),
 //! [`ScmDevice`] (one simulated drive holding real bytes) and
-//! [`DeviceArray`] (a host's set of drives).
+//! [`DeviceArray`] (a host's set of drives). A [`FaultPlan`] can be
+//! attached per device to inject deterministic, seeded failures — transient
+//! read errors, latency storms, stuck IOs and bit-flip corruption — that
+//! the upper layers must survive; every [`ReadOutcome`] carries a
+//! [`checksum64`] guard tag so corruption is always detectable.
 //!
 //! # Example
 //!
@@ -39,11 +43,16 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The read/write paths must stay panic-free: every failure is a typed
+// `DeviceError` the IO engine's retry layer can act on. Tests opt back in
+// locally with `#[allow(clippy::unwrap_used)]`.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod array;
 mod block;
 mod device;
 mod error;
+mod fault;
 mod latency;
 mod nvme;
 mod tech;
@@ -52,6 +61,7 @@ pub use array::{DeviceArray, DeviceId};
 pub use block::PageStore;
 pub use device::{DeviceStats, ReadOutcome, ScmDevice, WriteOutcome};
 pub use error::DeviceError;
+pub use fault::{checksum64, FaultPlan, FaultStats, FaultWindow};
 pub use latency::LoadedLatencyModel;
 pub use nvme::{AccessMode, ReadCommand, SglRange};
 pub use tech::{Sourcing, TechnologyKind, TechnologyProfile};

@@ -23,6 +23,16 @@ pub enum SdmError {
         /// Explanation of the problem.
         reason: String,
     },
+    /// A shard's worker panicked while serving a batch. The panic is
+    /// caught at the thread join and converted into this typed error so a
+    /// poisoned shard fails its batch cleanly instead of tearing down the
+    /// host.
+    ShardFailed {
+        /// Index of the failed shard.
+        shard: usize,
+        /// Panic payload, when it carried a message.
+        cause: String,
+    },
 }
 
 impl fmt::Display for SdmError {
@@ -34,6 +44,9 @@ impl fmt::Display for SdmError {
             SdmError::Dlrm(e) => write!(f, "dlrm error: {e}"),
             SdmError::Workload(e) => write!(f, "workload error: {e}"),
             SdmError::InvalidConfig { reason } => write!(f, "invalid SDM config: {reason}"),
+            SdmError::ShardFailed { shard, cause } => {
+                write!(f, "shard {shard} worker failed: {cause}")
+            }
         }
     }
 }
@@ -47,6 +60,7 @@ impl Error for SdmError {
             SdmError::Dlrm(e) => Some(e),
             SdmError::Workload(e) => Some(e),
             SdmError::InvalidConfig { .. } => None,
+            SdmError::ShardFailed { .. } => None,
         }
     }
 }
@@ -104,6 +118,14 @@ mod tests {
             reason: "too small".into(),
         };
         assert!(e.to_string().contains("too small"));
+        assert!(e.source().is_none());
+
+        let e = SdmError::ShardFailed {
+            shard: 2,
+            cause: "index out of bounds".into(),
+        };
+        assert!(e.to_string().contains("shard 2"));
+        assert!(e.to_string().contains("index out of bounds"));
         assert!(e.source().is_none());
     }
 

@@ -14,7 +14,10 @@
 //! * **admission control** sheds queries instead of queueing without
 //!   bound: a token bucket (rate limit) and an SLO guard that rejects a
 //!   query when the estimated queue wait (time until the server frees up)
-//!   already exceeds `max_queue_wait`;
+//!   already exceeds `max_queue_wait`; when backend shard health degrades
+//!   ([`ServingHost::health_fraction`] < 1) the guard **browns out** —
+//!   the threshold tightens in proportion, and queries only the tightened
+//!   guard rejects are counted as [`QueryOutcome::ShedBrownout`];
 //! * everything runs on the virtual clock, so a `(stream, seed, config)`
 //!   triple produces a bit-identical [`FrontendReport`] on every run, and
 //!   the warmed admission→batch→serve path performs no per-query heap
@@ -114,6 +117,11 @@ pub enum QueryOutcome {
     ShedRateLimited,
     /// Shed by the SLO guard (estimated queue wait above `max_queue_wait`).
     ShedOverload,
+    /// Shed by the brownout guard: backend shard health was degraded, so
+    /// admission tightened to `max_queue_wait ×`
+    /// [`ServingHost::health_fraction`] — a healthy backend would have
+    /// admitted this query.
+    ShedBrownout,
 }
 
 /// Per-query front-end record: when it arrived and how it ended.
@@ -156,6 +164,9 @@ pub struct FrontendReport {
     pub shed_rate_limited: u64,
     /// Queries shed by the SLO guard.
     pub shed_overload: u64,
+    /// Queries shed only because degraded backend health tightened the
+    /// admission threshold (brownout). Always zero on a healthy backend.
+    pub shed_brownout: u64,
     /// Batches dispatched to the host.
     pub batches: u64,
     /// Mean dispatched batch size.
@@ -178,9 +189,9 @@ pub struct FrontendReport {
 }
 
 impl FrontendReport {
-    /// Total queries shed, for either reason.
+    /// Total queries shed, for any reason (brownout included).
     pub fn shed(&self) -> u64 {
-        self.shed_rate_limited + self.shed_overload
+        self.shed_rate_limited + self.shed_overload + self.shed_brownout
     }
 
     /// Fraction of offered queries shed, in `[0, 1]`.
@@ -201,7 +212,9 @@ impl FrontendReport {
             admitted: self.admitted,
             served: self.served,
             shed_rate_limited: self.shed_rate_limited,
-            shed_overload: self.shed_overload,
+            // A brownout shed is an overload shed with a tighter threshold;
+            // the load-curve schema folds them together.
+            shed_overload: self.shed_overload + self.shed_brownout,
             offered_qps: self.offered_qps,
             served_qps: self.served_qps,
             p50_latency: self.p50_latency,
@@ -276,10 +289,12 @@ pub struct Frontend {
     served: u64,
     shed_rate_limited: u64,
     shed_overload: u64,
+    shed_brownout: u64,
     /// Lifetime counters across runs, surfaced via [`Frontend::stats`].
     cum_admitted: u64,
     cum_shed_rate_limited: u64,
     cum_shed_overload: u64,
+    cum_shed_brownout: u64,
 }
 
 impl Frontend {
@@ -304,9 +319,11 @@ impl Frontend {
             served: 0,
             shed_rate_limited: 0,
             shed_overload: 0,
+            shed_brownout: 0,
             cum_admitted: 0,
             cum_shed_rate_limited: 0,
             cum_shed_overload: 0,
+            cum_shed_brownout: 0,
         })
     }
 
@@ -332,6 +349,7 @@ impl Frontend {
         stats.frontend_admitted = self.cum_admitted;
         stats.frontend_shed_rate_limited = self.cum_shed_rate_limited;
         stats.frontend_shed_overload = self.cum_shed_overload;
+        stats.frontend_shed_brownout = self.cum_shed_brownout;
         stats
     }
 
@@ -386,11 +404,28 @@ impl Frontend {
             }
             // SLO guard: the server is busy until `server_free`; a query
             // that would already wait longer than the SLO allows is shed
-            // now instead of serving a guaranteed-late response.
-            if self.server_free.duration_since(t) > self.config.max_queue_wait {
+            // now instead of serving a guaranteed-late response. When
+            // backend health degrades the threshold tightens in proportion
+            // (brownout): a reduced-capacity host should queue less, and
+            // the queries only the tightened guard rejects are counted
+            // separately. At full health the scaled threshold is exactly
+            // `max_queue_wait`, so the guard is bit-identical to before.
+            let wait = self.server_free.duration_since(t);
+            if wait > self.config.max_queue_wait {
                 self.query_log[qi].outcome = QueryOutcome::ShedOverload;
                 self.shed_overload += 1;
                 continue;
+            }
+            let health = host.health_fraction();
+            if health < 1.0 {
+                let tightened = SimDuration::from_nanos(
+                    (self.config.max_queue_wait.as_nanos() as f64 * health).round() as u64,
+                );
+                if wait > tightened {
+                    self.query_log[qi].outcome = QueryOutcome::ShedBrownout;
+                    self.shed_brownout += 1;
+                    continue;
+                }
             }
             if self.picks.is_empty() {
                 self.oldest_arrival = t;
@@ -408,6 +443,7 @@ impl Frontend {
         self.cum_admitted += self.admitted;
         self.cum_shed_rate_limited += self.shed_rate_limited;
         self.cum_shed_overload += self.shed_overload;
+        self.cum_shed_brownout += self.shed_brownout;
         Ok(self.report(first_arrival, last_arrival))
     }
 
@@ -423,6 +459,7 @@ impl Frontend {
         self.served = 0;
         self.shed_rate_limited = 0;
         self.shed_overload = 0;
+        self.shed_brownout = 0;
         if let Some(bucket) = self.bucket.as_mut() {
             bucket.reset();
         }
@@ -493,6 +530,7 @@ impl Frontend {
             served: self.served,
             shed_rate_limited: self.shed_rate_limited,
             shed_overload: self.shed_overload,
+            shed_brownout: self.shed_brownout,
             batches,
             mean_batch: if batches == 0 {
                 0.0
@@ -697,6 +735,59 @@ mod tests {
         assert_eq!(stats.frontend_admitted, 4);
         assert_eq!(stats.frontend_shed_rate_limited, 44);
         assert!((stats.frontend_shed_rate() - 44.0 / 48.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degraded_backend_health_browns_out_admission() {
+        let model = model_zoo::tiny(2, 1, 400);
+        let cfg = WorkloadConfig {
+            item_batch: model.item_batch,
+            user_population: 64,
+            ..WorkloadConfig::default()
+        };
+        let mut gen = QueryGenerator::new(&model.tables, cfg, 26).unwrap();
+        let queries = gen.generate(120);
+        let mut host = ServingHost::build(
+            &model,
+            &SdmConfig::for_tests(),
+            26,
+            3,
+            RoutingPolicy::UserSticky,
+        )
+        .unwrap();
+        // A healthy backend never browns out, whatever the load. The SLO
+        // is tight enough that the overloaded stream queues right up to
+        // it, so waits cross the brownout band once health degrades.
+        let mut fe = frontend(4, 1_000_000, 400);
+        let healthy = fe
+            .run(&mut host, &queries, &mut poisson(1_000_000.0, 6))
+            .unwrap();
+        assert_eq!(healthy.shed_brownout, 0);
+        // Degrade shard 2 (two consecutive worker panics), then offer the
+        // same overload: the tightened guard sheds queries the plain SLO
+        // guard would have admitted.
+        for _ in 0..2 {
+            host.shard_mut(2).poison();
+            assert!(host.run_batch(&queries).is_err());
+        }
+        assert!(host.health_fraction() < 1.0);
+        let browned = fe
+            .run(&mut host, &queries, &mut poisson(1_000_000.0, 6))
+            .unwrap();
+        assert!(browned.shed_brownout > 0, "report: {browned:?}");
+        assert_eq!(
+            browned.served + browned.shed(),
+            browned.offered,
+            "brownout sheds must be accounted for"
+        );
+        let shed_logged = fe
+            .query_log()
+            .iter()
+            .filter(|r| r.outcome == QueryOutcome::ShedBrownout)
+            .count() as u64;
+        assert_eq!(shed_logged, browned.shed_brownout);
+        let stats = fe.stats();
+        assert_eq!(stats.frontend_shed_brownout, browned.shed_brownout);
     }
 
     #[test]

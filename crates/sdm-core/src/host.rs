@@ -11,6 +11,15 @@
 //! [`HostReport::wall_qps`] is real wall-clock throughput, shaped by the
 //! machine's core count and by how the routing policy concentrates each
 //! shard's working set, not by an idealized linear model.
+//!
+//! The host also owns end-to-end failure handling: a worker panic is
+//! caught at the join and converted into [`SdmError::ShardFailed`] so a
+//! poisoned shard fails its batch cleanly, and per-shard health tracking
+//! (consecutive failures plus a makespan EWMA) routes subsequent batches
+//! away from failing or straggling shards, with a periodic probe batch
+//! that gives them traffic back so they can recover. The aggregate
+//! [`ServingHost::health_fraction`] feeds the front end's brownout
+//! admission control.
 
 use crate::config::SdmConfig;
 use crate::error::SdmError;
@@ -20,9 +29,147 @@ use dlrm::{LatencyBreakdown, ModelConfig};
 use io_engine::IoStats;
 use sdm_cache::SharedRowTier;
 use sdm_metrics::{CounterSet, LatencyHistogram, SimDuration, StreamMeasurement};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 use std::time::Instant;
 use workload::{Query, RoutingPolicy, Scheduler};
+
+/// Consecutive failed batches after which a shard is routed around.
+const FAILURE_THRESHOLD: u32 = 2;
+/// Successful batches a shard must have served before its makespan EWMA
+/// is trusted for straggler detection.
+const WARMUP_BATCHES: u64 = 3;
+/// A shard whose makespan EWMA exceeds the fastest warmed healthy
+/// shard's by this factor is treated as a straggler.
+const STRAGGLER_FACTOR: u64 = 4;
+/// Every `PROBE_INTERVAL`-th batch skips failover rerouting so unhealthy
+/// shards see traffic again and get a chance to recover.
+const PROBE_INTERVAL: u64 = 8;
+
+/// Health of one shard: consecutive batch failures plus an EWMA of its
+/// per-batch virtual makespan (α = 1/4, integer nanoseconds so identical
+/// runs stay bit-identical).
+#[derive(Debug, Clone, Copy, Default)]
+struct ShardHealth {
+    /// Batches that failed back-to-back; reset by any success.
+    consecutive_failures: u32,
+    /// EWMA of per-batch virtual makespan, in nanoseconds.
+    latency_ewma: u64,
+    /// Successful (non-empty) batches folded into the EWMA.
+    batches: u64,
+}
+
+impl ShardHealth {
+    fn record_success(&mut self, makespan: SimDuration) {
+        self.consecutive_failures = 0;
+        let sample = makespan.as_nanos();
+        self.latency_ewma = if self.batches == 0 {
+            sample
+        } else {
+            self.latency_ewma.saturating_mul(3).saturating_add(sample) / 4
+        };
+        self.batches += 1;
+    }
+
+    fn record_failure(&mut self) {
+        self.consecutive_failures += 1;
+    }
+}
+
+/// The straggler reference: the smallest makespan EWMA among warmed,
+/// zero-failure shards. `None` until at least one shard qualifies.
+fn ewma_reference(health: &[ShardHealth]) -> Option<u64> {
+    health
+        .iter()
+        .filter(|h| h.consecutive_failures == 0 && h.batches >= WARMUP_BATCHES)
+        .map(|h| h.latency_ewma)
+        .min()
+}
+
+/// Whether a shard should be routed around: it keeps failing, or it has
+/// warmed up as a straggler relative to the fastest healthy shard. A
+/// shard can never be a straggler relative to itself, so a 1-shard host
+/// only ever fails over on repeated failures (to nowhere — see
+/// [`reroute_unhealthy`]).
+fn is_unhealthy(h: &ShardHealth, reference: Option<u64>) -> bool {
+    if h.consecutive_failures >= FAILURE_THRESHOLD {
+        return true;
+    }
+    match reference {
+        Some(r) => {
+            h.batches >= WARMUP_BATCHES && h.latency_ewma > r.saturating_mul(STRAGGLER_FACTOR)
+        }
+        None => false,
+    }
+}
+
+/// Moves every unhealthy shard's picks onto healthy shards, round-robin,
+/// keeping `pos` (merge positions) in tandem with `exec` when the caller
+/// uses a two-level mapping. Returns the number of shard-batches
+/// rerouted. No-ops — without allocating — when every shard is healthy,
+/// so the steady-state hot path stays allocation-free; also no-ops when
+/// *no* shard is healthy (there is nowhere to fail over to, so the batch
+/// serves in place and surfaces its errors).
+fn reroute_unhealthy(
+    health: &[ShardHealth],
+    exec: &mut [Vec<usize>],
+    mut pos: Option<&mut [Vec<usize>]>,
+) -> u64 {
+    let reference = ewma_reference(health);
+    if !health.iter().any(|h| is_unhealthy(h, reference)) {
+        return 0;
+    }
+    if !health.iter().any(|h| !is_unhealthy(h, reference)) {
+        return 0;
+    }
+    let mut moved = 0;
+    let mut target = 0usize;
+    for u in 0..health.len() {
+        if !is_unhealthy(&health[u], reference) || exec[u].is_empty() {
+            continue;
+        }
+        moved += 1;
+        for k in 0..exec[u].len() {
+            while is_unhealthy(&health[target], reference) {
+                target = (target + 1) % health.len();
+            }
+            let pick = exec[u][k];
+            exec[target].push(pick);
+            if let Some(p) = pos.as_deref_mut() {
+                let merge_at = p[u][k];
+                p[target].push(merge_at);
+            }
+            target = (target + 1) % health.len();
+        }
+        exec[u].clear();
+        if let Some(p) = pos.as_deref_mut() {
+            p[u].clear();
+        }
+    }
+    moved
+}
+
+/// Folds each shard's batch outcome into its health record: shards that
+/// executed a non-empty partition contribute their makespan to the EWMA
+/// (and clear their failure streak).
+fn record_batch_health(health: &mut [ShardHealth], shards: &[Shard], exec: &[Vec<usize>]) {
+    for ((h, shard), picks) in health.iter_mut().zip(shards.iter()).zip(exec.iter()) {
+        if !picks.is_empty() {
+            h.record_success(shard.batch_report().makespan);
+        }
+    }
+}
+
+/// Renders a worker panic payload for [`SdmError::ShardFailed`].
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
 
 /// Measured outcome of one [`ServingHost::run_batch`].
 #[derive(Debug, Clone)]
@@ -112,6 +259,13 @@ pub struct ServingHost {
     /// back), parallel to `sel_exec`.
     sel_pos: Vec<Vec<usize>>,
     merged: MergeScratch,
+    /// Per-shard health (failure streaks + makespan EWMA), driving
+    /// failover rerouting and the front end's brownout signal.
+    health: Vec<ShardHealth>,
+    /// Batches attempted (drives the periodic recovery probe).
+    batches_run: u64,
+    /// Shard-batches rerouted away from unhealthy shards.
+    failovers: u64,
 }
 
 /// Runs every shard on its partition and merges scores, latencies and the
@@ -138,7 +292,20 @@ fn execute_and_merge(
 
     if shards.len() == 1 {
         // Inline, allocation-free: a single stream needs no worker threads.
-        shards[0].run_indexed_batch(queries, &exec_parts[0])?;
+        // The unwind guard mirrors the threaded join below so a panicking
+        // shard fails its batch with the same typed error either way.
+        let shard = &mut shards[0];
+        match catch_unwind(AssertUnwindSafe(|| {
+            shard.run_indexed_batch(queries, &exec_parts[0])
+        })) {
+            Ok(r) => r?,
+            Err(payload) => {
+                return Err(SdmError::ShardFailed {
+                    shard: 0,
+                    cause: panic_message(payload),
+                })
+            }
+        }
     } else {
         let results: Vec<Result<(), SdmError>> = std::thread::scope(|scope| {
             let workers: Vec<_> = shards
@@ -146,9 +313,18 @@ fn execute_and_merge(
                 .zip(exec_parts.iter())
                 .map(|(shard, picks)| scope.spawn(move || shard.run_indexed_batch(queries, picks)))
                 .collect();
+            // A panicking worker becomes a typed per-shard error instead of
+            // unwinding through the scope and tearing down the host.
             workers
                 .into_iter()
-                .map(|w| w.join().expect("shard worker panicked"))
+                .enumerate()
+                .map(|(i, w)| match w.join() {
+                    Ok(r) => r,
+                    Err(payload) => Err(SdmError::ShardFailed {
+                        shard: i,
+                        cause: panic_message(payload),
+                    }),
+                })
                 .collect()
         });
         for r in results {
@@ -266,6 +442,9 @@ impl ServingHost {
             sel_exec: Vec::new(),
             sel_pos: Vec::new(),
             merged: MergeScratch::default(),
+            health: vec![ShardHealth::default(); count],
+            batches_run: 0,
+            failovers: 0,
         })
     }
 
@@ -294,13 +473,50 @@ impl ServingHost {
         &self.shards[i]
     }
 
+    /// Mutable access to shard `i` (fault-plan injection on its devices,
+    /// compute-mode switches, cache invalidation).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range.
+    pub fn shard_mut(&mut self, i: usize) -> &mut Shard {
+        &mut self.shards[i]
+    }
+
+    /// Fraction of shards currently considered healthy (1.0 = all). The
+    /// front end scales its admission threshold by this to brown out when
+    /// backend capacity degrades.
+    pub fn health_fraction(&self) -> f64 {
+        let reference = ewma_reference(&self.health);
+        let healthy = self
+            .health
+            .iter()
+            .filter(|h| !is_unhealthy(h, reference))
+            .count();
+        healthy as f64 / self.health.len().max(1) as f64
+    }
+
+    /// Shard-batches rerouted away from unhealthy shards so far.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
     /// Aggregated serving statistics across all shards (counters add,
-    /// histograms merge).
+    /// histograms merge), including every shard engine's resilience
+    /// counters and the host's failover count.
     pub fn stats(&self) -> SdmStats {
         let mut total = SdmStats::new();
         for shard in &self.shards {
             total.merge(shard.manager().stats());
+            let r = shard.manager().io_engine().stats().resilience;
+            total.io_retries += r.retries;
+            total.io_transient_errors += r.transient_errors;
+            total.io_checksum_failures += r.checksum_failures;
+            total.io_deadline_timeouts += r.deadline_timeouts;
+            total.io_hedges += r.hedges;
+            total.io_hedge_wins += r.hedge_wins;
         }
+        total.shard_failovers += self.failovers;
         total
     }
 
@@ -350,6 +566,9 @@ impl ServingHost {
             scheduler,
             parts,
             merged,
+            health,
+            batches_run,
+            failovers,
             ..
         } = self;
         // The measured window covers the whole host-side batch — the
@@ -358,10 +577,28 @@ impl ServingHost {
         // threaded middle.
         let wall = Instant::now();
         scheduler.partition_indices_into(queries, parts);
+        *batches_run += 1;
+        // Failover: move picks off unhealthy shards, except on the
+        // periodic probe batch that lets them demonstrate recovery.
+        if *batches_run % PROBE_INTERVAL != 0 {
+            *failovers += reroute_unhealthy(health, parts, None);
+        }
         // Over the whole batch, pick positions equal query positions, so
-        // `parts` serves as both the execution and the merge mapping.
+        // `parts` serves as both the execution and the merge mapping
+        // (rerouting moves entries within `parts`, preserving that).
         let virtual_makespan =
-            execute_and_merge(shards, queries, parts, parts, queries.len(), merged)?;
+            match execute_and_merge(shards, queries, parts, parts, queries.len(), merged) {
+                Ok(m) => m,
+                Err(e) => {
+                    if let SdmError::ShardFailed { shard, .. } = &e {
+                        if let Some(h) = health.get_mut(*shard) {
+                            h.record_failure();
+                        }
+                    }
+                    return Err(e);
+                }
+            };
+        record_batch_health(health, shards, parts);
         let wall_seconds = wall.elapsed().as_secs_f64();
         Ok(finish_report(
             shards.len(),
@@ -397,12 +634,32 @@ impl ServingHost {
             sel_exec,
             sel_pos,
             merged,
+            health,
+            batches_run,
+            failovers,
             ..
         } = self;
         let wall = Instant::now();
         scheduler.partition_picks_into(queries, picks, sel_exec, sel_pos);
+        *batches_run += 1;
+        // Same failover policy as `run_batch`, with the merge positions
+        // moved in tandem with the execution picks.
+        if *batches_run % PROBE_INTERVAL != 0 {
+            *failovers += reroute_unhealthy(health, sel_exec, Some(sel_pos));
+        }
         let virtual_makespan =
-            execute_and_merge(shards, queries, sel_exec, sel_pos, picks.len(), merged)?;
+            match execute_and_merge(shards, queries, sel_exec, sel_pos, picks.len(), merged) {
+                Ok(m) => m,
+                Err(e) => {
+                    if let SdmError::ShardFailed { shard, .. } = &e {
+                        if let Some(h) = health.get_mut(*shard) {
+                            h.record_failure();
+                        }
+                    }
+                    return Err(e);
+                }
+            };
+        record_batch_health(health, shards, sel_exec);
         let wall_seconds = wall.elapsed().as_secs_f64();
         Ok(finish_report(
             shards.len(),
@@ -606,6 +863,152 @@ mod tests {
         for i in 0..picks.len() {
             assert_eq!(host.scores(i), reference.scores(i));
         }
+    }
+
+    #[test]
+    fn poisoned_shard_fails_the_batch_cleanly() {
+        let model = model_zoo::tiny(2, 1, 300);
+        let queries = workload(&model, 12, 21);
+        let mut host = ServingHost::build(
+            &model,
+            &SdmConfig::for_tests(),
+            21,
+            3,
+            RoutingPolicy::RoundRobin,
+        )
+        .unwrap();
+        host.shard_mut(1).poison();
+        let err = host.run_batch(&queries).unwrap_err();
+        match err {
+            SdmError::ShardFailed { shard, cause } => {
+                assert_eq!(shard, 1);
+                assert!(cause.contains("poisoned"), "cause: {cause}");
+            }
+            other => panic!("expected ShardFailed, got {other}"),
+        }
+        // The failed batch reports empty results, never stale ones.
+        assert!(host.is_empty());
+        // The host survives: the next batch (poison cleared) serves fine.
+        let report = host.run_batch(&queries).unwrap();
+        assert_eq!(report.queries, queries.len() as u64);
+    }
+
+    #[test]
+    fn single_shard_panic_is_caught_inline() {
+        let model = model_zoo::tiny(1, 1, 200);
+        let queries = workload(&model, 6, 22);
+        let mut host = ServingHost::build(
+            &model,
+            &SdmConfig::for_tests(),
+            22,
+            1,
+            RoutingPolicy::RoundRobin,
+        )
+        .unwrap();
+        host.shard_mut(0).poison();
+        let err = host.run_batch(&queries).unwrap_err();
+        assert!(matches!(err, SdmError::ShardFailed { shard: 0, .. }));
+        assert!(host.run_batch(&queries).is_ok());
+    }
+
+    #[test]
+    fn repeated_failures_reroute_batches_to_healthy_shards() {
+        let model = model_zoo::tiny(2, 1, 300);
+        let queries = workload(&model, 18, 23);
+        let mut host = ServingHost::build(
+            &model,
+            &SdmConfig::for_tests(),
+            23,
+            3,
+            RoutingPolicy::RoundRobin,
+        )
+        .unwrap();
+        assert_eq!(host.health_fraction(), 1.0);
+        // Two consecutive worker panics mark shard 2 unhealthy.
+        for _ in 0..2 {
+            host.shard_mut(2).poison();
+            assert!(host.run_batch(&queries).is_err());
+        }
+        assert!(host.health_fraction() < 1.0);
+        // The next batch routes around shard 2: the batch succeeds in
+        // full, shard 2 executes nothing, and the reroute is counted.
+        let report = host.run_batch(&queries).unwrap();
+        assert_eq!(report.queries, queries.len() as u64);
+        assert_eq!(host.shard(2).batch_len(), 0);
+        assert!(host.failovers() >= 1);
+        assert_eq!(host.stats().shard_failovers, host.failovers());
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(host.scores(i).len(), q.item_batch as usize);
+        }
+        // Keep serving until the periodic probe batch gives shard 2
+        // traffic again; it succeeds, so the shard recovers and
+        // subsequent batches stop rerouting.
+        for _ in 0..(PROBE_INTERVAL as usize) {
+            host.run_batch(&queries).unwrap();
+        }
+        assert_eq!(host.health_fraction(), 1.0);
+        let settled = host.failovers();
+        host.run_batch(&queries).unwrap();
+        assert_eq!(host.failovers(), settled);
+        assert!(host.shard(2).batch_len() > 0);
+    }
+
+    #[test]
+    fn straggler_detection_uses_relative_ewma() {
+        let mut health = vec![ShardHealth::default(); 3];
+        // Not enough history: nothing is unhealthy however slow.
+        health[2].record_success(SimDuration::from_millis(500));
+        assert!(!is_unhealthy(&health[2], ewma_reference(&health)));
+        // Warm all shards: two fast, one 500x slower.
+        for _ in 0..4 {
+            health[0].record_success(SimDuration::from_micros(1000));
+            health[1].record_success(SimDuration::from_micros(1100));
+            health[2].record_success(SimDuration::from_millis(500));
+        }
+        let reference = ewma_reference(&health);
+        assert!(!is_unhealthy(&health[0], reference));
+        assert!(!is_unhealthy(&health[1], reference));
+        assert!(is_unhealthy(&health[2], reference));
+        // Failure streaks trip the other arm of the check.
+        let mut failing = ShardHealth::default();
+        failing.record_failure();
+        assert!(!is_unhealthy(&failing, reference));
+        failing.record_failure();
+        assert!(is_unhealthy(&failing, reference));
+        // One success clears the streak.
+        failing.record_success(SimDuration::from_micros(1000));
+        assert!(!is_unhealthy(&failing, reference));
+    }
+
+    #[test]
+    fn reroute_moves_exec_and_merge_positions_in_tandem() {
+        let mut health = vec![ShardHealth::default(); 3];
+        health[1].record_failure();
+        health[1].record_failure();
+        let mut exec = vec![vec![0, 3], vec![1, 4], vec![2, 5]];
+        let mut pos = vec![vec![10, 13], vec![11, 14], vec![12, 15]];
+        let moved = reroute_unhealthy(&health, &mut exec, Some(&mut pos));
+        assert_eq!(moved, 1);
+        assert!(exec[1].is_empty());
+        assert!(pos[1].is_empty());
+        // Every (pick, merge) pair survives, still paired at the same
+        // index of whichever shard received it.
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for s in 0..3 {
+            assert_eq!(exec[s].len(), pos[s].len());
+            pairs.extend(exec[s].iter().copied().zip(pos[s].iter().copied()));
+        }
+        pairs.sort_unstable();
+        assert_eq!(
+            pairs,
+            vec![(0, 10), (1, 11), (2, 12), (3, 13), (4, 14), (5, 15)]
+        );
+        // All shards unhealthy: nowhere to go, nothing moves.
+        health[0] = health[1];
+        health[2] = health[1];
+        let before = exec.clone();
+        assert_eq!(reroute_unhealthy(&health, &mut exec, Some(&mut pos)), 0);
+        assert_eq!(exec, before);
     }
 
     #[test]

@@ -7,7 +7,7 @@ use crate::placement::TableLocation;
 use crate::stats::SdmStats;
 use dlrm::{DlrmError, EmbeddingBackend, LookupTicket, OverlappedBackend};
 use embedding::{accumulate_row, QuantScheme, TableId};
-use io_engine::{IoEngine, IoRequest};
+use io_engine::{IoEngine, IoError, IoRequest};
 use scm_device::{DeviceId, ReadCommand};
 use sdm_cache::{
     DualRowCache, PooledEmbeddingCache, RowCache, RowKey, SharedRowTier, WarmupTracker,
@@ -262,8 +262,9 @@ impl SdmMemoryManager {
         &self.engine
     }
 
-    /// Mutable access to the IO engine (used by the model updater).
-    pub(crate) fn io_engine_mut(&mut self) -> &mut IoEngine {
+    /// Mutable access to the IO engine (model updater, fault-plan
+    /// injection on the underlying devices, retry-policy tuning).
+    pub fn io_engine_mut(&mut self) -> &mut IoEngine {
         &mut self.engine
     }
 
@@ -476,12 +477,25 @@ impl SdmMemoryManager {
                     AccessGranularity::Sgl => ReadCommand::sgl(offset, placement.row_bytes),
                     AccessGranularity::Block => ReadCommand::block(offset, placement.row_bytes),
                 };
-                engine.submit(
+                match engine.submit(
                     IoRequest::new(device, command)
                         .with_table(table)
                         .with_user_data(*pos as u64),
                     now,
-                )?;
+                ) {
+                    Ok(()) => {}
+                    Err(IoError::RetriesExhausted { .. }) => {
+                        // The row is unrecoverable right now: degrade
+                        // gracefully. No completion will arrive for it, so
+                        // it contributes zeros to the pooled vector exactly
+                        // like a pruned row; it moves from the `sm_reads`
+                        // bucket (charged during the scan) to
+                        // `degraded_rows`, keeping row conservation intact.
+                        stats.sm_reads -= 1;
+                        stats.degraded_rows += 1;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             }
             let io_targets = &scratch.io_targets;
             let mut pool_error: Option<SdmError> = None;
@@ -822,12 +836,22 @@ impl SdmMemoryManager {
                     AccessGranularity::Sgl => ReadCommand::sgl(offset, placement.row_bytes),
                     AccessGranularity::Block => ReadCommand::block(offset, placement.row_bytes),
                 };
-                engine.submit(
+                match engine.submit(
                     IoRequest::new(device, command)
                         .with_table(table)
                         .with_user_data(*pos as u64),
                     now,
-                )?;
+                ) {
+                    Ok(()) => {}
+                    Err(IoError::RetriesExhausted { .. }) => {
+                        // Degraded serving, identical to the exact path:
+                        // the row pools as zero and moves from `sm_reads`
+                        // to `degraded_rows`.
+                        stats.sm_reads -= 1;
+                        stats.degraded_rows += 1;
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             }
             let io_targets = &scratch.io_targets;
             let acc = &mut op.acc;

@@ -111,6 +111,10 @@ pub struct Shard {
     pub(crate) batch: BatchScratch,
     /// Per-slot scratch of the relaxed (overlapped) batch executor.
     relaxed: RelaxedScratch,
+    /// Test hook: when set, the next batch panics inside the worker. Lets
+    /// the failure-handling tests exercise the host's panic-to-error
+    /// conversion without a real crash site.
+    poisoned: bool,
 }
 
 impl Shard {
@@ -138,7 +142,17 @@ impl Shard {
             buffers: PoolingBuffers::new(),
             batch: BatchScratch::default(),
             relaxed: RelaxedScratch::default(),
+            poisoned: false,
         })
+    }
+
+    /// Makes the next batch on this shard panic inside its worker thread.
+    ///
+    /// Failure-handling test hook: the host must convert the panic into
+    /// [`SdmError::ShardFailed`] and keep the other shards serving.
+    #[doc(hidden)]
+    pub fn poison(&mut self) {
+        self.poisoned = true;
     }
 
     /// Replaces the inference engine with one using an explicit compute
@@ -420,6 +434,10 @@ impl Shard {
         queries: &[Query],
         picks: &[usize],
     ) -> Result<(), SdmError> {
+        if self.poisoned {
+            self.poisoned = false;
+            panic!("poisoned shard (test hook)");
+        }
         match self.batch_mode() {
             BatchMode::Exact => self.run_batch_iter(picks.iter().map(|&i| &queries[i])),
             BatchMode::Relaxed {

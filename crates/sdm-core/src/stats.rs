@@ -49,6 +49,32 @@ pub struct SdmStats {
     /// Queries shed by the front end because the estimated queue wait
     /// exceeded the SLO.
     pub frontend_shed_overload: u64,
+    /// Queries shed by the front end's brownout (admission tightened while
+    /// backend shard health was degraded) that a healthy backend would
+    /// have admitted.
+    pub frontend_shed_brownout: u64,
+    /// Row lookups whose SM read exhausted every retry and were served
+    /// degraded: the row pools as zero, like `pruned_zero_rows`, instead
+    /// of failing the query. Always zero without injected faults.
+    pub degraded_rows: u64,
+    /// IO attempts re-issued by the engine's retry layer.
+    pub io_retries: u64,
+    /// IO attempts failed by transient device errors (all recovered or
+    /// degraded; never surfaced as query failures).
+    pub io_transient_errors: u64,
+    /// IO attempts whose payload failed end-to-end checksum verification.
+    /// Every detected corruption is retried or degraded — corrupted bytes
+    /// are never pooled.
+    pub io_checksum_failures: u64,
+    /// IO attempts abandoned at the per-IO deadline.
+    pub io_deadline_timeouts: u64,
+    /// Hedged (duplicate) reads issued against slow primaries.
+    pub io_hedges: u64,
+    /// Hedged reads that won (completed cleanly before the primary).
+    pub io_hedge_wins: u64,
+    /// Batch partitions redirected away from an unhealthy shard by the
+    /// host's failover routing.
+    pub shard_failovers: u64,
 }
 
 impl SdmStats {
@@ -84,6 +110,31 @@ impl SdmStats {
         self.frontend_admitted += other.frontend_admitted;
         self.frontend_shed_rate_limited += other.frontend_shed_rate_limited;
         self.frontend_shed_overload += other.frontend_shed_overload;
+        self.frontend_shed_brownout += other.frontend_shed_brownout;
+        self.degraded_rows += other.degraded_rows;
+        self.io_retries += other.io_retries;
+        self.io_transient_errors += other.io_transient_errors;
+        self.io_checksum_failures += other.io_checksum_failures;
+        self.io_deadline_timeouts += other.io_deadline_timeouts;
+        self.io_hedges += other.io_hedges;
+        self.io_hedge_wins += other.io_hedge_wins;
+        self.shard_failovers += other.shard_failovers;
+    }
+
+    /// Fraction of served rows that were degraded (pooled as zero after
+    /// exhausted retries) over every row access the serving path resolved;
+    /// zero without faults.
+    pub fn degraded_row_rate(&self) -> f64 {
+        let rows = self.row_cache_hits
+            + self.shared_tier_hits
+            + self.sm_reads
+            + self.pruned_zero_rows
+            + self.degraded_rows;
+        if rows == 0 {
+            0.0
+        } else {
+            self.degraded_rows as f64 / rows as f64
+        }
     }
 
     /// Row-cache hit rate over SM-resident lookups.
@@ -128,10 +179,12 @@ impl SdmStats {
         }
     }
 
-    /// Fraction of front-end arrivals shed (either cause) over all
-    /// arrivals; zero when no front end fed this serving path.
+    /// Fraction of front-end arrivals shed (any cause, brownout included)
+    /// over all arrivals; zero when no front end fed this serving path.
     pub fn frontend_shed_rate(&self) -> f64 {
-        let shed = self.frontend_shed_rate_limited + self.frontend_shed_overload;
+        let shed = self.frontend_shed_rate_limited
+            + self.frontend_shed_overload
+            + self.frontend_shed_brownout;
         let offered = self.frontend_admitted + shed;
         if offered == 0 {
             0.0
@@ -212,6 +265,37 @@ mod tests {
         assert_eq!(merged.frontend_admitted, 300);
         assert_eq!(merged.frontend_shed_rate_limited, 60);
         assert_eq!(merged.frontend_shed_overload, 40);
+    }
+
+    #[test]
+    fn resilience_counters_merge_and_rate() {
+        let mut s = SdmStats::new();
+        assert_eq!(s.degraded_row_rate(), 0.0);
+        s.row_cache_hits = 6;
+        s.sm_reads = 2;
+        s.pruned_zero_rows = 1;
+        s.degraded_rows = 1;
+        assert!((s.degraded_row_rate() - 0.1).abs() < 1e-12);
+        s.io_retries = 4;
+        s.io_transient_errors = 3;
+        s.io_checksum_failures = 2;
+        s.io_deadline_timeouts = 1;
+        s.io_hedges = 5;
+        s.io_hedge_wins = 2;
+        s.shard_failovers = 1;
+        s.frontend_shed_brownout = 7;
+        let mut merged = SdmStats::new();
+        merged.merge(&s);
+        merged.merge(&s);
+        assert_eq!(merged.degraded_rows, 2);
+        assert_eq!(merged.io_retries, 8);
+        assert_eq!(merged.io_transient_errors, 6);
+        assert_eq!(merged.io_checksum_failures, 4);
+        assert_eq!(merged.io_deadline_timeouts, 2);
+        assert_eq!(merged.io_hedges, 10);
+        assert_eq!(merged.io_hedge_wins, 4);
+        assert_eq!(merged.shard_failovers, 2);
+        assert_eq!(merged.frontend_shed_brownout, 14);
     }
 
     #[test]

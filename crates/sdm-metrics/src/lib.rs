@@ -21,6 +21,9 @@
 //!   rates).
 //! * [`LoadCurveReport`] — open-loop latency-vs-offered-load curve
 //!   (p50/p99, shed rate and served QPS per offered-QPS point).
+//! * [`ResilienceReport`] — serving quality under injected faults
+//!   (throughput retention, degraded-row rate, the injected-vs-detected
+//!   corruption ledger CI pins to "nothing corrupted ever served").
 //! * [`RateEstimator`] — windowed rate estimation (QPS, IOPS).
 //! * [`units`] — byte, power and cost units used by the datacenter-level
 //!   modelling.
@@ -52,6 +55,7 @@ mod histogram;
 mod loadcurve;
 mod multistream;
 mod rate;
+mod resilience;
 mod sharedtier;
 pub mod units;
 
@@ -62,4 +66,5 @@ pub use histogram::LatencyHistogram;
 pub use loadcurve::{LoadCurveReport, LoadPoint};
 pub use multistream::{MultiStreamReport, StreamMeasurement};
 pub use rate::RateEstimator;
+pub use resilience::{ResilienceMeasurement, ResilienceReport};
 pub use sharedtier::{SharedTierMeasurement, SharedTierReport};

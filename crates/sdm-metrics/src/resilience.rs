@@ -1,0 +1,234 @@
+//! Fault-resilience reporting: serving quality under injected faults.
+//!
+//! The fault-injection layer perturbs SM reads (transient errors, latency
+//! storms, stuck IOs, bit flips); the serving stack answers with retries,
+//! deadlines, hedged reads, degraded rows and shard failover. This module
+//! records the measurement that proves the stack holds up: one entry per
+//! named condition (e.g. `"healthy"`, `"storm"`), each carrying the
+//! deterministic virtual-clock throughput plus the full injected-vs-handled
+//! fault ledger, so CI can gate on *zero corrupted results served* and on a
+//! floor for throughput retention under faults.
+
+/// One measured serving run under a named fault condition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResilienceMeasurement {
+    /// Condition label, e.g. `"healthy"` or `"storm"`.
+    pub label: String,
+    /// Queries executed.
+    pub queries: u64,
+    /// Deterministic batch throughput on the virtual clock.
+    pub virtual_qps: f64,
+    /// Embedding-row accesses (cache hits + SM reads + pruned + degraded).
+    pub row_accesses: u64,
+    /// Rows whose SM read exhausted every retry and were served as zeros.
+    pub degraded_rows: u64,
+    /// Transient read errors the fault plans injected.
+    pub injected_transient: u64,
+    /// Bit-flip corruptions the fault plans injected.
+    pub injected_corruptions: u64,
+    /// Stuck IOs the fault plans injected.
+    pub injected_stuck: u64,
+    /// Corruptions the end-to-end checksum caught at IO completion.
+    pub detected_corruptions: u64,
+    /// Corrupted payloads that reached a query result. The whole point of
+    /// end-to-end verification is that this is **always zero**.
+    pub corrupted_served: u64,
+    /// IO attempts re-issued by the retry layer.
+    pub retries: u64,
+    /// IOs abandoned at the per-IO deadline.
+    pub deadline_timeouts: u64,
+    /// Hedged (duplicate) reads issued against slow primaries.
+    pub hedges: u64,
+    /// Hedges that completed before their primary.
+    pub hedge_wins: u64,
+    /// Shard-batches the host rerouted away from unhealthy shards.
+    pub failovers: u64,
+}
+
+impl ResilienceMeasurement {
+    /// Fraction of row accesses served degraded (as zeros); zero before
+    /// any access.
+    pub fn degraded_row_rate(&self) -> f64 {
+        if self.row_accesses == 0 {
+            0.0
+        } else {
+            self.degraded_rows as f64 / self.row_accesses as f64
+        }
+    }
+
+    /// Fraction of injected corruptions the checksum caught; `1.0` when
+    /// nothing was injected (vacuously fully detected). End-to-end
+    /// verification requires this to be exactly `1.0`.
+    pub fn corruption_detection_rate(&self) -> f64 {
+        if self.injected_corruptions == 0 {
+            1.0
+        } else {
+            self.detected_corruptions as f64 / self.injected_corruptions as f64
+        }
+    }
+
+    /// Total faults injected across all modes.
+    pub fn injected_total(&self) -> u64 {
+        self.injected_transient + self.injected_corruptions + self.injected_stuck
+    }
+}
+
+/// Per-condition resilience measurements, keyed by label.
+///
+/// # Example
+///
+/// ```
+/// use sdm_metrics::{ResilienceMeasurement, ResilienceReport};
+///
+/// let mut report = ResilienceReport::new();
+/// for (label, qps, injected) in [("healthy", 1000.0, 0u64), ("storm", 700.0, 50)] {
+///     report.record(ResilienceMeasurement {
+///         label: label.to_string(),
+///         queries: 256,
+///         virtual_qps: qps,
+///         row_accesses: 4096,
+///         degraded_rows: injected / 25,
+///         injected_transient: injected,
+///         injected_corruptions: injected / 2,
+///         injected_stuck: injected / 10,
+///         detected_corruptions: injected / 2,
+///         corrupted_served: 0,
+///         retries: injected,
+///         deadline_timeouts: injected / 10,
+///         hedges: injected / 5,
+///         hedge_wins: injected / 10,
+///         failovers: 0,
+///     });
+/// }
+/// assert!((report.qps_retention("storm", "healthy").unwrap() - 0.7).abs() < 1e-9);
+/// assert_eq!(report.get("storm").unwrap().corruption_detection_rate(), 1.0);
+/// assert_eq!(report.total_corrupted_served(), 0);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ResilienceReport {
+    /// Measurements, kept sorted by label (one entry each).
+    entries: Vec<ResilienceMeasurement>,
+}
+
+impl ResilienceReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        ResilienceReport::default()
+    }
+
+    /// Records a measurement, replacing any previous entry with the same
+    /// label.
+    pub fn record(&mut self, measurement: ResilienceMeasurement) {
+        match self
+            .entries
+            .binary_search_by(|m| m.label.as_str().cmp(&measurement.label))
+        {
+            Ok(i) => self.entries[i] = measurement,
+            Err(i) => self.entries.insert(i, measurement),
+        }
+    }
+
+    /// The measurement under a condition label, when recorded.
+    pub fn get(&self, label: &str) -> Option<&ResilienceMeasurement> {
+        self.entries
+            .binary_search_by(|m| m.label.as_str().cmp(label))
+            .ok()
+            .map(|i| &self.entries[i])
+    }
+
+    /// Throughput retained under `faulty` relative to `baseline`:
+    /// `faulty_qps / baseline_qps`. `None` until both runs are recorded or
+    /// when the baseline measured zero throughput.
+    pub fn qps_retention(&self, faulty: &str, baseline: &str) -> Option<f64> {
+        let base = self.get(baseline)?.virtual_qps;
+        if base <= 0.0 {
+            return None;
+        }
+        Some(self.get(faulty)?.virtual_qps / base)
+    }
+
+    /// Corrupted payloads served across every recorded condition — the
+    /// number CI pins to zero.
+    pub fn total_corrupted_served(&self) -> u64 {
+        self.entries.iter().map(|m| m.corrupted_served).sum()
+    }
+
+    /// Iterates measurements in ascending label order.
+    pub fn iter(&self) -> impl Iterator<Item = &ResilienceMeasurement> {
+        self.entries.iter()
+    }
+
+    /// Number of recorded measurements.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(label: &str, qps: f64, injected: u64) -> ResilienceMeasurement {
+        ResilienceMeasurement {
+            label: label.to_string(),
+            queries: 64,
+            virtual_qps: qps,
+            row_accesses: 1000,
+            degraded_rows: injected / 20,
+            injected_transient: injected,
+            injected_corruptions: injected / 2,
+            injected_stuck: injected / 4,
+            detected_corruptions: injected / 2,
+            corrupted_served: 0,
+            retries: injected + injected / 2,
+            deadline_timeouts: injected / 4,
+            hedges: injected / 8,
+            hedge_wins: injected / 16,
+            failovers: u64::from(injected > 0),
+        }
+    }
+
+    #[test]
+    fn measurement_rates() {
+        let healthy = m("healthy", 1000.0, 0);
+        assert_eq!(healthy.degraded_row_rate(), 0.0);
+        assert_eq!(healthy.corruption_detection_rate(), 1.0);
+        assert_eq!(healthy.injected_total(), 0);
+        let storm = m("storm", 650.0, 200);
+        assert!((storm.degraded_row_rate() - 0.01).abs() < 1e-12);
+        assert_eq!(storm.corruption_detection_rate(), 1.0);
+        assert_eq!(storm.injected_total(), 200 + 100 + 50);
+        let mut missed = storm.clone();
+        missed.detected_corruptions = 50;
+        assert!((missed.corruption_detection_rate() - 0.5).abs() < 1e-12);
+        let empty = ResilienceMeasurement {
+            row_accesses: 0,
+            ..m("empty", 0.0, 0)
+        };
+        assert_eq!(empty.degraded_row_rate(), 0.0);
+    }
+
+    #[test]
+    fn report_records_replaces_and_retains() {
+        let mut r = ResilienceReport::new();
+        assert!(r.is_empty());
+        assert!(r.qps_retention("storm", "healthy").is_none());
+        r.record(m("storm", 600.0, 100));
+        r.record(m("healthy", 1000.0, 0));
+        r.record(m("storm", 650.0, 100)); // replaces
+        assert_eq!(r.len(), 2);
+        let labels: Vec<&str> = r.iter().map(|m| m.label.as_str()).collect();
+        assert_eq!(labels, vec!["healthy", "storm"]);
+        assert!((r.qps_retention("storm", "healthy").unwrap() - 0.65).abs() < 1e-9);
+        assert!(r.qps_retention("healthy", "missing").is_none());
+        assert_eq!(r.total_corrupted_served(), 0);
+        // A zero-throughput baseline yields no retention, not infinity.
+        r.record(m("dead", 0.0, 0));
+        assert!(r.qps_retention("storm", "dead").is_none());
+    }
+}

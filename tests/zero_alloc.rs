@@ -8,6 +8,7 @@
 //! do not pollute the count.
 
 use dlrm::{model_zoo, QueryResult};
+use io_engine::RetryConfig;
 use sdm_cache::SharedRowTier;
 use sdm_core::{
     BatchMode, Frontend, FrontendConfig, SdmConfig, SdmSystem, ServingHost, Shard,
@@ -154,6 +155,47 @@ fn warmed_hot_path_performs_zero_allocations() {
         relaxed_report.queries
     );
     assert_eq!(relaxed_report.queries, queries.len() as u64);
+
+    // --- warmed hot path with the resilience machinery armed ---
+    // Bounded retries, a per-IO deadline and hedged reads compiled in and
+    // *enabled* (not the inert defaults) on fault-free devices: the warmed
+    // no-fault serving loop must stay allocation-free with the resilience
+    // layer in the build.
+    let mut resilient_cfg = SdmConfig::for_tests();
+    resilient_cfg.io.retry = RetryConfig {
+        max_attempts: 4,
+        io_deadline: SimDuration::from_millis(50),
+        hedge_after: Some(SimDuration::from_millis(10)),
+        ..RetryConfig::default()
+    };
+    let mut resilient = SdmSystem::build(&model, resilient_cfg, 7).unwrap();
+    for _ in 0..3 {
+        for q in &queries {
+            resilient.run_query_into(q, &mut result).unwrap();
+        }
+    }
+    resilient.run_batch(&queries).unwrap();
+    resilient.run_batch(&queries).unwrap();
+    alloc_hook::reset();
+    alloc_hook::set_enabled(true);
+    for q in &queries {
+        resilient.run_query_into(q, &mut result).unwrap();
+    }
+    resilient.run_batch(&queries).unwrap();
+    alloc_hook::set_enabled(false);
+    let resilient_allocs = alloc_hook::allocations();
+    assert_eq!(
+        resilient_allocs,
+        0,
+        "steady-state serving with armed resilience allocated {resilient_allocs} times \
+         over {} queries",
+        queries.len()
+    );
+    assert_eq!(
+        resilient.manager().stats().degraded_rows,
+        0,
+        "fault-free devices must never degrade a row"
+    );
 
     // --- warmed serving through the shared tier ---
     // A tiny private row cache forces private misses every query; the
