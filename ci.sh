@@ -23,6 +23,8 @@ if [[ "$mode" == "bench" ]]; then
 
     echo "==> BENCH_hotpath.json sanity (tracked fields present)"
     for field in slice_ns_per_row run_batch_qps allocations_per_query \
+                 kernel simd_available simd_speedup bit_identical \
+                 int8_scalar_ns int4_scalar_ns fp32_scalar_ns \
                  qps_streams_1 qps_streams_4 scaling_efficiency_4 \
                  exact_qps relaxed_qps \
                  mean_queue_depth_exact mean_queue_depth_relaxed \
@@ -63,6 +65,13 @@ cargo test --locked -q --workspace
 
 echo "==> cargo test fault_injection (randomized fault-plan invariants)"
 cargo test --locked -q --test fault_injection
+
+echo "==> kernel equivalence with the pooling kernel forced to scalar"
+# The SIMD kernels' bit-identity contract is covered by the default run;
+# this leg proves the SDM_POOL_KERNEL escape hatch works and that the
+# whole hot path (auto_kernel dispatch included) serves on the scalar
+# fallback — what a non-x86 or pre-SSE2 host would run.
+SDM_POOL_KERNEL=scalar cargo test --locked -q --test kernel_equivalence --test zero_alloc
 
 echo "==> cargo bench --no-run --workspace"
 cargo bench --locked --no-run --workspace

@@ -9,7 +9,8 @@
 //! acceptance bar for the hot-path PR is ≥ 2× between the two.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use embedding::{pooling, QuantScheme};
+use embedding::kernels::SelectedKernel;
+use embedding::{pooling, PoolKernel, QuantScheme};
 use sdm_bench::{bench_quantized_rows as quantized_rows, pool_seed_style};
 
 fn pooling_cost(c: &mut Criterion) {
@@ -52,5 +53,46 @@ fn seed_vs_slice(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, pooling_cost, seed_vs_slice);
+/// Scalar vs every supported SIMD kernel on identical rows, per scheme.
+/// The bit-identity contract means this is a pure speed comparison: any
+/// divergence in the pooled values is caught by `tests/kernel_equivalence`
+/// and the `exp_hotpath --check` gate, not here.
+fn kernel_comparison(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_kernels");
+    group.sample_size(30);
+    let (pf, dim) = (40usize, 64usize);
+    let kernels: Vec<SelectedKernel> = [PoolKernel::Scalar, PoolKernel::Sse2, PoolKernel::Avx2]
+        .into_iter()
+        .filter(|k| k.is_supported())
+        .map(PoolKernel::resolve)
+        .collect();
+    for (name, scheme) in [
+        ("int8", QuantScheme::Int8),
+        ("int4", QuantScheme::Int4),
+        ("fp32", QuantScheme::Fp32),
+    ] {
+        let rows = quantized_rows(pf, dim, scheme);
+        let row_refs: Vec<&[u8]> = rows.iter().map(|r| r.as_slice()).collect();
+        let mut out = vec![0.0f32; dim];
+        for &kernel in &kernels {
+            let id = BenchmarkId::new(name, kernel.name());
+            group.bench_with_input(id, &pf, |b, _| {
+                b.iter(|| {
+                    out.iter_mut().for_each(|v| *v = 0.0);
+                    pooling::pool_quantized_into_with(
+                        kernel,
+                        row_refs.iter().copied(),
+                        scheme,
+                        &mut out,
+                    )
+                    .unwrap();
+                    black_box(out[0])
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pooling_cost, seed_vs_slice, kernel_comparison);
 criterion_main!(benches);

@@ -52,7 +52,8 @@
 //! fields or a violated overlap invariant.
 
 use dlrm::QueryResult;
-use embedding::{pooling, QuantScheme};
+use embedding::kernels::{self, SelectedKernel};
+use embedding::{pooling, PoolKernel, QuantScheme};
 use sdm_bench::{
     bench_quantized_rows, bench_sdm_config, build_system, header, json_field, measure_batch_modes,
     measure_fault_resilience, measure_load_curve, measure_shared_tier, measure_streams,
@@ -169,6 +170,26 @@ fn regression_failures(baseline: &str, fresh: &str, compare_wall_clock: bool) ->
         for (section, field, higher_is_better) in wall_clock {
             compare(section, field, higher_is_better);
         }
+    }
+
+    // Pooling-kernel invariants on the fresh run: every supported kernel
+    // must have produced bit-identical pooled vectors (the kernels'
+    // documented contract — a lane-order or FMA slip shows up here), and
+    // on a host with a SIMD kernel the auto dispatch may never be slower
+    // than scalar on the headline int8 path.
+    let pool_kernel = |field: &str| json_field(fresh, "pooling_kernels", field);
+    match pool_kernel("bit_identical") {
+        Some(1.0) => {}
+        other => failures.push(format!(
+            "pooling_kernels: kernels not bit-identical ({other:?})"
+        )),
+    }
+    match (pool_kernel("simd_available"), pool_kernel("simd_speedup")) {
+        (Some(0.0), Some(_)) => {} // scalar-only host
+        (Some(_), Some(speedup)) if speedup >= 1.0 => {}
+        other => failures.push(format!(
+            "pooling_kernels: simd kernel slower than scalar or fields missing ({other:?})"
+        )),
     }
 
     // Overlap invariants on the fresh run (virtual clock — deterministic).
@@ -366,6 +387,98 @@ fn main() {
     println!("    seed Vec<Vec<f32>> path   {seed_ns_per_row:>8.2} ns/row");
     println!("    slice-based into path     {slice_ns_per_row:>8.2} ns/row");
     println!("    speedup                   {pooling_speedup:>8.2}x");
+
+    // --- 1b. Per-kernel fused dequant-accumulate pooling (SIMD A/B). ---
+    // Every kernel the host supports is measured over identical rows for
+    // each quantisation scheme; the JSON records ns/row per (scheme,
+    // kernel), the auto-dispatched kernel's name, and two fresh-run
+    // invariants the --check gate enforces: cross-kernel bit-identity and
+    // (on SIMD hosts) an auto-kernel speedup of at least 1.0x over scalar
+    // on the headline int8 path.
+    let auto = kernels::auto_kernel();
+    let supported: Vec<SelectedKernel> = [PoolKernel::Scalar, PoolKernel::Sse2, PoolKernel::Avx2]
+        .into_iter()
+        .filter(|k| k.is_supported())
+        .map(PoolKernel::resolve)
+        .collect();
+    let mut kernels_json = format!(
+        "\"pf\": {pf},\n    \"dim\": {dim},\n    \"kernel\": \"{}\",\n    \
+         \"simd_available\": {}",
+        auto.name(),
+        u8::from(auto.is_simd())
+    );
+    let mut bit_identical = true;
+    let mut simd_speedup = 1.0f64;
+    println!(
+        "\n  pooling kernels (pf={pf}, dim={dim}, auto={})",
+        auto.name()
+    );
+    for (scheme, tag) in [
+        (QuantScheme::Int8, "int8"),
+        (QuantScheme::Int4, "int4"),
+        (QuantScheme::Fp32, "fp32"),
+    ] {
+        let kernel_rows = bench_quantized_rows(pf, dim, scheme);
+        let kernel_refs: Vec<&[u8]> = kernel_rows.iter().map(|r| r.as_slice()).collect();
+        let mut reference_bits: Option<Vec<u32>> = None;
+        let mut scalar_ns = 0.0f64;
+        for &kernel in &supported {
+            // Bit-identity first: one pooled pass per kernel, compared
+            // lane for lane against scalar (always the first entry).
+            out.iter_mut().for_each(|v| *v = 0.0);
+            pooling::pool_quantized_into_with(
+                kernel,
+                kernel_refs.iter().copied(),
+                scheme,
+                &mut out,
+            )
+            .unwrap();
+            let bits: Vec<u32> = out.iter().map(|v| v.to_bits()).collect();
+            match &reference_bits {
+                None => reference_bits = Some(bits),
+                Some(reference) => bit_identical &= &bits == reference,
+            }
+
+            for _ in 0..pool_iters / 10 {
+                out.iter_mut().for_each(|v| *v = 0.0);
+                pooling::pool_quantized_into_with(
+                    kernel,
+                    black_box(kernel_refs.iter().copied()),
+                    scheme,
+                    &mut out,
+                )
+                .unwrap();
+                sink += black_box(&out)[0];
+            }
+            let start = Instant::now();
+            for _ in 0..pool_iters {
+                out.iter_mut().for_each(|v| *v = 0.0);
+                pooling::pool_quantized_into_with(
+                    kernel,
+                    black_box(kernel_refs.iter().copied()),
+                    scheme,
+                    &mut out,
+                )
+                .unwrap();
+                sink += black_box(&out)[0];
+            }
+            let ns = start.elapsed().as_nanos() as f64 / (pool_iters as f64) / (pf as f64);
+            if kernel == SelectedKernel::SCALAR {
+                scalar_ns = ns;
+            }
+            if matches!(scheme, QuantScheme::Int8) && kernel == auto && auto.is_simd() {
+                simd_speedup = scalar_ns / ns;
+            }
+            println!("    {tag:<5} {:<7} {ns:>8.2} ns/row", kernel.name());
+            kernels_json.push_str(&format!(",\n    \"{tag}_{}_ns\": {ns:.3}", kernel.name()));
+        }
+    }
+    kernels_json.push_str(&format!(
+        ",\n    \"simd_speedup\": {simd_speedup:.3},\n    \"bit_identical\": {}",
+        u8::from(bit_identical)
+    ));
+    println!("    int8 auto-vs-scalar speedup {simd_speedup:>6.2}x");
+    println!("    bit identical across kernels: {bit_identical}");
 
     // --- 2. Batch serving: looped run_query vs run_batch, on the heavy
     // M1 replica (operator math dominates, so the loop overhead is a small
@@ -846,6 +959,7 @@ fn main() {
          \"seed_ns_per_row\": {seed_ns_per_row:.3},\n    \
          \"slice_ns_per_row\": {slice_ns_per_row:.3},\n    \
          \"speedup\": {pooling_speedup:.3}\n  }},\n  \
+         \"pooling_kernels\": {{\n    {kernels_json}\n  }},\n  \
          \"batch\": {{\n    \"model\": \"M1-scaled\",\n    \"batch_size\": {batch},\n    \
          \"looped_run_query_qps\": {looped_qps:.1},\n    \
          \"run_batch_qps\": {batch_qps:.1},\n    \

@@ -8,7 +8,8 @@
 
 use crate::config::ModelConfig;
 use crate::error::DlrmError;
-use embedding::{accumulate_row, EmbeddingTable, TableId};
+use embedding::kernels::{self, SelectedKernel};
+use embedding::{EmbeddingTable, PoolKernel, TableId};
 use sdm_metrics::{SimDuration, SimInstant};
 use std::collections::HashMap;
 
@@ -118,6 +119,9 @@ pub trait OverlappedBackend: EmbeddingBackend {
 #[derive(Debug)]
 pub struct DramBackend {
     tables: HashMap<TableId, EmbeddingTable>,
+    /// Resolved dequant-accumulate kernel (auto-detected at construction,
+    /// overridable via [`DramBackend::with_pool_kernel`]).
+    kernel: SelectedKernel,
     /// DRAM random-access latency per row (cache-missing pointer chase).
     per_row_latency: SimDuration,
     /// Per-element dequantise + accumulate cost.
@@ -147,6 +151,7 @@ impl DramBackend {
             .collect();
         DramBackend {
             tables,
+            kernel: kernels::auto_kernel(),
             per_row_latency: SimDuration::from_nanos(150),
             per_element_cost: SimDuration::from_nanos(1),
             pending: Vec::new(),
@@ -159,12 +164,26 @@ impl DramBackend {
     pub fn from_tables(tables: Vec<EmbeddingTable>) -> Self {
         DramBackend {
             tables: tables.into_iter().map(|t| (t.descriptor().id, t)).collect(),
+            kernel: kernels::auto_kernel(),
             per_row_latency: SimDuration::from_nanos(150),
             per_element_cost: SimDuration::from_nanos(1),
             pending: Vec::new(),
             generations: Vec::new(),
             free_slots: Vec::new(),
         }
+    }
+
+    /// Selects the pooling kernel explicitly (the constructors default to
+    /// runtime auto-detection). Unsupported kernels fall back to scalar.
+    #[must_use]
+    pub fn with_pool_kernel(mut self, kernel: PoolKernel) -> Self {
+        self.kernel = kernel.resolve_default();
+        self
+    }
+
+    /// The resolved dequant-accumulate kernel this backend pools with.
+    pub fn kernel(&self) -> SelectedKernel {
+        self.kernel
     }
 
     /// Number of resident tables.
@@ -236,10 +255,19 @@ impl EmbeddingBackend for DramBackend {
             });
         }
         // Rows are dequant-accumulated straight out of the table's arena —
-        // no per-row vector, no pooled-vector allocation.
-        for &idx in indices {
+        // no per-row vector, no pooled-vector allocation. The next row is
+        // software-prefetched while the current one pools: pooling-factor
+        // index streams are random, so the hardware prefetcher cannot cover
+        // the arena strides on its own.
+        for (i, &idx) in indices.iter().enumerate() {
             let row = t.row(idx).map_err(DlrmError::backend)?;
-            accumulate_row(row, desc.quant, out).map_err(DlrmError::backend)?;
+            if let Some(&next) = indices.get(i + 1) {
+                if let Ok(next_row) = t.row(next) {
+                    kernels::prefetch_row(next_row);
+                }
+            }
+            kernels::accumulate_row_with(self.kernel, row, desc.quant, out)
+                .map_err(DlrmError::backend)?;
         }
         let latency = self.per_row_latency * indices.len() as u64
             + self.per_element_cost * (indices.len() * desc.dim) as u64;
@@ -344,6 +372,22 @@ mod tests {
         for (x, y) in pooled.iter().zip(&manual) {
             assert!((x - y).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn explicit_scalar_kernel_is_bit_identical_to_auto() {
+        let model = model_zoo::tiny(1, 0, 50);
+        let mut auto = DramBackend::new(&model, 7);
+        let mut scalar = DramBackend::new(&model, 7).with_pool_kernel(PoolKernel::Scalar);
+        assert_eq!(scalar.kernel().name(), "scalar");
+        let indices = [3u64, 9, 11, 11, 42];
+        let (a, _) = auto.pooled_lookup(0, &indices, SimInstant::EPOCH).unwrap();
+        let (b, _) = scalar
+            .pooled_lookup(0, &indices, SimInstant::EPOCH)
+            .unwrap();
+        let a_bits: Vec<u32> = a.iter().map(|x| x.to_bits()).collect();
+        let b_bits: Vec<u32> = b.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(a_bits, b_bits, "auto kernel diverged from scalar");
     }
 
     #[test]

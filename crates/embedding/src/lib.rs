@@ -14,6 +14,9 @@
 //! * [`QuantScheme`], [`quantize_row`], [`dequantize_row`] — row-wise
 //!   quantisation with per-row scale/bias — plus the fused
 //!   [`accumulate_row`] kernel the zero-allocation pooling path uses.
+//! * [`kernels`] — SSE2/AVX2 vector implementations of the fused
+//!   dequant-accumulate paths with runtime dispatch ([`PoolKernel`]),
+//!   bit-identical to the scalar fallback, plus software prefetch.
 //! * [`RowArena`] — one contiguous fixed-stride buffer per table, replacing
 //!   per-row heap allocations.
 //! * [`EmbeddingTable`] — materialised quantised rows (deterministically
@@ -36,11 +39,15 @@
 //! assert_eq!(row.len(), 32);
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `kernels` module opts back in locally
+// for the `core::arch` SIMD intrinsics behind runtime feature detection.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod arena;
 mod error;
+pub mod kernels;
 mod layout;
 pub mod pooling;
 mod pruning;
@@ -49,6 +56,7 @@ mod table;
 
 pub use arena::RowArena;
 pub use error::EmbeddingError;
+pub use kernels::{PoolKernel, SelectedKernel};
 pub use layout::{SmLayout, TablePlacement};
 pub use pruning::{DepruneReport, MappingTensor, PrunedTable};
 pub use quant::{

@@ -15,7 +15,10 @@
 //! silent dim-0 vector.
 
 use crate::error::EmbeddingError;
-use crate::quant::{accumulate_row, accumulate_row_weighted, QuantScheme};
+use crate::kernels::{
+    accumulate_row_weighted_with, accumulate_row_with, auto_kernel, prefetch_row, SelectedKernel,
+};
+use crate::quant::QuantScheme;
 
 /// Sums already de-quantised rows into `out`, which must hold the expected
 /// dimension. `out` is *accumulated into*, not overwritten — zero it first
@@ -62,6 +65,9 @@ pub fn pool_dense(rows: &[&[f32]], dim: usize) -> Result<Vec<f32>, EmbeddingErro
 /// can save meaningful CPU by skipping it on a hit. De-quantisation and
 /// accumulation are fused, so no intermediate `f32` row is materialised.
 ///
+/// Runs the process-wide [`auto_kernel`]; see [`pool_quantized_into_with`]
+/// to pin a specific kernel (A/B comparisons, the bench matrix).
+///
 /// # Errors
 ///
 /// Returns [`EmbeddingError::MalformedRow`] if any buffer has the wrong
@@ -71,10 +77,37 @@ pub fn pool_quantized_into<'a>(
     scheme: QuantScheme,
     out: &mut [f32],
 ) -> Result<(), EmbeddingError> {
-    for raw in rows {
-        accumulate_row(raw, scheme, out)?;
+    pool_quantized_into_with(auto_kernel(), rows, scheme, out)
+}
+
+/// [`pool_quantized_into`] with an explicit dequant-accumulate kernel.
+///
+/// While row *i* is being accumulated, the leading cache lines of row
+/// *i + 1* are software-prefetched, hiding the next row's memory latency
+/// behind the current row's arithmetic (the classic EmbeddingBag pattern —
+/// rows are pooled exactly once, so without prefetch every row load is a
+/// compulsory miss).
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::MalformedRow`] if any buffer has the wrong
+/// length for the scheme and `out.len()`.
+pub fn pool_quantized_into_with<'a>(
+    kernel: SelectedKernel,
+    rows: impl IntoIterator<Item = &'a [u8]>,
+    scheme: QuantScheme,
+    out: &mut [f32],
+) -> Result<(), EmbeddingError> {
+    let mut rows = rows.into_iter();
+    let Some(mut current) = rows.next() else {
+        return Ok(());
+    };
+    for next in rows {
+        prefetch_row(next);
+        accumulate_row_with(kernel, current, scheme, out)?;
+        current = next;
     }
-    Ok(())
+    accumulate_row_with(kernel, current, scheme, out)
 }
 
 /// De-quantises and sums a set of quantised row buffers into a fresh
@@ -100,22 +133,45 @@ pub fn pool_quantized(
 ///
 /// # Errors
 ///
-/// Returns [`EmbeddingError::MalformedRow`] if `rows` and `weights` have
-/// different lengths or any buffer is malformed.
+/// Returns [`EmbeddingError::WeightCountMismatch`] if `rows` and `weights`
+/// have different lengths, or [`EmbeddingError::MalformedRow`] if any
+/// buffer is malformed.
 pub fn pool_quantized_weighted_into(
     rows: &[&[u8]],
     weights: &[f32],
     scheme: QuantScheme,
     out: &mut [f32],
 ) -> Result<(), EmbeddingError> {
+    pool_quantized_weighted_into_with(auto_kernel(), rows, weights, scheme, out)
+}
+
+/// [`pool_quantized_weighted_into`] with an explicit kernel, prefetching
+/// the next row during each accumulation like
+/// [`pool_quantized_into_with`].
+///
+/// # Errors
+///
+/// Returns [`EmbeddingError::WeightCountMismatch`] if `rows` and `weights`
+/// have different lengths, or [`EmbeddingError::MalformedRow`] if any
+/// buffer is malformed.
+pub fn pool_quantized_weighted_into_with(
+    kernel: SelectedKernel,
+    rows: &[&[u8]],
+    weights: &[f32],
+    scheme: QuantScheme,
+    out: &mut [f32],
+) -> Result<(), EmbeddingError> {
     if rows.len() != weights.len() {
-        return Err(EmbeddingError::MalformedRow {
-            expected: rows.len(),
-            actual: weights.len(),
+        return Err(EmbeddingError::WeightCountMismatch {
+            rows: rows.len(),
+            weights: weights.len(),
         });
     }
-    for (&raw, &w) in rows.iter().zip(weights) {
-        accumulate_row_weighted(raw, scheme, w, out)?;
+    for (i, (&raw, &w)) in rows.iter().zip(weights).enumerate() {
+        if let Some(next) = rows.get(i + 1) {
+            prefetch_row(next);
+        }
+        accumulate_row_weighted_with(kernel, raw, scheme, w, out)?;
     }
     Ok(())
 }
@@ -124,8 +180,9 @@ pub fn pool_quantized_weighted_into(
 ///
 /// # Errors
 ///
-/// Returns [`EmbeddingError::MalformedRow`] if `rows` and `weights` have
-/// different lengths or any buffer is malformed.
+/// Returns [`EmbeddingError::WeightCountMismatch`] if `rows` and `weights`
+/// have different lengths, or [`EmbeddingError::MalformedRow`] if any
+/// buffer is malformed.
 pub fn pool_quantized_weighted(
     rows: &[&[u8]],
     weights: &[f32],
@@ -233,7 +290,54 @@ mod tests {
         for v in out {
             assert!((v - 5.0).abs() < 0.1);
         }
-        assert!(pool_quantized_weighted(&[&qa], &[1.0, 2.0], QuantScheme::Int8, dim).is_err());
+        // A rows/weights length mismatch is its own error variant, not a
+        // bogus MalformedRow with row counts posing as byte lengths.
+        assert!(matches!(
+            pool_quantized_weighted(&[&qa], &[1.0, 2.0], QuantScheme::Int8, dim),
+            Err(EmbeddingError::WeightCountMismatch {
+                rows: 1,
+                weights: 2
+            })
+        ));
+    }
+
+    #[test]
+    fn explicit_kernel_pooling_matches_auto() {
+        use crate::kernels::{auto_kernel, PoolKernel};
+        let dim = 33;
+        let rows: Vec<Vec<u8>> = (0..6)
+            .map(|i| {
+                let values: Vec<f32> = (0..dim).map(|j| ((i * j) as f32 * 0.11).sin()).collect();
+                quantize_row(&values, QuantScheme::Int4)
+            })
+            .collect();
+        let refs: Vec<&[u8]> = rows.iter().map(|r| r.as_slice()).collect();
+        let weights: Vec<f32> = (0..6).map(|i| 0.5 + i as f32 * 0.25).collect();
+
+        let mut auto_out = vec![0.0f32; dim];
+        pool_quantized_into(refs.iter().copied(), QuantScheme::Int4, &mut auto_out).unwrap();
+        let mut scalar_out = vec![0.0f32; dim];
+        pool_quantized_into_with(
+            PoolKernel::Scalar.resolve(),
+            refs.iter().copied(),
+            QuantScheme::Int4,
+            &mut scalar_out,
+        )
+        .unwrap();
+        assert_eq!(auto_out, scalar_out, "auto kernel {}", auto_kernel());
+
+        let mut auto_w = vec![0.0f32; dim];
+        pool_quantized_weighted_into(&refs, &weights, QuantScheme::Int4, &mut auto_w).unwrap();
+        let mut scalar_w = vec![0.0f32; dim];
+        pool_quantized_weighted_into_with(
+            PoolKernel::Scalar.resolve(),
+            &refs,
+            &weights,
+            QuantScheme::Int4,
+            &mut scalar_w,
+        )
+        .unwrap();
+        assert_eq!(auto_w, scalar_w);
     }
 
     #[test]

@@ -150,6 +150,11 @@ pub fn dequantize_row(
 /// hits before IO completions — which can shift pooled sums by f32
 /// rounding in the last bits.)
 ///
+/// Runs the process-wide [`crate::kernels::auto_kernel`] — the widest
+/// SSE2/AVX2 kernel the host supports, which is bit-identical to the scalar
+/// loops by the [`crate::kernels`] contract. Use
+/// [`crate::kernels::accumulate_row_with`] to pin a specific kernel.
+///
 /// # Errors
 ///
 /// Returns [`EmbeddingError::MalformedRow`] when the buffer length does not
@@ -159,45 +164,13 @@ pub fn accumulate_row(
     scheme: QuantScheme,
     out: &mut [f32],
 ) -> Result<(), EmbeddingError> {
-    let dim = out.len();
-    let expected = scheme.row_bytes(dim);
-    if buf.len() != expected {
-        return Err(EmbeddingError::MalformedRow {
-            expected,
-            actual: buf.len(),
-        });
-    }
-    match scheme {
-        QuantScheme::Fp32 => {
-            for (o, c) in out.iter_mut().zip(buf.chunks_exact(4)) {
-                *o += f32::from_le_bytes([c[0], c[1], c[2], c[3]]);
-            }
-        }
-        QuantScheme::Int8 | QuantScheme::Int4 => {
-            let (scale, bias) = row_params(buf);
-            match scheme {
-                QuantScheme::Int8 => {
-                    for (o, &code) in out.iter_mut().zip(&buf[..dim]) {
-                        *o += code as f32 * scale + bias;
-                    }
-                }
-                QuantScheme::Int4 => {
-                    for (i, o) in out.iter_mut().enumerate() {
-                        let byte = buf[i / 2];
-                        let code = if i % 2 == 0 { byte & 0x0F } else { byte >> 4 };
-                        *o += code as f32 * scale + bias;
-                    }
-                }
-                QuantScheme::Fp32 => unreachable!(),
-            }
-        }
-    }
-    Ok(())
+    crate::kernels::accumulate_row_with(crate::kernels::auto_kernel(), buf, scheme, out)
 }
 
 /// Weighted variant of [`accumulate_row`]: adds `weight * value` into `out`
 /// (SparseLengthsWeightedSum). Kept separate so the unweighted hot loop does
-/// not pay a multiply per element.
+/// not pay a multiply per element. Dispatches through
+/// [`crate::kernels::auto_kernel`] like the unweighted form.
 ///
 /// # Errors
 ///
@@ -208,45 +181,18 @@ pub fn accumulate_row_weighted(
     weight: f32,
     out: &mut [f32],
 ) -> Result<(), EmbeddingError> {
-    let dim = out.len();
-    let expected = scheme.row_bytes(dim);
-    if buf.len() != expected {
-        return Err(EmbeddingError::MalformedRow {
-            expected,
-            actual: buf.len(),
-        });
-    }
-    match scheme {
-        QuantScheme::Fp32 => {
-            for (o, c) in out.iter_mut().zip(buf.chunks_exact(4)) {
-                *o += f32::from_le_bytes([c[0], c[1], c[2], c[3]]) * weight;
-            }
-        }
-        QuantScheme::Int8 | QuantScheme::Int4 => {
-            let (scale, bias) = row_params(buf);
-            match scheme {
-                QuantScheme::Int8 => {
-                    for (o, &code) in out.iter_mut().zip(&buf[..dim]) {
-                        *o += (code as f32 * scale + bias) * weight;
-                    }
-                }
-                QuantScheme::Int4 => {
-                    for (i, o) in out.iter_mut().enumerate() {
-                        let byte = buf[i / 2];
-                        let code = if i % 2 == 0 { byte & 0x0F } else { byte >> 4 };
-                        *o += (code as f32 * scale + bias) * weight;
-                    }
-                }
-                QuantScheme::Fp32 => unreachable!(),
-            }
-        }
-    }
-    Ok(())
+    crate::kernels::accumulate_row_weighted_with(
+        crate::kernels::auto_kernel(),
+        buf,
+        scheme,
+        weight,
+        out,
+    )
 }
 
 /// Reads the trailing per-row `(scale, bias)` parameters. The caller must
 /// have validated the buffer length.
-fn row_params(buf: &[u8]) -> (f32, f32) {
+pub(crate) fn row_params(buf: &[u8]) -> (f32, f32) {
     let at = buf.len() - ROW_PARAM_BYTES;
     let scale = f32::from_le_bytes([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]]);
     let bias = f32::from_le_bytes([buf[at + 4], buf[at + 5], buf[at + 6], buf[at + 7]]);

@@ -184,9 +184,9 @@ impl EmbeddingTable {
     /// Panics if the descriptor fails validation; use
     /// [`TableDescriptor::validate`] first for fallible handling.
     pub fn generate(descriptor: &TableDescriptor, seed: u64) -> Self {
-        descriptor
-            .validate()
-            .expect("invalid table descriptor passed to EmbeddingTable::generate");
+        if let Err(e) = descriptor.validate() {
+            panic!("invalid table descriptor passed to EmbeddingTable::generate: {e}");
+        }
         let mut rng = StdRng::seed_from_u64(seed ^ (descriptor.id as u64) << 32);
         let mut values = vec![0.0f32; descriptor.dim];
         let quant = descriptor.quant;

@@ -69,6 +69,17 @@ impl CpuOptimizedCache {
         self.stats.record_miss();
     }
 
+    /// Side-effect-free probe: returns the cached bytes without touching
+    /// the LRU order or the hit/miss statistics. Used to software-prefetch
+    /// the next row of a pooled scan while the current one is accumulated —
+    /// a prefetch probe must not perturb eviction order or hit rates.
+    pub fn peek(&self, key: &RowKey) -> Option<&[u8]> {
+        self.map.get(key).map(|&slot| {
+            let s = self.slots[slot];
+            self.arena.slice(s.start, s.len)
+        })
+    }
+
     /// Refreshes the residency gauges from the arena after any mutation
     /// that allocates or frees payload ranges.
     fn note_residency(&mut self) {

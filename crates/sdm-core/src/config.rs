@@ -3,6 +3,7 @@
 
 use crate::error::SdmError;
 use crate::placement::PlacementPolicy;
+use embedding::PoolKernel;
 use io_engine::{CompletionMode, EngineConfig};
 use scm_device::TechnologyProfile;
 use sdm_cache::CacheConfig;
@@ -81,6 +82,10 @@ pub struct SdmConfig {
     pub transform: LoadTransform,
     /// Batch execution mode (exact vs relaxed/overlapped).
     pub batch_mode: BatchMode,
+    /// Dequant-accumulate pooling kernel ([`PoolKernel::Auto`] picks the
+    /// widest SIMD kernel the host supports; explicit values pin one
+    /// implementation for A/B runs — all choices are bit-identical).
+    pub pool_kernel: PoolKernel,
     /// Seed for table materialisation.
     pub seed: u64,
 }
@@ -98,6 +103,7 @@ impl Default for SdmConfig {
             placement: PlacementPolicy::SmOnlyWithCache,
             transform: LoadTransform::default(),
             batch_mode: BatchMode::default(),
+            pool_kernel: PoolKernel::default(),
             seed: 0x5d31,
         }
     }
@@ -156,6 +162,14 @@ impl SdmConfig {
         self.with_batch_mode(BatchMode::Relaxed {
             max_inflight_queries: window,
         })
+    }
+
+    /// Pins the dequant-accumulate pooling kernel (A/B comparisons, the
+    /// CI force-scalar leg). All kernels are bit-identical; `Auto` (the
+    /// default) picks the widest one the host supports.
+    pub fn with_pool_kernel(mut self, kernel: PoolKernel) -> Self {
+        self.pool_kernel = kernel;
+        self
     }
 
     /// Enables the host-shared second cache tier with the given budget
@@ -218,6 +232,16 @@ impl SdmConfig {
                 reason: "relaxed batch mode needs max_inflight_queries >= 1".into(),
             });
         }
+        // Reject an explicit SIMD kernel the host cannot run rather than
+        // silently measuring the scalar fallback in an A/B comparison.
+        if !self.pool_kernel.is_supported() {
+            return Err(SdmError::InvalidConfig {
+                reason: format!(
+                    "pool kernel {} is not supported on this host",
+                    self.pool_kernel
+                ),
+            });
+        }
         self.cache.validate()?;
         self.io.validate()?;
         Ok(())
@@ -271,6 +295,25 @@ mod tests {
     fn default_config_is_valid() {
         assert!(SdmConfig::default().validate().is_ok());
         assert!(SdmConfig::for_tests().validate().is_ok());
+    }
+
+    #[test]
+    fn pool_kernel_knob_validates_and_divides() {
+        // Auto and Scalar are supported everywhere.
+        assert!(SdmConfig::for_tests()
+            .with_pool_kernel(PoolKernel::Scalar)
+            .validate()
+            .is_ok());
+        assert_eq!(SdmConfig::default().pool_kernel, PoolKernel::Auto);
+        // The kernel choice is host-wide and carries over to shard slices.
+        let c = SdmConfig::for_tests().with_pool_kernel(PoolKernel::Scalar);
+        assert_eq!(c.divide_among_indexed(4, 2).pool_kernel, PoolKernel::Scalar);
+        // An explicit SIMD kernel validates only where the host supports it
+        // (resolve() would run — as scalar — but A/B configs must not lie).
+        for k in [PoolKernel::Sse2, PoolKernel::Avx2] {
+            let c = SdmConfig::for_tests().with_pool_kernel(k);
+            assert_eq!(c.validate().is_ok(), k.is_supported());
+        }
     }
 
     #[test]

@@ -69,6 +69,7 @@ mod system;
 mod update;
 
 pub use config::{AccessGranularity, BatchMode, LoadTransform, SdmConfig};
+pub use embedding::PoolKernel;
 pub use error::SdmError;
 pub use frontend::{
     BatchRecord, CloseReason, Frontend, FrontendConfig, FrontendReport, QueryOutcome, QueryRecord,

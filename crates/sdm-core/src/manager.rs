@@ -6,7 +6,8 @@ use crate::loader::LoadedModel;
 use crate::placement::TableLocation;
 use crate::stats::SdmStats;
 use dlrm::{DlrmError, EmbeddingBackend, LookupTicket, OverlappedBackend};
-use embedding::{accumulate_row, QuantScheme, TableId};
+use embedding::kernels::{self, SelectedKernel};
+use embedding::{QuantScheme, TableId};
 use io_engine::{IoEngine, IoError, IoRequest};
 use scm_device::{DeviceId, ReadCommand};
 use sdm_cache::{
@@ -50,12 +51,16 @@ struct SharedTierHandle {
 /// counters and warmup tracking consistent between the exact and
 /// split-phase scan loops (which share this helper). Returns whether the
 /// row was served; a detached tier (`None`) serves nothing.
+// Takes the split borrows of the two scan loops individually — bundling
+// them into a context struct would just move the field list.
+#[allow(clippy::too_many_arguments)]
 fn probe_shared_tier(
     shared: &Option<SharedTierHandle>,
     stats: &mut SdmStats,
     warmup: &mut WarmupTracker,
     key: &RowKey,
     quant: QuantScheme,
+    kernel: SelectedKernel,
     latency: &mut SimDuration,
     acc: &mut [f32],
 ) -> Result<bool, SdmError> {
@@ -65,7 +70,7 @@ fn probe_shared_tier(
     *latency += shared.tier.lookup_cost();
     let mut pool_error: Option<embedding::EmbeddingError> = None;
     let hit = shared.tier.lookup_with(key, shared.source, |bytes| {
-        pool_error = accumulate_row(bytes, quant, acc).err();
+        pool_error = kernels::accumulate_row_with(kernel, bytes, quant, acc).err();
     });
     match hit {
         Some(h) => {
@@ -186,6 +191,9 @@ impl PendingOps {
 #[derive(Debug)]
 pub struct SdmMemoryManager {
     config: SdmConfig,
+    /// Dequant-accumulate kernel resolved once from
+    /// `config.pool_kernel` at build time (all choices bit-identical).
+    kernel: SelectedKernel,
     loaded: LoadedModel,
     engine: IoEngine,
     row_cache: DualRowCache,
@@ -214,8 +222,10 @@ impl SdmMemoryManager {
             config.cache.pooled_cache_budget,
             config.cache.pooled_len_threshold,
         );
+        let kernel = config.pool_kernel.resolve_default();
         SdmMemoryManager {
             config,
+            kernel,
             loaded,
             engine,
             row_cache,
@@ -245,6 +255,12 @@ impl SdmMemoryManager {
     /// The deployment configuration.
     pub fn config(&self) -> &SdmConfig {
         &self.config
+    }
+
+    /// The pooling kernel the manager resolved from
+    /// [`SdmConfig::pool_kernel`] at construction time.
+    pub fn kernel(&self) -> SelectedKernel {
+        self.kernel
     }
 
     /// The loaded model.
@@ -340,9 +356,19 @@ impl SdmMemoryManager {
             }
             .into());
         }
-        for &idx in indices {
+        let kernel = self.kernel;
+        for (i, &idx) in indices.iter().enumerate() {
             let row = t.row(idx)?;
-            accumulate_row(row, quant, out)?;
+            // Pull the next row's cache lines in while this one is
+            // accumulated (rows sit in one contiguous arena, so the slice
+            // math for the lookahead is free; a bad next index surfaces
+            // as an error on its own iteration).
+            if let Some(&next) = indices.get(i + 1) {
+                if let Ok(next_row) = t.row(next) {
+                    kernels::prefetch_row(next_row);
+                }
+            }
+            kernels::accumulate_row_with(kernel, row, quant, out)?;
         }
         self.stats.fm_direct_lookups += indices.len() as u64;
         let latency = FM_ROW_COST * indices.len() as u64
@@ -373,6 +399,7 @@ impl SdmMemoryManager {
     ) -> Result<SimDuration, SdmError> {
         // Split borrows once so cache hits can be accumulated into `out`
         // while statistics and scratch update alongside.
+        let kernel = self.kernel;
         let Self {
             config,
             loaded,
@@ -443,9 +470,21 @@ impl SdmMemoryManager {
 
             latency += row_cache.lookup_cost();
             let key = RowKey::new(table, stored_row);
+            // Software-prefetch the next index's cached row (if resident)
+            // while this one is looked up and accumulated; `peek` leaves
+            // the LRU order and hit/miss statistics untouched. Pruned
+            // tables are skipped — translating the lookahead index through
+            // the mapping tensor would double-charge its lookup cost.
+            if mapping.is_none() {
+                if let Some(&next) = indices.get(pos + 1) {
+                    if let Some(bytes) = row_cache.peek(&RowKey::new(table, next)) {
+                        kernels::prefetch_row(bytes);
+                    }
+                }
+            }
             match row_cache.get(&key) {
                 Some(bytes) => {
-                    accumulate_row(bytes, quant, out)?;
+                    kernels::accumulate_row_with(kernel, bytes, quant, out)?;
                     stats.row_cache_hits += 1;
                     warmup.record(true);
                     pooled_rows += 1;
@@ -454,7 +493,16 @@ impl SdmMemoryManager {
                     // Host-shared tier between the private miss and SM IO:
                     // a hit accumulates under the stripe lock, in the same
                     // index-order slot a private hit would occupy.
-                    if probe_shared_tier(shared, stats, warmup, &key, quant, &mut latency, out)? {
+                    if probe_shared_tier(
+                        shared,
+                        stats,
+                        warmup,
+                        &key,
+                        quant,
+                        kernel,
+                        &mut latency,
+                        out,
+                    )? {
                         pooled_rows += 1;
                     } else {
                         stats.sm_reads += 1;
@@ -500,6 +548,11 @@ impl SdmMemoryManager {
             let io_targets = &scratch.io_targets;
             let mut pool_error: Option<SdmError> = None;
             let finished_at = engine.drain_each(now, |completion| {
+                // Pull the completed row's lines toward L1 ahead of the
+                // position binary search below: the same bytes are then
+                // read three times (accumulate, row-cache insert, shared
+                // promotion) without re-paying the first-touch latency.
+                kernels::prefetch_row(&completion.data);
                 stats.sm_bytes_read += Bytes(completion.data.len() as u64);
                 stats.sm_bus_bytes += completion.bus_bytes;
                 let pos = completion.user_data as usize;
@@ -510,7 +563,9 @@ impl SdmMemoryManager {
                     .map(|i| io_targets[i].1)
                     .expect("completion for unknown position");
                 if pool_error.is_none() {
-                    if let Err(e) = accumulate_row(&completion.data, quant, out) {
+                    if let Err(e) =
+                        kernels::accumulate_row_with(kernel, &completion.data, quant, out)
+                    {
                         pool_error = Some(e.into());
                     } else {
                         pooled_rows += 1;
@@ -664,6 +719,7 @@ impl SdmMemoryManager {
         indices: &[u64],
         now: SimInstant,
     ) -> Result<(), SdmError> {
+        let kernel = self.kernel;
         let Self {
             loaded,
             stats,
@@ -686,9 +742,14 @@ impl SdmMemoryManager {
         op.pooled_rows = 0;
         op.io_time = SimDuration::ZERO;
         op.submitted_at = now;
-        for &idx in indices {
+        for (i, &idx) in indices.iter().enumerate() {
             let row = t.row(idx)?;
-            accumulate_row(row, quant, &mut op.acc)?;
+            if let Some(&next) = indices.get(i + 1) {
+                if let Ok(next_row) = t.row(next) {
+                    kernels::prefetch_row(next_row);
+                }
+            }
+            kernels::accumulate_row_with(kernel, row, quant, &mut op.acc)?;
         }
         stats.fm_direct_lookups += indices.len() as u64;
         let latency = FM_ROW_COST * indices.len() as u64
@@ -710,6 +771,7 @@ impl SdmMemoryManager {
         indices: &[u64],
         now: SimInstant,
     ) -> Result<(), SdmError> {
+        let kernel = self.kernel;
         let Self {
             config,
             loaded,
@@ -789,9 +851,19 @@ impl SdmMemoryManager {
 
             latency += row_cache.lookup_cost();
             let key = RowKey::new(table, stored_row);
+            // Same lookahead prefetch as the exact path: side-effect-free
+            // `peek` of the next index's cached row, skipped for pruned
+            // tables to avoid double-charging mapping lookups.
+            if mapping.is_none() {
+                if let Some(&next) = indices.get(pos + 1) {
+                    if let Some(bytes) = row_cache.peek(&RowKey::new(table, next)) {
+                        kernels::prefetch_row(bytes);
+                    }
+                }
+            }
             match row_cache.get(&key) {
                 Some(bytes) => {
-                    accumulate_row(bytes, quant, &mut op.acc)?;
+                    kernels::accumulate_row_with(kernel, bytes, quant, &mut op.acc)?;
                     stats.row_cache_hits += 1;
                     warmup.record(true);
                     op.pooled_rows += 1;
@@ -806,6 +878,7 @@ impl SdmMemoryManager {
                         warmup,
                         &key,
                         quant,
+                        kernel,
                         &mut latency,
                         &mut op.acc,
                     )? {
@@ -858,6 +931,9 @@ impl SdmMemoryManager {
             let mut pooled_inc = 0usize;
             let mut pool_error: Option<SdmError> = None;
             let finished_at = engine.drain_each(now, |completion| {
+                // Same first-touch prefetch as the exact drain path: the
+                // bytes are read again by the accumulate and both inserts.
+                kernels::prefetch_row(&completion.data);
                 stats.sm_bytes_read += Bytes(completion.data.len() as u64);
                 stats.sm_bus_bytes += completion.bus_bytes;
                 let pos = completion.user_data as usize;
@@ -866,7 +942,9 @@ impl SdmMemoryManager {
                     .map(|i| io_targets[i].1)
                     .expect("completion for unknown position");
                 if pool_error.is_none() {
-                    if let Err(e) = accumulate_row(&completion.data, quant, acc) {
+                    if let Err(e) =
+                        kernels::accumulate_row_with(kernel, &completion.data, quant, acc)
+                    {
                         pool_error = Some(e.into());
                     } else {
                         pooled_inc += 1;
