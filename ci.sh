@@ -32,6 +32,10 @@ if [[ "$mode" == "bench" ]]; then
                  off_qps_2 on_qps_2 off_qps_4 on_qps_4 \
                  qps_gain_4 hit_rate_4 \
                  cross_shard_hit_rate_2 cross_shard_hit_rate_4 \
+                 always_admit_qps_2 always_admit_qps_4 \
+                 second_touch_qps_2 second_touch_qps_4 \
+                 always_admit_hit_rate_4 second_touch_hit_rate_4 \
+                 second_touch_denied_4 \
                  row_hit_ns shared_hit_ns pooled_hit_ns \
                  offered_qps_3 exact_p99_us_3 relaxed_p99_us_3 \
                  exact_shed_rate_1 relaxed_shed_rate_1 \

@@ -28,16 +28,23 @@
 //!    shared-tier hit rate and the cross-shard hit rate (hits served by a
 //!    row another shard promoted). Deterministic, so CI gates on the gain
 //!    and on cross-shard reuse staying strictly positive.
-//! 7. **Cache-hit latency** — wall-clock ns per warmed hit in each cache
+//! 7. **Cache-admission policy lab** — always-admit vs the second-touch
+//!    doorkeeper at 1/2/4 shards over the same skewed stream, but through a
+//!    *capacity-constrained* shared tier (smaller than the hot row set, so
+//!    the LRU churns and admission has something to decide). Virtual clock;
+//!    CI gates the doorkeeper's hit rate never falling below always-admit
+//!    and the constrained always-admit QPS staying within tolerance of the
+//!    full-budget tier numbers.
+//! 8. **Cache-hit latency** — wall-clock ns per warmed hit in each cache
 //!    level (private row cache, shared tier, pooled-embedding cache), the
 //!    numbers the ROADMAP's perf-trajectory item tracks.
-//! 8. **Open-loop serving** — latency-vs-offered-load curve on the
+//! 9. **Open-loop serving** — latency-vs-offered-load curve on the
 //!    *virtual* clock: a seeded Poisson arrival stream drives an
 //!    SLO-aware front end (dynamic batching, token-bucket admission, load
 //!    shedding) over exact- and relaxed-mode hosts at three offered rates.
 //!    Deterministic; CI gates the curve's shape (p99 monotone in offered
 //!    load, zero shed at the lowest rate, served ≤ offered).
-//! 9. **Fault resilience** — seeded fault injection (transient errors,
+//! 10. **Fault resilience** — seeded fault injection (transient errors,
 //!    bit flips, stuck IOs, latency storms) vs the end-to-end handling
 //!    stack (checksums, retries, deadlines, hedged reads, degraded rows,
 //!    shard failover) on the *virtual* clock. Deterministic; CI gates
@@ -56,8 +63,8 @@ use embedding::kernels::{self, SelectedKernel};
 use embedding::{pooling, PoolKernel, QuantScheme};
 use sdm_bench::{
     bench_quantized_rows, bench_sdm_config, build_system, header, json_field, measure_batch_modes,
-    measure_fault_resilience, measure_load_curve, measure_shared_tier, measure_streams,
-    pool_seed_style, queries_for, scaled, skewed_queries_for,
+    measure_cache_policies, measure_fault_resilience, measure_load_curve, measure_shared_tier,
+    measure_streams, pool_seed_style, queries_for, scaled, skewed_queries_for,
 };
 use sdm_cache::{CacheConfig, DualRowCache, PooledEmbeddingCache, RowCache, RowKey, SharedRowTier};
 use sdm_core::{FrontendConfig, TokenBucketConfig};
@@ -227,6 +234,45 @@ fn regression_failures(baseline: &str, fresh: &str, compare_wall_clock: bool) ->
             Some(rate) if rate > 0.0 => {}
             other => failures.push(format!(
                 "shared_tier: cross_shard_hit_rate_{shards} not strictly positive ({other:?})"
+            )),
+        }
+    }
+
+    // Cache-admission policy invariants on the fresh run: the
+    // capacity-constrained always-admit tier may cost some throughput
+    // against the full-budget tier, but never more than the regression
+    // tolerance; and on the skewed stream the second-touch doorkeeper —
+    // which exists to keep single-touch tail rows from displacing the
+    // resident head — must never hit *less* often than always-admit. At 1
+    // and 2 shards the comparison is deterministic and gated strictly; at
+    // 4 shards promotion order depends on thread interleaving and the
+    // per-run hit rates jitter by a few tenths of a percent, so that
+    // comparison carries a small noise allowance — a real doorkeeper
+    // regression (tail rows admitted first-touch, head evicted) moves the
+    // rate by far more.
+    let policy = |field: &str| json_field(fresh, "cache_policies", field);
+    for shards in [1u32, 2, 4] {
+        match (
+            policy(&format!("always_admit_qps_{shards}")),
+            tier(&format!("on_qps_{shards}")),
+        ) {
+            (Some(constrained), Some(full))
+                if constrained >= full * (1.0 - REGRESSION_TOLERANCE) => {}
+            other => failures.push(format!(
+                "cache_policies: always_admit_qps_{shards} regressed >{:.0}% vs \
+                 shared_tier on_qps_{shards} ({other:?})",
+                REGRESSION_TOLERANCE * 100.0
+            )),
+        }
+        let hit_rate_noise = if shards >= 4 { 0.01 } else { 0.0 };
+        match (
+            policy(&format!("second_touch_hit_rate_{shards}")),
+            policy(&format!("always_admit_hit_rate_{shards}")),
+        ) {
+            (Some(second), Some(always)) if second >= always - hit_rate_noise => {}
+            other => failures.push(format!(
+                "cache_policies: second_touch_hit_rate_{shards} below \
+                 always_admit_hit_rate_{shards} ({other:?})"
             )),
         }
     }
@@ -686,7 +732,72 @@ fn main() {
     let tier_at =
         |shards: usize, enabled: bool| *tiers.get(shards, enabled).expect("tier run measured");
 
-    // --- 7. Cache-hit latency: wall-clock ns per warmed hit in each cache
+    // --- 7. Cache-admission policy lab: always-admit vs the second-touch
+    // doorkeeper on the same skewed stream, but through a tier too small
+    // for the hot row set, so the LRU churns and admission matters
+    // (virtual clock; deterministic; CI-gated). ---
+    // Sized below the skewed stream's hot row set (which fits at ~512KiB;
+    // the full-budget tier above serves it at 100 %), so the constrained
+    // tier's LRU keeps evicting and the admission policy decides what
+    // stays resident.
+    let policy_budget = Bytes::from_kib(384);
+    let policies = measure_cache_policies(
+        &m1,
+        &tier_config,
+        &tier_queries,
+        &tier_counts,
+        policy_budget,
+    );
+    println!(
+        "\n  cache-admission policy lab (M1 scaled, {tier_batch} skewed queries, \
+         512KiB private row budget, {policy_budget} constrained tier, virtual clock)"
+    );
+    for &shards in &tier_counts {
+        let always = policies
+            .get(shards, "always_admit")
+            .expect("always-admit run measured");
+        let second = policies
+            .get(shards, "second_touch")
+            .expect("second-touch run measured");
+        println!(
+            "    {shards} shard(s)  always {:>12.0} q/s (hit {})  second-touch {:>12.0} q/s \
+             (hit {}, denied {:>6})",
+            always.virtual_qps,
+            sdm_bench::pct(always.hit_rate()),
+            second.virtual_qps,
+            sdm_bench::pct(second.hit_rate()),
+            second.admission_denied,
+        );
+    }
+    // Flat key/value body of the cache_policies JSON section (single
+    // level, like open_loop, for the hand-rolled `json_field` reader).
+    let mut cache_policies_json = format!(
+        "\"model\": \"M1-scaled\",\n    \"queries\": {tier_batch},\n    \
+         \"budget_mib\": {:.1}",
+        policy_budget.as_mib_f64()
+    );
+    for &shards in &tier_counts {
+        let always = policies
+            .get(shards, "always_admit")
+            .expect("always-admit run measured");
+        let second = policies
+            .get(shards, "second_touch")
+            .expect("second-touch run measured");
+        cache_policies_json.push_str(&format!(
+            ",\n    \"always_admit_qps_{shards}\": {:.1},\n    \
+             \"second_touch_qps_{shards}\": {:.1},\n    \
+             \"always_admit_hit_rate_{shards}\": {:.4},\n    \
+             \"second_touch_hit_rate_{shards}\": {:.4},\n    \
+             \"second_touch_denied_{shards}\": {}",
+            always.virtual_qps,
+            second.virtual_qps,
+            always.hit_rate(),
+            second.hit_rate(),
+            second.admission_denied,
+        ));
+    }
+
+    // --- 8. Cache-hit latency: wall-clock ns per warmed hit in each cache
     // level. ---
     let hit_iters = if quick { 40_000usize } else { 400_000 };
     let row_bytes = [7u8; 128];
@@ -744,7 +855,7 @@ fn main() {
     println!("    shared tier (striped)     {shared_hit_ns:>8.1} ns/hit");
     println!("    pooled cache (keyed)      {pooled_hit_ns:>8.1} ns/hit");
 
-    // --- 8. Open-loop serving: latency-vs-offered-load curve on the
+    // --- 9. Open-loop serving: latency-vs-offered-load curve on the
     // virtual clock (deterministic; curve-shape gated by CI). The same
     // seeded Poisson arrival stream drives an exact-mode and a
     // relaxed-mode host at each offered rate, straddling the exact mode's
@@ -839,7 +950,7 @@ fn main() {
         ));
     }
 
-    // --- 9. Fault resilience: injected faults vs the end-to-end handling
+    // --- 10. Fault resilience: injected faults vs the end-to-end handling
     // stack on the virtual clock (deterministic; CI-gated). Same sizes in
     // quick and full mode so the gate compares like with like. ---
     let fault_shards = 2usize;
@@ -1009,6 +1120,7 @@ fn main() {
          \"cross_shard_hit_rate_2\": {t_cross_2:.4},\n    \
          \"cross_shard_hit_rate_4\": {t_cross_4:.4},\n    \
          \"promotions_4\": {t_promo_4}\n  }},\n  \
+         \"cache_policies\": {{\n    {cache_policies_json}\n  }},\n  \
          \"open_loop\": {{\n    {open_loop_json}\n  }},\n  \
          \"fault_resilience\": {{\n    {fault_json}\n  }},\n  \
          \"cache_latency\": {{\n    \

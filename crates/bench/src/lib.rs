@@ -11,9 +11,9 @@ use scm_device::{DeviceId, FaultPlan, FaultStats};
 use sdm_core::{Frontend, FrontendConfig, SdmConfig, SdmSystem, ServingHost};
 use sdm_metrics::units::Bytes;
 use sdm_metrics::{
-    BatchModeMeasurement, BatchModeReport, LatencyHistogram, LoadCurveReport, MultiStreamReport,
-    ResilienceMeasurement, ResilienceReport, SharedTierMeasurement, SharedTierReport, SimDuration,
-    SimInstant,
+    BatchModeMeasurement, BatchModeReport, CachePolicyMeasurement, CachePolicyReport,
+    LatencyHistogram, LoadCurveReport, MultiStreamReport, ResilienceMeasurement, ResilienceReport,
+    SharedTierMeasurement, SharedTierReport, SimDuration, SimInstant,
 };
 use workload::{
     ArrivalGenerator, ArrivalProcess, Query, QueryGenerator, RoutingPolicy, WorkloadConfig,
@@ -248,6 +248,83 @@ pub fn measure_shared_tier(
                 shared_misses: stats.shared_tier_misses - before.shared_tier_misses,
                 cross_shard_hits: stats.shared_tier_cross_hits - before.shared_tier_cross_hits,
                 promotions: stats.shared_tier_promotions - before.shared_tier_promotions,
+            });
+        }
+    }
+    report
+}
+
+/// Measures the admission-policy A/B on the *virtual* clock: for each
+/// shard count, one host per [`sdm_cache::TierAdmission`] policy (identical
+/// seeds and routing) serves the same skewed stream through a *capacity
+/// constrained* shared tier, and the third batch — private caches warmed,
+/// tier populated and churning — is recorded. Reported counters are the
+/// measured batch's deltas, not cumulative totals.
+///
+/// Unlike [`measure_shared_tier`], `tier_budget` here should be *smaller
+/// than the stream's hot row set*, so the tier's LRU actually evicts and
+/// the admission policy has something to decide: under always-admit every
+/// single-touch tail row displaces resident head rows, while the
+/// second-touch doorkeeper turns those promotions away (the
+/// `admission_denied` delta) and keeps the head resident.
+///
+/// # Panics
+///
+/// Panics when a host cannot be built, a batch fails, or the configured
+/// tier budget is zero — experiments treat these as fatal setup errors.
+pub fn measure_cache_policies(
+    model: &ModelConfig,
+    config: &SdmConfig,
+    queries: &[Query],
+    shard_counts: &[usize],
+    tier_budget: Bytes,
+) -> CachePolicyReport {
+    use sdm_cache::TierAdmission;
+    assert!(!tier_budget.is_zero(), "cache-policy lab needs a live tier");
+    let mut report = CachePolicyReport::new();
+    for &shards in shard_counts {
+        for (admission, policy) in [
+            (TierAdmission::Always, "always_admit"),
+            (TierAdmission::SecondTouch, "second_touch"),
+        ] {
+            let cfg = config
+                .clone()
+                .with_shared_tier(tier_budget)
+                .with_shared_tier_admission(admission);
+            let mut host = ServingHost::build(
+                model,
+                &cfg,
+                EXPERIMENT_SEED,
+                shards,
+                RoutingPolicy::UserSticky,
+            )
+            .expect("failed to build serving host");
+            // Two warmup batches settle the private LRU states and let the
+            // doorkeeper see every hot row at least twice; the constrained
+            // tier keeps evicting, so the measured batch still exercises
+            // admission on every promotion attempt.
+            host.run_batch(queries).expect("warmup batch failed");
+            host.run_batch(queries).expect("warmup batch failed");
+            let before = host.stats();
+            let denied_before = host
+                .shared_tier()
+                .expect("cache-policy lab host has a shared tier")
+                .admission_denied();
+            let run = host.run_batch(queries).expect("measured batch failed");
+            let stats = host.stats();
+            let denied_after = host
+                .shared_tier()
+                .expect("cache-policy lab host has a shared tier")
+                .admission_denied();
+            report.record(CachePolicyMeasurement {
+                shards,
+                policy,
+                queries: run.queries,
+                virtual_qps: run.virtual_qps,
+                shared_hits: stats.shared_tier_hits - before.shared_tier_hits,
+                shared_misses: stats.shared_tier_misses - before.shared_tier_misses,
+                promotions: stats.shared_tier_promotions - before.shared_tier_promotions,
+                admission_denied: denied_after - denied_before,
             });
         }
     }

@@ -10,6 +10,7 @@ use crate::config::ModelConfig;
 use crate::error::DlrmError;
 use embedding::kernels::{self, SelectedKernel};
 use embedding::{EmbeddingTable, PoolKernel, TableId};
+use sdm_cache::SlotPool;
 use sdm_metrics::{SimDuration, SimInstant};
 use std::collections::HashMap;
 
@@ -128,17 +129,9 @@ pub struct DramBackend {
     per_element_cost: SimDuration,
     /// Begun-but-unfinished split-phase lookups (DRAM has no asynchronous
     /// IO, so `lookup_begin` resolves eagerly and parks the result here).
-    pending: Vec<Option<(Vec<f32>, SimDuration)>>,
-    /// Per-slot generation, bumped when a slot's result is consumed and
-    /// packed into the ticket's high 32 bits, so a retained ticket whose
-    /// slot was re-acquired is rejected as stale instead of consuming the
-    /// new occupant's result.
-    generations: Vec<u32>,
-    /// Vacant `pending` slots, kept as a stack so `lookup_begin` acquires in
-    /// O(1) instead of scanning the window (the same free-list idiom as
-    /// `CpuOptimizedCache` / `SharedRowTier`). Invariant: `slot` is in this
-    /// list iff `pending[slot]` is `None`.
-    free_slots: Vec<usize>,
+    /// The pool's generation tickets reject retained tickets whose slot was
+    /// released or re-acquired — see [`sdm_cache::SlotPool`].
+    pending: SlotPool<(Vec<f32>, SimDuration)>,
 }
 
 impl DramBackend {
@@ -154,9 +147,7 @@ impl DramBackend {
             kernel: kernels::auto_kernel(),
             per_row_latency: SimDuration::from_nanos(150),
             per_element_cost: SimDuration::from_nanos(1),
-            pending: Vec::new(),
-            generations: Vec::new(),
-            free_slots: Vec::new(),
+            pending: SlotPool::new(),
         }
     }
 
@@ -167,9 +158,7 @@ impl DramBackend {
             kernel: kernels::auto_kernel(),
             per_row_latency: SimDuration::from_nanos(150),
             per_element_cost: SimDuration::from_nanos(1),
-            pending: Vec::new(),
-            generations: Vec::new(),
-            free_slots: Vec::new(),
+            pending: SlotPool::new(),
         }
     }
 
@@ -198,23 +187,11 @@ impl DramBackend {
 
     /// Discards every begun-but-unfinished split-phase lookup. Callers that
     /// abandon a pipeline mid-flight (an error between `lookup_begin` and
-    /// `lookup_finish`) use this so orphaned slots cannot accumulate.
+    /// `lookup_finish`) use this so orphaned slots cannot accumulate. The
+    /// pool bumps the generation of every abandoned slot, so the orphaned
+    /// tickets stay stale even after their slot is re-acquired.
     pub fn reset_pending(&mut self) {
-        // Abandon in place (rather than clearing the vectors) so slot
-        // indices and generations stay in sync; bumping the generation of
-        // every abandoned slot makes the orphaned tickets stale even after
-        // the slot is re-acquired.
-        for (slot, (entry, generation)) in self
-            .pending
-            .iter_mut()
-            .zip(&mut self.generations)
-            .enumerate()
-        {
-            if entry.take().is_some() {
-                *generation = generation.wrapping_add(1);
-                self.free_slots.push(slot);
-            }
-        }
+        self.pending.reset();
     }
 }
 
@@ -289,19 +266,10 @@ impl OverlappedBackend for DramBackend {
         // DRAM resolves synchronously: begin computes the pooled vector
         // eagerly, finish just hands it back. This keeps the baseline
         // backend usable under the overlapped executor for comparisons.
-        let pooled = self.pooled_lookup(table, indices, now)?;
-        // O(1) slot acquisition off the free list; grow only when every slot
-        // in the window is occupied.
-        let slot = self.free_slots.pop().unwrap_or_else(|| {
-            self.pending.push(None);
-            self.generations.push(0);
-            self.pending.len() - 1
-        });
-        debug_assert!(self.pending[slot].is_none(), "free slot {slot} occupied");
-        self.pending[slot] = Some(pooled);
-        Ok(LookupTicket(
-            (u64::from(self.generations[slot]) << 32) | slot as u64,
-        ))
+        let (pooled, took) = self.pooled_lookup(table, indices, now)?;
+        let slot = self.pending.acquire();
+        *self.pending.slot_mut(slot) = (pooled, took);
+        Ok(LookupTicket(self.pending.ticket(slot)))
     }
 
     fn lookup_finish(
@@ -309,31 +277,24 @@ impl OverlappedBackend for DramBackend {
         ticket: LookupTicket,
         out: &mut [f32],
     ) -> Result<SimDuration, DlrmError> {
-        let slot = (ticket.0 & u64::from(u32::MAX)) as usize;
-        let generation = (ticket.0 >> 32) as u32;
-        if self.generations.get(slot).copied() != Some(generation) {
-            return Err(DlrmError::StaleTicket { ticket: ticket.0 });
-        }
-        let entry = self
+        let slot = self
             .pending
-            .get_mut(slot)
-            .filter(|e| e.is_some())
+            .checked_slot(ticket.0)
             .ok_or(DlrmError::StaleTicket { ticket: ticket.0 })?;
-        // Validate before consuming, so a mis-sized buffer is retryable —
+        let (pooled, took) = self.pending.slot(slot);
+        // Validate before releasing, so a mis-sized buffer is retryable —
         // the same semantics as the SDM manager's finish half.
-        let pooled_len = entry.as_ref().map(|(p, _)| p.len()).unwrap_or(0);
-        if pooled_len != out.len() {
+        if pooled.len() != out.len() {
             return Err(DlrmError::DimensionMismatch {
                 expected: out.len(),
-                actual: pooled_len,
+                actual: pooled.len(),
             });
         }
-        let (pooled, took) = entry.take().expect("checked above");
-        // The consumed generation goes stale; the next begin of this slot
-        // issues a fresh one.
-        self.generations[slot] = self.generations[slot].wrapping_add(1);
-        self.free_slots.push(slot);
-        out.copy_from_slice(&pooled);
+        out.copy_from_slice(pooled);
+        let took = *took;
+        // Release stales the consumed ticket; the next begin of this slot
+        // issues a fresh generation.
+        self.pending.release(slot);
         Ok(took)
     }
 }
@@ -415,6 +376,7 @@ mod tests {
         let a = backend.lookup_begin(0, &[1], SimInstant::EPOCH).unwrap();
         let b = backend.lookup_begin(0, &[2], SimInstant::EPOCH).unwrap();
         assert_eq!(backend.pending.len(), 2);
+        assert_eq!(backend.pending.free_len(), 0);
         backend.lookup_finish(a, &mut out).unwrap();
         backend.lookup_finish(b, &mut out).unwrap();
         let c = backend.lookup_begin(0, &[3], SimInstant::EPOCH).unwrap();
@@ -443,8 +405,7 @@ mod tests {
         backend.lookup_finish(f, &mut out).unwrap();
 
         // Free-list invariant: every pending slot is vacant again.
-        assert!(backend.pending.iter().all(Option::is_none));
-        assert_eq!(backend.free_slots.len(), backend.pending.len());
+        assert!(backend.pending.all_free());
     }
 
     #[test]
@@ -458,13 +419,10 @@ mod tests {
             backend.lookup_finish(t, &mut short),
             Err(DlrmError::DimensionMismatch { .. })
         ));
-        assert!(
-            backend.free_slots.is_empty(),
-            "failed finish freed the slot"
-        );
+        assert_eq!(backend.pending.free_len(), 0, "failed finish freed the slot");
         let mut out = vec![0.0f32; dim];
         backend.lookup_finish(t, &mut out).unwrap();
-        assert_eq!(backend.free_slots.len(), 1);
+        assert_eq!(backend.pending.free_len(), 1);
     }
 
     #[test]

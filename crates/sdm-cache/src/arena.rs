@@ -4,32 +4,37 @@
 //! clones on hit — one allocation per insert and one per hit. The arena
 //! keeps all payloads of a cache in a single growable buffer and hands out
 //! `(start, len)` ranges instead. Hits borrow straight out of the buffer
-//! (zero copies, zero allocations); evicted ranges go onto per-size free
-//! lists and are reused by later inserts, so a cache in steady-state churn
-//! stops allocating entirely.
+//! (zero copies, zero allocations); evicted ranges go onto a free list and
+//! are reused by later inserts, so a cache in steady-state churn stops
+//! allocating entirely.
 //!
-//! Free lists are keyed by exact length. DLRM row payloads come in one
-//! fixed size per table (and pooled vectors in one size per table
-//! dimension), so the number of size classes is tiny and an eviction is
-//! almost always followed by an insert of the same class; the simple exact
-//! match is enough and avoids any best-fit search on the hot path.
+//! Free ranges are kept **address-ordered and eagerly coalesced**: freeing
+//! a range merges it with free neighbours, and allocation takes the
+//! *best fit* (smallest free range that is large enough), splitting off the
+//! remainder. This is what bounds resident memory under mixed-size churn —
+//! the earlier exact-size free lists could never serve one size class from
+//! another, so worst-case residency was `distinct sizes × budget`; with
+//! coalescing, freed payload space is fungible across size classes and the
+//! gap between [`SlabArena::len`] and [`SlabArena::live_len`] stays a small
+//! fragmentation slack instead. `CacheStats::{resident_bytes, live_bytes,
+//! retained_bytes}` expose that slack per cache.
 //!
-//! Trade-off: freed ranges of one size never serve another size and the
-//! buffer never shrinks, so worst-case resident memory is bounded by the
-//! *per-size* peak usage summed over the distinct sizes — up to
-//! `distinct sizes × budget` under adversarial mixed-size churn, while the
-//! cache's modelled `memory_used()` stays within budget. With DLRM's
-//! per-table fixed row sizes this slack is a few sizes at most; arena
-//! compaction for many-size workloads is a ROADMAP item.
+//! Steady-state uniform churn (DLRM's common case: one row size per table)
+//! still reuses ranges exactly: an eviction's range is the best fit for the
+//! insert that follows it. The maps are `O(log F)` in the number of free
+//! ranges, and `F` stays tiny once sizes mix-and-merge.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A growable slab of `T` handing out `(start, len)` ranges.
 #[derive(Debug, Default, Clone)]
 pub struct SlabArena<T> {
     buf: Vec<T>,
-    /// Freed ranges, keyed by exact length → list of start offsets.
-    free: HashMap<usize, Vec<usize>>,
+    /// Free ranges by start offset → length. Invariant: ranges are disjoint
+    /// and never adjacent (adjacent ranges are merged on free).
+    free_by_start: BTreeMap<usize, usize>,
+    /// The same ranges as `(len, start)`, for best-fit allocation.
+    free_by_size: BTreeSet<(usize, usize)>,
     /// Elements currently live (allocated and not yet freed).
     live: usize,
 }
@@ -39,31 +44,64 @@ impl<T: Copy + Default> SlabArena<T> {
     pub fn new() -> Self {
         SlabArena {
             buf: Vec::new(),
-            free: HashMap::new(),
+            free_by_start: BTreeMap::new(),
+            free_by_size: BTreeSet::new(),
             live: 0,
         }
     }
 
-    /// Copies `data` into the arena, reusing a freed range of the same
-    /// length when one exists, and returns the start offset.
+    fn take_free(&mut self, start: usize, len: usize) {
+        self.free_by_start.remove(&start);
+        self.free_by_size.remove(&(len, start));
+    }
+
+    fn put_free(&mut self, start: usize, len: usize) {
+        self.free_by_start.insert(start, len);
+        self.free_by_size.insert((len, start));
+    }
+
+    /// Copies `data` into the arena, reusing the best-fitting free range
+    /// when one exists (splitting off any remainder), and returns the start
+    /// offset. Only grows the buffer when no free range is large enough.
     pub fn alloc(&mut self, data: &[T]) -> usize {
         self.live += data.len();
-        if let Some(list) = self.free.get_mut(&data.len()) {
-            if let Some(start) = list.pop() {
-                self.buf[start..start + data.len()].copy_from_slice(data);
-                return start;
+        if let Some(&(flen, fstart)) = self.free_by_size.range((data.len(), 0)..).next() {
+            self.take_free(fstart, flen);
+            if flen > data.len() {
+                // The remainder cannot touch another free range: the range
+                // it was split from was maximal (free neighbours are merged
+                // eagerly), so re-inserting it needs no merge pass.
+                self.put_free(fstart + data.len(), flen - data.len());
             }
+            self.buf[fstart..fstart + data.len()].copy_from_slice(data);
+            return fstart;
         }
         let start = self.buf.len();
         self.buf.extend_from_slice(data);
         start
     }
 
-    /// Returns a range to the free list for reuse. The caller must not use
-    /// the range afterwards (ranges are plain offsets, not guarded).
+    /// Returns a range to the free list for reuse, merging it with any free
+    /// neighbour. The caller must not use the range afterwards (ranges are
+    /// plain offsets, not guarded).
     pub fn free(&mut self, start: usize, len: usize) {
         self.live = self.live.saturating_sub(len);
-        self.free.entry(len).or_default().push(start);
+        let mut start = start;
+        let mut len = len;
+        // Merge with the free predecessor that ends where this range starts.
+        if let Some((&ps, &pl)) = self.free_by_start.range(..start).next_back() {
+            if ps + pl == start {
+                self.take_free(ps, pl);
+                start = ps;
+                len += pl;
+            }
+        }
+        // Merge with the free successor that starts where this range ends.
+        if let Some(&nl) = self.free_by_start.get(&(start + len)) {
+            self.take_free(start + len, nl);
+            len += nl;
+        }
+        self.put_free(start, len);
     }
 
     /// Borrows a previously allocated range.
@@ -76,11 +114,12 @@ impl<T: Copy + Default> SlabArena<T> {
         self.buf[start..start + data.len()].copy_from_slice(data);
     }
 
-    /// Drops every allocation and free list. Buffer capacity is kept so a
+    /// Drops every allocation and free range. Buffer capacity is kept so a
     /// refill after `clear` does not re-allocate.
     pub fn clear(&mut self) {
         self.buf.clear();
-        self.free.clear();
+        self.free_by_start.clear();
+        self.free_by_size.clear();
         self.live = 0;
     }
 
@@ -90,10 +129,9 @@ impl<T: Copy + Default> SlabArena<T> {
     }
 
     /// Elements currently live (allocated and not yet freed). The gap
-    /// between [`SlabArena::len`] and this is the exact-size free-list
-    /// retention the ROADMAP's arena-compaction item describes: freed
-    /// ranges of one size never serve another size, so resident memory can
-    /// exceed live payload under mixed-size churn.
+    /// between [`SlabArena::len`] and this is free-list slack: with
+    /// coalescing it is bounded by fragmentation rather than by per-size
+    /// peak usage, and `CacheStats::retained_bytes` tracks it per cache.
     pub fn live_len(&self) -> usize {
         self.live
     }
@@ -130,12 +168,43 @@ mod tests {
     }
 
     #[test]
-    fn different_size_does_not_reuse() {
+    fn smaller_alloc_splits_a_larger_free_range() {
+        let mut a = SlabArena::new();
+        let x = a.alloc(&[0u8; 10]);
+        a.free(x, 10);
+        // A 6-element alloc takes the head of the freed 10-range...
+        let y = a.alloc(&[7u8; 6]);
+        assert_eq!(y, x);
+        assert_eq!(a.len(), 10, "split must not grow the buffer");
+        // ...and the 4-element remainder serves the next alloc.
+        let z = a.alloc(&[8u8; 4]);
+        assert_eq!(z, x + 6);
+        assert_eq!(a.len(), 10);
+    }
+
+    #[test]
+    fn adjacent_frees_coalesce_and_serve_larger_allocs() {
+        let mut a = SlabArena::new();
+        let x = a.alloc(&[1u8; 6]);
+        let y = a.alloc(&[2u8; 6]);
+        a.free(x, 6);
+        a.free(y, 6);
+        // Two adjacent 6-ranges merged into 12: a 10-element alloc fits
+        // without growing the buffer (impossible under exact-size lists).
+        let z = a.alloc(&[9u8; 10]);
+        assert_eq!(z, x);
+        assert_eq!(a.len(), 12, "coalesced range was not reused");
+    }
+
+    #[test]
+    fn too_small_free_ranges_do_not_serve_larger_allocs() {
         let mut a = SlabArena::new();
         let x = a.alloc(&[1u8, 2]);
+        let _hold = a.alloc(&[3u8; 4]); // keeps the freed range from merging with the tail
         a.free(x, 2);
         let y = a.alloc(&[1u8, 2, 3]);
-        assert_ne!(y, x);
+        assert_ne!(y, x, "a 2-range cannot serve a 3-alloc");
+        assert_eq!(a.len(), 9);
     }
 
     #[test]
@@ -147,8 +216,8 @@ mod tests {
         a.free(x, 3);
         assert_eq!(a.live_len(), 2);
         assert_eq!(a.len(), 5, "freed ranges stay resident");
-        // A different-size alloc cannot reuse the freed range: resident
-        // grows past live (the compaction gap the stats expose).
+        // A larger alloc cannot reuse the freed 3-range: resident grows
+        // past live (the fragmentation gap the stats expose).
         let z = a.alloc(&[9u8; 4]);
         assert_eq!(a.live_len(), 6);
         assert_eq!(a.len(), 9);
@@ -159,6 +228,33 @@ mod tests {
         a.clear();
         assert_eq!(a.live_len(), 0);
         assert_eq!(a.len(), 0);
+    }
+
+    #[test]
+    fn mixed_size_churn_residency_is_bounded() {
+        // Alternate two size classes through a bounded live set, the
+        // pattern that used to retain `distinct sizes × peak` bytes under
+        // exact-size free lists. With coalescing, the buffer stops growing
+        // once it covers one phase's working set plus fragmentation slack.
+        let mut a = SlabArena::new();
+        let mut live: Vec<(usize, usize)> = Vec::new();
+        for round in 0..64 {
+            let size = if round % 2 == 0 { 96 } else { 160 };
+            for _ in 0..16 {
+                while live.len() >= 16 {
+                    let (start, len) = live.remove(0);
+                    a.free(start, len);
+                }
+                live.push((a.alloc(&vec![round as u8; size]), size));
+            }
+        }
+        let peak_live = 16 * 160;
+        assert!(
+            a.len() <= peak_live * 3 / 2,
+            "resident {} exceeds 1.5x the peak live set {}",
+            a.len(),
+            peak_live
+        );
     }
 
     #[test]

@@ -3,6 +3,23 @@
 use crate::error::CacheError;
 use sdm_metrics::units::Bytes;
 
+/// Admission policy selection for the shared row tier
+/// ([`crate::SharedRowTier`]).
+///
+/// Maps onto the [`crate::AdmissionPolicy`] implementations: `Always` is
+/// bit-identical to the pre-policy tier; `SecondTouch` keeps single-touch
+/// tail rows from churning the stripes on skewed streams (see
+/// [`crate::SecondTouch`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TierAdmission {
+    /// Admit every promotion ([`crate::AlwaysAdmit`], the default).
+    #[default]
+    Always,
+    /// Admit a row only on its second touch within the doorkeeper window
+    /// ([`crate::SecondTouch`]).
+    SecondTouch,
+}
+
 /// Configuration for the fast-memory caches.
 ///
 /// Mirrors the tuning options the paper exposes at model-deployment time:
@@ -35,6 +52,9 @@ pub struct CacheConfig {
     pub shared_tier_budget: Bytes,
     /// Number of lock stripes in the shared tier.
     pub shared_tier_stripes: usize,
+    /// Admission policy of the shared tier (ignored while the tier is
+    /// disabled).
+    pub shared_tier_admission: TierAdmission,
 }
 
 impl Default for CacheConfig {
@@ -48,6 +68,7 @@ impl Default for CacheConfig {
             pooled_len_threshold: 4,
             shared_tier_budget: Bytes::ZERO,
             shared_tier_stripes: 8,
+            shared_tier_admission: TierAdmission::Always,
         }
     }
 }

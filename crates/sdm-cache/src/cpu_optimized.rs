@@ -7,66 +7,39 @@
 //! the relative metadata overhead is small and the CPU saving matters
 //! (Figure 6).
 //!
-//! The exact LRU order is an intrusive linked list over slot indices (see
-//! [`crate::lru`]) instead of the seed's `BTreeMap<stamp, key>`, and row
-//! payloads live in a [`SlabArena`]: a hit touches two flat vectors and
+//! The cache is a thin [`RowKey`]-typed wrapper over the shared
+//! [`ArenaLru`] engine core: one hash index, an intrusive LRU list and a
+//! [`crate::SlabArena`] payload slab, so a hit touches two flat vectors and
 //! returns a borrowed slice, performing no heap allocation.
 
-use crate::arena::SlabArena;
-use crate::lru::LruList;
+use crate::engine::ArenaLru;
 use crate::row_cache::{RowCache, RowKey};
 use crate::stats::CacheStats;
 use sdm_metrics::units::Bytes;
 use sdm_metrics::SimDuration;
-use std::collections::HashMap;
 
 /// Per-entry metadata overhead of the indexed engine (hash node, LRU links,
 /// slot record).
 pub const ENTRY_OVERHEAD: usize = 64;
 
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    key: RowKey,
-    start: usize,
-    len: usize,
-}
-
 /// Hash-indexed, exact-LRU row cache.
 #[derive(Debug)]
 pub struct CpuOptimizedCache {
-    map: HashMap<RowKey, usize>,
-    slots: Vec<Slot>,
-    free_slots: Vec<usize>,
-    lru: LruList,
-    arena: SlabArena<u8>,
-    budget: Bytes,
-    used: u64,
-    stats: CacheStats,
+    engine: ArenaLru<RowKey, (), u8>,
 }
 
 impl CpuOptimizedCache {
     /// Creates a cache with the given byte budget.
     pub fn new(budget: Bytes) -> Self {
         CpuOptimizedCache {
-            map: HashMap::new(),
-            slots: Vec::new(),
-            free_slots: Vec::new(),
-            lru: LruList::new(),
-            arena: SlabArena::new(),
-            budget,
-            used: 0,
-            stats: CacheStats::new(),
+            engine: ArenaLru::new(budget, ENTRY_OVERHEAD),
         }
-    }
-
-    fn entry_cost(value_len: usize) -> u64 {
-        (value_len + ENTRY_OVERHEAD) as u64
     }
 
     /// Records a miss observed by a routing layer that probed this engine
     /// without calling [`RowCache::get`] (see [`crate::DualRowCache`]).
     pub(crate) fn note_routed_miss(&mut self) {
-        self.stats.record_miss();
+        self.engine.note_routed_miss();
     }
 
     /// Side-effect-free probe: returns the cached bytes without touching
@@ -74,122 +47,33 @@ impl CpuOptimizedCache {
     /// the next row of a pooled scan while the current one is accumulated —
     /// a prefetch probe must not perturb eviction order or hit rates.
     pub fn peek(&self, key: &RowKey) -> Option<&[u8]> {
-        self.map.get(key).map(|&slot| {
-            let s = self.slots[slot];
-            self.arena.slice(s.start, s.len)
-        })
-    }
-
-    /// Refreshes the residency gauges from the arena after any mutation
-    /// that allocates or frees payload ranges.
-    fn note_residency(&mut self) {
-        self.stats.resident_bytes = self.arena.len() as u64;
-        self.stats.live_bytes = self.arena.live_len() as u64;
-    }
-
-    fn remove_slot(&mut self, slot: usize) -> Slot {
-        let s = self.slots[slot];
-        self.map.remove(&s.key);
-        self.lru.unlink(slot);
-        self.arena.free(s.start, s.len);
-        self.free_slots.push(slot);
-        self.used -= Self::entry_cost(s.len);
-        s
-    }
-
-    fn evict_one(&mut self) -> bool {
-        let Some(victim) = self.lru.lru() else {
-            return false;
-        };
-        self.remove_slot(victim);
-        self.stats.evictions += 1;
-        true
+        self.engine.peek(key)
     }
 }
 
 impl RowCache for CpuOptimizedCache {
     fn get(&mut self, key: &RowKey) -> Option<&[u8]> {
-        match self.map.get(key).copied() {
-            Some(slot) => {
-                self.lru.touch(slot);
-                self.stats.record_hit();
-                let s = self.slots[slot];
-                Some(self.arena.slice(s.start, s.len))
-            }
-            None => {
-                self.stats.record_miss();
-                None
-            }
-        }
+        self.engine.get(key).map(|(bytes, _)| bytes)
     }
 
     fn insert(&mut self, key: RowKey, value: &[u8]) {
-        let cost = Self::entry_cost(value.len());
-        if cost > self.budget.as_u64() {
-            self.stats.rejected += 1;
-            return;
-        }
-        // Replace in place when the payload length is unchanged (rows of
-        // one table never change size), so a same-size refresh touches no
-        // free list — usage is unchanged and no eviction can be needed.
-        if let Some(slot) = self.map.get(&key).copied() {
-            let s = self.slots[slot];
-            if s.len == value.len() {
-                self.arena.write(s.start, value);
-                self.lru.touch(slot);
-                self.stats.insertions += 1;
-                return;
-            }
-            // Remove the differently-sized entry so accounting stays exact.
-            self.remove_slot(slot);
-        }
-        while self.used + cost > self.budget.as_u64() {
-            if !self.evict_one() {
-                break;
-            }
-        }
-        if self.used + cost > self.budget.as_u64() {
-            self.stats.rejected += 1;
-            self.note_residency();
-            return;
-        }
-        self.used += cost;
-        self.stats.insertions += 1;
-        let start = self.arena.alloc(value);
-        let record = Slot {
-            key,
-            start,
-            len: value.len(),
-        };
-        let slot = match self.free_slots.pop() {
-            Some(slot) => {
-                self.slots[slot] = record;
-                slot
-            }
-            None => {
-                self.slots.push(record);
-                self.slots.len() - 1
-            }
-        };
-        self.lru.push_front(slot);
-        self.map.insert(key, slot);
-        self.note_residency();
+        self.engine.insert(key, value, ());
     }
 
     fn contains(&self, key: &RowKey) -> bool {
-        self.map.contains_key(key)
+        self.engine.contains(key)
     }
 
     fn len(&self) -> usize {
-        self.map.len()
+        self.engine.len()
     }
 
     fn memory_used(&self) -> Bytes {
-        Bytes(self.used)
+        self.engine.memory_used()
     }
 
     fn budget(&self) -> Bytes {
-        self.budget
+        self.engine.budget()
     }
 
     fn lookup_cost(&self) -> SimDuration {
@@ -197,17 +81,15 @@ impl RowCache for CpuOptimizedCache {
     }
 
     fn stats(&self) -> &CacheStats {
-        &self.stats
+        self.engine.stats()
+    }
+
+    fn peek(&self, key: &RowKey) -> Option<&[u8]> {
+        CpuOptimizedCache::peek(self, key)
     }
 
     fn clear(&mut self) {
-        self.map.clear();
-        self.slots.clear();
-        self.free_slots.clear();
-        self.lru.clear();
-        self.arena.clear();
-        self.used = 0;
-        self.note_residency();
+        self.engine.clear();
     }
 }
 
@@ -260,8 +142,12 @@ mod tests {
             c.insert(RowKey::new(0, i), &[0u8; 100]);
         }
         // ~6 entries fit; churn must recycle slots/ranges, not grow them.
-        assert!(c.slots.len() <= 8, "{} slots", c.slots.len());
-        assert!(c.arena.len() <= 8 * 100, "{} arena bytes", c.arena.len());
+        assert!(c.engine.slot_count() <= 8, "{} slots", c.engine.slot_count());
+        assert!(
+            c.engine.arena_len() <= 8 * 100,
+            "{} arena bytes",
+            c.engine.arena_len()
+        );
     }
 
     #[test]
@@ -287,16 +173,28 @@ mod tests {
         let mut c = CpuOptimizedCache::new(Bytes::from_kib(4));
         let k = RowKey::new(2, 2);
         c.insert(k, &[1u8; 64]);
-        let (arena_before, used_before) = (c.arena.len(), c.memory_used());
+        let (arena_before, used_before) = (c.engine.arena_len(), c.memory_used());
         c.insert(k, &[9u8; 64]);
         assert_eq!(
-            c.arena.len(),
+            c.engine.arena_len(),
             arena_before,
             "in-place overwrite must not grow the arena"
         );
         assert_eq!(c.memory_used(), used_before);
         assert_eq!(c.get(&k).unwrap(), &[9u8; 64]);
         assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn peek_has_no_side_effects() {
+        let mut c = CpuOptimizedCache::new(Bytes(330));
+        c.insert(RowKey::new(0, 1), &[1u8; 100]);
+        c.insert(RowKey::new(0, 2), &[2u8; 100]);
+        assert_eq!(c.peek(&RowKey::new(0, 1)).unwrap(), &[1u8; 100]);
+        let (hits, misses) = (c.stats().hits, c.stats().misses);
+        c.insert(RowKey::new(0, 3), &[3u8; 100]);
+        assert!(!c.contains(&RowKey::new(0, 1)), "peek refreshed recency");
+        assert_eq!((c.stats().hits, c.stats().misses), (hits, misses));
     }
 
     #[test]

@@ -87,8 +87,8 @@ impl DualRowCache {
 
     /// Payload bytes currently backing both engines' arenas (live plus
     /// retained free-list ranges). Compare against [`RowCache::memory_used`]
-    /// to observe the exact-size free-list over-retention the ROADMAP's
-    /// arena-compaction item describes.
+    /// to observe the arenas' fragmentation slack (bounded by the coalescing
+    /// free lists — see [`crate::SlabArena`]).
     pub fn resident_bytes(&self) -> Bytes {
         Bytes(self.small.stats().resident_bytes + self.large.stats().resident_bytes)
     }
@@ -157,6 +157,10 @@ impl RowCache for DualRowCache {
 
     fn stats(&self) -> &CacheStats {
         &self.merged_stats
+    }
+
+    fn peek(&self, key: &RowKey) -> Option<&[u8]> {
+        DualRowCache::peek(self, key)
     }
 
     fn clear(&mut self) {

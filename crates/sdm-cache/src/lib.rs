@@ -43,14 +43,17 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod arena;
 mod config;
 mod cpu_optimized;
 mod dual;
+mod engine;
 mod error;
 mod lru;
 mod memory_optimized;
+mod pool;
 mod pooled;
 mod row_cache;
 mod shared;
@@ -58,11 +61,13 @@ mod stats;
 mod warmup;
 
 pub use arena::SlabArena;
-pub use config::CacheConfig;
+pub use config::{CacheConfig, TierAdmission};
 pub use cpu_optimized::CpuOptimizedCache;
 pub use dual::DualRowCache;
+pub use engine::{AdmissionPolicy, AlwaysAdmit, ArenaLru, SecondTouch};
 pub use error::CacheError;
 pub use memory_optimized::MemoryOptimizedCache;
+pub use pool::SlotPool;
 pub use pooled::{PooledEmbeddingCache, PooledKey};
 pub use row_cache::{RowCache, RowKey};
 pub use shared::{SharedHit, SharedRowTier};

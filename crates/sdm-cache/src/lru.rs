@@ -12,12 +12,20 @@ const NIL: usize = usize::MAX;
 
 /// A doubly linked LRU list over external slot indices. Head is the most
 /// recently used entry, tail the least recently used.
-#[derive(Debug, Default, Clone)]
+#[derive(Debug, Clone)]
 pub(crate) struct LruList {
     prev: Vec<usize>,
     next: Vec<usize>,
     head: usize,
     tail: usize,
+}
+
+/// An empty list. Derived `Default` would zero `head`/`tail`, silently
+/// claiming slot 0 is linked — the sentinel must be [`NIL`].
+impl Default for LruList {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl LruList {

@@ -90,14 +90,9 @@ impl MemoryOptimizedCache {
 
     fn evict_lru_in_bucket(&mut self, bucket: usize) -> bool {
         let b = &mut self.buckets[bucket];
-        if b.is_empty() {
+        let Some((idx, _)) = b.iter().enumerate().min_by_key(|(_, e)| e.stamp) else {
             return false;
-        }
-        let (idx, _) = b
-            .iter()
-            .enumerate()
-            .min_by_key(|(_, e)| e.stamp)
-            .expect("bucket checked non-empty");
+        };
         let removed = b.swap_remove(idx);
         self.arena.free(removed.start, removed.len);
         self.used -= Self::entry_cost(removed.len);
@@ -257,6 +252,10 @@ impl RowCache for MemoryOptimizedCache {
         &self.stats
     }
 
+    fn peek(&self, key: &RowKey) -> Option<&[u8]> {
+        MemoryOptimizedCache::peek(self, key)
+    }
+
     fn clear(&mut self) {
         for b in &mut self.buckets {
             b.clear();
@@ -326,12 +325,13 @@ mod tests {
     }
 
     #[test]
-    fn mixed_size_churn_overshoots_budget_in_resident_bytes() {
-        // The exact-size free lists never serve another size, so alternating
-        // size classes under eviction churn leave freed ranges of the "other"
-        // size resident while `memory_used()` (the modelled budget) stays in
-        // bounds. This is the over-retention the ROADMAP's arena-compaction
-        // item describes; the residency stats make it measurable.
+    fn mixed_size_churn_residency_stays_bounded() {
+        // Alternating size classes under eviction churn used to retain up to
+        // `distinct sizes × budget` bytes of freed ranges, because the
+        // arena's exact-size free lists could never serve one size class
+        // from another. The coalescing free list merges adjacent freed
+        // ranges, so resident bytes must now stay within a small
+        // fragmentation factor of the budget rather than a multiple of it.
         let budget = Bytes(2048);
         let mut c = MemoryOptimizedCache::new(budget, 2);
         for round in 0..64u64 {
@@ -348,13 +348,12 @@ mod tests {
         );
         assert_eq!(s.live_bytes, c.arena.live_len() as u64);
         assert!(
-            s.resident_bytes > budget.as_u64(),
-            "mixed-size churn should leave resident bytes ({}) above the \
-             modelled budget ({}), exposing the free-list retention",
+            s.resident_bytes <= budget.as_u64() * 3 / 2,
+            "mixed-size churn retained {} resident bytes — more than 1.5x \
+             the {} budget; free ranges are not being coalesced",
             s.resident_bytes,
             budget.as_u64()
         );
-        assert!(s.retained_bytes() > 0);
         // Clearing releases the arena and the gauges follow.
         c.clear();
         assert_eq!(c.stats().resident_bytes, 0);

@@ -1,0 +1,219 @@
+//! One generation-tagged slot pool for every split-phase pipeline.
+//!
+//! Three hand-rolled pools used to coexist — the SDM manager's pending
+//! lookup slab, the shard's relaxed-batch scratch and the DRAM backend's
+//! begun-lookup slab (the last with an O(window) free-slot scan). They all
+//! wanted the same thing: a slab of reusable payloads, an O(1)
+//! acquire/release free list, and *stale-handle rejection* so a ticket
+//! retained across a slot's reuse can never consume the new occupant's
+//! result. [`SlotPool`] is that thing, once.
+//!
+//! # Ticket discipline
+//!
+//! Every slot carries a 32-bit generation. [`SlotPool::ticket`] packs
+//! `(generation << 32) | slot` into a `u64`; the generation is bumped when
+//! the slot is [released](SlotPool::release) (and when a
+//! [`reset`](SlotPool::reset) abandons a slot mid-flight), so:
+//!
+//! * a ticket for a **live** slot round-trips through
+//!   [`SlotPool::checked_slot`] until the slot is released;
+//! * a ticket retained **past release** goes stale the moment the slot
+//!   returns to the free list — even if the slot is never re-acquired;
+//! * callers that must keep a failed operation retryable (e.g. a mis-sized
+//!   output buffer) simply validate *before* releasing.
+//!
+//! Payloads are never dropped on release — they are recycled in place
+//! (capacity-reusing `Vec`s and friends survive), which is what keeps a
+//! warmed pipeline allocation-free.
+
+/// Per-slot bookkeeping: reuse generation and occupancy.
+#[derive(Debug, Default, Clone, Copy)]
+struct SlotMeta {
+    generation: u32,
+    in_use: bool,
+}
+
+/// A generation-tagged, free-list-backed slot pool.
+///
+/// `T` is the reusable per-slot payload. Slots are addressed by `usize` id
+/// while held, and by [ticket](SlotPool::ticket) across code that may
+/// outlive the slot's tenure.
+#[derive(Debug, Clone)]
+pub struct SlotPool<T> {
+    slots: Vec<T>,
+    meta: Vec<SlotMeta>,
+    free: Vec<usize>,
+}
+
+impl<T> Default for SlotPool<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SlotPool<T> {
+    /// An empty pool. Grows on demand, one slot per concurrently held id.
+    pub fn new() -> Self {
+        SlotPool {
+            slots: Vec::new(),
+            meta: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    /// Total slots ever grown (held + free).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the pool has never grown a slot.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Slots currently on the free list.
+    pub fn free_len(&self) -> usize {
+        self.free.len()
+    }
+
+    /// True when every grown slot is back on the free list.
+    pub fn all_free(&self) -> bool {
+        self.free.len() == self.slots.len()
+    }
+
+    /// Borrow of a held slot's payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never issued by this pool.
+    pub fn slot(&self, id: usize) -> &T {
+        &self.slots[id]
+    }
+
+    /// Mutable borrow of a held slot's payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never issued by this pool.
+    pub fn slot_mut(&mut self, id: usize) -> &mut T {
+        &mut self.slots[id]
+    }
+
+    /// The ticket naming slot `id` at its current generation (low 32 bits:
+    /// slot id; high 32 bits: generation).
+    pub fn ticket(&self, id: usize) -> u64 {
+        (u64::from(self.meta[id].generation) << 32) | id as u64
+    }
+
+    /// Resolves a ticket to its slot id, or `None` if the ticket is stale:
+    /// the slot was released (or abandoned by [`reset`](SlotPool::reset))
+    /// since the ticket was issued, or the id was never grown.
+    pub fn checked_slot(&self, ticket: u64) -> Option<usize> {
+        let id = (ticket & u64::from(u32::MAX)) as usize;
+        let generation = (ticket >> 32) as u32;
+        let meta = self.meta.get(id)?;
+        (meta.in_use && meta.generation == generation).then_some(id)
+    }
+
+    /// Releases a held slot back to the free list, staling every ticket
+    /// issued for this tenure. The payload is recycled in place, not
+    /// dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was never issued by this pool.
+    pub fn release(&mut self, id: usize) {
+        let meta = &mut self.meta[id];
+        debug_assert!(meta.in_use, "release of free slot {id}");
+        meta.in_use = false;
+        meta.generation = meta.generation.wrapping_add(1);
+        self.free.push(id);
+    }
+
+    /// Returns every slot to the free list (error recovery between
+    /// batches). Pop order is rebuilt ascending, so steady-state pipelines
+    /// acquire slots deterministically after a reset. Slots abandoned while
+    /// held get their generation bumped, so tickets orphaned by the reset
+    /// stay stale even after their slot is re-acquired.
+    pub fn reset(&mut self) {
+        self.free.clear();
+        for (i, meta) in self.meta.iter_mut().enumerate().rev() {
+            if meta.in_use {
+                meta.generation = meta.generation.wrapping_add(1);
+                meta.in_use = false;
+            }
+            self.free.push(i);
+        }
+    }
+}
+
+impl<T: Default> SlotPool<T> {
+    /// Acquires a slot: pops the free list, growing a defaulted payload
+    /// only when every slot is held. The payload keeps whatever state its
+    /// previous tenure left (callers re-initialise the fields they use —
+    /// that reuse is the point).
+    pub fn acquire(&mut self) -> usize {
+        let id = self.free.pop().unwrap_or_else(|| {
+            self.slots.push(T::default());
+            self.meta.push(SlotMeta::default());
+            self.slots.len() - 1
+        });
+        self.meta[id].in_use = true;
+        id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn acquire_grows_then_reuses() {
+        let mut pool: SlotPool<Vec<u8>> = SlotPool::new();
+        let a = pool.acquire();
+        let b = pool.acquire();
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(pool.len(), 2);
+        pool.release(a);
+        assert_eq!(pool.acquire(), a, "free slot not reused");
+        assert_eq!(pool.len(), 2);
+    }
+
+    #[test]
+    fn tickets_go_stale_on_release_and_reset() {
+        let mut pool: SlotPool<u32> = SlotPool::new();
+        let id = pool.acquire();
+        let ticket = pool.ticket(id);
+        assert_eq!(pool.checked_slot(ticket), Some(id));
+        pool.release(id);
+        assert_eq!(pool.checked_slot(ticket), None, "released ticket lived");
+        let id = pool.acquire();
+        let ticket = pool.ticket(id);
+        pool.reset();
+        let again = pool.acquire();
+        assert_eq!(again, id, "reset changed deterministic pop order");
+        assert_eq!(pool.checked_slot(ticket), None, "reset ticket lived");
+    }
+
+    #[test]
+    fn payloads_are_recycled_not_dropped() {
+        let mut pool: SlotPool<Vec<u8>> = SlotPool::new();
+        let id = pool.acquire();
+        pool.slot_mut(id).extend_from_slice(&[1, 2, 3]);
+        let capacity = pool.slot(id).capacity();
+        pool.release(id);
+        let id = pool.acquire();
+        assert_eq!(pool.slot(id).capacity(), capacity, "payload was dropped");
+    }
+
+    #[test]
+    fn reset_rebuilds_ascending_pop_order() {
+        let mut pool: SlotPool<u8> = SlotPool::new();
+        let ids: Vec<usize> = (0..4).map(|_| pool.acquire()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        pool.reset();
+        let ids: Vec<usize> = (0..4).map(|_| pool.acquire()).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        assert_eq!(pool.len(), 4);
+    }
+}

@@ -13,15 +13,14 @@
 //! short sequences are cheap to recompute and would pollute the cache
 //! (Table 4).
 //!
-//! Pooled vectors live in a [`SlabArena`] and the LRU order is an intrusive
-//! [`crate::lru::LruList`], so a hit returns a borrowed `&[f32]` and touches
-//! no allocator; inserts only copy when the entry is actually admitted.
+//! The cache is a thin wrapper over the shared [`ArenaLru`] engine core with
+//! `f32` payload elements and the sequence length as per-entry tag, so a hit
+//! returns a borrowed `&[f32]` and touches no allocator; inserts only copy
+//! when the entry is actually admitted.
 
-use crate::arena::SlabArena;
-use crate::lru::LruList;
+use crate::engine::ArenaLru;
 use crate::stats::CacheStats;
 use sdm_metrics::units::Bytes;
-use std::collections::HashMap;
 
 /// Order-invariant key of one pooled-embedding request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -72,47 +71,27 @@ impl PooledKey {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct PooledSlot {
-    key: PooledKey,
-    start: usize,
-    len: usize,
-    sequence_len: u32,
-}
+/// Metadata overhead per pooled entry (key, LRU links, allocation headers).
+const ENTRY_OVERHEAD: usize = 64;
 
 /// LRU cache of pooled embedding outputs, bounded by a byte budget.
 #[derive(Debug)]
 pub struct PooledEmbeddingCache {
-    map: HashMap<PooledKey, usize>,
-    slots: Vec<PooledSlot>,
-    free_slots: Vec<usize>,
-    lru: LruList,
-    data: SlabArena<f32>,
-    budget: Bytes,
-    used: u64,
+    /// Tag: the admitted sequence length, read back on hits to maintain the
+    /// "Hit Avg Len" statistic.
+    engine: ArenaLru<PooledKey, u32, f32>,
     len_threshold: usize,
-    stats: CacheStats,
     hit_len_total: u64,
     skipped_short: u64,
 }
-
-/// Metadata overhead per pooled entry (key, LRU links, allocation headers).
-const ENTRY_OVERHEAD: usize = 64;
 
 impl PooledEmbeddingCache {
     /// Creates a pooled-embedding cache with a byte budget and the minimum
     /// admissible sequence length (`LenThreshold`).
     pub fn new(budget: Bytes, len_threshold: usize) -> Self {
         PooledEmbeddingCache {
-            map: HashMap::new(),
-            slots: Vec::new(),
-            free_slots: Vec::new(),
-            lru: LruList::new(),
-            data: SlabArena::new(),
-            budget,
-            used: 0,
+            engine: ArenaLru::new(budget, ENTRY_OVERHEAD),
             len_threshold: len_threshold.max(1),
-            stats: CacheStats::new(),
             hit_len_total: 0,
             skipped_short: 0,
         }
@@ -128,27 +107,6 @@ impl PooledEmbeddingCache {
         len >= self.len_threshold
     }
 
-    fn entry_cost(vector_len: usize) -> u64 {
-        (vector_len * 4 + ENTRY_OVERHEAD) as u64
-    }
-
-    /// Refreshes the residency gauges from the arena (an `f32` arena, so
-    /// elements convert to bytes) after any mutation that allocates or
-    /// frees payload ranges.
-    fn note_residency(&mut self) {
-        self.stats.resident_bytes = (self.data.len() * 4) as u64;
-        self.stats.live_bytes = (self.data.live_len() * 4) as u64;
-    }
-
-    fn remove_slot(&mut self, slot: usize) {
-        let s = self.slots[slot];
-        self.map.remove(&s.key);
-        self.lru.unlink(slot);
-        self.data.free(s.start, s.len);
-        self.free_slots.push(slot);
-        self.used -= Self::entry_cost(s.len);
-    }
-
     /// Looks up the pooled output for a table + index sequence, returning a
     /// slice borrowed from the cache's arena.
     ///
@@ -161,19 +119,20 @@ impl PooledEmbeddingCache {
             return None;
         }
         let key = PooledKey::new(table, indices);
-        match self.map.get(&key).copied() {
-            Some(slot) => {
-                self.lru.touch(slot);
-                self.stats.record_hit();
-                let s = self.slots[slot];
-                self.hit_len_total += s.sequence_len as u64;
-                Some(self.data.slice(s.start, s.len))
-            }
-            None => {
-                self.stats.record_miss();
-                None
-            }
-        }
+        let sequence_len = match self.engine.get(&key) {
+            Some((_, &sequence_len)) => sequence_len,
+            None => return None,
+        };
+        self.hit_len_total += u64::from(sequence_len);
+        // Recency and hit accounting happened in `get`; re-borrow the
+        // payload side-effect-free now that the statistic is updated.
+        self.engine.peek(&key)
+    }
+
+    /// Side-effect-free probe: returns the pooled output without touching
+    /// the LRU order or any statistic (including `skipped_short`).
+    pub fn peek(&self, table: u32, indices: &[u64]) -> Option<&[f32]> {
+        self.engine.peek(&PooledKey::new(table, indices))
     }
 
     /// Inserts the pooled output for a table + index sequence. Ineligible
@@ -184,73 +143,32 @@ impl PooledEmbeddingCache {
             return;
         }
         let key = PooledKey::new(table, indices);
-        let cost = Self::entry_cost(vector.len());
-        if cost > self.budget.as_u64() {
-            self.stats.rejected += 1;
-            return;
-        }
-        if let Some(slot) = self.map.get(&key).copied() {
-            self.remove_slot(slot);
-        }
-        while self.used + cost > self.budget.as_u64() {
-            let Some(victim) = self.lru.lru() else {
-                break;
-            };
-            self.remove_slot(victim);
-            self.stats.evictions += 1;
-        }
-        if self.used + cost > self.budget.as_u64() {
-            self.stats.rejected += 1;
-            self.note_residency();
-            return;
-        }
-        self.used += cost;
-        self.stats.insertions += 1;
-        let start = self.data.alloc(vector);
-        let record = PooledSlot {
-            key,
-            start,
-            len: vector.len(),
-            sequence_len: indices.len() as u32,
-        };
-        let slot = match self.free_slots.pop() {
-            Some(slot) => {
-                self.slots[slot] = record;
-                slot
-            }
-            None => {
-                self.slots.push(record);
-                self.slots.len() - 1
-            }
-        };
-        self.lru.push_front(slot);
-        self.map.insert(key, slot);
-        self.note_residency();
+        self.engine.insert(key, vector, indices.len() as u32);
     }
 
     /// Number of cached pooled vectors.
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.engine.len()
     }
 
     /// True when nothing is cached.
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.engine.is_empty()
     }
 
     /// Bytes consumed.
     pub fn memory_used(&self) -> Bytes {
-        Bytes(self.used)
+        self.engine.memory_used()
     }
 
     /// Configured budget.
     pub fn budget(&self) -> Bytes {
-        self.budget
+        self.engine.budget()
     }
 
     /// Cache statistics (hits/misses count only eligible sequences).
     pub fn stats(&self) -> &CacheStats {
-        &self.stats
+        self.engine.stats()
     }
 
     /// Number of lookups skipped because the sequence was below the
@@ -262,22 +180,16 @@ impl PooledEmbeddingCache {
     /// Average index-sequence length of hits ("Hit Avg Len" in paper
     /// Table 4); zero before the first hit.
     pub fn average_hit_length(&self) -> f64 {
-        if self.stats.hits == 0 {
+        if self.engine.stats().hits == 0 {
             0.0
         } else {
-            self.hit_len_total as f64 / self.stats.hits as f64
+            self.hit_len_total as f64 / self.engine.stats().hits as f64
         }
     }
 
     /// Drops all cached vectors (statistics are kept).
     pub fn clear(&mut self) {
-        self.map.clear();
-        self.slots.clear();
-        self.free_slots.clear();
-        self.lru.clear();
-        self.data.clear();
-        self.used = 0;
-        self.note_residency();
+        self.engine.clear();
     }
 }
 
@@ -342,7 +254,11 @@ mod tests {
         assert!(c.memory_used() <= c.budget());
         assert!(c.stats().evictions >= 6);
         // Churn at one vector size must recycle arena ranges, not grow them.
-        assert!(c.data.len() <= 5 * 16, "{} arena floats", c.data.len());
+        assert!(
+            c.engine.arena_len() <= 5 * 16,
+            "{} arena floats",
+            c.engine.arena_len()
+        );
     }
 
     #[test]
@@ -351,6 +267,17 @@ mod tests {
         c.insert(0, &[1, 2], &[0.0f32; 1000]);
         assert!(c.is_empty());
         assert_eq!(c.stats().rejected, 1);
+    }
+
+    #[test]
+    fn peek_has_no_side_effects() {
+        let mut c = PooledEmbeddingCache::new(Bytes::from_kib(4), 2);
+        assert!(c.peek(0, &[1]).is_none(), "ineligible peek must be None");
+        assert_eq!(c.skipped_short(), 0, "peek must not count skips");
+        c.insert(0, &[4, 5, 6], &[1.0; 4]);
+        assert_eq!(c.peek(0, &[6, 5, 4]).unwrap(), &[1.0f32; 4]);
+        assert_eq!(c.stats().lookups(), 0, "peek must not count hits/misses");
+        assert!((c.average_hit_length() - 0.0).abs() < 1e-12);
     }
 
     #[test]

@@ -10,12 +10,11 @@
 //! earlier SM read.
 //!
 //! [`SharedRowTier`] recovers the reuse without a global lock: keys hash to
-//! one of K independent stripes, each its own mutex-guarded arena-backed
-//! exact-LRU cache ([`crate::SlabArena`] payloads + [`crate::lru::LruList`]
-//! recency, the same machinery as the private engines). All operations take
-//! `&self`, so shards on `std::thread::scope` workers share one tier
-//! through an `Arc` — the tier is `Send + Sync` by construction (asserted
-//! by the `send_assertions` suite).
+//! one of K independent stripes, each a mutex-guarded [`ArenaLru`] — the
+//! same engine core as the private caches, tagged with the promoting shard.
+//! All operations take `&self`, so shards on `std::thread::scope` workers
+//! share one tier through an `Arc` — the tier is `Send + Sync` by
+//! construction (asserted by the `send_assertions` suite).
 //!
 //! Lookups hand the row bytes to a caller closure *under the stripe lock*
 //! ([`SharedRowTier::lookup_with`]): the serving loop dequant-accumulates
@@ -27,18 +26,30 @@
 //! Every entry records the shard that promoted it, which is what makes the
 //! tier's effect measurable: a hit whose origin differs from the probing
 //! shard is a *cross-shard* hit — one SM read amortised across streams.
+//!
+//! Promotion into the tier goes through a pluggable
+//! [`crate::AdmissionPolicy`] per stripe: [`crate::AlwaysAdmit`] by default
+//! (bit-identical to an unconditioned tier), or promote-on-second-touch
+//! ([`crate::SecondTouch`]) to keep the single-touch tail of a power-law
+//! stream from churning rows that earned their residency.
 
-use crate::arena::SlabArena;
-use crate::lru::LruList;
+use crate::config::TierAdmission;
+use crate::engine::{AdmissionPolicy, AlwaysAdmit, ArenaLru, SecondTouch};
 use crate::row_cache::RowKey;
 use crate::stats::CacheStats;
 use sdm_metrics::units::{split_share, Bytes};
 use sdm_metrics::SimDuration;
-use std::sync::Mutex;
+use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Metadata overhead per shared-tier entry (hash node, LRU links, slot
 /// record, origin tag).
 pub const ENTRY_OVERHEAD: usize = 64;
+
+/// Doorkeeper capacity per stripe for [`TierAdmission::SecondTouch`]:
+/// enough to remember a few thousand distinct recent rows per stripe, far
+/// more than a stripe holds, so warm keys are still remembered when they
+/// return.
+const SECOND_TOUCH_CAPACITY: usize = 4096;
 
 /// Outcome of a shared-tier hit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -48,116 +59,29 @@ pub struct SharedHit {
     pub cross_shard: bool,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Slot {
-    key: RowKey,
-    start: usize,
-    len: usize,
-    /// Shard that promoted this row.
-    origin: u32,
-}
-
-/// One lock-striped partition: an arena-backed exact-LRU row cache, the
-/// same shape as [`crate::CpuOptimizedCache`] plus the per-entry origin
-/// tag. DRAM per-entry overhead is paid once per *host* here rather than
-/// once per shard, so the CPU-optimized organisation is the right one.
-#[derive(Debug, Default)]
+/// One lock-striped partition: the shared [`ArenaLru`] engine core tagged
+/// with the promoting shard, plus the stripe's admission policy. DRAM
+/// per-entry overhead is paid once per *host* here rather than once per
+/// shard, so the indexed (CPU-optimized) organisation is the right one.
+#[derive(Debug)]
 struct Stripe {
-    map: std::collections::HashMap<RowKey, usize>,
-    slots: Vec<Slot>,
-    free_slots: Vec<usize>,
-    lru: LruList,
-    arena: SlabArena<u8>,
-    budget: u64,
-    used: u64,
-    stats: CacheStats,
+    engine: ArenaLru<RowKey, u32, u8>,
+    admission: Box<dyn AdmissionPolicy>,
+    /// Promotions the admission policy turned away (not part of
+    /// [`CacheStats`] — a denial is a policy decision, not cache pressure).
+    denied: u64,
 }
 
 impl Stripe {
-    fn entry_cost(value_len: usize) -> u64 {
-        (value_len + ENTRY_OVERHEAD) as u64
-    }
-
-    fn note_residency(&mut self) {
-        self.stats.resident_bytes = self.arena.len() as u64;
-        self.stats.live_bytes = self.arena.live_len() as u64;
-    }
-
-    fn remove_slot(&mut self, slot: usize) {
-        let s = self.slots[slot];
-        self.map.remove(&s.key);
-        self.lru.unlink(slot);
-        self.arena.free(s.start, s.len);
-        self.free_slots.push(slot);
-        self.used -= Self::entry_cost(s.len);
-    }
-
     fn insert(&mut self, key: RowKey, value: &[u8], origin: u32) -> bool {
-        let cost = Self::entry_cost(value.len());
-        if cost > self.budget {
-            self.stats.rejected += 1;
+        // Admission applies to *new* residents only: refreshing a row that
+        // already earned its slot is always allowed (denying it would throw
+        // away residency the tier already paid an SM read for).
+        if !self.engine.contains(&key) && !self.admission.admit(key.mix()) {
+            self.denied += 1;
             return false;
         }
-        // Replace in place when the payload length is unchanged (the
-        // overwhelmingly common case — rows of one table never change
-        // size), so steady-state re-promotion touches no allocator. Counts
-        // as an insertion, matching `CpuOptimizedCache`'s in-place path.
-        if let Some(slot) = self.map.get(&key).copied() {
-            let s = self.slots[slot];
-            if s.len == value.len() {
-                self.arena.write(s.start, value);
-                self.slots[slot].origin = origin;
-                self.lru.touch(slot);
-                self.stats.insertions += 1;
-                return true;
-            }
-            self.remove_slot(slot);
-        }
-        while self.used + cost > self.budget {
-            let Some(victim) = self.lru.lru() else {
-                break;
-            };
-            self.remove_slot(victim);
-            self.stats.evictions += 1;
-        }
-        if self.used + cost > self.budget {
-            self.stats.rejected += 1;
-            self.note_residency();
-            return false;
-        }
-        self.used += cost;
-        self.stats.insertions += 1;
-        let start = self.arena.alloc(value);
-        let record = Slot {
-            key,
-            start,
-            len: value.len(),
-            origin,
-        };
-        let slot = match self.free_slots.pop() {
-            Some(slot) => {
-                self.slots[slot] = record;
-                slot
-            }
-            None => {
-                self.slots.push(record);
-                self.slots.len() - 1
-            }
-        };
-        self.lru.push_front(slot);
-        self.map.insert(key, slot);
-        self.note_residency();
-        true
-    }
-
-    fn clear(&mut self) {
-        self.map.clear();
-        self.slots.clear();
-        self.free_slots.clear();
-        self.lru.clear();
-        self.arena.clear();
-        self.used = 0;
-        self.note_residency();
+        self.engine.insert(key, value, origin)
     }
 }
 
@@ -167,23 +91,59 @@ impl Stripe {
 pub struct SharedRowTier {
     stripes: Vec<Mutex<Stripe>>,
     budget: Bytes,
+    admission: TierAdmission,
+}
+
+/// Recovers the guard from a poisoned stripe lock. A stripe can only be
+/// poisoned by a panic in caller code running under [`lookup_with`]'s
+/// closure — the engine itself completes every mutation before handing
+/// bytes out — so the stripe data is still consistent and serving can
+/// continue.
+///
+/// [`lookup_with`]: SharedRowTier::lookup_with
+fn stripe_lock<'a, T>(
+    result: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
+) -> MutexGuard<'a, T> {
+    result.unwrap_or_else(PoisonError::into_inner)
 }
 
 impl SharedRowTier {
     /// Builds a tier of `stripes` lock-striped partitions sharing `budget`
-    /// bytes. The budget is split losslessly across stripes (remainder
-    /// bytes go to the first stripes); a zero stripe count clamps to one.
+    /// bytes, with the default [`TierAdmission::Always`] policy — see
+    /// [`SharedRowTier::with_admission`].
     pub fn new(budget: Bytes, stripes: usize) -> Self {
+        Self::with_admission(budget, stripes, TierAdmission::Always)
+    }
+
+    /// Builds a tier of `stripes` lock-striped partitions sharing `budget`
+    /// bytes under the given admission policy. The budget is split
+    /// losslessly across stripes (remainder bytes go to the first stripes);
+    /// a zero stripe count clamps to one.
+    pub fn with_admission(budget: Bytes, stripes: usize, admission: TierAdmission) -> Self {
         let n = stripes.max(1);
         let stripes = (0..n)
             .map(|i| {
+                let policy: Box<dyn AdmissionPolicy> = match admission {
+                    TierAdmission::Always => Box::new(AlwaysAdmit),
+                    TierAdmission::SecondTouch => {
+                        Box::new(SecondTouch::new(SECOND_TOUCH_CAPACITY))
+                    }
+                };
                 Mutex::new(Stripe {
-                    budget: split_share(budget.as_u64(), n as u64, i as u64),
-                    ..Stripe::default()
+                    engine: ArenaLru::new(
+                        Bytes(split_share(budget.as_u64(), n as u64, i as u64)),
+                        ENTRY_OVERHEAD,
+                    ),
+                    admission: policy,
+                    denied: 0,
                 })
             })
             .collect();
-        SharedRowTier { stripes, budget }
+        SharedRowTier {
+            stripes,
+            budget,
+            admission,
+        }
     }
 
     /// Number of lock stripes.
@@ -194,6 +154,11 @@ impl SharedRowTier {
     /// Configured byte budget across all stripes.
     pub fn budget(&self) -> Bytes {
         self.budget
+    }
+
+    /// The configured admission policy.
+    pub fn admission(&self) -> TierAdmission {
+        self.admission
     }
 
     /// Host CPU time of one tier probe (hash, stripe lock, index lookup).
@@ -222,53 +187,54 @@ impl SharedRowTier {
         source: u32,
         f: F,
     ) -> Option<SharedHit> {
-        let mut stripe = self
-            .stripe_of(key)
-            .lock()
-            .expect("shared-tier stripe poisoned");
-        match stripe.map.get(key).copied() {
-            Some(slot) => {
-                stripe.lru.touch(slot);
-                stripe.stats.record_hit();
-                let s = stripe.slots[slot];
-                f(stripe.arena.slice(s.start, s.len));
+        let mut stripe = stripe_lock(self.stripe_of(key).lock());
+        match stripe.engine.get(key) {
+            Some((bytes, &origin)) => {
+                f(bytes);
                 Some(SharedHit {
-                    cross_shard: s.origin != source,
+                    cross_shard: origin != source,
                 })
             }
-            None => {
-                stripe.stats.record_miss();
-                None
+            None => None,
+        }
+    }
+
+    /// Side-effect-free probe: hands the row bytes to `f` under the stripe
+    /// lock without touching the LRU order or any statistic. Returns whether
+    /// the row was resident. The closure must not call back into the same
+    /// tier.
+    pub fn peek_with<F: FnOnce(&[u8])>(&self, key: &RowKey, f: F) -> bool {
+        let stripe = stripe_lock(self.stripe_of(key).lock());
+        match stripe.engine.peek(key) {
+            Some(bytes) => {
+                f(bytes);
+                true
             }
+            None => false,
         }
     }
 
     /// Promotes a row read from SM into the tier, tagged with the shard
-    /// that read it. Returns true when the row was admitted (false when a
-    /// single entry exceeds the stripe budget). Called at IO completion
-    /// only, so no stripe lock is ever held across an SM read.
+    /// that read it. Returns true when the row was admitted (false when the
+    /// admission policy turns it away, or a single entry exceeds the stripe
+    /// budget). Called at IO completion only, so no stripe lock is ever
+    /// held across an SM read.
     pub fn insert(&self, key: RowKey, value: &[u8], source: u32) -> bool {
-        let mut stripe = self
-            .stripe_of(&key)
-            .lock()
-            .expect("shared-tier stripe poisoned");
+        let mut stripe = stripe_lock(self.stripe_of(&key).lock());
         stripe.insert(key, value, source)
     }
 
     /// Returns true when the key is resident (without touching recency).
     pub fn contains(&self, key: &RowKey) -> bool {
-        let stripe = self
-            .stripe_of(key)
-            .lock()
-            .expect("shared-tier stripe poisoned");
-        stripe.map.contains_key(key)
+        let stripe = stripe_lock(self.stripe_of(key).lock());
+        stripe.engine.contains(key)
     }
 
     /// Number of resident rows across all stripes.
     pub fn len(&self) -> usize {
         self.stripes
             .iter()
-            .map(|s| s.lock().expect("shared-tier stripe poisoned").map.len())
+            .map(|s| stripe_lock(s.lock()).engine.len())
             .sum()
     }
 
@@ -283,7 +249,7 @@ impl SharedRowTier {
         Bytes(
             self.stripes
                 .iter()
-                .map(|s| s.lock().expect("shared-tier stripe poisoned").used)
+                .map(|s| stripe_lock(s.lock()).engine.memory_used().as_u64())
                 .sum(),
         )
     }
@@ -293,16 +259,29 @@ impl SharedRowTier {
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::new();
         for s in &self.stripes {
-            total.merge(&s.lock().expect("shared-tier stripe poisoned").stats);
+            total.merge(stripe_lock(s.lock()).engine.stats());
         }
         total
     }
 
-    /// Drops every resident row in every stripe (statistics are kept).
-    /// Model updates call this once, host-wide.
+    /// Promotions turned away by the admission policy across all stripes
+    /// (always zero under [`TierAdmission::Always`]).
+    pub fn admission_denied(&self) -> u64 {
+        self.stripes
+            .iter()
+            .map(|s| stripe_lock(s.lock()).denied)
+            .sum()
+    }
+
+    /// Drops every resident row in every stripe and forgets the admission
+    /// policies' recorded touches (statistics are kept). Model updates call
+    /// this once, host-wide — stale doorkeeper state must not carry first
+    /// touches across a row-content change.
     pub fn clear(&self) {
         for s in &self.stripes {
-            s.lock().expect("shared-tier stripe poisoned").clear();
+            let mut stripe = stripe_lock(s.lock());
+            stripe.engine.clear();
+            stripe.admission.reset();
         }
     }
 }
@@ -337,13 +316,19 @@ mod tests {
         assert_eq!(t.len(), 1);
         assert!(t.contains(&key));
         assert!(t.memory_used() > Bytes::ZERO);
+        assert_eq!(t.admission(), TierAdmission::Always);
+        assert_eq!(t.admission_denied(), 0);
     }
 
     #[test]
     fn stripe_budgets_split_losslessly_and_evict_lru() {
         // 1000 bytes over 3 stripes: 334 + 333 + 333.
         let t = tier(Bytes(1000), 3);
-        let per_stripe: u64 = t.stripes.iter().map(|s| s.lock().unwrap().budget).sum();
+        let per_stripe: u64 = t
+            .stripes
+            .iter()
+            .map(|s| s.lock().unwrap().engine.budget().as_u64())
+            .sum();
         assert_eq!(per_stripe, 1000);
         // Fill well past the budget; usage stays bounded and evictions run.
         for i in 0..64u64 {
@@ -374,6 +359,77 @@ mod tests {
         assert_eq!(t.stats().resident_bytes, resident);
         let hit = t.lookup_with(&key, 0, |bytes| assert_eq!(bytes, &[2u8; 64]));
         assert_eq!(hit, Some(SharedHit { cross_shard: true }));
+    }
+
+    #[test]
+    fn peek_with_has_no_side_effects() {
+        // Stripe budget fits exactly two 100-byte rows.
+        let t = tier(Bytes(330), 1);
+        let (a, b, c) = (RowKey::new(0, 1), RowKey::new(0, 2), RowKey::new(0, 3));
+        t.insert(a, &[1u8; 100], 0);
+        t.insert(b, &[2u8; 100], 0);
+        // Peeking the LRU row must not rescue it from eviction...
+        let mut seen = 0usize;
+        assert!(t.peek_with(&a, |bytes| seen = bytes.len()));
+        assert_eq!(seen, 100);
+        let before = t.stats();
+        t.insert(c, &[3u8; 100], 0);
+        assert!(!t.contains(&a), "peek refreshed recency");
+        // ...and must not have moved the hit/miss counters.
+        let after = t.stats();
+        assert_eq!((before.hits, before.misses), (after.hits, after.misses));
+        assert!(!t.peek_with(&RowKey::new(9, 9), |_| {}));
+    }
+
+    #[test]
+    fn second_touch_admits_only_repeated_rows() {
+        let t = SharedRowTier::with_admission(Bytes::from_kib(64), 2, TierAdmission::SecondTouch);
+        assert_eq!(t.admission(), TierAdmission::SecondTouch);
+        let key = RowKey::new(4, 11);
+        assert!(!t.insert(key, &[5u8; 64], 0), "first touch must be denied");
+        assert!(!t.contains(&key));
+        assert_eq!(t.admission_denied(), 1);
+        assert!(t.insert(key, &[5u8; 64], 0), "second touch must be admitted");
+        assert!(t.contains(&key));
+        // Resident refresh is always allowed — no doorkeeper round-trip.
+        assert!(t.insert(key, &[6u8; 64], 1));
+        assert_eq!(t.admission_denied(), 1);
+        // clear() resets the doorkeeper: the key is a first touch again.
+        t.clear();
+        assert!(!t.insert(key, &[5u8; 64], 0));
+        assert_eq!(t.admission_denied(), 2);
+    }
+
+    #[test]
+    fn mixed_size_churn_never_serves_wrong_row() {
+        // Regression: `Stripe` used to build its `LruList` via the derived
+        // `Default`, whose zeroed head/tail claimed slot 0 was already
+        // linked — the first insert then created a self-cycle and eviction
+        // churn aliased map entries onto freed slots, so lookups handed
+        // back a *different key's* bytes. Uniform-row tests never caught
+        // it; a capacity-constrained mixed-size churn does within a few
+        // hundred operations.
+        let t = tier(Bytes::from_kib(32), 1);
+        let sizes = [90usize, 104, 113, 145, 151, 172];
+        let len_for = |key: &RowKey| sizes[(key.mix() % sizes.len() as u64) as usize];
+        let mut rng = 0x5d_2022u64;
+        for i in 0..50_000u64 {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            let key = RowKey::new((rng % 7) as u32, (rng >> 8) % 400);
+            let len = len_for(&key);
+            if rng % 3 == 0 {
+                t.insert(key, &vec![(rng & 0xff) as u8; len], (rng % 2) as u32);
+            } else {
+                let mut got = None;
+                t.lookup_with(&key, 0, |bytes| got = Some(bytes.len()));
+                if let Some(got) = got {
+                    assert_eq!(got, len, "op {i}: {key:?} returned another row's bytes");
+                }
+            }
+        }
+        assert!(t.stats().evictions > 0, "churn never evicted — test is inert");
     }
 
     #[test]

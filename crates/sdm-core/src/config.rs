@@ -186,6 +186,18 @@ impl SdmConfig {
         self
     }
 
+    /// Selects the shared tier's admission policy (see
+    /// [`sdm_cache::TierAdmission`]). The default,
+    /// [`sdm_cache::TierAdmission::Always`], admits every promotion and is
+    /// bit-identical to previous revisions;
+    /// [`sdm_cache::TierAdmission::SecondTouch`] requires a row to be
+    /// promoted twice before it displaces residents, which protects a
+    /// capacity-constrained tier from single-use pollution.
+    pub fn with_shared_tier_admission(mut self, admission: sdm_cache::TierAdmission) -> Self {
+        self.cache.shared_tier_admission = admission;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Errors

@@ -11,7 +11,7 @@ use embedding::{QuantScheme, TableId};
 use io_engine::{IoEngine, IoError, IoRequest};
 use scm_device::{DeviceId, ReadCommand};
 use sdm_cache::{
-    DualRowCache, PooledEmbeddingCache, RowCache, RowKey, SharedRowTier, WarmupTracker,
+    DualRowCache, PooledEmbeddingCache, RowCache, RowKey, SharedRowTier, SlotPool, WarmupTracker,
 };
 use sdm_metrics::units::Bytes;
 use sdm_metrics::{SimDuration, SimInstant};
@@ -109,12 +109,6 @@ enum PendingKind {
 /// and the index copy allows the deferred pooled-cache insert at finish.
 #[derive(Debug, Default)]
 struct PendingLookup {
-    in_use: bool,
-    /// Bumped every time the slot is released, and packed into the issued
-    /// [`LookupTicket`]: a retained ticket whose slot was re-acquired by a
-    /// later begin carries a stale generation and is rejected instead of
-    /// silently consuming the new occupant's result.
-    generation: u32,
     kind: PendingKind,
     table: TableId,
     quant: QuantScheme,
@@ -132,49 +126,46 @@ struct PendingLookup {
     submitted_at: SimInstant,
 }
 
-/// Slab of [`PendingLookup`]s plus its free list; both reuse capacity, so a
-/// warmed relaxed pipeline acquires and releases slots without allocating.
-#[derive(Debug, Default)]
-struct PendingOps {
-    slots: Vec<PendingLookup>,
-    free: Vec<usize>,
+/// Outcome of the shared SM scan core
+/// ([`SdmMemoryManager::sm_lookup_core`]).
+struct SmScan {
+    /// Mapping + cache-probe + shared-tier latency accrued by the scan.
+    latency: SimDuration,
+    /// Rows accumulated into the output (hits plus drained completions).
+    pooled_rows: usize,
+    /// Time the op's SM reads spent in flight (zero without misses).
+    io_time: SimDuration,
 }
 
-impl PendingOps {
-    fn acquire(&mut self) -> usize {
-        self.free.pop().unwrap_or_else(|| {
-            self.slots.push(PendingLookup::default());
-            self.slots.len() - 1
-        })
+/// Tail shared by the exact SM path and the split-phase finish: accounts
+/// the dequantise+pool cost, feeds the pooled-embedding cache with the
+/// final vector, and records the op's total latency. `pre_pool_latency`
+/// is everything accrued before pooling (probe + scan + IO wait).
+fn finish_sm_op(
+    config: &SdmConfig,
+    pooled_cache: &mut PooledEmbeddingCache,
+    stats: &mut SdmStats,
+    table: TableId,
+    indices: &[u64],
+    quant: QuantScheme,
+    pooled_rows: usize,
+    pre_pool_latency: SimDuration,
+    out: &[f32],
+) -> SimDuration {
+    let per_element = if quant == QuantScheme::Fp32 {
+        POOL_ONLY_COST_PER_ELEMENT
+    } else {
+        DEQUANT_POOL_COST_PER_ELEMENT
+    };
+    let pool_time =
+        per_element * (pooled_rows * out.len()) as u64 + SimDuration::from_nanos(100);
+    stats.pooling_time += pool_time;
+    if !config.cache.pooled_cache_budget.is_zero() {
+        pooled_cache.insert(table, indices, out);
     }
-
-    fn release(&mut self, id: usize) {
-        self.slots[id].in_use = false;
-        self.slots[id].generation = self.slots[id].generation.wrapping_add(1);
-        self.free.push(id);
-    }
-
-    /// The ticket for slot `id` at its current generation (low 32 bits:
-    /// slot index; high 32 bits: generation).
-    fn ticket(&self, id: usize) -> LookupTicket {
-        LookupTicket((u64::from(self.slots[id].generation) << 32) | id as u64)
-    }
-
-    /// Returns every slot to the free list (error recovery between
-    /// batches). Slot pop order is restored so steady-state batches assign
-    /// slots deterministically. Abandoned (still in-use) slots get their
-    /// generation bumped, so tickets orphaned by the reset stay stale even
-    /// after their slot is re-acquired.
-    fn reset(&mut self) {
-        self.free.clear();
-        for (i, slot) in self.slots.iter_mut().enumerate().rev() {
-            if slot.in_use {
-                slot.generation = slot.generation.wrapping_add(1);
-            }
-            slot.in_use = false;
-            self.free.push(i);
-        }
-    }
+    let latency = pre_pool_latency + pool_time;
+    stats.sm_op_latency.record(latency);
+    latency
 }
 
 /// The serving-path memory manager.
@@ -205,7 +196,10 @@ pub struct SdmMemoryManager {
     warmup: WarmupTracker,
     stats: SdmStats,
     scratch: LookupScratch,
-    pending: PendingOps,
+    /// Slab of begun-but-unfinished split-phase lookups. The pool's
+    /// generation tickets reject tickets retained across a slot's reuse —
+    /// see [`sdm_cache::SlotPool`].
+    pending: SlotPool<PendingLookup>,
     clock: SimInstant,
 }
 
@@ -234,7 +228,7 @@ impl SdmMemoryManager {
             warmup: WarmupTracker::new(2_000, 0.8),
             stats: SdmStats::new(),
             scratch: LookupScratch::default(),
-            pending: PendingOps::default(),
+            pending: SlotPool::new(),
             clock: SimInstant::EPOCH,
         }
     }
@@ -332,9 +326,11 @@ impl SdmMemoryManager {
         self.warmup = WarmupTracker::new(2_000, 0.8);
     }
 
-    /// Serves a pooled lookup against a table placed directly in fast
-    /// memory, accumulating into `out`.
-    fn fm_pooled_lookup_into(
+    /// Scan core of the fast-memory path, shared by the exact
+    /// (`pooled_lookup_into_at`) and split-phase (`fm_lookup_begin`)
+    /// halves: accumulates every row into `out` (sized to the table's
+    /// dimension), records the fm stats and returns the op latency.
+    fn fm_lookup_core(
         &mut self,
         table: TableId,
         indices: &[u64],
@@ -378,18 +374,8 @@ impl SdmMemoryManager {
     }
 
     /// Serves a pooled lookup against an SM-resident table: pooled cache →
-    /// row cache → shared tier → SGL reads (paper Algorithm 1 with the
-    /// host-shared second tier between the private miss and the device),
-    /// accumulating into `out`.
-    ///
-    /// Cache hits — private or shared — are dequant-accumulated
-    /// immediately, straight out of the owning arena (no copy, no
-    /// allocation; shared hits accumulate under the stripe lock, which is
-    /// released before the scan continues); the misses are gathered into a
-    /// reused scratch list, submitted as **one ring submission**, and
-    /// pooled as their completions drain — overlapping completion reaping
-    /// with the dequantise+pool work. Completed reads are promoted into the
-    /// shared tier at drain time, so no stripe lock is ever held across IO.
+    /// the shared scan core ([`SdmMemoryManager::sm_lookup_core`]) → the
+    /// shared pool-cost + pooled-cache-feed tail ([`finish_sm_op`]).
     fn sm_pooled_lookup_into(
         &mut self,
         table: TableId,
@@ -397,28 +383,12 @@ impl SdmMemoryManager {
         now: SimInstant,
         out: &mut [f32],
     ) -> Result<SimDuration, SdmError> {
-        // Split borrows once so cache hits can be accumulated into `out`
-        // while statistics and scratch update alongside.
-        let kernel = self.kernel;
-        let Self {
-            config,
-            loaded,
-            engine,
-            row_cache,
-            pooled_cache,
-            shared,
-            warmup,
-            stats,
-            scratch,
-            ..
-        } = self;
-        let t = loaded
+        let t = self
+            .loaded
             .tables
             .get(&table)
             .ok_or(embedding::EmbeddingError::UnknownTable { table })?;
         let (quant, dim) = (t.stored.quant, t.stored.dim);
-        let logical_rows = t.logical.num_rows;
-        let mapping = t.mapping.as_ref();
         if out.len() != dim {
             return Err(embedding::EmbeddingError::MalformedRow {
                 expected: dim,
@@ -429,16 +399,82 @@ impl SdmMemoryManager {
         let mut latency = SimDuration::ZERO;
 
         // 1. Pooled-embedding cache (Algorithm 1).
-        let pooled_enabled = !config.cache.pooled_cache_budget.is_zero();
-        if pooled_enabled && pooled_cache.eligible(indices.len()) {
+        if !self.config.cache.pooled_cache_budget.is_zero()
+            && self.pooled_cache.eligible(indices.len())
+        {
             latency += POOLED_CACHE_PROBE_COST;
-            if let Some(vector) = pooled_cache.lookup(table, indices) {
+            if let Some(vector) = self.pooled_cache.lookup(table, indices) {
                 out.copy_from_slice(vector);
-                stats.pooled_cache_hits += 1;
-                stats.sm_op_latency.record(latency);
+                self.stats.pooled_cache_hits += 1;
+                self.stats.sm_op_latency.record(latency);
                 return Ok(latency);
             }
         }
+
+        // 2–3. Row caches, shared tier and SM IO via the shared core.
+        let scan = self.sm_lookup_core(table, indices, now, out)?;
+        latency += scan.latency + scan.io_time;
+
+        // 4–5. Pool-cost accounting + pooled-cache feed (shared tail).
+        Ok(finish_sm_op(
+            &self.config,
+            &mut self.pooled_cache,
+            &mut self.stats,
+            table,
+            indices,
+            quant,
+            scan.pooled_rows,
+            latency,
+            out,
+        ))
+    }
+
+    /// Scan + IO core of the SM path (Algorithm 1 steps 2–3), shared by
+    /// the exact and split-phase halves: resolves each index through the
+    /// mapping tensor, the private row cache, the shared tier (paper
+    /// Algorithm 1 with the host-shared second tier between the private
+    /// miss and the device) and finally SM reads, accumulating into `out`
+    /// in the canonical order — hits in index order, then misses in
+    /// completion order — so both halves produce bit-identical pooled
+    /// vectors.
+    ///
+    /// Cache hits — private or shared — are dequant-accumulated
+    /// immediately, straight out of the owning arena (no copy, no
+    /// allocation; shared hits accumulate under the stripe lock, which is
+    /// released before the scan continues); the misses are gathered into a
+    /// reused scratch list, submitted as **one ring submission**, and
+    /// pooled as their completions drain — overlapping completion reaping
+    /// with the dequantise+pool work. Completed reads are promoted into the
+    /// shared tier at drain time, so no stripe lock is ever held across IO.
+    fn sm_lookup_core(
+        &mut self,
+        table: TableId,
+        indices: &[u64],
+        now: SimInstant,
+        out: &mut [f32],
+    ) -> Result<SmScan, SdmError> {
+        // Split borrows once so cache hits can be accumulated into `out`
+        // while statistics and scratch update alongside.
+        let kernel = self.kernel;
+        let Self {
+            config,
+            loaded,
+            engine,
+            row_cache,
+            shared,
+            warmup,
+            stats,
+            scratch,
+            ..
+        } = self;
+        let t = loaded
+            .tables
+            .get(&table)
+            .ok_or(embedding::EmbeddingError::UnknownTable { table })?;
+        let quant = t.stored.quant;
+        let logical_rows = t.logical.num_rows;
+        let mapping = t.mapping.as_ref();
+        let mut latency = SimDuration::ZERO;
 
         // 2. Resolve each index: mapping tensor, row cache, then SM IO.
         // Hits accumulate straight into `out` in index order; misses queue
@@ -516,6 +552,7 @@ impl SdmMemoryManager {
 
         // 3. Issue the misses as one ring submission of SGL (or block)
         // reads, then pool each row as its completion drains.
+        let mut io_time = SimDuration::ZERO;
         if !scratch.io_targets.is_empty() {
             let placement = loaded.layout.placement(table)?;
             let device = DeviceId(placement.device_index);
@@ -586,28 +623,15 @@ impl SdmMemoryManager {
             if let Some(e) = pool_error {
                 return Err(e);
             }
-            let io_time = finished_at.duration_since(now);
+            io_time = finished_at.duration_since(now);
             stats.io_time += io_time;
-            latency += io_time;
         }
 
-        // 4. Account the dequantise+pool cost.
-        let per_element = if quant == QuantScheme::Fp32 {
-            POOL_ONLY_COST_PER_ELEMENT
-        } else {
-            DEQUANT_POOL_COST_PER_ELEMENT
-        };
-        let pool_time = per_element * (pooled_rows * dim) as u64 + SimDuration::from_nanos(100);
-        stats.pooling_time += pool_time;
-        latency += pool_time;
-
-        // 5. Feed the pooled-embedding cache (copies only on admission).
-        if pooled_enabled {
-            pooled_cache.insert(table, indices, out);
-        }
-
-        stats.sm_op_latency.record(latency);
-        Ok(latency)
+        Ok(SmScan {
+            latency,
+            pooled_rows,
+            io_time,
+        })
     }
 
     /// Serves one pooled embedding operator into `out` (sized to the
@@ -634,7 +658,7 @@ impl SdmMemoryManager {
         self.stats.pooled_ops += 1;
         let location = self.loaded.placement.location(table);
         let took = match location {
-            TableLocation::FastMemory => self.fm_pooled_lookup_into(table, indices, out),
+            TableLocation::FastMemory => self.fm_lookup_core(table, indices, out),
             TableLocation::SlowMemoryCached | TableLocation::SlowMemoryUncached => {
                 self.sm_pooled_lookup_into(table, indices, now, out)
             }
@@ -700,7 +724,7 @@ impl SdmMemoryManager {
             }
         };
         match outcome {
-            Ok(()) => Ok(self.pending.ticket(id)),
+            Ok(()) => Ok(LookupTicket(self.pending.ticket(id))),
             Err(e) => {
                 self.pending.release(id);
                 Err(e)
@@ -709,9 +733,9 @@ impl SdmMemoryManager {
     }
 
     /// Begin path for a table placed directly in fast memory: fully
-    /// resolved at begin time (mirrors
-    /// [`SdmMemoryManager::fm_pooled_lookup_into`], accumulating into the
-    /// slot's buffer instead of the caller's).
+    /// resolved at begin time through the shared scan core
+    /// ([`SdmMemoryManager::fm_lookup_core`]), accumulating into the
+    /// slot's buffer instead of the caller's.
     fn fm_lookup_begin(
         &mut self,
         id: usize,
@@ -719,51 +743,37 @@ impl SdmMemoryManager {
         indices: &[u64],
         now: SimInstant,
     ) -> Result<(), SdmError> {
-        let kernel = self.kernel;
-        let Self {
-            loaded,
-            stats,
-            pending,
-            ..
-        } = self;
-        let op = &mut pending.slots[id];
-        let t = loaded
+        let t = self
+            .loaded
             .fm_tables
             .get(&table)
             .ok_or(embedding::EmbeddingError::UnknownTable { table })?;
         let (quant, dim) = (t.descriptor().quant, t.descriptor().dim);
-        op.in_use = true;
+        // Take the slot's accumulation buffer so the core can borrow the
+        // manager; it is put back (resized to the table's dimension, with
+        // its capacity reused) whether or not the scan succeeds.
+        let op = self.pending.slot_mut(id);
         op.kind = PendingKind::Fm;
         op.table = table;
         op.quant = quant;
-        op.acc.clear();
-        op.acc.resize(dim, 0.0);
         op.indices.clear();
         op.pooled_rows = 0;
         op.io_time = SimDuration::ZERO;
         op.submitted_at = now;
-        for (i, &idx) in indices.iter().enumerate() {
-            let row = t.row(idx)?;
-            if let Some(&next) = indices.get(i + 1) {
-                if let Ok(next_row) = t.row(next) {
-                    kernels::prefetch_row(next_row);
-                }
-            }
-            kernels::accumulate_row_with(kernel, row, quant, &mut op.acc)?;
-        }
-        stats.fm_direct_lookups += indices.len() as u64;
-        let latency = FM_ROW_COST * indices.len() as u64
-            + DEQUANT_POOL_COST_PER_ELEMENT * (indices.len() * dim) as u64;
-        stats.fm_op_latency.record(latency);
-        op.hit_latency = latency;
+        let mut acc = std::mem::take(&mut op.acc);
+        acc.clear();
+        acc.resize(dim, 0.0);
+        let outcome = self.fm_lookup_core(table, indices, &mut acc);
+        let op = self.pending.slot_mut(id);
+        op.acc = acc;
+        op.hit_latency = outcome?;
         Ok(())
     }
 
-    /// Begin path for an SM-resident table: pooled cache → row cache →
-    /// issued SGL reads (mirrors
-    /// [`SdmMemoryManager::sm_pooled_lookup_into`] except that the pooled
-    /// vector lands in the slot's buffer and the pooled-cache insert is
-    /// deferred to finish time, when the vector is final).
+    /// Begin path for an SM-resident table: pooled-cache probe, then the
+    /// shared scan core ([`SdmMemoryManager::sm_lookup_core`]) into the
+    /// slot's buffer. The pooled-cache *insert* is deferred to finish
+    /// time, when the vector is final.
     fn sm_lookup_begin(
         &mut self,
         id: usize,
@@ -771,48 +781,38 @@ impl SdmMemoryManager {
         indices: &[u64],
         now: SimInstant,
     ) -> Result<(), SdmError> {
-        let kernel = self.kernel;
-        let Self {
-            config,
-            loaded,
-            engine,
-            row_cache,
-            pooled_cache,
-            shared,
-            warmup,
-            stats,
-            scratch,
-            pending,
-            ..
-        } = self;
-        let op = &mut pending.slots[id];
-        let t = loaded
+        let t = self
+            .loaded
             .tables
             .get(&table)
             .ok_or(embedding::EmbeddingError::UnknownTable { table })?;
         let (quant, dim) = (t.stored.quant, t.stored.dim);
-        let logical_rows = t.logical.num_rows;
-        let mapping = t.mapping.as_ref();
-        op.in_use = true;
-        op.kind = PendingKind::Sm;
-        op.table = table;
-        op.quant = quant;
-        op.acc.clear();
-        op.acc.resize(dim, 0.0);
-        op.pooled_rows = 0;
-        op.io_time = SimDuration::ZERO;
-        op.submitted_at = now;
         let mut latency = SimDuration::ZERO;
 
         // 1. Pooled-embedding cache (Algorithm 1). A hit copies the cached
         // vector; the insert side waits until finish, when the vector is
         // complete.
-        let pooled_enabled = !config.cache.pooled_cache_budget.is_zero();
-        if pooled_enabled && pooled_cache.eligible(indices.len()) {
+        if !self.config.cache.pooled_cache_budget.is_zero()
+            && self.pooled_cache.eligible(indices.len())
+        {
             latency += POOLED_CACHE_PROBE_COST;
+            let Self {
+                pooled_cache,
+                pending,
+                stats,
+                ..
+            } = self;
             if let Some(vector) = pooled_cache.lookup(table, indices) {
-                op.acc.copy_from_slice(vector);
+                let op = pending.slot_mut(id);
                 op.kind = PendingKind::PooledHit;
+                op.table = table;
+                op.quant = quant;
+                op.acc.clear();
+                op.acc.resize(dim, 0.0);
+                op.acc.copy_from_slice(vector);
+                op.pooled_rows = 0;
+                op.io_time = SimDuration::ZERO;
+                op.submitted_at = now;
                 op.hit_latency = latency;
                 stats.pooled_cache_hits += 1;
                 return Ok(());
@@ -822,151 +822,26 @@ impl SdmMemoryManager {
         // Only the SM path reaches finish-time with a deferred pooled-cache
         // insert, so the index copy happens after the pooled probe — a
         // pooled hit never reads `op.indices` and skips the copy entirely.
+        let op = self.pending.slot_mut(id);
+        op.kind = PendingKind::Sm;
+        op.table = table;
+        op.quant = quant;
         op.indices.clear();
         op.indices.extend_from_slice(indices);
-
-        // 2. Resolve each index: mapping tensor, row cache, then SM IO.
-        scratch.io_targets.clear();
-        let mut zero_rows = 0u64;
-        for (pos, &idx) in indices.iter().enumerate() {
-            if idx >= logical_rows {
-                return Err(embedding::EmbeddingError::RowOutOfRange {
-                    row: idx,
-                    rows: logical_rows,
-                }
-                .into());
-            }
-            let stored_row = if let Some(mapping) = mapping {
-                latency += MAPPING_LOOKUP_COST;
-                match mapping.map(idx) {
-                    Some(r) => r,
-                    None => {
-                        zero_rows += 1;
-                        continue; // pruned row contributes zeros, no access
-                    }
-                }
-            } else {
-                idx
-            };
-
-            latency += row_cache.lookup_cost();
-            let key = RowKey::new(table, stored_row);
-            // Same lookahead prefetch as the exact path: side-effect-free
-            // `peek` of the next index's cached row, skipped for pruned
-            // tables to avoid double-charging mapping lookups.
-            if mapping.is_none() {
-                if let Some(&next) = indices.get(pos + 1) {
-                    if let Some(bytes) = row_cache.peek(&RowKey::new(table, next)) {
-                        kernels::prefetch_row(bytes);
-                    }
-                }
-            }
-            match row_cache.get(&key) {
-                Some(bytes) => {
-                    kernels::accumulate_row_with(kernel, bytes, quant, &mut op.acc)?;
-                    stats.row_cache_hits += 1;
-                    warmup.record(true);
-                    op.pooled_rows += 1;
-                }
-                None => {
-                    // Host-shared tier between the private miss and SM IO
-                    // (same helper as the exact path, accumulating into the
-                    // slot's buffer).
-                    if probe_shared_tier(
-                        shared,
-                        stats,
-                        warmup,
-                        &key,
-                        quant,
-                        kernel,
-                        &mut latency,
-                        &mut op.acc,
-                    )? {
-                        op.pooled_rows += 1;
-                    } else {
-                        stats.sm_reads += 1;
-                        warmup.record(false);
-                        scratch.io_targets.push((pos, stored_row));
-                    }
-                }
-            }
-        }
-        stats.pruned_zero_rows += zero_rows;
-        op.hit_latency = latency;
-
-        // 3. Issue the misses as one ring submission at `now` and reap them
-        // straight away. The engine schedules completion instants at
-        // submission, so the *queue overlap* — later in-flight queries'
-        // reads stacking behind this op's — is locked in here regardless of
-        // when the completions are reaped; reaping immediately keeps the
-        // row-cache insert order identical to the exact path.
-        if !scratch.io_targets.is_empty() {
-            let placement = loaded.layout.placement(table)?;
-            let device = DeviceId(placement.device_index);
-            for (pos, stored_row) in &scratch.io_targets {
-                let offset = placement.row_offset(*stored_row)?;
-                let command = match config.granularity {
-                    AccessGranularity::Sgl => ReadCommand::sgl(offset, placement.row_bytes),
-                    AccessGranularity::Block => ReadCommand::block(offset, placement.row_bytes),
-                };
-                match engine.submit(
-                    IoRequest::new(device, command)
-                        .with_table(table)
-                        .with_user_data(*pos as u64),
-                    now,
-                ) {
-                    Ok(()) => {}
-                    Err(IoError::RetriesExhausted { .. }) => {
-                        // Degraded serving, identical to the exact path:
-                        // the row pools as zero and moves from `sm_reads`
-                        // to `degraded_rows`.
-                        stats.sm_reads -= 1;
-                        stats.degraded_rows += 1;
-                    }
-                    Err(e) => return Err(e.into()),
-                }
-            }
-            let io_targets = &scratch.io_targets;
-            let acc = &mut op.acc;
-            let mut pooled_inc = 0usize;
-            let mut pool_error: Option<SdmError> = None;
-            let finished_at = engine.drain_each(now, |completion| {
-                // Same first-touch prefetch as the exact drain path: the
-                // bytes are read again by the accumulate and both inserts.
-                kernels::prefetch_row(&completion.data);
-                stats.sm_bytes_read += Bytes(completion.data.len() as u64);
-                stats.sm_bus_bytes += completion.bus_bytes;
-                let pos = completion.user_data as usize;
-                let stored_row = io_targets
-                    .binary_search_by_key(&pos, |(p, _)| *p)
-                    .map(|i| io_targets[i].1)
-                    .expect("completion for unknown position");
-                if pool_error.is_none() {
-                    if let Err(e) =
-                        kernels::accumulate_row_with(kernel, &completion.data, quant, acc)
-                    {
-                        pool_error = Some(e.into());
-                    } else {
-                        pooled_inc += 1;
-                    }
-                }
-                let key = RowKey::new(table, stored_row);
-                row_cache.insert(key, &completion.data);
-                // Deferred promotion, identical to the exact path: the
-                // stripe lock is taken only now, after the IO completed.
-                if let Some(shared) = shared {
-                    if shared.tier.insert(key, &completion.data, shared.source) {
-                        stats.shared_tier_promotions += 1;
-                    }
-                }
-            })?;
-            if let Some(e) = pool_error {
-                return Err(e);
-            }
-            op.pooled_rows += pooled_inc;
-            op.io_time = finished_at.duration_since(now);
-            stats.io_time += op.io_time;
-        }
+        op.submitted_at = now;
+        // 2–3. The same scan core as the exact path, accumulating into the
+        // slot's buffer (taken so the core can borrow the manager, and put
+        // back whether or not the scan succeeds) instead of the caller's.
+        let mut acc = std::mem::take(&mut op.acc);
+        acc.clear();
+        acc.resize(dim, 0.0);
+        let outcome = self.sm_lookup_core(table, indices, now, &mut acc);
+        let op = self.pending.slot_mut(id);
+        op.acc = acc;
+        let scan = outcome?;
+        op.hit_latency = latency + scan.latency;
+        op.pooled_rows = scan.pooled_rows;
+        op.io_time = scan.io_time;
         Ok(())
     }
 
@@ -979,16 +854,9 @@ impl SdmMemoryManager {
         ticket: LookupTicket,
         out: &mut [f32],
     ) -> Result<SimDuration, SdmError> {
-        let id = (ticket.0 & u64::from(u32::MAX)) as usize;
-        let generation = (ticket.0 >> 32) as u32;
-        if !self
-            .pending
-            .slots
-            .get(id)
-            .is_some_and(|s| s.in_use && s.generation == generation)
-        {
+        let Some(id) = self.pending.checked_slot(ticket.0) else {
             return Err(SdmError::Dlrm(DlrmError::StaleTicket { ticket: ticket.0 }));
-        }
+        };
         let Self {
             config,
             pooled_cache,
@@ -997,7 +865,8 @@ impl SdmMemoryManager {
             clock,
             ..
         } = self;
-        let op = &mut pending.slots[id];
+        let op = pending.slot_mut(id);
+        // Validate before releasing, so a mis-sized buffer is retryable.
         if out.len() != op.acc.len() {
             return Err(embedding::EmbeddingError::MalformedRow {
                 expected: op.acc.len(),
@@ -1012,25 +881,19 @@ impl SdmMemoryManager {
                 stats.sm_op_latency.record(op.hit_latency);
                 op.hit_latency
             }
-            PendingKind::Sm => {
-                // 4. Account the dequantise+pool cost (identical formula to
-                // the exact path's step 4).
-                let per_element = if op.quant == QuantScheme::Fp32 {
-                    POOL_ONLY_COST_PER_ELEMENT
-                } else {
-                    DEQUANT_POOL_COST_PER_ELEMENT
-                };
-                let pool_time = per_element * (op.pooled_rows * op.acc.len()) as u64
-                    + SimDuration::from_nanos(100);
-                stats.pooling_time += pool_time;
-                // 5. Deferred pooled-cache feed: the vector is final now.
-                if !config.cache.pooled_cache_budget.is_zero() {
-                    pooled_cache.insert(op.table, &op.indices, out);
-                }
-                let latency = op.hit_latency + op.io_time + pool_time;
-                stats.sm_op_latency.record(latency);
-                latency
-            }
+            // 4–5. Deferred pool-cost accounting + pooled-cache feed: the
+            // vector is final now (same shared tail as the exact path).
+            PendingKind::Sm => finish_sm_op(
+                config,
+                pooled_cache,
+                stats,
+                op.table,
+                &op.indices,
+                op.quant,
+                op.pooled_rows,
+                op.hit_latency + op.io_time,
+                out,
+            ),
         };
         *clock = (*clock).max(op.submitted_at + latency);
         pending.release(id);

@@ -20,6 +20,7 @@ use dlrm::{
 };
 use io_engine::IoEngine;
 use scm_device::DeviceArray;
+use sdm_cache::SlotPool;
 use sdm_metrics::{LatencyHistogram, SimInstant};
 use std::collections::VecDeque;
 use workload::Query;
@@ -70,13 +71,12 @@ struct RelaxedSlot {
     pending: PendingQuery,
 }
 
-/// Reusable state of the relaxed (overlapped) batch executor.
+/// Reusable state of the relaxed (overlapped) batch executor: a
+/// [`SlotPool`] of per-query scratch plus the FIFO of begun queries.
 #[derive(Debug, Default)]
 struct RelaxedScratch {
     /// Slot pool; grows to the in-flight window and is then recycled.
-    slots: Vec<RelaxedSlot>,
-    /// Free slot ids.
-    free: Vec<usize>,
+    slots: SlotPool<RelaxedSlot>,
     /// Begun-but-unfinished queries: `(slot id, batch position)` in begin
     /// order (queries finish strictly FIFO).
     inflight: VecDeque<(usize, usize)>,
@@ -85,17 +85,7 @@ struct RelaxedScratch {
 impl RelaxedScratch {
     fn reset(&mut self) {
         self.inflight.clear();
-        self.free.clear();
-        for i in (0..self.slots.len()).rev() {
-            self.free.push(i);
-        }
-    }
-
-    fn acquire(&mut self) -> usize {
-        self.free.pop().unwrap_or_else(|| {
-            self.slots.push(RelaxedSlot::default());
-            self.slots.len() - 1
-        })
+        self.slots.reset();
     }
 }
 
@@ -308,8 +298,8 @@ impl Shard {
                 // The vacated pipeline stage gates the next begin.
                 submit = submit.max(finished);
             }
-            let slot = self.relaxed.acquire();
-            let s = &mut self.relaxed.slots[slot];
+            let slot = self.relaxed.slots.acquire();
+            let s = self.relaxed.slots.slot_mut(slot);
             self.engine.begin_query_into(
                 query_at(k),
                 &mut self.manager,
@@ -339,7 +329,7 @@ impl Shard {
             .inflight
             .pop_front()
             .expect("finish_front on an empty pipeline");
-        let s = &mut self.relaxed.slots[slot];
+        let s = self.relaxed.slots.slot_mut(slot);
         self.engine.finish_query_into(
             query_at(k),
             &mut self.manager,
@@ -348,7 +338,7 @@ impl Shard {
             &mut self.batch.result,
         )?;
         let finished = s.pending.begun_at() + self.batch.result.latency.total;
-        self.relaxed.free.push(slot);
+        self.relaxed.slots.release(slot);
         self.batch.push_result();
         Ok(finished)
     }

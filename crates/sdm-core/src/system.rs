@@ -65,10 +65,15 @@ impl SdmSystem {
     pub fn build(model: &ModelConfig, config: SdmConfig, seed: u64) -> Result<Self, SdmError> {
         let tier_budget = config.cache.shared_tier_budget;
         let tier_stripes = config.cache.shared_tier_stripes;
+        let tier_admission = config.cache.shared_tier_admission;
         let mut shard = Shard::build(model, config, seed)?;
         if !tier_budget.is_zero() {
             shard.attach_shared_tier(
-                std::sync::Arc::new(sdm_cache::SharedRowTier::new(tier_budget, tier_stripes)),
+                std::sync::Arc::new(sdm_cache::SharedRowTier::with_admission(
+                    tier_budget,
+                    tier_stripes,
+                    tier_admission,
+                )),
                 0,
             );
         }

@@ -1,0 +1,192 @@
+//! Cache-admission policy lab: A/B serving comparison per shard count.
+//!
+//! The shared host tier's admission knob (always-admit vs the second-touch
+//! doorkeeper, `sdm_cache::TierAdmission`) only matters when the tier is
+//! *capacity constrained* — when it cannot hold the skewed stream's full
+//! hot set and single-touch tail rows compete with the head for residency.
+//! This module records that A/B: for each shard count, one run per
+//! admission policy over the same capacity-constrained skewed stream, each
+//! carrying the *virtual-clock* batch throughput (deterministic, so CI can
+//! gate on it) plus the tier's hit/promotion/denial counters.
+
+/// One measured serving run at a fixed shard count under one admission
+/// policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachePolicyMeasurement {
+    /// Shards (concurrent serving streams) during the run.
+    pub shards: usize,
+    /// Admission policy label (`"always_admit"` or `"second_touch"`).
+    pub policy: &'static str,
+    /// Queries executed across all shards.
+    pub queries: u64,
+    /// Deterministic batch throughput on the virtual clock (the slowest
+    /// shard's makespan bounds the batch).
+    pub virtual_qps: f64,
+    /// Shared-tier hits across all shards during the measured batch.
+    pub shared_hits: u64,
+    /// Shared-tier misses across all shards (probes that went to SM).
+    pub shared_misses: u64,
+    /// Rows promoted into the tier at IO completion.
+    pub promotions: u64,
+    /// Promotions the admission policy turned away (zero under
+    /// always-admit).
+    pub admission_denied: u64,
+}
+
+impl CachePolicyMeasurement {
+    /// Shared-tier hit rate over tier probes; zero before any probe.
+    pub fn hit_rate(&self) -> f64 {
+        let probes = self.shared_hits + self.shared_misses;
+        if probes == 0 {
+            0.0
+        } else {
+            self.shared_hits as f64 / probes as f64
+        }
+    }
+}
+
+/// Admission-policy measurements per shard count.
+///
+/// # Example
+///
+/// ```
+/// use sdm_metrics::{CachePolicyMeasurement, CachePolicyReport};
+///
+/// let mut report = CachePolicyReport::new();
+/// for (policy, qps, hits, denied) in [
+///     ("always_admit", 1000.0, 40u64, 0u64),
+///     ("second_touch", 1100.0, 48, 120),
+/// ] {
+///     report.record(CachePolicyMeasurement {
+///         shards: 2,
+///         policy,
+///         queries: 256,
+///         virtual_qps: qps,
+///         shared_hits: hits,
+///         shared_misses: 16,
+///         promotions: 32,
+///         admission_denied: denied,
+///     });
+/// }
+/// let always = report.get(2, "always_admit").unwrap();
+/// let second = report.get(2, "second_touch").unwrap();
+/// assert!(second.hit_rate() >= always.hit_rate());
+/// assert!((report.qps_ratio(2, "second_touch", "always_admit").unwrap() - 1.1).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CachePolicyReport {
+    /// Measurements, kept sorted by `(shards, policy)` (one entry each).
+    entries: Vec<CachePolicyMeasurement>,
+}
+
+impl CachePolicyReport {
+    /// Creates an empty report.
+    pub fn new() -> Self {
+        CachePolicyReport::default()
+    }
+
+    /// Records a measurement, replacing any previous entry for the same
+    /// shard count and policy.
+    pub fn record(&mut self, measurement: CachePolicyMeasurement) {
+        let key = (measurement.shards, measurement.policy);
+        match self
+            .entries
+            .binary_search_by_key(&key, |m| (m.shards, m.policy))
+        {
+            Ok(i) => self.entries[i] = measurement,
+            Err(i) => self.entries.insert(i, measurement),
+        }
+    }
+
+    /// The measurement at a shard count under a policy, when recorded.
+    pub fn get(&self, shards: usize, policy: &str) -> Option<&CachePolicyMeasurement> {
+        self.entries
+            .iter()
+            .find(|m| m.shards == shards && m.policy == policy)
+    }
+
+    /// Virtual-QPS ratio of `policy` over `baseline` at a shard count.
+    /// `None` until both runs are recorded or when the baseline measured
+    /// zero throughput.
+    pub fn qps_ratio(&self, shards: usize, policy: &str, baseline: &str) -> Option<f64> {
+        let base = self.get(shards, baseline)?.virtual_qps;
+        if base <= 0.0 {
+            return None;
+        }
+        Some(self.get(shards, policy)?.virtual_qps / base)
+    }
+
+    /// Iterates measurements in ascending `(shards, policy)` order.
+    pub fn iter(&self) -> impl Iterator<Item = &CachePolicyMeasurement> {
+        self.entries.iter()
+    }
+
+    /// Number of recorded measurements.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(shards: usize, policy: &'static str, qps: f64, hits: u64) -> CachePolicyMeasurement {
+        CachePolicyMeasurement {
+            shards,
+            policy,
+            queries: 100,
+            virtual_qps: qps,
+            shared_hits: hits,
+            shared_misses: 10,
+            promotions: 20,
+            admission_denied: if policy == "second_touch" { 15 } else { 0 },
+        }
+    }
+
+    #[test]
+    fn hit_rate_handles_empty_and_populated() {
+        let empty = CachePolicyMeasurement {
+            shared_hits: 0,
+            shared_misses: 0,
+            ..m(1, "always_admit", 100.0, 0)
+        };
+        assert_eq!(empty.hit_rate(), 0.0);
+        let on = m(1, "always_admit", 100.0, 40);
+        assert!((on.hit_rate() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn record_sorts_replaces_and_ratios() {
+        let mut r = CachePolicyReport::new();
+        assert!(r.is_empty());
+        assert!(r.qps_ratio(2, "second_touch", "always_admit").is_none());
+        r.record(m(4, "second_touch", 1500.0, 45));
+        r.record(m(2, "always_admit", 1000.0, 40));
+        r.record(m(2, "second_touch", 1100.0, 44));
+        r.record(m(4, "always_admit", 1200.0, 40));
+        r.record(m(2, "second_touch", 1200.0, 46)); // replaces
+        assert_eq!(r.len(), 4);
+        let keys: Vec<(usize, &str)> = r.iter().map(|e| (e.shards, e.policy)).collect();
+        assert_eq!(
+            keys,
+            vec![
+                (2, "always_admit"),
+                (2, "second_touch"),
+                (4, "always_admit"),
+                (4, "second_touch"),
+            ]
+        );
+        assert!((r.qps_ratio(2, "second_touch", "always_admit").unwrap() - 1.2).abs() < 1e-9);
+        assert!(r.qps_ratio(8, "second_touch", "always_admit").is_none());
+        // A zero-throughput baseline yields no ratio instead of infinity.
+        r.record(m(8, "always_admit", 0.0, 0));
+        r.record(m(8, "second_touch", 100.0, 10));
+        assert!(r.qps_ratio(8, "second_touch", "always_admit").is_none());
+    }
+}

@@ -19,6 +19,8 @@
 //! * [`SharedTierReport`] — shared-tier-on vs -off serving comparison per
 //!   shard count (deterministic virtual QPS, hit and cross-shard-hit
 //!   rates).
+//! * [`CachePolicyReport`] — admission-policy A/B on a capacity-constrained
+//!   shared tier (always-admit vs second-touch doorkeeper per shard count).
 //! * [`LoadCurveReport`] — open-loop latency-vs-offered-load curve
 //!   (p50/p99, shed rate and served QPS per offered-QPS point).
 //! * [`ResilienceReport`] — serving quality under injected faults
@@ -49,6 +51,7 @@
 
 pub mod alloc_hook;
 mod batchmode;
+mod cachepolicy;
 mod clock;
 mod counters;
 mod histogram;
@@ -60,6 +63,7 @@ mod sharedtier;
 pub mod units;
 
 pub use batchmode::{BatchModeMeasurement, BatchModeReport};
+pub use cachepolicy::{CachePolicyMeasurement, CachePolicyReport};
 pub use clock::{LocalCursor, SimClock, SimDuration, SimInstant};
 pub use counters::{Counter, CounterSet};
 pub use histogram::LatencyHistogram;

@@ -1,0 +1,228 @@
+//! Refactor bit-identity suite: the generic-core cache refactor
+//! (`SlotPool<T>` + `ArenaLru` behind the redesigned `sdm-cache` API) must
+//! not move a single bit of serving behaviour while the admission policy is
+//! the default [`sdm_cache::AlwaysAdmit`].
+//!
+//! The golden fingerprints below were captured from `main` *before* the
+//! refactor (same scenarios, same seeds) — plus the `LruList` derived-
+//! `Default` fix, without which every tier-on scenario aborts on stripe
+//! corruption (`mixed_size_churn_never_serves_wrong_row` pins that bug).
+//! Per scenario they pin:
+//!
+//! * **scores** — every per-query score bit pattern across three batches
+//!   (cold + two warm), so summation order and hit/miss routing are frozen;
+//! * **stats** — the merged [`sdm_core::SdmStats`] block plus every
+//!   shard's virtual clock;
+//! * **cache counters** — `CacheStats` of every engine (dual row cache,
+//!   pooled-embedding cache, shared tier) with the `resident_bytes` gauge
+//!   masked out;
+//! * **resident bytes** — the masked gauge, separately. The arena
+//!   size-class coalescing fix is *allowed* to lower retained bytes (that
+//!   is its purpose), so this component is asserted as `<=` the golden
+//!   value while everything else must match exactly.
+//!
+//! Scenarios: scaled M1–M3 replicas × exact / relaxed(window 1) × shared
+//! tier off / on, under a capacity-constrained budget so the eviction,
+//! promotion and split-phase paths all run. Tier-off scenarios use a
+//! 2-shard host (shards are independent, so the per-shard thread
+//! interleaving cannot move a bit); tier-on scenarios use a 1-shard host —
+//! worker threads sharing the tier make multi-shard tier state
+//! interleaving-dependent, and a bit-identity suite must only pin
+//! deterministic executions. Every stripe path (promotion, hits,
+//! eviction, in-place refresh) still runs single-shard.
+//!
+//! To re-capture (e.g. after an *intentional* behaviour change), run:
+//! `SDM_CAPTURE_GOLDEN=1 cargo test --test refactor_identity -- --nocapture`
+//! and paste the printed table over `GOLDEN`.
+
+use dlrm::model_zoo;
+use sdm_cache::RowCache;
+use sdm_core::{SdmConfig, ServingHost};
+use sdm_metrics::units::Bytes;
+use workload::{Query, QueryGenerator, RoutingPolicy, WorkloadConfig};
+
+/// FNV-1a, the same pinned-seed style the fault-injection suite uses:
+/// deterministic, dependency-free, good enough to detect any bit flip.
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= u64::from(b);
+        *hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+}
+
+fn hash_str(hash: &mut u64, s: &str) {
+    fnv1a(hash, s.as_bytes());
+}
+
+/// One scenario's frozen observable behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Fingerprint {
+    scores: u64,
+    stats: u64,
+    cache_counters: u64,
+    resident_bytes: u64,
+}
+
+fn skewed_queries(model: &dlrm::ModelConfig, count: usize, seed: u64) -> Vec<Query> {
+    let cfg = WorkloadConfig {
+        item_batch: model.item_batch.min(8),
+        ..WorkloadConfig::skewed(48, 1.1)
+    };
+    QueryGenerator::new(&model.tables, cfg, seed)
+        .unwrap()
+        .generate(count)
+}
+
+/// The M1–M3 scaled replicas (M3 as the user+item subset the shared-tier
+/// suite also uses — terabyte-scale table counts exercise nothing extra).
+fn models() -> Vec<dlrm::ModelConfig> {
+    vec![
+        model_zoo::scaled_model(&model_zoo::m1(), 400_000, 60.0),
+        model_zoo::scaled_model(&model_zoo::m2(), 400_000, 60.0),
+        {
+            let mut m3 = model_zoo::scaled_model(&model_zoo::m3(), 4_000_000, 300.0);
+            let user: Vec<_> = m3
+                .tables
+                .iter()
+                .filter(|t| t.kind == embedding::TableKind::User)
+                .take(20)
+                .cloned()
+                .collect();
+            let item: Vec<_> = m3
+                .tables
+                .iter()
+                .filter(|t| t.kind == embedding::TableKind::Item)
+                .take(10)
+                .cloned()
+                .collect();
+            m3.tables = user.into_iter().chain(item).collect();
+            m3
+        },
+    ]
+}
+
+/// Capacity-constrained budgets: private slices too small for the hot set
+/// (so LRU eviction and, with the tier on, promotion churn all happen) and
+/// a small pooled cache so the whole-operator replay path stays live too.
+fn scenario_config(window: Option<usize>, tier: bool) -> SdmConfig {
+    let mut config = match window {
+        None => SdmConfig::for_tests(),
+        Some(w) => SdmConfig::for_tests().with_relaxed_batching(w),
+    };
+    config.cache.row_cache_budget = Bytes::from_kib(96);
+    config.cache.pooled_cache_budget = Bytes::from_kib(64);
+    if tier {
+        config.cache.shared_tier_budget = Bytes::from_kib(128);
+        config.cache.shared_tier_stripes = 4;
+    }
+    config
+}
+
+fn run_scenario(model: &dlrm::ModelConfig, seed: u64, window: Option<usize>, tier: bool) -> Fingerprint {
+    let queries = skewed_queries(model, 24, seed);
+    let config = scenario_config(window, tier);
+    // Tier-on runs must be single-shard to stay deterministic (see the
+    // module docs); tier-off runs cover the multi-shard merge paths.
+    let shards = if tier { 1 } else { 2 };
+    let mut host =
+        ServingHost::build(model, &config, seed, shards, RoutingPolicy::UserSticky).unwrap();
+
+    let mut scores = 0xcbf2_9ce4_8422_2325u64;
+    for _batch in 0..3 {
+        host.run_batch(&queries).unwrap();
+        for i in 0..host.len() {
+            for s in host.scores(i) {
+                fnv1a(&mut scores, &s.to_bits().to_le_bytes());
+            }
+        }
+    }
+
+    let mut stats = 0xcbf2_9ce4_8422_2325u64;
+    hash_str(&mut stats, &format!("{:?}", host.stats()));
+    for i in 0..host.shards() {
+        hash_str(&mut stats, &format!("{:?}", host.shard(i).now()));
+    }
+
+    let mut counters = 0xcbf2_9ce4_8422_2325u64;
+    let mut resident = 0u64;
+    let mut fold = |stats: &sdm_cache::CacheStats, h: &mut u64, r: &mut u64| {
+        *r += stats.resident_bytes;
+        let mut masked = stats.clone();
+        masked.resident_bytes = 0;
+        hash_str(h, &format!("{masked:?}"));
+    };
+    for i in 0..host.shards() {
+        let manager = host.shard(i).manager();
+        fold(manager.row_cache().stats(), &mut counters, &mut resident);
+        fold(manager.pooled_cache().stats(), &mut counters, &mut resident);
+    }
+    if let Some(shared) = host.shared_tier() {
+        fold(&shared.stats(), &mut counters, &mut resident);
+        hash_str(&mut counters, &format!("len={}", shared.len()));
+    }
+
+    Fingerprint {
+        scores,
+        stats,
+        cache_counters: counters,
+        resident_bytes: resident,
+    }
+}
+
+/// Golden fingerprints captured from pre-refactor `main`, in scenario
+/// order: model-major, then window (exact, relaxed 1), then tier (off, on).
+const GOLDEN: &[(u64, u64, u64, u64)] = &[
+    (0xd3f7ec18a0f85725, 0x69de990bf9b6c36c, 0x272a9c82556d3d57, 98560), // M1-scaled-400000 window=None tier=false
+    (0xd3f7ec18a0f85725, 0x062f73375a7c46d6, 0xfdf0bbb91c3f082a, 269266), // M1-scaled-400000 window=None tier=true
+    (0xd3f7ec18a0f85725, 0x23ef01539760f0f8, 0xf611f7633213feb9, 98560), // M1-scaled-400000 window=Some(1) tier=false
+    (0xd3f7ec18a0f85725, 0x0da9bb8c3c316835, 0x6ba372d79f80428a, 269379), // M1-scaled-400000 window=Some(1) tier=true
+    (0xd3f7ec18a0f85725, 0x2677637bc38bc355, 0x1847e2ce5336c35c, 215832), // M2-scaled-400000 window=None tier=false
+    (0xd3f7ec18a0f85725, 0x2b80cfc30494153b, 0x4fae94828603a9f9, 822693), // M2-scaled-400000 window=None tier=true
+    (0xd3f7ec18a0f85725, 0xfac7514e9bb44146, 0x5c0c22eca4e60025, 219952), // M2-scaled-400000 window=Some(1) tier=false
+    (0xd3f7ec18a0f85725, 0x955d67221e36a0e4, 0xef1f903ce11a3c0d, 822693), // M2-scaled-400000 window=Some(1) tier=true
+    (0xf162e10a79cd09ed, 0x4e2bd9686ed1604f, 0x7ccd1cfdf0c28121, 69232), // M3-scaled-4000000 window=None tier=false
+    (0x92761411a686a6da, 0x46407e27f2430455, 0xafea17a1a033ed1c, 219318), // M3-scaled-4000000 window=None tier=true
+    (0x1c9f92842e43545f, 0xd61afa5e3ec9af6a, 0x8a6247cdcf1035ae, 78032), // M3-scaled-4000000 window=Some(1) tier=false
+    (0xb38b69e4be69ce82, 0x4b9b06323fea230c, 0x1093050b041de749, 217416), // M3-scaled-4000000 window=Some(1) tier=true
+];
+
+#[test]
+fn refactor_is_bit_identical_under_always_admit() {
+    let capture = std::env::var_os("SDM_CAPTURE_GOLDEN").is_some();
+    let mut fresh = Vec::new();
+    for (mi, model) in models().iter().enumerate() {
+        let seed = 90 + mi as u64;
+        for window in [None, Some(1)] {
+            for tier in [false, true] {
+                let fp = run_scenario(model, seed, window, tier);
+                if capture {
+                    println!(
+                        "    ({:#018x}, {:#018x}, {:#018x}, {}), // {} window={:?} tier={}",
+                        fp.scores, fp.stats, fp.cache_counters, fp.resident_bytes,
+                        model.name, window, tier
+                    );
+                }
+                fresh.push((model.name.clone(), window, tier, fp));
+            }
+        }
+    }
+    if capture {
+        return;
+    }
+    assert_eq!(fresh.len(), GOLDEN.len(), "scenario count drifted");
+    for ((name, window, tier, fp), &(scores, stats, counters, resident)) in
+        fresh.iter().zip(GOLDEN)
+    {
+        let tag = format!("{name} window={window:?} tier={tier}");
+        assert_eq!(fp.scores, scores, "{tag}: per-query scores diverged");
+        assert_eq!(fp.stats, stats, "{tag}: SdmStats / clocks diverged");
+        assert_eq!(fp.cache_counters, counters, "{tag}: CacheStats diverged");
+        // The size-class coalescing fix may only *lower* retention.
+        assert!(
+            fp.resident_bytes <= resident,
+            "{tag}: resident_bytes grew: {} > golden {}",
+            fp.resident_bytes,
+            resident
+        );
+    }
+}
