@@ -45,12 +45,12 @@
 //!    Deterministic; CI gates the curve's shape (p99 monotone in offered
 //!    load, zero shed at the lowest rate, served ≤ offered).
 //! 10. **Fault resilience** — seeded fault injection (transient errors,
-//!    bit flips, stuck IOs, latency storms) vs the end-to-end handling
-//!    stack (checksums, retries, deadlines, hedged reads, degraded rows,
-//!    shard failover) on the *virtual* clock. Deterministic; CI gates
-//!    zero corrupted results served, total corruption detection, a storm
-//!    throughput floor, zero degraded rows under an empty plan and
-//!    bit-identical replay per fault seed.
+//!     bit flips, stuck IOs, latency storms) vs the end-to-end handling
+//!     stack (checksums, retries, deadlines, hedged reads, degraded rows,
+//!     shard failover) on the *virtual* clock. Deterministic; CI gates
+//!     zero corrupted results served, total corruption detection, a storm
+//!     throughput floor, zero degraded rows under an empty plan and
+//!     bit-identical replay per fault seed.
 //!
 //! Usage: `exp_hotpath [--quick] [--out PATH] [--check]`. Quick mode
 //! shrinks the iteration counts for CI smoke runs; `--check` compares the
@@ -80,20 +80,28 @@ struct CountingAllocator;
 
 // SAFETY: defers every operation to the system allocator unchanged.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: same contract as `System.alloc`; the layout is forwarded
+    // unchanged and the hook only touches an atomic counter.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         alloc_hook::note_alloc(layout.size());
         System.alloc(layout)
     }
+    // SAFETY: same contract as `System.alloc_zeroed`; the layout is
+    // forwarded unchanged and the hook only touches an atomic counter.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         alloc_hook::note_alloc(layout.size());
         System.alloc_zeroed(layout)
     }
+    // SAFETY: same contract as `System.realloc`; pointer, layout and size
+    // are forwarded unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if new_size > layout.size() {
             alloc_hook::note_alloc(new_size);
         }
         System.realloc(ptr, layout, new_size)
     }
+    // SAFETY: same contract as `System.dealloc`; pointer and layout are
+    // forwarded unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }

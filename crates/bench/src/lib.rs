@@ -4,6 +4,25 @@
 //! Every binary prints a self-contained report to stdout; EXPERIMENTS.md
 //! records the paper-reported values next to the values these binaries
 //! produce.
+//!
+//! # Panic policy
+//!
+//! The workspace-wide `unwrap_used`/`expect_used` deny applies here too,
+//! but the measurement helpers *deliberately* abort on setup or serving
+//! failures: every caller is an `exp_*` binary or a Criterion bench where
+//! crashing with the failure message is the correct error handling, and
+//! threading `Result` through every helper would only obscure what is
+//! being measured. Each such function carries a `# Panics` doc section and
+//! a local, justified `#[allow(clippy::expect_used)]`; new non-harness
+//! code in this crate still has to opt in consciously.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+// Harness crate (crate docs, "Panic policy"): the measurement helpers
+// abort on setup/serving failures by design, and the experiment report
+// printer writes to stdout — that *is* this crate's output channel.
+// sdm-analyze: allow-file(no-unwrap-outside-tests)
+// sdm-analyze: allow-file(no-print-in-libs)
 
 use dlrm::{model_zoo, ModelConfig};
 use io_engine::RetryConfig;
@@ -59,6 +78,9 @@ pub fn bench_sdm_config() -> SdmConfig {
 ///
 /// Panics when the configuration cannot be built — experiments treat that as
 /// a fatal setup error.
+// Harness policy: a fatal setup/serving error aborts the experiment
+// with the message below (crate docs, "Panic policy").
+#[allow(clippy::expect_used)]
 pub fn build_system(model: &ModelConfig, config: SdmConfig) -> SdmSystem {
     SdmSystem::build(model, config, EXPERIMENT_SEED).expect("failed to build SDM system")
 }
@@ -68,6 +90,9 @@ pub fn build_system(model: &ModelConfig, config: SdmConfig) -> SdmSystem {
 /// # Panics
 ///
 /// Panics when the workload generator rejects the model (empty table set).
+// Harness policy: a fatal setup/serving error aborts the experiment
+// with the message below (crate docs, "Panic policy").
+#[allow(clippy::expect_used)]
 pub fn queries_for(model: &ModelConfig, count: usize, seed: u64) -> Vec<Query> {
     let cfg = WorkloadConfig {
         item_batch: model.item_batch.min(16),
@@ -87,6 +112,9 @@ pub fn queries_for(model: &ModelConfig, count: usize, seed: u64) -> Vec<Query> {
 /// # Panics
 ///
 /// Panics when the workload generator rejects the model (empty table set).
+// Harness policy: a fatal setup/serving error aborts the experiment
+// with the message below (crate docs, "Panic policy").
+#[allow(clippy::expect_used)]
 pub fn skewed_queries_for(model: &ModelConfig, count: usize, seed: u64) -> Vec<Query> {
     let cfg = WorkloadConfig {
         item_batch: model.item_batch.min(16),
@@ -115,6 +143,9 @@ pub fn pct(x: f64) -> String {
 ///
 /// Panics when a host cannot be built or a batch fails — experiments treat
 /// both as fatal setup errors.
+// Harness policy: a fatal setup/serving error aborts the experiment
+// with the message below (crate docs, "Panic policy").
+#[allow(clippy::expect_used)]
 pub fn measure_streams(
     model: &ModelConfig,
     config: &SdmConfig,
@@ -155,6 +186,9 @@ pub fn measure_streams(
 ///
 /// Panics when a system cannot be built or a batch fails — experiments
 /// treat both as fatal setup errors.
+// Harness policy: a fatal setup/serving error aborts the experiment
+// with the message below (crate docs, "Panic policy").
+#[allow(clippy::expect_used)]
 pub fn measure_batch_modes(
     model: &ModelConfig,
     config: &SdmConfig,
@@ -209,6 +243,9 @@ pub fn measure_batch_modes(
 ///
 /// Panics when a host cannot be built or a batch fails — experiments treat
 /// both as fatal setup errors.
+// Harness policy: a fatal setup/serving error aborts the experiment
+// with the message below (crate docs, "Panic policy").
+#[allow(clippy::expect_used)]
 pub fn measure_shared_tier(
     model: &ModelConfig,
     config: &SdmConfig,
@@ -272,6 +309,9 @@ pub fn measure_shared_tier(
 ///
 /// Panics when a host cannot be built, a batch fails, or the configured
 /// tier budget is zero — experiments treat these as fatal setup errors.
+// Harness policy: a fatal setup/serving error aborts the experiment
+// with the message below (crate docs, "Panic policy").
+#[allow(clippy::expect_used)]
 pub fn measure_cache_policies(
     model: &ModelConfig,
     config: &SdmConfig,
@@ -345,6 +385,9 @@ pub fn measure_cache_policies(
 ///
 /// Panics when a host, front end or generator cannot be built or a batch
 /// fails — experiments treat these as fatal setup errors.
+// Harness policy: a fatal setup/serving error aborts the experiment
+// with the message below (crate docs, "Panic policy").
+#[allow(clippy::expect_used)]
 pub fn measure_load_curve(
     model: &ModelConfig,
     config: &SdmConfig,
@@ -402,6 +445,9 @@ struct ConditionRun {
 /// Runs `rounds` batches of `queries` on a fresh host with `plan_for`
 /// attached to every device (`(shard, device) -> plan`), then folds the
 /// serving and fault ledgers into one measurement.
+// Harness policy: a fatal setup/serving error aborts the experiment
+// with the message below (crate docs, "Panic policy").
+#[allow(clippy::expect_used)]
 fn run_fault_condition(
     label: &str,
     model: &ModelConfig,
@@ -519,6 +565,9 @@ fn device_fault_seed(fault_seed: u64, shard: usize, device: usize) -> u64 {
 ///
 /// Panics when a host cannot be built or a batch fails — experiments
 /// treat both as fatal setup errors.
+// Harness policy: a fatal setup/serving error aborts the experiment
+// with the message below (crate docs, "Panic policy").
+#[allow(clippy::expect_used)]
 pub fn measure_fault_resilience(
     model: &ModelConfig,
     config: &SdmConfig,
@@ -679,6 +728,9 @@ pub fn bench_quantized_rows(pf: usize, dim: usize, scheme: embedding::QuantSchem
 /// # Panics
 ///
 /// Panics on malformed row buffers — benchmark inputs are trusted.
+// Harness policy: malformed benchmark rows abort the experiment (crate
+// docs, "Panic policy").
+#[allow(clippy::unwrap_used)]
 pub fn pool_seed_style(rows: &[&[u8]], scheme: embedding::QuantScheme, dim: usize) -> Vec<f32> {
     let mut out = vec![0.0f32; dim];
     for &raw in rows {

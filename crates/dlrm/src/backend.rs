@@ -419,7 +419,11 @@ mod tests {
             backend.lookup_finish(t, &mut short),
             Err(DlrmError::DimensionMismatch { .. })
         ));
-        assert_eq!(backend.pending.free_len(), 0, "failed finish freed the slot");
+        assert_eq!(
+            backend.pending.free_len(),
+            0,
+            "failed finish freed the slot"
+        );
         let mut out = vec![0.0f32; dim];
         backend.lookup_finish(t, &mut out).unwrap();
         assert_eq!(backend.pending.free_len(), 1);

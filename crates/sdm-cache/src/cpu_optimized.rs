@@ -142,7 +142,11 @@ mod tests {
             c.insert(RowKey::new(0, i), &[0u8; 100]);
         }
         // ~6 entries fit; churn must recycle slots/ranges, not grow them.
-        assert!(c.engine.slot_count() <= 8, "{} slots", c.engine.slot_count());
+        assert!(
+            c.engine.slot_count() <= 8,
+            "{} slots",
+            c.engine.slot_count()
+        );
         assert!(
             c.engine.arena_len() <= 8 * 100,
             "{} arena bytes",

@@ -37,9 +37,9 @@ use crate::config::TierAdmission;
 use crate::engine::{AdmissionPolicy, AlwaysAdmit, ArenaLru, SecondTouch};
 use crate::row_cache::RowKey;
 use crate::stats::CacheStats;
+use crate::tracked::TrackedMutex;
 use sdm_metrics::units::{split_share, Bytes};
 use sdm_metrics::SimDuration;
-use std::sync::{Mutex, MutexGuard, PoisonError};
 
 /// Metadata overhead per shared-tier entry (hash node, LRU links, slot
 /// record, origin tag).
@@ -89,22 +89,18 @@ impl Stripe {
 /// partitions behind a `&self` API, shared across shards via `Arc`.
 #[derive(Debug)]
 pub struct SharedRowTier {
-    stripes: Vec<Mutex<Stripe>>,
+    // `TrackedMutex` (not a bare `Mutex`): under `debug_assertions` every
+    // stripe acquisition feeds the lock-order graph and the held-lock
+    // stack, so the "no stripe lock across SM submit" contract is enforced
+    // by `assert_no_locks_held` at the submission boundary; in release it
+    // is a transparent `Mutex`. Poison recovery lives there too: a stripe
+    // can only be poisoned by a panic in caller code running under
+    // [`SharedRowTier::lookup_with`]'s closure — the engine itself
+    // completes every mutation before handing bytes out — so the stripe
+    // data is still consistent and serving can continue.
+    stripes: Vec<TrackedMutex<Stripe>>,
     budget: Bytes,
     admission: TierAdmission,
-}
-
-/// Recovers the guard from a poisoned stripe lock. A stripe can only be
-/// poisoned by a panic in caller code running under [`lookup_with`]'s
-/// closure — the engine itself completes every mutation before handing
-/// bytes out — so the stripe data is still consistent and serving can
-/// continue.
-///
-/// [`lookup_with`]: SharedRowTier::lookup_with
-fn stripe_lock<'a, T>(
-    result: Result<MutexGuard<'a, T>, PoisonError<MutexGuard<'a, T>>>,
-) -> MutexGuard<'a, T> {
-    result.unwrap_or_else(PoisonError::into_inner)
 }
 
 impl SharedRowTier {
@@ -125,18 +121,19 @@ impl SharedRowTier {
             .map(|i| {
                 let policy: Box<dyn AdmissionPolicy> = match admission {
                     TierAdmission::Always => Box::new(AlwaysAdmit),
-                    TierAdmission::SecondTouch => {
-                        Box::new(SecondTouch::new(SECOND_TOUCH_CAPACITY))
-                    }
+                    TierAdmission::SecondTouch => Box::new(SecondTouch::new(SECOND_TOUCH_CAPACITY)),
                 };
-                Mutex::new(Stripe {
-                    engine: ArenaLru::new(
-                        Bytes(split_share(budget.as_u64(), n as u64, i as u64)),
-                        ENTRY_OVERHEAD,
-                    ),
-                    admission: policy,
-                    denied: 0,
-                })
+                TrackedMutex::new(
+                    "shared-tier-stripe",
+                    Stripe {
+                        engine: ArenaLru::new(
+                            Bytes(split_share(budget.as_u64(), n as u64, i as u64)),
+                            ENTRY_OVERHEAD,
+                        ),
+                        admission: policy,
+                        denied: 0,
+                    },
+                )
             })
             .collect();
         SharedRowTier {
@@ -168,7 +165,7 @@ impl SharedRowTier {
         SimDuration::from_nanos(300)
     }
 
-    fn stripe_of(&self, key: &RowKey) -> &Mutex<Stripe> {
+    fn stripe_of(&self, key: &RowKey) -> &TrackedMutex<Stripe> {
         // Use the high half of the mixed key so stripe choice stays
         // decorrelated from the private caches' bucket choice (which uses
         // the low bits via `mix() % buckets`).
@@ -187,7 +184,7 @@ impl SharedRowTier {
         source: u32,
         f: F,
     ) -> Option<SharedHit> {
-        let mut stripe = stripe_lock(self.stripe_of(key).lock());
+        let mut stripe = self.stripe_of(key).lock();
         match stripe.engine.get(key) {
             Some((bytes, &origin)) => {
                 f(bytes);
@@ -204,7 +201,7 @@ impl SharedRowTier {
     /// the row was resident. The closure must not call back into the same
     /// tier.
     pub fn peek_with<F: FnOnce(&[u8])>(&self, key: &RowKey, f: F) -> bool {
-        let stripe = stripe_lock(self.stripe_of(key).lock());
+        let stripe = self.stripe_of(key).lock();
         match stripe.engine.peek(key) {
             Some(bytes) => {
                 f(bytes);
@@ -220,22 +217,19 @@ impl SharedRowTier {
     /// budget). Called at IO completion only, so no stripe lock is ever
     /// held across an SM read.
     pub fn insert(&self, key: RowKey, value: &[u8], source: u32) -> bool {
-        let mut stripe = stripe_lock(self.stripe_of(&key).lock());
+        let mut stripe = self.stripe_of(&key).lock();
         stripe.insert(key, value, source)
     }
 
     /// Returns true when the key is resident (without touching recency).
     pub fn contains(&self, key: &RowKey) -> bool {
-        let stripe = stripe_lock(self.stripe_of(key).lock());
+        let stripe = self.stripe_of(key).lock();
         stripe.engine.contains(key)
     }
 
     /// Number of resident rows across all stripes.
     pub fn len(&self) -> usize {
-        self.stripes
-            .iter()
-            .map(|s| stripe_lock(s.lock()).engine.len())
-            .sum()
+        self.stripes.iter().map(|s| s.lock().engine.len()).sum()
     }
 
     /// True when no rows are resident.
@@ -249,7 +243,7 @@ impl SharedRowTier {
         Bytes(
             self.stripes
                 .iter()
-                .map(|s| stripe_lock(s.lock()).engine.memory_used().as_u64())
+                .map(|s| s.lock().engine.memory_used().as_u64())
                 .sum(),
         )
     }
@@ -259,7 +253,7 @@ impl SharedRowTier {
     pub fn stats(&self) -> CacheStats {
         let mut total = CacheStats::new();
         for s in &self.stripes {
-            total.merge(stripe_lock(s.lock()).engine.stats());
+            total.merge(s.lock().engine.stats());
         }
         total
     }
@@ -267,10 +261,7 @@ impl SharedRowTier {
     /// Promotions turned away by the admission policy across all stripes
     /// (always zero under [`TierAdmission::Always`]).
     pub fn admission_denied(&self) -> u64 {
-        self.stripes
-            .iter()
-            .map(|s| stripe_lock(s.lock()).denied)
-            .sum()
+        self.stripes.iter().map(|s| s.lock().denied).sum()
     }
 
     /// Drops every resident row in every stripe and forgets the admission
@@ -279,7 +270,7 @@ impl SharedRowTier {
     /// touches across a row-content change.
     pub fn clear(&self) {
         for s in &self.stripes {
-            let mut stripe = stripe_lock(s.lock());
+            let mut stripe = s.lock();
             stripe.engine.clear();
             stripe.admission.reset();
         }
@@ -327,7 +318,7 @@ mod tests {
         let per_stripe: u64 = t
             .stripes
             .iter()
-            .map(|s| s.lock().unwrap().engine.budget().as_u64())
+            .map(|s| s.lock().engine.budget().as_u64())
             .sum();
         assert_eq!(per_stripe, 1000);
         // Fill well past the budget; usage stays bounded and evictions run.
@@ -389,7 +380,10 @@ mod tests {
         assert!(!t.insert(key, &[5u8; 64], 0), "first touch must be denied");
         assert!(!t.contains(&key));
         assert_eq!(t.admission_denied(), 1);
-        assert!(t.insert(key, &[5u8; 64], 0), "second touch must be admitted");
+        assert!(
+            t.insert(key, &[5u8; 64], 0),
+            "second touch must be admitted"
+        );
         assert!(t.contains(&key));
         // Resident refresh is always allowed — no doorkeeper round-trip.
         assert!(t.insert(key, &[6u8; 64], 1));
@@ -419,7 +413,7 @@ mod tests {
             rng ^= rng << 17;
             let key = RowKey::new((rng % 7) as u32, (rng >> 8) % 400);
             let len = len_for(&key);
-            if rng % 3 == 0 {
+            if rng.is_multiple_of(3) {
                 t.insert(key, &vec![(rng & 0xff) as u8; len], (rng % 2) as u32);
             } else {
                 let mut got = None;
@@ -429,7 +423,10 @@ mod tests {
                 }
             }
         }
-        assert!(t.stats().evictions > 0, "churn never evicted — test is inert");
+        assert!(
+            t.stats().evictions > 0,
+            "churn never evicted — test is inert"
+        );
     }
 
     #[test]

@@ -33,6 +33,13 @@ pub enum SdmError {
         /// Panic payload, when it carried a message.
         cause: String,
     },
+    /// An internal bookkeeping invariant was violated (a bug in the serving
+    /// pipeline, not in caller input). Surfaced as a typed error instead of
+    /// a panic so a corrupted query fails cleanly and the shard survives.
+    Internal {
+        /// The invariant that did not hold.
+        invariant: &'static str,
+    },
 }
 
 impl fmt::Display for SdmError {
@@ -46,6 +53,9 @@ impl fmt::Display for SdmError {
             SdmError::InvalidConfig { reason } => write!(f, "invalid SDM config: {reason}"),
             SdmError::ShardFailed { shard, cause } => {
                 write!(f, "shard {shard} worker failed: {cause}")
+            }
+            SdmError::Internal { invariant } => {
+                write!(f, "internal invariant violated: {invariant}")
             }
         }
     }
@@ -61,6 +71,7 @@ impl Error for SdmError {
             SdmError::Workload(e) => Some(e),
             SdmError::InvalidConfig { .. } => None,
             SdmError::ShardFailed { .. } => None,
+            SdmError::Internal { .. } => None,
         }
     }
 }

@@ -141,6 +141,9 @@ struct SmScan {
 /// the dequantise+pool cost, feeds the pooled-embedding cache with the
 /// final vector, and records the op's total latency. `pre_pool_latency`
 /// is everything accrued before pooling (probe + scan + IO wait).
+// Takes the split borrows of its two callers individually — bundling them
+// into a context struct would just move the field list.
+#[allow(clippy::too_many_arguments)]
 fn finish_sm_op(
     config: &SdmConfig,
     pooled_cache: &mut PooledEmbeddingCache,
@@ -157,8 +160,7 @@ fn finish_sm_op(
     } else {
         DEQUANT_POOL_COST_PER_ELEMENT
     };
-    let pool_time =
-        per_element * (pooled_rows * out.len()) as u64 + SimDuration::from_nanos(100);
+    let pool_time = per_element * (pooled_rows * out.len()) as u64 + SimDuration::from_nanos(100);
     stats.pooling_time += pool_time;
     if !config.cache.pooled_cache_budget.is_zero() {
         pooled_cache.insert(table, indices, out);
@@ -554,6 +556,12 @@ impl SdmMemoryManager {
         // reads, then pool each row as its completion drains.
         let mut io_time = SimDuration::ZERO;
         if !scratch.io_targets.is_empty() {
+            // Lock-discipline boundary: stripe locks are sub-microsecond
+            // critical sections and fills happen at IO *completion*, so no
+            // tracked lock may be held while SM reads are submitted. Debug
+            // builds panic here on a violation; release builds compile this
+            // to nothing.
+            sdm_cache::assert_no_locks_held("SM submit boundary (manager::sm_lookup_core)");
             let placement = loaded.layout.placement(table)?;
             let device = DeviceId(placement.device_index);
             for (pos, stored_row) in &scratch.io_targets {
@@ -594,11 +602,24 @@ impl SdmMemoryManager {
                 stats.sm_bus_bytes += completion.bus_bytes;
                 let pos = completion.user_data as usize;
                 // io_targets is built in ascending position order, so the
-                // reverse lookup is a binary search, not a linear scan.
-                let stored_row = io_targets
+                // reverse lookup is a binary search, not a linear scan. A
+                // completion for a position we never submitted is a pipeline
+                // bug; record it as a typed error and skip the row rather
+                // than tearing the shard down mid-drain.
+                let stored_row = match io_targets
                     .binary_search_by_key(&pos, |(p, _)| *p)
                     .map(|i| io_targets[i].1)
-                    .expect("completion for unknown position");
+                {
+                    Ok(row) => row,
+                    Err(_) => {
+                        if pool_error.is_none() {
+                            pool_error = Some(SdmError::Internal {
+                                invariant: "IO completion matches a submitted miss position",
+                            });
+                        }
+                        return;
+                    }
+                };
                 if pool_error.is_none() {
                     if let Err(e) =
                         kernels::accumulate_row_with(kernel, &completion.data, quant, out)

@@ -324,11 +324,13 @@ impl Shard {
         &mut self,
         query_at: &impl Fn(usize) -> &'a Query,
     ) -> Result<SimInstant, SdmError> {
-        let (slot, k) = self
-            .relaxed
-            .inflight
-            .pop_front()
-            .expect("finish_front on an empty pipeline");
+        let Some((slot, k)) = self.relaxed.inflight.pop_front() else {
+            // Callers drain the pipeline under `!inflight.is_empty()`
+            // guards; finishing an empty pipeline is a scheduling bug.
+            return Err(SdmError::Internal {
+                invariant: "finish_front called with queries in flight",
+            });
+        };
         let s = self.relaxed.slots.slot_mut(slot);
         self.engine.finish_query_into(
             query_at(k),

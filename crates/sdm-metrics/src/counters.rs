@@ -84,7 +84,7 @@ pub struct CounterSet {
 mod parking_counters {
     use super::Counter;
     use std::collections::BTreeMap;
-    use std::sync::Mutex;
+    use std::sync::{Mutex, MutexGuard, PoisonError};
 
     #[derive(Debug, Default)]
     pub struct Registry {
@@ -92,19 +92,26 @@ mod parking_counters {
     }
 
     impl Registry {
+        /// Counters are atomics mutated outside the registry lock, so a
+        /// panic while the map guard is held cannot leave the map itself
+        /// inconsistent — recover the guard instead of propagating poison.
+        fn locked(&self) -> MutexGuard<'_, BTreeMap<String, Counter>> {
+            self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
         pub fn counter(&self, name: &str) -> Counter {
-            let mut guard = self.inner.lock().expect("counter registry poisoned");
-            guard.entry(name.to_owned()).or_default().clone()
+            self.locked().entry(name.to_owned()).or_default().clone()
         }
 
         pub fn snapshot(&self) -> BTreeMap<String, u64> {
-            let guard = self.inner.lock().expect("counter registry poisoned");
-            guard.iter().map(|(k, v)| (k.clone(), v.get())).collect()
+            self.locked()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect()
         }
 
         pub fn reset_all(&self) {
-            let guard = self.inner.lock().expect("counter registry poisoned");
-            for c in guard.values() {
+            for c in self.locked().values() {
                 c.reset();
             }
         }

@@ -1,0 +1,30 @@
+//! Known-bad fixture: an IO submission issued while a lock guard is live —
+//! exactly the "stripe lock held across SM submit" contract violation.
+//! Must trip `lock-across-await-style`; the clean variant below (submit
+//! after the guard's scope closes) must NOT trip.
+
+use std::sync::Mutex;
+
+pub struct Tier {
+    stripe: Mutex<Vec<u8>>,
+}
+
+pub struct Engine;
+
+impl Engine {
+    pub fn submit(&self, _req: u64) {}
+}
+
+pub fn held_across_submit(tier: &Tier, engine: &Engine) {
+    let guard = tier.stripe.lock();
+    engine.submit(42);
+    drop(guard);
+}
+
+pub fn clean_submit(tier: &Tier, engine: &Engine) {
+    {
+        let guard = tier.stripe.lock();
+        let _len = guard.iter().count();
+    }
+    engine.submit(42);
+}

@@ -1,0 +1,10 @@
+//! Known-bad fixture: console output from library code. Must trip
+//! `no-print-in-libs` three times (println!, eprintln!, dbg!).
+
+pub fn serve(queries: usize) -> usize {
+    println!("serving {queries} queries");
+    if queries == 0 {
+        eprintln!("empty batch");
+    }
+    dbg!(queries)
+}

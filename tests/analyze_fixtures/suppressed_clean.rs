@@ -1,0 +1,15 @@
+//! Clean fixture: every would-be violation carries a justified
+//! suppression, so the scanner must report nothing. Guards the
+//! suppression syntax itself against regressions.
+
+pub fn startup_config(raw: &str) -> u32 {
+    // Startup-only path: a malformed baked-in default is a build bug, and
+    // aborting with the parse message is the correct behaviour.
+    // sdm-analyze: allow(no-unwrap-outside-tests)
+    raw.parse().unwrap()
+}
+
+pub fn log_banner() {
+    // One-shot startup banner, written before logging is initialised.
+    println!("booting"); // sdm-analyze: allow(no-print-in-libs)
+}

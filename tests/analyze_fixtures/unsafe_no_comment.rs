@@ -1,0 +1,25 @@
+//! Known-bad fixture: `unsafe` without a written justification. Must trip
+//! `unsafe-needs-safety-comment` for the bare block and the bare fn — and
+//! must NOT trip for the properly annotated pair below.
+
+pub fn read_first(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    unsafe { *bytes.as_ptr() }
+}
+
+pub unsafe fn unchecked_add(a: *const u8, off: usize) -> *const u8 {
+    a.add(off)
+}
+
+pub fn annotated(bytes: &[u8]) -> u8 {
+    assert!(!bytes.is_empty());
+    // SAFETY: the assert above guarantees at least one readable byte.
+    unsafe { *bytes.as_ptr() }
+}
+
+/// # Safety
+///
+/// `a` must point at least `off + 1` bytes into a live allocation.
+pub unsafe fn documented_add(a: *const u8, off: usize) -> *const u8 {
+    a.add(off)
+}

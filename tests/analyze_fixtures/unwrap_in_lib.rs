@@ -1,0 +1,18 @@
+//! Known-bad fixture: library code panicking through `unwrap`/`expect`
+//! instead of returning a typed error. Must trip `no-unwrap-outside-tests`
+//! twice (once per call) — and must NOT trip for the test module below.
+
+pub fn lookup(map: &std::collections::BTreeMap<u32, u32>, key: u32) -> u32 {
+    let direct = map.get(&key).unwrap();
+    let doubled = map.get(&(key * 2)).expect("missing doubled key");
+    direct + doubled
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_here() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

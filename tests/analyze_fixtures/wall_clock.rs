@@ -1,0 +1,16 @@
+//! Known-bad fixture: wall-clock time sources inside a virtual-clock
+//! crate. Must trip `no-wall-clock` twice — once per time source.
+
+use std::time::{Instant, SystemTime};
+
+pub fn elapsed_wall_nanos() -> u128 {
+    let start = Instant::now();
+    start.elapsed().as_nanos()
+}
+
+pub fn unix_seconds() -> u64 {
+    match SystemTime::now().duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_secs(),
+        Err(_) => 0,
+    }
+}

@@ -118,7 +118,12 @@ fn scenario_config(window: Option<usize>, tier: bool) -> SdmConfig {
     config
 }
 
-fn run_scenario(model: &dlrm::ModelConfig, seed: u64, window: Option<usize>, tier: bool) -> Fingerprint {
+fn run_scenario(
+    model: &dlrm::ModelConfig,
+    seed: u64,
+    window: Option<usize>,
+    tier: bool,
+) -> Fingerprint {
     let queries = skewed_queries(model, 24, seed);
     let config = scenario_config(window, tier);
     // Tier-on runs must be single-shard to stay deterministic (see the
@@ -145,7 +150,7 @@ fn run_scenario(model: &dlrm::ModelConfig, seed: u64, window: Option<usize>, tie
 
     let mut counters = 0xcbf2_9ce4_8422_2325u64;
     let mut resident = 0u64;
-    let mut fold = |stats: &sdm_cache::CacheStats, h: &mut u64, r: &mut u64| {
+    let fold = |stats: &sdm_cache::CacheStats, h: &mut u64, r: &mut u64| {
         *r += stats.resident_bytes;
         let mut masked = stats.clone();
         masked.resident_bytes = 0;
@@ -172,18 +177,78 @@ fn run_scenario(model: &dlrm::ModelConfig, seed: u64, window: Option<usize>, tie
 /// Golden fingerprints captured from pre-refactor `main`, in scenario
 /// order: model-major, then window (exact, relaxed 1), then tier (off, on).
 const GOLDEN: &[(u64, u64, u64, u64)] = &[
-    (0xd3f7ec18a0f85725, 0x69de990bf9b6c36c, 0x272a9c82556d3d57, 98560), // M1-scaled-400000 window=None tier=false
-    (0xd3f7ec18a0f85725, 0x062f73375a7c46d6, 0xfdf0bbb91c3f082a, 269266), // M1-scaled-400000 window=None tier=true
-    (0xd3f7ec18a0f85725, 0x23ef01539760f0f8, 0xf611f7633213feb9, 98560), // M1-scaled-400000 window=Some(1) tier=false
-    (0xd3f7ec18a0f85725, 0x0da9bb8c3c316835, 0x6ba372d79f80428a, 269379), // M1-scaled-400000 window=Some(1) tier=true
-    (0xd3f7ec18a0f85725, 0x2677637bc38bc355, 0x1847e2ce5336c35c, 215832), // M2-scaled-400000 window=None tier=false
-    (0xd3f7ec18a0f85725, 0x2b80cfc30494153b, 0x4fae94828603a9f9, 822693), // M2-scaled-400000 window=None tier=true
-    (0xd3f7ec18a0f85725, 0xfac7514e9bb44146, 0x5c0c22eca4e60025, 219952), // M2-scaled-400000 window=Some(1) tier=false
-    (0xd3f7ec18a0f85725, 0x955d67221e36a0e4, 0xef1f903ce11a3c0d, 822693), // M2-scaled-400000 window=Some(1) tier=true
-    (0xf162e10a79cd09ed, 0x4e2bd9686ed1604f, 0x7ccd1cfdf0c28121, 69232), // M3-scaled-4000000 window=None tier=false
-    (0x92761411a686a6da, 0x46407e27f2430455, 0xafea17a1a033ed1c, 219318), // M3-scaled-4000000 window=None tier=true
-    (0x1c9f92842e43545f, 0xd61afa5e3ec9af6a, 0x8a6247cdcf1035ae, 78032), // M3-scaled-4000000 window=Some(1) tier=false
-    (0xb38b69e4be69ce82, 0x4b9b06323fea230c, 0x1093050b041de749, 217416), // M3-scaled-4000000 window=Some(1) tier=true
+    (
+        0xd3f7ec18a0f85725,
+        0x69de990bf9b6c36c,
+        0x272a9c82556d3d57,
+        98560,
+    ), // M1-scaled-400000 window=None tier=false
+    (
+        0xd3f7ec18a0f85725,
+        0x062f73375a7c46d6,
+        0xfdf0bbb91c3f082a,
+        269266,
+    ), // M1-scaled-400000 window=None tier=true
+    (
+        0xd3f7ec18a0f85725,
+        0x23ef01539760f0f8,
+        0xf611f7633213feb9,
+        98560,
+    ), // M1-scaled-400000 window=Some(1) tier=false
+    (
+        0xd3f7ec18a0f85725,
+        0x0da9bb8c3c316835,
+        0x6ba372d79f80428a,
+        269379,
+    ), // M1-scaled-400000 window=Some(1) tier=true
+    (
+        0xd3f7ec18a0f85725,
+        0x2677637bc38bc355,
+        0x1847e2ce5336c35c,
+        215832,
+    ), // M2-scaled-400000 window=None tier=false
+    (
+        0xd3f7ec18a0f85725,
+        0x2b80cfc30494153b,
+        0x4fae94828603a9f9,
+        822693,
+    ), // M2-scaled-400000 window=None tier=true
+    (
+        0xd3f7ec18a0f85725,
+        0xfac7514e9bb44146,
+        0x5c0c22eca4e60025,
+        219952,
+    ), // M2-scaled-400000 window=Some(1) tier=false
+    (
+        0xd3f7ec18a0f85725,
+        0x955d67221e36a0e4,
+        0xef1f903ce11a3c0d,
+        822693,
+    ), // M2-scaled-400000 window=Some(1) tier=true
+    (
+        0xf162e10a79cd09ed,
+        0x4e2bd9686ed1604f,
+        0x7ccd1cfdf0c28121,
+        69232,
+    ), // M3-scaled-4000000 window=None tier=false
+    (
+        0x92761411a686a6da,
+        0x46407e27f2430455,
+        0xafea17a1a033ed1c,
+        219318,
+    ), // M3-scaled-4000000 window=None tier=true
+    (
+        0x1c9f92842e43545f,
+        0xd61afa5e3ec9af6a,
+        0x8a6247cdcf1035ae,
+        78032,
+    ), // M3-scaled-4000000 window=Some(1) tier=false
+    (
+        0xb38b69e4be69ce82,
+        0x4b9b06323fea230c,
+        0x1093050b041de749,
+        217416,
+    ), // M3-scaled-4000000 window=Some(1) tier=true
 ];
 
 #[test]
@@ -198,8 +263,13 @@ fn refactor_is_bit_identical_under_always_admit() {
                 if capture {
                     println!(
                         "    ({:#018x}, {:#018x}, {:#018x}, {}), // {} window={:?} tier={}",
-                        fp.scores, fp.stats, fp.cache_counters, fp.resident_bytes,
-                        model.name, window, tier
+                        fp.scores,
+                        fp.stats,
+                        fp.cache_counters,
+                        fp.resident_bytes,
+                        model.name,
+                        window,
+                        tier
                     );
                 }
                 fresh.push((model.name.clone(), window, tier, fp));
@@ -210,8 +280,7 @@ fn refactor_is_bit_identical_under_always_admit() {
         return;
     }
     assert_eq!(fresh.len(), GOLDEN.len(), "scenario count drifted");
-    for ((name, window, tier, fp), &(scores, stats, counters, resident)) in
-        fresh.iter().zip(GOLDEN)
+    for ((name, window, tier, fp), &(scores, stats, counters, resident)) in fresh.iter().zip(GOLDEN)
     {
         let tag = format!("{name} window={window:?} tier={tier}");
         assert_eq!(fp.scores, scores, "{tag}: per-query scores diverged");

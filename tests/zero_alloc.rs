@@ -29,16 +29,22 @@ struct CountingAllocator;
 // SAFETY: defers every operation to the system allocator unchanged; the
 // hook call is side-effect-only bookkeeping.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: same contract as `System.alloc`; the layout is forwarded
+    // unchanged and the hook only touches an atomic counter.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         alloc_hook::note_alloc(layout.size());
         System.alloc(layout)
     }
 
+    // SAFETY: same contract as `System.alloc_zeroed`; the layout is
+    // forwarded unchanged and the hook only touches an atomic counter.
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
         alloc_hook::note_alloc(layout.size());
         System.alloc_zeroed(layout)
     }
 
+    // SAFETY: same contract as `System.realloc`; pointer, layout and size
+    // are forwarded unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         // A growth is a fresh allocation from the hot path's point of view.
         if new_size > layout.size() {
@@ -47,6 +53,8 @@ unsafe impl GlobalAlloc for CountingAllocator {
         System.realloc(ptr, layout, new_size)
     }
 
+    // SAFETY: same contract as `System.dealloc`; pointer and layout are
+    // forwarded unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         System.dealloc(ptr, layout)
     }
